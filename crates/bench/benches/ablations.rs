@@ -1,0 +1,172 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5.
+//!
+//! Each group sweeps one knob of the adaptive allocator (or the
+//! announcement schedule) and *reports the quality metric through the
+//! bench label's workload*, while Criterion tracks the cost.  Run with
+//! `cargo bench --bench ablations`; the printed `quality:` lines give
+//! the metric for each setting so cost and quality can be read together.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sdalloc_bench::bench_mbone;
+use sdalloc_core::adaptive::{AdaptiveIpr, BandMap};
+use sdalloc_core::{PartitionMap, StaticIpr};
+use sdalloc_experiments::steady::{steady_state_clash_probability, Replacement};
+use sdalloc_sap::schedule::BackoffSchedule;
+use sdalloc_sim::SimDuration;
+use sdalloc_topology::workload::TtlDistribution;
+
+/// Occupancy-target ablation: the paper picks 67 % from Figure 6; we
+/// sweep 50/67/85 %.
+fn ablate_occupancy(c: &mut Criterion) {
+    let topo = bench_mbone(150);
+    let dist = TtlDistribution::ds4();
+    let mut group = c.benchmark_group("ablate_occupancy");
+    group.sample_size(10);
+    for occ in [0.50f64, 0.67, 0.85] {
+        let alg = AdaptiveIpr::new(
+            BandMap::Partition(Box::new(PartitionMap::paper_default())),
+            0.20,
+            occ,
+            None,
+            format!("occ-{occ}"),
+        );
+        let p = steady_state_clash_probability(
+            &topo, &alg, &dist, 300, 60, Replacement::Random, 6, 31,
+        );
+        println!("quality: occupancy={occ} p_clash(n=60,space=300)={p:.2}");
+        group.bench_function(format!("occupancy_{occ}"), |b| {
+            b.iter(|| {
+                steady_state_clash_probability(
+                    &topo, &alg, &dist, 300, 30, Replacement::Random, 2, 33,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Partition-margin ablation: margin 1/2/3 → 34/55/73 partitions.
+fn ablate_margin(c: &mut Criterion) {
+    let topo = bench_mbone(150);
+    let dist = TtlDistribution::ds4();
+    let mut group = c.benchmark_group("ablate_margin");
+    group.sample_size(10);
+    for margin in [1u32, 2, 3] {
+        let map = PartitionMap::new(margin);
+        let partitions = map.len();
+        let alg = AdaptiveIpr::new(
+            BandMap::Partition(Box::new(map)),
+            0.20,
+            0.67,
+            None,
+            format!("margin-{margin}"),
+        );
+        let p = steady_state_clash_probability(
+            &topo, &alg, &dist, 300, 60, Replacement::Random, 6, 37,
+        );
+        println!(
+            "quality: margin={margin} partitions={partitions} p_clash(n=60,space=300)={p:.2}"
+        );
+        group.bench_function(format!("margin_{margin}"), |b| {
+            b.iter(|| {
+                steady_state_clash_probability(
+                    &topo, &alg, &dist, 300, 30, Replacement::Random, 2, 39,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Gap-fraction ablation beyond the paper's four points.
+fn ablate_gap_fraction(c: &mut Criterion) {
+    let topo = bench_mbone(150);
+    let dist = TtlDistribution::ds4();
+    let mut group = c.benchmark_group("ablate_gap");
+    group.sample_size(10);
+    for gap in [0.0f64, 0.2, 0.4, 0.6, 0.8] {
+        let alg = AdaptiveIpr::new(
+            BandMap::Partition(Box::new(PartitionMap::paper_default())),
+            gap,
+            0.67,
+            None,
+            format!("gap-{gap}"),
+        );
+        let p = steady_state_clash_probability(
+            &topo, &alg, &dist, 400, 60, Replacement::Random, 6, 41,
+        );
+        println!("quality: gap={gap} p_clash(n=60,space=400)={p:.2}");
+        group.bench_function(format!("gap_{gap}"), |b| {
+            b.iter(|| {
+                steady_state_clash_probability(
+                    &topo, &alg, &dist, 400, 30, Replacement::Random, 2, 43,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Back-off schedule ablation: constant 10-minute repeats vs the
+/// paper's exponential-from-5 s, measured by the effective-delay metric
+/// that drives Figure 6's invisible-session fraction.
+fn ablate_backoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_backoff");
+    let schedules = [
+        ("constant_600s", BackoffSchedule::constant(SimDuration::from_mins(10))),
+        ("exponential_5s", BackoffSchedule::default()),
+    ];
+    for (name, sched) in &schedules {
+        let eff = sched
+            .effective_initial_delay(SimDuration::from_millis(200), 0.02)
+            .as_secs_f64();
+        println!("quality: schedule={name} effective_delay={eff:.2}s");
+        group.bench_function(format!("schedule_walk/{name}"), |b| {
+            b.iter(|| {
+                // Cost of computing a day's worth of announcement times.
+                let mut t = sdalloc_sim::SimTime::ZERO;
+                for n in 0..200u32 {
+                    t = sched.nth_time(sdalloc_sim::SimTime::ZERO, n);
+                }
+                t
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Static-band control for the same quality metric, for context.
+fn ablate_static_controls(c: &mut Criterion) {
+    let topo = bench_mbone(150);
+    let dist = TtlDistribution::ds4();
+    let mut group = c.benchmark_group("ablate_static");
+    group.sample_size(10);
+    for (name, alg) in [
+        ("IPR3", StaticIpr::three_band()),
+        ("IPR7", StaticIpr::seven_band()),
+    ] {
+        let p = steady_state_clash_probability(
+            &topo, &alg, &dist, 300, 60, Replacement::Random, 6, 47,
+        );
+        println!("quality: control={name} p_clash(n=60,space=300)={p:.2}");
+        group.bench_function(format!("control_{name}"), |b| {
+            b.iter(|| {
+                steady_state_clash_probability(
+                    &topo, &alg, &dist, 300, 30, Replacement::Random, 2, 49,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablate_occupancy,
+    ablate_margin,
+    ablate_gap_fraction,
+    ablate_backoff,
+    ablate_static_controls
+);
+criterion_main!(ablations);

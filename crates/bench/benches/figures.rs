@@ -1,0 +1,221 @@
+//! One benchmark group per paper figure: each bench regenerates the
+//! figure's workload at a reduced, timed scale.  The point is twofold —
+//! regression-tracking the experiment kernels, and giving `cargo bench`
+//! a one-command way to exercise every evaluation path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use sdalloc_bench::bench_mbone;
+use sdalloc_core::analytic::{birthday_clash_probability, eq1_allocations_at_half};
+use sdalloc_core::{AdaptiveIpr, InformedRandomAllocator, RandomAllocator, StaticIpr};
+use sdalloc_experiments::fill::fill_until_clash;
+use sdalloc_experiments::steady::{steady_state_clash_probability, Replacement};
+use sdalloc_experiments::world::World;
+use sdalloc_rr::analytic::{expected_responses_exponential, expected_responses_uniform};
+use sdalloc_rr::sim::{run_many, DelayDist, Population, RrParams, TreeMode};
+use sdalloc_sim::{SimDuration, SimRng};
+use sdalloc_topology::doar::{generate, DoarParams};
+use sdalloc_topology::hopcount::ttl_table;
+use sdalloc_topology::workload::TtlDistribution;
+use sdalloc_core::AddrSpace;
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4/birthday_curve_10000x400", |b| {
+        b.iter(|| {
+            let mut last = 0.0;
+            for k in (0..=400).step_by(10) {
+                last = birthday_clash_probability(black_box(10_000), k);
+            }
+            last
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let topo = bench_mbone(200);
+    let dist = TtlDistribution::ds4();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for (name, alg) in [
+        ("R", Box::new(RandomAllocator) as Box<dyn sdalloc_core::Allocator>),
+        ("IR", Box::new(InformedRandomAllocator)),
+        ("IPR3", Box::new(StaticIpr::three_band())),
+        ("IPR7", Box::new(StaticIpr::seven_band())),
+    ] {
+        let mut world = World::new(topo.clone(), AddrSpace::abstract_space(200));
+        group.bench_function(format!("fill_until_clash/{name}"), |b| {
+            let mut rng = SimRng::new(7);
+            b.iter(|| fill_until_clash(&mut world, alg.as_ref(), &dist, &mut rng, 1_600))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6/eq1_crossing_search", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for i_frac in [0.01, 0.001, 0.0001, 0.00001] {
+                total += eq1_allocations_at_half(black_box(100_000.0), i_frac);
+            }
+            total
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let topo = bench_mbone(300);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("hop_count_table_300_nodes", |b| {
+        b.iter(|| ttl_table(black_box(&topo), 1))
+    });
+    group.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let topo = bench_mbone(150);
+    let dist = TtlDistribution::ds4();
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    for (name, alg) in [
+        ("AIPR1", Box::new(AdaptiveIpr::aipr1()) as Box<dyn sdalloc_core::Allocator>),
+        ("AIPR3", Box::new(AdaptiveIpr::aipr3())),
+        ("AIPRH", Box::new(AdaptiveIpr::hybrid())),
+        ("IPR7", Box::new(StaticIpr::seven_band())),
+    ] {
+        group.bench_function(format!("steady_state_p/{name}"), |b| {
+            b.iter(|| {
+                steady_state_clash_probability(
+                    &topo,
+                    alg.as_ref(),
+                    &dist,
+                    black_box(200),
+                    30,
+                    Replacement::Random,
+                    2,
+                    9,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let topo = bench_mbone(150);
+    let dist = TtlDistribution::ds4();
+    let alg = AdaptiveIpr::aipr1();
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.bench_function("steady_state_p_pinned/AIPR1", |b| {
+        b.iter(|| {
+            steady_state_clash_probability(
+                &topo,
+                &alg,
+                &dist,
+                black_box(200),
+                30,
+                Replacement::SameSiteAndTtl,
+                2,
+                11,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig14_18(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_18");
+    group.bench_function("uniform_surface", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in [200u64, 1_600, 12_800, 51_200] {
+                for d in [4u64, 16, 64, 256, 1_024] {
+                    acc += expected_responses_uniform(n, d);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("exponential_surface", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in [200u64, 1_600, 12_800, 51_200] {
+                for d in [4u64, 16, 64, 256, 1_024] {
+                    acc += expected_responses_exponential(n, d);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig15_16(c: &mut Criterion) {
+    let topo = generate(&DoarParams::new(400, 21));
+    let mut group = c.benchmark_group("fig15_16");
+    group.sample_size(10);
+    for (name, tree) in [("spt", TreeMode::SourceTrees), ("shared", TreeMode::SharedTree)] {
+        group.bench_function(format!("rr_round/{name}/400_sites"), |b| {
+            let params = RrParams {
+                tree,
+                dist: DelayDist::Uniform,
+                d1: SimDuration::ZERO,
+                d2: SimDuration::from_secs_f64(3.2),
+                rtt: SimDuration::from_millis(200),
+                jitter_per_hop: None,
+                population: Population::All,
+            };
+            b.iter_batched(
+                || SimRng::new(5),
+                |mut rng| run_many(&topo, &params, 2, &mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig19(c: &mut Criterion) {
+    let topo = generate(&DoarParams::new(400, 23));
+    let mut group = c.benchmark_group("fig19");
+    group.sample_size(10);
+    for (name, dist) in [
+        ("uniform", DelayDist::Uniform),
+        ("exponential", DelayDist::Exponential),
+    ] {
+        group.bench_function(format!("tradeoff_point/{name}"), |b| {
+            let params = RrParams {
+                tree: TreeMode::SourceTrees,
+                dist,
+                d1: SimDuration::ZERO,
+                d2: SimDuration::from_secs_f64(12.8),
+                rtt: SimDuration::from_millis(200),
+                jitter_per_hop: Some(SimDuration::from_millis(10)),
+                population: Population::All,
+            };
+            b.iter_batched(
+                || SimRng::new(5),
+                |mut rng| run_many(&topo, &params, 2, &mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig10,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14_18,
+    bench_fig15_16,
+    bench_fig19
+);
+criterion_main!(figures);

@@ -1,0 +1,141 @@
+//! Micro-benchmarks of the substrate layers: routing, scope queries,
+//! SAP wire codec, SDP parsing and per-allocation latency.  These are
+//! the inner loops every experiment runs millions of times, so they are
+//! tracked separately from the figure-level benches.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use sdalloc_bench::bench_mbone;
+use sdalloc_core::{
+    Addr, AddrSpace, AdaptiveIpr, Allocator, InformedRandomAllocator, RandomAllocator,
+    StaticIpr, View, VisibleSession,
+};
+use sdalloc_sap::sdp::{Media, Origin, SessionDescription};
+use sdalloc_sap::wire::{msg_id_hash, SapPacket};
+use sdalloc_sim::SimRng;
+use sdalloc_topology::routing::{SourceTree, SptCache};
+use sdalloc_topology::{NodeId, Scope, ScopeCache};
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = bench_mbone(1_000);
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(20);
+    group.bench_function("dijkstra_source_tree/1000_nodes", |b| {
+        b.iter(|| SourceTree::compute(black_box(&topo), NodeId(0)))
+    });
+    let tree = SourceTree::compute(&topo, NodeId(0));
+    group.bench_function("reach_set/ttl127", |b| {
+        b.iter(|| tree.reach_set(black_box(127)))
+    });
+    group.bench_function("spt_cache_warm_hit", |b| {
+        let mut cache = SptCache::new(topo.clone());
+        cache.tree(NodeId(5));
+        b.iter(|| cache.tree(black_box(NodeId(5))).hops[17])
+    });
+    group.finish();
+}
+
+fn bench_scope_queries(c: &mut Criterion) {
+    let topo = bench_mbone(1_000);
+    let mut cache = ScopeCache::new(topo);
+    let a = Scope::new(NodeId(10), 63);
+    let b_scope = Scope::new(NodeId(900), 127);
+    // Warm the cache so we measure the steady-state query cost.
+    cache.zones_overlap(a, b_scope);
+    let mut group = c.benchmark_group("scope");
+    group.bench_function("zones_overlap_warm", |b| {
+        b.iter(|| cache.zones_overlap(black_box(a), black_box(b_scope)))
+    });
+    group.bench_function("sees_warm", |b| {
+        b.iter(|| cache.sees(black_box(NodeId(500)), black_box(a)))
+    });
+    group.finish();
+}
+
+fn sample_sdp() -> SessionDescription {
+    SessionDescription {
+        origin: Origin {
+            username: "mjh".into(),
+            session_id: 3_086_943_492,
+            version: 1,
+            address: std::net::Ipv4Addr::new(128, 9, 160, 45),
+        },
+        name: "ISI seminar".into(),
+        info: Some("Weekly systems seminar".into()),
+        group: std::net::Ipv4Addr::new(224, 2, 130, 7),
+        ttl: 127,
+        start: 0,
+        stop: 0,
+        media: vec![
+            Media { kind: "audio".into(), port: 49_170, proto: "RTP/AVP".into(), format: 0 },
+            Media { kind: "video".into(), port: 51_372, proto: "RTP/AVP".into(), format: 31 },
+        ],
+    }
+}
+
+fn bench_sap_codec(c: &mut Criterion) {
+    let desc = sample_sdp();
+    let text = desc.format();
+    let pkt = SapPacket::announce(
+        std::net::Ipv4Addr::new(128, 9, 160, 45),
+        msg_id_hash(&text),
+        text.clone(),
+    );
+    let wire = pkt.encode();
+    let mut group = c.benchmark_group("sap");
+    group.bench_function("sdp_format", |b| b.iter(|| black_box(&desc).format()));
+    group.bench_function("sdp_parse", |b| {
+        b.iter(|| SessionDescription::parse(black_box(&text)).unwrap())
+    });
+    group.bench_function("packet_encode", |b| b.iter(|| black_box(&pkt).encode()));
+    group.bench_function("packet_decode", |b| {
+        b.iter(|| SapPacket::decode(black_box(&wire)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let space = AddrSpace::abstract_space(32_768);
+    // A realistic mixed view: 2 000 visible sessions across the
+    // canonical TTLs.
+    let mut rng = SimRng::new(3);
+    let ttls = [1u8, 15, 31, 47, 63, 127, 191];
+    let sessions: Vec<VisibleSession> = (0..2_000)
+        .map(|_| {
+            VisibleSession::new(
+                Addr(rng.below(32_768) as u32),
+                ttls[rng.index(ttls.len())],
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("allocators");
+    for (name, alg) in [
+        ("R", Box::new(RandomAllocator) as Box<dyn Allocator>),
+        ("IR", Box::new(InformedRandomAllocator)),
+        ("IPR7", Box::new(StaticIpr::seven_band())),
+        ("AIPR1", Box::new(AdaptiveIpr::aipr1())),
+        ("AIPRH", Box::new(AdaptiveIpr::hybrid())),
+    ] {
+        group.bench_function(format!("allocate_2000_visible/{name}"), |b| {
+            b.iter_batched(
+                || (SimRng::new(9), sessions.clone()),
+                |(mut rng, sess)| {
+                    let view = View::new(&sess);
+                    alg.allocate(&space, black_box(127), &view, &mut rng)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_routing,
+    bench_scope_queries,
+    bench_sap_codec,
+    bench_allocators
+);
+criterion_main!(substrates);

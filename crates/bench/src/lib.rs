@@ -1,0 +1,19 @@
+//! # sdalloc-bench — Criterion benchmarks, one per paper table/figure
+//!
+//! The library itself only hosts shared helpers; the benchmark targets
+//! live in `benches/`:
+//!
+//! | Bench target | Covers |
+//! |---|---|
+//! | `figures` | per-figure workloads: fig4, fig5, fig6, fig10, fig12, fig13, fig14, fig15/16, fig18, fig19 |
+//! | `ablations` | DESIGN.md §5: occupancy target, partition margin, back-off schedule, gap fraction |
+//! | `substrates` | micro-benchmarks: Dijkstra/reach sets, SAP codec, SDP parse, per-allocation latency |
+
+use sdalloc_topology::mbone::{MboneMap, MboneParams};
+use sdalloc_topology::Topology;
+
+/// A small Mbone map shared by bench targets (kept small so Criterion
+/// iterations stay in the milliseconds).
+pub fn bench_mbone(nodes: usize) -> Topology {
+    MboneMap::generate(&MboneParams { seed: 42, target_nodes: nodes }).topo
+}

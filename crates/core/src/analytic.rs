@@ -1,0 +1,255 @@
+//! Closed-form models from the paper.
+//!
+//! * [`birthday_clash_probability`]: the clash probability of pure random allocation
+//!   (Figure 4) — "the well known 'birthday problem'".
+//! * [`eq1_no_clash_probability`]: Equation 1 — the probability of no clash in one IPRMA
+//!   partition when `i` allocations are invisible due to announcement
+//!   delay and loss, and the derived Figure 6 curves.
+//! * [`section_2_3`]: the paper's worked operating-point numbers
+//!   (effective delay, invisible-session fraction, concurrent-session
+//!   capacity).
+
+/// Probability of at least one clash after `k` uniformly random
+/// allocations from a space of `n` addresses (allocations may repeat —
+/// the allocator does not even avoid its own choices, matching Figure 4).
+pub fn birthday_clash_probability(n: u64, k: u64) -> f64 {
+    assert!(n > 0, "empty space");
+    if k > n {
+        return 1.0;
+    }
+    // P(no clash) = prod_{j=0}^{k-1} (1 - j/n); log-space for stability.
+    let mut log_p: f64 = 0.0;
+    for j in 0..k {
+        let term = 1.0 - j as f64 / n as f64;
+        if term <= 0.0 {
+            return 1.0;
+        }
+        log_p += term.ln();
+    }
+    1.0 - log_p.exp()
+}
+
+/// Number of random allocations from a space of `n` at which the clash
+/// probability first reaches `p` (exact scan of the birthday curve).
+pub fn birthday_allocations_at_probability(n: u64, p: f64) -> u64 {
+    assert!((0.0..1.0).contains(&p), "probability out of range");
+    let mut log_no_clash: f64 = 0.0;
+    for k in 1..=n + 1 {
+        let term = 1.0 - (k - 1) as f64 / n as f64;
+        if term <= 0.0 {
+            return k;
+        }
+        log_no_clash += term.ln();
+        if 1.0 - log_no_clash.exp() >= p {
+            return k;
+        }
+    }
+    n + 1
+}
+
+/// Equation 1: probability of **no** clash occurring within the mean
+/// lifetime of a session, with `n` addresses in the partition, `m`
+/// sessions allocated and `i` of them invisible:
+///
+/// ```text
+/// p_m = ((n - m) / (n + i - m))^m
+/// ```
+///
+/// Each of the `m` allocations chooses uniformly among the `n - m + i`
+/// addresses it *believes* free, of which `i` are actually taken.
+pub fn eq1_no_clash_probability(n: f64, m: f64, i: f64) -> f64 {
+    assert!(n > 0.0, "empty partition");
+    if m <= 0.0 {
+        return 1.0;
+    }
+    if m >= n {
+        return 0.0;
+    }
+    let c = (n - m) / (n + i - m);
+    c.powf(m)
+}
+
+/// Figure 6: the number of sessions `m` that can be allocated in a
+/// partition of `n` addresses before the clash probability (over a mean
+/// session lifetime) reaches 0.5, when the invisible count is
+/// `i = invisible_fraction · m`.
+///
+/// Solved by bisection on `m` (the probability is monotone decreasing in
+/// `m` for fixed `n` and proportional `i`).
+pub fn eq1_allocations_at_half(n: f64, invisible_fraction: f64) -> f64 {
+    assert!(n >= 2.0, "partition too small");
+    let clash = |m: f64| 1.0 - eq1_no_clash_probability(n, m, invisible_fraction * m);
+    // Bracket: clash(0)=0; clash(n-epsilon)→1.
+    let mut lo = 0.0f64;
+    let mut hi = n - 1e-9;
+    if clash(hi) < 0.5 {
+        return hi;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if clash(mid) < 0.5 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The paper's Section 2.3 worked numbers.
+pub mod section_2_3 {
+    /// Mean effective end-to-end announcement delay in seconds:
+    /// `(1-loss)·delay + loss·repeat_interval` — "(0.98*0.2)+(0.02*600) =
+    /// 12 seconds" with the paper's rounding.
+    pub fn effective_delay_secs(delay_s: f64, loss: f64, repeat_interval_s: f64) -> f64 {
+        (1.0 - loss) * delay_s + loss * repeat_interval_s
+    }
+
+    /// Fraction of currently-advertised sessions invisible at a random
+    /// site: effective delay divided by mean advertisement duration
+    /// ("approximately 0.1% of sessions currently advertised are not
+    /// visible at any time" with delay 12 s, duration 4 h).
+    pub fn invisible_fraction(effective_delay_s: f64, advertised_duration_s: f64) -> f64 {
+        effective_delay_s / advertised_duration_s
+    }
+
+    /// Total concurrent sessions across `partitions` equal partitions of
+    /// a space of `total_addresses`, each filled to its Figure-6 0.5
+    /// clash-probability point with invisible fraction `i_frac`.
+    ///
+    /// The paper: "With an address space of 65536 addresses partitioned
+    /// into 8 equal regions … approximately 16496 concurrent sessions".
+    pub fn concurrent_sessions(total_addresses: f64, partitions: f64, i_frac: f64) -> f64 {
+        let per = super::eq1_allocations_at_half(total_addresses / partitions, i_frac);
+        per * partitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn birthday_basics() {
+        assert_eq!(birthday_clash_probability(100, 0), 0.0);
+        assert_eq!(birthday_clash_probability(100, 1), 0.0);
+        // Two picks from two addresses clash with probability 1/2.
+        assert!((birthday_clash_probability(2, 2) - 0.5).abs() < 1e-12);
+        // k > n pigeonholes.
+        assert_eq!(birthday_clash_probability(10, 11), 1.0);
+    }
+
+    #[test]
+    fn birthday_classic_23_people() {
+        // 23 people, 365 days: ~50.7%.
+        let p = birthday_clash_probability(365, 23);
+        assert!((p - 0.507).abs() < 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn birthday_figure4_space_10000() {
+        // Figure 4: from 10 000 addresses the 50% point is near
+        // sqrt(2 ln 2 · n) ≈ 118 allocations.
+        let k = birthday_allocations_at_probability(10_000, 0.5);
+        assert!((115..=122).contains(&k), "50% at {k}");
+        // And by ~400 allocations a clash is almost certain (the figure's
+        // x-axis ends at 400 with probability ≈ 1).
+        let p400 = birthday_clash_probability(10_000, 400);
+        assert!(p400 > 0.99, "p(400) = {p400}");
+    }
+
+    #[test]
+    fn birthday_monotone_in_k() {
+        let mut prev = 0.0;
+        for k in 0..200 {
+            let p = birthday_clash_probability(1_000, k);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn eq1_perfect_visibility_never_clashes() {
+        // i = 0: every allocation sees the truth, no clash is possible.
+        for m in [1.0, 10.0, 100.0, 900.0] {
+            assert_eq!(eq1_no_clash_probability(1_000.0, m, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn eq1_monotone_in_invisibility() {
+        let n = 10_000.0;
+        let m = 5_000.0;
+        let p0 = eq1_no_clash_probability(n, m, 1.0);
+        let p1 = eq1_no_clash_probability(n, m, 10.0);
+        let p2 = eq1_no_clash_probability(n, m, 100.0);
+        assert!(p0 > p1 && p1 > p2, "{p0} {p1} {p2}");
+    }
+
+    #[test]
+    fn eq1_paper_anchor_16496() {
+        // "With an address space of 65536 addresses partitioned into 8
+        // equal regions … approximately 16496 concurrent sessions … before
+        // the probability of a clash exceeds 0.5" at i = 0.001m.
+        let total = section_2_3::concurrent_sessions(65_536.0, 8.0, 0.001);
+        assert!(
+            (total - 16_496.0).abs() < 350.0,
+            "concurrent sessions {total} (paper: ~16496)"
+        );
+    }
+
+    #[test]
+    fn eq1_figure6_shape() {
+        // Packing is near-linear for small partitions and degrades as the
+        // partition grows; smaller invisible fractions always pack better.
+        for &i_frac in &[0.01, 0.001, 0.0001, 0.00001] {
+            let m_small = eq1_allocations_at_half(100.0, i_frac);
+            assert!(m_small > 10.0, "i={i_frac}: small partition packs {m_small}");
+        }
+        let tight = eq1_allocations_at_half(100_000.0, 0.00001);
+        let loose = eq1_allocations_at_half(100_000.0, 0.01);
+        assert!(tight > loose * 5.0, "tight {tight} vs loose {loose}");
+        // Fractional occupancy falls with n for fixed i-fraction.
+        let f_small = eq1_allocations_at_half(1_000.0, 0.001) / 1_000.0;
+        let f_large = eq1_allocations_at_half(1_000_000.0, 0.001) / 1_000_000.0;
+        assert!(f_small > f_large, "{f_small} vs {f_large}");
+    }
+
+    #[test]
+    fn eq1_bounds() {
+        // Result is always within (0, n).
+        for n in [10.0, 1_000.0, 1e6] {
+            for i in [0.01, 0.0001] {
+                let m = eq1_allocations_at_half(n, i);
+                assert!(m > 0.0 && m < n, "n={n} i={i} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn section_2_3_numbers() {
+        let eff = section_2_3::effective_delay_secs(0.2, 0.02, 600.0);
+        assert!((eff - 12.196).abs() < 0.01, "effective delay {eff}");
+        // 12 s over a 4-hour advertisement: ~0.08%, the paper's "0.1%".
+        let inv = section_2_3::invisible_fraction(eff, 4.0 * 3600.0);
+        assert!((0.0005..0.0015).contains(&inv), "invisible fraction {inv}");
+        // Fast 5 s repeat gives ~0.3 s.
+        let fast = section_2_3::effective_delay_secs(0.2, 0.02, 5.0);
+        assert!((fast - 0.296).abs() < 0.01, "fast repeat {fast}");
+    }
+
+    #[test]
+    fn figure6_67_percent_anchor() {
+        // The paper picks 67% occupancy "from figure 6 as approximately
+        // the proportion of the address space that can be allocated for a
+        // band of 10000 addresses before propagation delay and loss alone
+        // increase the clash probability to 0.5" (at the i=0.00001m
+        // curve's operating conditions ~ i=0.00005m).
+        let m = eq1_allocations_at_half(10_000.0, 0.00005);
+        let frac = m / 10_000.0;
+        assert!(
+            (0.55..0.85).contains(&frac),
+            "occupancy anchor {frac} (paper: ~0.67)"
+        );
+    }
+}

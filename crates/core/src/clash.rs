@@ -1,0 +1,380 @@
+//! Detecting and correcting allocation clashes (Section 3).
+//!
+//! "Given the decentralised mechanisms used, we cannot guarantee that
+//! clashes will not occur, but we can detect those that do occur and
+//! provide a mechanism to cause an announcement to be modified."
+//!
+//! The paper's three-phase approach, implemented here as a per-site
+//! state machine driven by the session directory's announcement stream:
+//!
+//! 1. A site whose **long-standing** session clashes re-sends its own
+//!    announcement immediately (typically after a healed network
+//!    partition) — existing sessions defend their addresses.
+//! 2. A site that **just announced** (within a small window) and sees a
+//!    clash assumes it lost the race (propagation delay) and immediately
+//!    re-announces with a **modified address**.
+//! 3. A **third party** that sees a new announcement clash with a cached
+//!    session waits a random delay (exponential suppression, Section
+//!    3.1) for the originator or another third party to react, then
+//!    re-announces the cached session on the originator's behalf —
+//!    covering originators that are partitioned away or temporarily
+//!    deaf.
+//!
+//! The rule "existing sessions will not be disrupted by new sessions"
+//! falls out of phases 1 and 3: the *newer* announcement is always the
+//! one modified.
+
+use sdalloc_sim::suppression::exponential_delay;
+use sdalloc_sim::{SimDuration, SimRng, SimTime};
+
+use crate::addr::Addr;
+
+/// Identifies a session globally (originating site id, local session
+/// number) — the moral equivalent of SAP's (source, msg-id hash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId {
+    /// Originating site.
+    pub site: u32,
+    /// Per-site sequence number.
+    pub seq: u32,
+}
+
+/// Configuration of the clash responder.
+#[derive(Debug, Clone)]
+pub struct ClashPolicy {
+    /// How recently a session must have been announced for a clash to be
+    /// attributed to propagation delay (phase 2 vs phase 1).
+    pub recent_window: SimDuration,
+    /// Earliest third-party response delay: "D1 is chosen so that the
+    /// originator of an announcement can be expected to have had a
+    /// chance to reply and suppress all other receivers."
+    pub d1: SimDuration,
+    /// Latest third-party response delay.
+    pub d2: SimDuration,
+    /// Bucket width (max RTT scale) for the exponential delay.
+    pub rtt: SimDuration,
+}
+
+impl Default for ClashPolicy {
+    fn default() -> Self {
+        ClashPolicy {
+            recent_window: SimDuration::from_secs(10),
+            d1: SimDuration::from_millis(500),
+            d2: SimDuration::from_secs(8),
+            rtt: SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// What the responder wants the session directory to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClashAction {
+    /// Phase 1: re-send our own announcement for `session` unchanged,
+    /// immediately.
+    DefendOwn {
+        /// The long-standing session to defend.
+        session: SessionId,
+    },
+    /// Phase 2: our recent announcement lost the race; re-announce
+    /// `session` with a freshly allocated address.
+    ModifyOwn {
+        /// The recently announced session to move.
+        session: SessionId,
+        /// The clashing address to abandon.
+        old_addr: Addr,
+    },
+    /// Phase 3 (armed): we will defend the cached session at `fire_at`
+    /// unless someone else acts first.
+    ThirdPartyArmed {
+        /// The cached session we may defend.
+        session: SessionId,
+        /// When our timer expires.
+        fire_at: SimTime,
+    },
+    /// Phase 3 (fired): re-announce the cached `session` on behalf of
+    /// its originator.
+    DefendThirdParty {
+        /// The cached session to defend.
+        session: SessionId,
+    },
+}
+
+/// A pending third-party defence timer.
+#[derive(Debug, Clone)]
+struct PendingDefense {
+    session: SessionId,
+    addr: Addr,
+    fire_at: SimTime,
+}
+
+/// Our relationship to the session already holding an address when a
+/// clashing announcement arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Incumbent {
+    /// We originated it, first announced at the contained time.
+    Ours {
+        /// When we first announced it.
+        announced_at: SimTime,
+        /// Whether we win the deterministic tiebreak against the
+        /// clashing announcer.  The paper leaves the two-long-standing-
+        /// sessions case (post-partition-heal) unresolved — "it may
+        /// retract its own announcement or tell the other announcer to
+        /// perform the retraction, or both" — so implementations need a
+        /// total order to avoid a mutual-defence livelock; we use the
+        /// (origin address, session id) tuple, lowest keeps the address.
+        wins_tiebreak: bool,
+    },
+    /// Someone else's session, present in our cache.
+    Cached,
+}
+
+/// The per-site clash responder state machine.
+#[derive(Debug, Clone)]
+pub struct ClashResponder {
+    policy: ClashPolicy,
+    pending: Vec<PendingDefense>,
+}
+
+impl ClashResponder {
+    /// Create a responder with the given policy.
+    pub fn new(policy: ClashPolicy) -> Self {
+        ClashResponder { policy, pending: Vec::new() }
+    }
+
+    /// Handle a detected clash: a new announcement for `new_session`
+    /// arrived using `addr`, which our cache says `incumbent` already
+    /// holds.  Returns the action to take now (phases 1/2 act
+    /// immediately; phase 3 arms a timer).
+    pub fn on_clash(
+        &mut self,
+        now: SimTime,
+        addr: Addr,
+        incumbent_session: SessionId,
+        incumbent: Incumbent,
+        rng: &mut SimRng,
+    ) -> ClashAction {
+        match incumbent {
+            Incumbent::Ours { announced_at, wins_tiebreak } => {
+                if now.saturating_since(announced_at) <= self.policy.recent_window {
+                    // Phase 2: we only just announced; the clash is
+                    // probably propagation delay and we yield.
+                    ClashAction::ModifyOwn { session: incumbent_session, old_addr: addr }
+                } else if wins_tiebreak {
+                    // Phase 1: long-standing session defends itself.
+                    ClashAction::DefendOwn { session: incumbent_session }
+                } else {
+                    // Both sessions are long-standing (a healed
+                    // partition): the tiebreak loser moves.
+                    ClashAction::ModifyOwn { session: incumbent_session, old_addr: addr }
+                }
+            }
+            Incumbent::Cached => {
+                let delay =
+                    exponential_delay(rng, self.policy.d1, self.policy.d2, self.policy.rtt);
+                let fire_at = now + delay;
+                self.pending.push(PendingDefense {
+                    session: incumbent_session,
+                    addr,
+                    fire_at,
+                });
+                ClashAction::ThirdPartyArmed { session: incumbent_session, fire_at }
+            }
+        }
+    }
+
+    /// Note that an announcement for `session` was heard (the originator
+    /// defended, or another third party beat us to it): suppress any
+    /// pending defence of that session.
+    pub fn on_announcement_seen(&mut self, session: SessionId) {
+        self.pending.retain(|p| p.session != session);
+    }
+
+    /// Note that the clash on `addr` was resolved another way (the new
+    /// session moved): cancel defences armed for that address.
+    pub fn on_clash_resolved(&mut self, addr: Addr) {
+        self.pending.retain(|p| p.addr != addr);
+    }
+
+    /// Advance time: fire any expired third-party defences.
+    pub fn poll(&mut self, now: SimTime) -> Vec<ClashAction> {
+        let mut fired = Vec::new();
+        self.pending.retain(|p| {
+            if p.fire_at <= now {
+                fired.push(ClashAction::DefendThirdParty { session: p.session });
+                false
+            } else {
+                true
+            }
+        });
+        fired
+    }
+
+    /// Number of armed third-party defences.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Earliest pending defence expiry, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pending.iter().map(|p| p.fire_at).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(site: u32, seq: u32) -> SessionId {
+        SessionId { site, seq }
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn phase1_long_standing_defends() {
+        let mut r = ClashResponder::new(ClashPolicy::default());
+        let mut rng = SimRng::new(1);
+        let action = r.on_clash(
+            t(1000),
+            Addr(7),
+            sid(1, 1),
+            Incumbent::Ours { announced_at: t(0), wins_tiebreak: true },
+            &mut rng,
+        );
+        assert_eq!(action, ClashAction::DefendOwn { session: sid(1, 1) });
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    #[test]
+    fn phase2_recent_announcer_yields() {
+        let mut r = ClashResponder::new(ClashPolicy::default());
+        let mut rng = SimRng::new(2);
+        let action = r.on_clash(
+            t(105),
+            Addr(7),
+            sid(1, 1),
+            Incumbent::Ours { announced_at: t(100), wins_tiebreak: true },
+            &mut rng,
+        );
+        assert_eq!(
+            action,
+            ClashAction::ModifyOwn { session: sid(1, 1), old_addr: Addr(7) }
+        );
+    }
+
+    #[test]
+    fn phase2_window_boundary() {
+        let policy = ClashPolicy { recent_window: SimDuration::from_secs(10), ..Default::default() };
+        let mut r = ClashResponder::new(policy);
+        let mut rng = SimRng::new(3);
+        // Exactly at the window edge: still "recent".
+        let a = r.on_clash(
+            t(110),
+            Addr(1),
+            sid(2, 1),
+            Incumbent::Ours { announced_at: t(100), wins_tiebreak: true },
+            &mut rng,
+        );
+        assert!(matches!(a, ClashAction::ModifyOwn { .. }));
+        // Just past it: defends.
+        let b = r.on_clash(
+            t(111),
+            Addr(1),
+            sid(2, 1),
+            Incumbent::Ours { announced_at: t(100), wins_tiebreak: true },
+            &mut rng,
+        );
+        assert!(matches!(b, ClashAction::DefendOwn { .. }));
+    }
+
+    #[test]
+    fn phase3_arms_timer_within_window() {
+        let policy = ClashPolicy::default();
+        let d1 = policy.d1;
+        let d2 = policy.d2;
+        let mut r = ClashResponder::new(policy);
+        let mut rng = SimRng::new(4);
+        let action = r.on_clash(t(50), Addr(9), sid(3, 2), Incumbent::Cached, &mut rng);
+        match action {
+            ClashAction::ThirdPartyArmed { session, fire_at } => {
+                assert_eq!(session, sid(3, 2));
+                assert!(fire_at >= t(50) + d1);
+                assert!(fire_at <= t(50) + d2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.pending_count(), 1);
+    }
+
+    #[test]
+    fn phase3_fires_after_deadline() {
+        let mut r = ClashResponder::new(ClashPolicy::default());
+        let mut rng = SimRng::new(5);
+        r.on_clash(t(0), Addr(9), sid(3, 2), Incumbent::Cached, &mut rng);
+        let deadline = r.next_deadline().unwrap();
+        assert!(r.poll(deadline - SimDuration::from_nanos(1)).is_empty());
+        let fired = r.poll(deadline);
+        assert_eq!(fired, vec![ClashAction::DefendThirdParty { session: sid(3, 2) }]);
+        assert_eq!(r.pending_count(), 0);
+        // Idempotent.
+        assert!(r.poll(deadline + SimDuration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn phase3_suppressed_by_originator() {
+        let mut r = ClashResponder::new(ClashPolicy::default());
+        let mut rng = SimRng::new(6);
+        r.on_clash(t(0), Addr(9), sid(3, 2), Incumbent::Cached, &mut rng);
+        r.on_announcement_seen(sid(3, 2));
+        assert_eq!(r.pending_count(), 0);
+        assert!(r.poll(t(100)).is_empty());
+    }
+
+    #[test]
+    fn phase3_suppressed_by_resolution() {
+        let mut r = ClashResponder::new(ClashPolicy::default());
+        let mut rng = SimRng::new(7);
+        r.on_clash(t(0), Addr(9), sid(3, 2), Incumbent::Cached, &mut rng);
+        // The new session moved to a different address.
+        r.on_clash_resolved(Addr(9));
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    #[test]
+    fn multiple_pending_fire_independently() {
+        let mut r = ClashResponder::new(ClashPolicy::default());
+        let mut rng = SimRng::new(8);
+        r.on_clash(t(0), Addr(1), sid(1, 1), Incumbent::Cached, &mut rng);
+        r.on_clash(t(0), Addr(2), sid(2, 1), Incumbent::Cached, &mut rng);
+        r.on_clash(t(0), Addr(3), sid(3, 1), Incumbent::Cached, &mut rng);
+        assert_eq!(r.pending_count(), 3);
+        r.on_announcement_seen(sid(2, 1));
+        assert_eq!(r.pending_count(), 2);
+        let fired = r.poll(t(100));
+        assert_eq!(fired.len(), 2);
+    }
+
+    #[test]
+    fn exponential_delays_are_suppression_friendly() {
+        // Among 1000 third parties arming for the same clash, the
+        // earliest deadline should precede the great majority: most
+        // responders choose late slots (the suppression property).
+        let policy = ClashPolicy::default();
+        let mut rng = SimRng::new(9);
+        let mut deadlines: Vec<SimTime> = Vec::new();
+        for i in 0..1000 {
+            let mut r = ClashResponder::new(policy.clone());
+            r.on_clash(t(0), Addr(9), sid(i, 1), Incumbent::Cached, &mut rng);
+            deadlines.push(r.next_deadline().unwrap());
+        }
+        let min = *deadlines.iter().min().unwrap();
+        // Count how many fall within one RTT of the earliest.
+        let near = deadlines
+            .iter()
+            .filter(|&&d| d.saturating_since(min) <= policy.rtt)
+            .count();
+        assert!(near < 100, "{near} responders within one RTT of the earliest");
+    }
+}

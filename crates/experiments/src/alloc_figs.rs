@@ -1,0 +1,183 @@
+//! Runners for the allocation figures: 5, 12 and 13.
+
+use sdalloc_core::{
+    AdaptiveIpr, Allocator, InformedRandomAllocator, RandomAllocator, StaticIpr,
+};
+use sdalloc_topology::workload::TtlDistribution;
+use sdalloc_topology::Topology;
+
+use crate::fill::{figure5_sweep, FillPoint};
+use crate::steady::{allocations_at_half, Replacement};
+
+/// The four Figure 5 algorithms, boxed for uniform handling.
+pub fn figure5_algorithms() -> Vec<Box<dyn Allocator>> {
+    vec![
+        Box::new(RandomAllocator),
+        Box::new(InformedRandomAllocator),
+        Box::new(StaticIpr::three_band()),
+        Box::new(StaticIpr::seven_band()),
+    ]
+}
+
+/// The Figure 12 algorithm set.
+pub fn figure12_algorithms() -> Vec<Box<dyn Allocator>> {
+    vec![
+        Box::new(AdaptiveIpr::aipr1()),
+        Box::new(AdaptiveIpr::aipr2()),
+        Box::new(AdaptiveIpr::aipr3()),
+        Box::new(AdaptiveIpr::aipr4()),
+        Box::new(AdaptiveIpr::hybrid()),
+        Box::new(StaticIpr::three_band()),
+        Box::new(StaticIpr::seven_band()),
+    ]
+}
+
+/// The Figure 13 algorithm set (the paper plots AIPR-1, AIPR-2 and the
+/// static controls).
+pub fn figure13_algorithms() -> Vec<Box<dyn Allocator>> {
+    vec![
+        Box::new(AdaptiveIpr::aipr1()),
+        Box::new(AdaptiveIpr::aipr2()),
+        Box::new(StaticIpr::three_band()),
+        Box::new(StaticIpr::seven_band()),
+    ]
+}
+
+/// Figure 5: all four algorithms × all four TTL distributions.
+pub fn figure5(
+    topo: &Topology,
+    sizes: &[u32],
+    trials: usize,
+    seed: u64,
+) -> Vec<FillPoint> {
+    let mut out = Vec::new();
+    for alg in figure5_algorithms() {
+        for dist in TtlDistribution::all_paper() {
+            out.extend(figure5_sweep(topo, alg.as_ref(), &dist, sizes, trials, seed));
+        }
+    }
+    out
+}
+
+/// One steady-state data point (Figures 12/13).
+#[derive(Debug, Clone)]
+pub struct SteadyPoint {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Address-space size.
+    pub space_size: u32,
+    /// Allocations sustainable at ≤ 50 % clash probability per session
+    /// lifetime.
+    pub allocations_at_half: usize,
+}
+
+/// Figure 12: steady-state capacity under random churn, TTL
+/// distribution ds4.
+pub fn figure12(
+    topo: &Topology,
+    sizes: &[u32],
+    repeats: usize,
+    seed: u64,
+) -> Vec<SteadyPoint> {
+    steady_sweep(topo, figure12_algorithms(), sizes, Replacement::Random, repeats, seed)
+}
+
+/// Figure 13: the upper bound — replacement preserves (site, TTL).
+pub fn figure13(
+    topo: &Topology,
+    sizes: &[u32],
+    repeats: usize,
+    seed: u64,
+) -> Vec<SteadyPoint> {
+    steady_sweep(
+        topo,
+        figure13_algorithms(),
+        sizes,
+        Replacement::SameSiteAndTtl,
+        repeats,
+        seed,
+    )
+}
+
+fn steady_sweep(
+    topo: &Topology,
+    algorithms: Vec<Box<dyn Allocator>>,
+    sizes: &[u32],
+    replacement: Replacement,
+    repeats: usize,
+    seed: u64,
+) -> Vec<SteadyPoint> {
+    let dist = TtlDistribution::ds4();
+    let mut out = Vec::new();
+    for alg in algorithms {
+        for &size in sizes {
+            let n = allocations_at_half(
+                topo,
+                alg.as_ref(),
+                &dist,
+                size,
+                replacement,
+                repeats,
+                seed ^ (size as u64) << 16,
+                (size as usize) * 6,
+            );
+            out.push(SteadyPoint {
+                algorithm: alg.name(),
+                space_size: size,
+                allocations_at_half: n,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdalloc_topology::mbone::{MboneMap, MboneParams};
+
+    fn small_mbone() -> Topology {
+        MboneMap::generate(&MboneParams { seed: 11, target_nodes: 200 }).topo
+    }
+
+    #[test]
+    fn figure5_produces_full_grid() {
+        let topo = small_mbone();
+        let pts = figure5(&topo, &[150], 2, 1);
+        // 4 algorithms × 4 distributions × 1 size.
+        assert_eq!(pts.len(), 16);
+        let algs: std::collections::HashSet<&str> =
+            pts.iter().map(|p| p.algorithm.as_str()).collect();
+        assert_eq!(algs.len(), 4);
+    }
+
+    #[test]
+    fn figure12_small_run() {
+        let topo = small_mbone();
+        let pts = figure12(&topo, &[150], 4, 2);
+        assert_eq!(pts.len(), 7);
+        for p in &pts {
+            assert!(p.allocations_at_half >= 1, "{p:?}");
+        }
+        // IPR-7 (a near-perfect static control for ds4) should beat
+        // IPR-3 (imperfect bands).
+        let p7 = pts.iter().find(|p| p.algorithm == "IPR 7-band").unwrap();
+        let p3 = pts.iter().find(|p| p.algorithm == "IPR 3-band").unwrap();
+        assert!(
+            p7.allocations_at_half >= p3.allocations_at_half,
+            "IPR7 {} < IPR3 {}",
+            p7.allocations_at_half,
+            p3.allocations_at_half
+        );
+    }
+
+    #[test]
+    fn figure13_small_run() {
+        let topo = small_mbone();
+        let pts = figure13(&topo, &[120], 3, 3);
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert!(p.allocations_at_half >= 1);
+        }
+    }
+}

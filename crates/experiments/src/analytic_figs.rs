@@ -1,0 +1,163 @@
+//! Runners for the closed-form figures: 4, 6, 10, 11 and the Section
+//! 2.3 worked numbers.
+
+use sdalloc_core::analytic::{
+    birthday_clash_probability, eq1_allocations_at_half, section_2_3,
+};
+use sdalloc_core::PartitionMap;
+use sdalloc_topology::hopcount::{hop_count_profiles, ttl_table, TtlTableRow};
+use sdalloc_topology::Topology;
+
+/// Figure 4: clash probability vs number of random allocations from a
+/// space of 10 000.
+pub fn figure4(max_allocations: u64, step: u64) -> Vec<(u64, f64)> {
+    (0..=max_allocations)
+        .step_by(step as usize)
+        .map(|k| (k, birthday_clash_probability(10_000, k)))
+        .collect()
+}
+
+/// One Figure 6 series: invisible fraction `i_frac`, points
+/// `(partition size, allocations at p_clash = 0.5)`.
+pub struct Figure6Series {
+    /// The invisible fraction (i = frac · m).
+    pub i_frac: f64,
+    /// `(n, m)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Figure 6: allocations at 50 % clash probability vs partition size,
+/// one series per invisible fraction, over a log-spaced size axis from
+/// 100 to 1 000 000.
+pub fn figure6() -> Vec<Figure6Series> {
+    let fracs = [0.01, 0.001, 0.0001, 0.00001];
+    let sizes: Vec<f64> = (0..=16).map(|i| 100.0 * (2f64).powi(i)).collect();
+    fracs
+        .iter()
+        .map(|&i_frac| Figure6Series {
+            i_frac,
+            points: sizes
+                .iter()
+                .map(|&n| (n, eq1_allocations_at_half(n, i_frac)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The Section 2.3 worked numbers.
+#[derive(Debug, Clone)]
+pub struct Section23 {
+    /// Mean effective delay with 10-minute constant repeats (s).
+    pub effective_delay_slow_s: f64,
+    /// Mean effective delay with a 5-second first repeat (s).
+    pub effective_delay_fast_s: f64,
+    /// Fraction of advertised sessions invisible at any time.
+    pub invisible_fraction: f64,
+    /// Concurrent sessions for 65 536 addresses in 8 partitions at
+    /// i = 0.001 m (the paper's "approximately 16 496").
+    pub concurrent_sessions: f64,
+}
+
+/// Compute the Section 2.3 numbers.
+pub fn section23() -> Section23 {
+    let slow = section_2_3::effective_delay_secs(0.2, 0.02, 600.0);
+    let fast = section_2_3::effective_delay_secs(0.2, 0.02, 5.0);
+    Section23 {
+        effective_delay_slow_s: slow,
+        effective_delay_fast_s: fast,
+        invisible_fraction: section_2_3::invisible_fraction(slow, 4.0 * 3600.0),
+        concurrent_sessions: section_2_3::concurrent_sessions(65_536.0, 8.0, 0.001),
+    }
+}
+
+/// Figure 10: normalised hop-count histograms for the canonical TTLs.
+pub struct Figure10 {
+    /// Rows of the accompanying table (most frequent / max hop count).
+    pub table: Vec<TtlTableRow>,
+    /// `(ttl, normalised histogram)` pairs.
+    pub histograms: Vec<(u8, Vec<f64>)>,
+}
+
+/// Run the Figure 10 analysis (stride subsamples sources for speed;
+/// 1 = every mrouter, the paper's setting).
+pub fn figure10(topo: &Topology, stride: usize) -> Figure10 {
+    let ttls = [16u8, 47, 63, 127];
+    let profiles = hop_count_profiles(topo, &ttls, stride);
+    Figure10 {
+        table: ttl_table(topo, stride),
+        histograms: profiles
+            .into_iter()
+            .map(|p| (p.ttl, p.normalized()))
+            .collect(),
+    }
+}
+
+/// Figure 11: the TTL → partition mapping at margin 2.
+pub fn figure11() -> Vec<(u8, usize)> {
+    let map = PartitionMap::paper_default();
+    (0..=255u8).map(|t| (t, map.partition_of(t))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdalloc_topology::mbone::{MboneMap, MboneParams};
+
+    #[test]
+    fn figure4_endpoints() {
+        let pts = figure4(400, 50);
+        assert_eq!(pts.first().unwrap().1, 0.0);
+        assert!(pts.last().unwrap().1 > 0.99);
+        assert_eq!(pts.len(), 9);
+    }
+
+    #[test]
+    fn figure6_series_ordering() {
+        let series = figure6();
+        assert_eq!(series.len(), 4);
+        // At every size, smaller invisible fraction packs at least as well.
+        for w in series.windows(2) {
+            for (a, b) in w[0].points.iter().zip(&w[1].points) {
+                assert!(b.1 >= a.1 * 0.999, "i={} vs i={}", w[0].i_frac, w[1].i_frac);
+            }
+        }
+        // Bounds: m between sqrt(n)-ish and n.
+        for s in &series {
+            for &(n, m) in &s.points {
+                assert!(m <= n);
+                assert!(m >= n.sqrt() * 0.3, "n={n} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn section23_matches_paper() {
+        let s = section23();
+        assert!((s.effective_delay_slow_s - 12.196).abs() < 0.01);
+        assert!((s.effective_delay_fast_s - 0.296).abs() < 0.01);
+        assert!((s.concurrent_sessions - 16_496.0).abs() < 350.0);
+    }
+
+    #[test]
+    fn figure11_has_55_partitions() {
+        let rows = figure11();
+        assert_eq!(rows.len(), 256);
+        assert_eq!(rows.last().unwrap().1, 54); // zero-based partition 54 = 55th
+        // Monotone non-decreasing.
+        for w in rows.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn figure10_runs_on_small_map() {
+        let map = MboneMap::generate(&MboneParams { seed: 9, target_nodes: 250 });
+        let fig = figure10(&map.topo, 2);
+        assert_eq!(fig.table.len(), 4);
+        assert_eq!(fig.histograms.len(), 4);
+        for (_, h) in &fig.histograms {
+            let sum: f64 = h.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Monte-Carlo validation of Equation 1 (the Figure 6 model).
+//!
+//! Equation 1 is an *analytic approximation*: with `m` sessions
+//! allocated in a partition of `n` addresses and `i` of them invisible
+//! to any given allocator, the probability that no clash occurs within
+//! one mean session lifetime is `((n−m)/(n+i−m))^m`.  The paper computes
+//! Figure 6 from the formula alone; here we also *simulate* the model —
+//! sessions churn one lifetime, each allocation drawing uniformly from
+//! the addresses it believes free while `i` random sessions are hidden
+//! from it — and check the formula against the measured clash rate.
+//!
+//! This guards the reproduction against a silent algebra slip in the
+//! closed form: the experiment harness (`experiments eq1sim`) prints
+//! model vs measured side by side.
+
+use sdalloc_core::analytic::eq1_no_clash_probability;
+use sdalloc_sim::SimRng;
+
+/// One validation point.
+#[derive(Debug, Clone, Copy)]
+pub struct Eq1Point {
+    /// Partition size.
+    pub n: u32,
+    /// Sessions allocated.
+    pub m: u32,
+    /// Invisible sessions per allocation.
+    pub i: u32,
+    /// Equation 1's no-clash probability.
+    pub model: f64,
+    /// Simulated no-clash probability.
+    pub simulated: f64,
+}
+
+/// Simulate one lifetime of churn in a single partition and report the
+/// fraction of runs with no clash.
+///
+/// Each replacement step removes one random session and allocates a new
+/// one that sees all but `i` uniformly-chosen existing sessions; a
+/// clash is picking an address one of the hidden sessions holds.
+pub fn simulate_no_clash_probability(
+    n: u32,
+    m: u32,
+    i: u32,
+    runs: usize,
+    seed: u64,
+) -> f64 {
+    assert!(m < n, "partition must not be over-full");
+    assert!((i as usize) < m.max(1) as usize + 1, "cannot hide more than m sessions");
+    let mut clean_runs = 0usize;
+    for run in 0..runs {
+        let mut rng = SimRng::new(seed ^ (run as u64 + 1).wrapping_mul(0x9E37_79B9));
+        // Occupancy bitmap; start with m distinct addresses in use.
+        let mut used = vec![false; n as usize];
+        let mut sessions: Vec<u32> = Vec::with_capacity(m as usize);
+        while sessions.len() < m as usize {
+            let a = rng.below(n as u64) as u32;
+            if !used[a as usize] {
+                used[a as usize] = true;
+                sessions.push(a);
+            }
+        }
+        let mut clashed = false;
+        'lifetime: for _ in 0..m {
+            // One session leaves...
+            let gone = rng.index(sessions.len());
+            let freed = sessions.swap_remove(gone);
+            used[freed as usize] = false;
+            // ...and a newcomer allocates, blind to `i` hidden sessions.
+            let mut hidden: Vec<u32> = Vec::with_capacity(i as usize);
+            while hidden.len() < i as usize {
+                let h = sessions[rng.index(sessions.len())];
+                if !hidden.contains(&h) {
+                    hidden.push(h);
+                }
+            }
+            // Uniform over addresses believed free.
+            loop {
+                let cand = rng.below(n as u64) as u32;
+                if used[cand as usize] && !hidden.contains(&cand) {
+                    continue; // visibly busy: the informed part works
+                }
+                if used[cand as usize] {
+                    clashed = true; // landed on a hidden session
+                    break 'lifetime;
+                }
+                used[cand as usize] = true;
+                sessions.push(cand);
+                break;
+            }
+        }
+        if !clashed {
+            clean_runs += 1;
+        }
+    }
+    clean_runs as f64 / runs as f64
+}
+
+/// Run the validation grid.
+pub fn validate(runs: usize, seed: u64) -> Vec<Eq1Point> {
+    let grid: &[(u32, u32, u32)] = &[
+        (1_000, 100, 1),
+        (1_000, 300, 1),
+        (1_000, 500, 2),
+        (4_000, 1_000, 1),
+        (4_000, 2_000, 2),
+        (10_000, 2_000, 2),
+    ];
+    grid.iter()
+        .map(|&(n, m, i)| Eq1Point {
+            n,
+            m,
+            i,
+            model: eq1_no_clash_probability(n as f64, m as f64, i as f64),
+            simulated: simulate_no_clash_probability(n, m, i, runs, seed),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_invisible_never_clashes() {
+        let p = simulate_no_clash_probability(500, 200, 0, 50, 1);
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn model_matches_simulation() {
+        // The formula should track the Monte-Carlo within a few points
+        // across load levels.
+        for &(n, m, i) in &[(1_000u32, 200u32, 1u32), (1_000, 500, 1), (2_000, 800, 2)] {
+            let model = eq1_no_clash_probability(n as f64, m as f64, i as f64);
+            let sim = simulate_no_clash_probability(n, m, i, 400, 7);
+            assert!(
+                (model - sim).abs() < 0.07,
+                "n={n} m={m} i={i}: model {model:.3} vs sim {sim:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_invisibility_more_clashes() {
+        let p1 = simulate_no_clash_probability(1_000, 400, 1, 300, 3);
+        let p4 = simulate_no_clash_probability(1_000, 400, 4, 300, 3);
+        assert!(p4 < p1, "i=1 → {p1}, i=4 → {p4}");
+    }
+
+    #[test]
+    fn validation_grid_shape() {
+        let pts = validate(60, 5);
+        assert_eq!(pts.len(), 6);
+        for p in &pts {
+            assert!((0.0..=1.0).contains(&p.simulated));
+            assert!((0.0..=1.0).contains(&p.model));
+        }
+    }
+}

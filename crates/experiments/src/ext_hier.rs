@@ -1,0 +1,247 @@
+//! Extension experiment E1 (paper Section 4.1): flat vs hierarchical
+//! allocation.
+//!
+//! The paper argues a flat announce/listen allocator cannot use large
+//! address spaces effectively and sketches a two-level scheme: dynamic
+//! per-locality prefixes at long timescales, flat allocation inside a
+//! prefix, and *domain-wide* address-usage announcements ("the
+//! lower-level scheme would only need to announce the addresses in use
+//! within the local region … increasing the timeliness significantly").
+//!
+//! This experiment implements that comparison on the Mbone map with
+//! countries as domains:
+//!
+//! * **flat** — one space, Deterministic Adaptive IPRMA, the usual
+//!   scope-limited visibility (sessions whose announcements reach you);
+//! * **hierarchical** — [`HierarchicalAllocator`] per country over a
+//!   shared [`PrefixRegistry`]; the allocating site additionally sees
+//!   every address in use in its own country (the region-scoped usage
+//!   flood).
+//!
+//! Metric: sessions allocated before the first clash, sweeping the
+//! space size.  The expectation (the paper's claim) is that the flat
+//! scheme's yield grows sub-linearly while the hierarchical scheme
+//! tracks the space size until prefix-level fragmentation bites.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use sdalloc_core::{
+    Addr, AddrSpace, AdaptiveIpr, Allocator, HierarchicalAllocator, PrefixRegistry, View,
+    VisibleSession,
+};
+use sdalloc_sim::SimRng;
+use sdalloc_topology::mbone::MboneMap;
+use sdalloc_topology::workload::{random_scope, TtlDistribution};
+use sdalloc_topology::{Scope, ScopeCache};
+
+/// How a fill run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillEnd {
+    /// The first address clash occurred.
+    Clash,
+    /// The allocator reported the space (or its prefixes) exhausted.
+    Exhausted,
+    /// The configured allocation cap was reached without either.
+    Cap,
+}
+
+/// Result of one hierarchical fill run.
+#[derive(Debug, Clone, Copy)]
+pub struct HierFill {
+    /// Clash-free allocations made.
+    pub allocations: usize,
+    /// Why the run stopped.
+    pub ended: FillEnd,
+}
+
+/// Fill until the first clash (or exhaustion) using the hierarchical
+/// scheme with per-country domains.
+pub fn hier_fill_until_clash(
+    map: &MboneMap,
+    scopes: &mut ScopeCache,
+    space_size: u32,
+    dist: &TtlDistribution,
+    rng: &mut SimRng,
+    cap: usize,
+) -> HierFill {
+    let space = AddrSpace::abstract_space(space_size);
+    let registry = Arc::new(Mutex::new(PrefixRegistry::new(space_size)));
+    let mut allocators: HashMap<u16, HierarchicalAllocator> = HashMap::new();
+
+    let mut sessions: Vec<(Scope, Addr)> = Vec::new();
+    let mut by_addr: HashMap<Addr, Vec<usize>> = HashMap::new();
+
+    for count in 0..cap {
+        let scope = random_scope(scopes.topology(), dist, rng);
+        let domain = map.node_country[scope.source.index()];
+        let alloc = allocators
+            .entry(domain)
+            .or_insert_with(|| HierarchicalAllocator::new(Arc::clone(&registry), domain as u32));
+
+        // View: everything whose announcement reaches this site, plus
+        // the domain-wide usage flood (every session originated in the
+        // same country, whatever its TTL).
+        let mut view_data: Vec<VisibleSession> = Vec::new();
+        for s in &sessions {
+            let same_domain = map.node_country[s.0.source.index()] == domain;
+            if same_domain || scopes.sees(scope.source, s.0) {
+                view_data.push(VisibleSession::new(s.1, s.0.ttl));
+            }
+        }
+        view_data.sort_unstable_by_key(|s| (s.addr, s.ttl));
+        let view = View::new(&view_data);
+
+        let Some(addr) = alloc.allocate(&space, scope.ttl, &view, rng) else {
+            return HierFill { allocations: count, ended: FillEnd::Exhausted };
+        };
+        // Clash check: same address, overlapping scopes.
+        if let Some(users) = by_addr.get(&addr) {
+            for &i in users {
+                if scopes.zones_overlap(sessions[i].0, scope) {
+                    return HierFill { allocations: count, ended: FillEnd::Clash };
+                }
+            }
+        }
+        by_addr.entry(addr).or_default().push(sessions.len());
+        sessions.push((scope, addr));
+    }
+    HierFill { allocations: cap, ended: FillEnd::Cap }
+}
+
+/// One comparison point.
+#[derive(Debug, Clone)]
+pub struct HierPoint {
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Space size.
+    pub space_size: u32,
+    /// Mean clash-free allocations.
+    pub mean_allocations: f64,
+    /// Fraction of runs ending in a clash (vs exhaustion/cap).
+    pub clash_fraction: f64,
+}
+
+/// Run the flat-vs-hierarchical sweep.
+pub fn extension_hier(
+    map: &MboneMap,
+    sizes: &[u32],
+    trials: usize,
+    seed: u64,
+) -> Vec<HierPoint> {
+    let dist = TtlDistribution::ds4();
+    let mut out = Vec::new();
+    let mut scopes = ScopeCache::new(map.topo.clone());
+
+    for &size in sizes {
+        // Flat: AIPR-3 through the standard world harness.
+        let mut world =
+            crate::world::World::new(map.topo.clone(), AddrSpace::abstract_space(size));
+        let flat_alg = AdaptiveIpr::aipr3();
+        let mut flat_total = 0usize;
+        let mut flat_clashes = 0usize;
+        for t in 0..trials {
+            let mut rng = SimRng::new(seed ^ (t as u64) << 8 ^ size as u64);
+            let n = crate::fill::fill_until_clash(
+                &mut world,
+                &flat_alg,
+                &dist,
+                &mut rng,
+                size as usize * 4,
+            );
+            flat_total += n;
+            if n < size as usize * 4 {
+                flat_clashes += 1;
+            }
+        }
+        out.push(HierPoint {
+            scheme: "flat AIPR-3",
+            space_size: size,
+            mean_allocations: flat_total as f64 / trials as f64,
+            clash_fraction: flat_clashes as f64 / trials as f64,
+        });
+
+        // Hierarchical.
+        let mut hier_total = 0usize;
+        let mut hier_clashes = 0usize;
+        for t in 0..trials {
+            let mut rng = SimRng::new(seed ^ (t as u64) << 8 ^ size as u64 ^ 0xBEEF);
+            let r = hier_fill_until_clash(
+                map,
+                &mut scopes,
+                size,
+                &dist,
+                &mut rng,
+                size as usize * 4,
+            );
+            hier_total += r.allocations;
+            if r.ended == FillEnd::Clash {
+                hier_clashes += 1;
+            }
+        }
+        out.push(HierPoint {
+            scheme: "hierarchical",
+            space_size: size,
+            mean_allocations: hier_total as f64 / trials as f64,
+            clash_fraction: hier_clashes as f64 / trials as f64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdalloc_topology::mbone::MboneParams;
+
+    fn small_map() -> MboneMap {
+        MboneMap::generate(&MboneParams { seed: 13, target_nodes: 200 })
+    }
+
+    #[test]
+    fn hierarchical_never_clashes_under_full_domain_visibility() {
+        // With instant announcements the hierarchical scheme's clash
+        // classes are all eliminated: runs end by exhaustion or cap.
+        let map = small_map();
+        let mut scopes = ScopeCache::new(map.topo.clone());
+        let dist = TtlDistribution::ds4();
+        for t in 0..5 {
+            let mut rng = SimRng::new(100 + t);
+            let r = hier_fill_until_clash(&map, &mut scopes, 512, &dist, &mut rng, 2_000);
+            assert_ne!(r.ended, FillEnd::Clash, "unexpected clash: {r:?}");
+            assert!(r.allocations > 50, "too few allocations: {r:?}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_on_large_spaces() {
+        let map = small_map();
+        let pts = extension_hier(&map, &[2_048], 3, 7);
+        let flat = pts.iter().find(|p| p.scheme == "flat AIPR-3").unwrap();
+        let hier = pts.iter().find(|p| p.scheme == "hierarchical").unwrap();
+        assert!(
+            hier.mean_allocations > flat.mean_allocations,
+            "hier {} vs flat {}",
+            hier.mean_allocations,
+            flat.mean_allocations
+        );
+        assert_eq!(hier.clash_fraction, 0.0);
+    }
+
+    #[test]
+    fn hierarchical_capacity_tracks_space() {
+        let map = small_map();
+        let mut scopes = ScopeCache::new(map.topo.clone());
+        let dist = TtlDistribution::ds4();
+        let mut rng = SimRng::new(5);
+        let small = hier_fill_until_clash(&map, &mut scopes, 256, &dist, &mut rng, 10_000);
+        let mut rng = SimRng::new(5);
+        let large = hier_fill_until_clash(&map, &mut scopes, 1_024, &dist, &mut rng, 10_000);
+        assert!(
+            large.allocations as f64 > small.allocations as f64 * 2.0,
+            "small {:?} large {:?}",
+            small,
+            large
+        );
+    }
+}

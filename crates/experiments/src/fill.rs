@@ -1,0 +1,185 @@
+//! Figure 5: fill the address space until the first clash.
+//!
+//! "Nodes in this graph were chosen at random as the originator of a
+//! session, and the TTL for the session was chosen randomly from the
+//! following distributions … The results of this simulation are shown
+//! in figure 5 on a log/log graph."  Four algorithms (R, IR, IPR
+//! 3-band, IPR 7-band) × four TTL distributions (ds1–ds4) × a sweep of
+//! address-space sizes; the metric is the number of successful
+//! allocations before the first clash.
+
+use sdalloc_core::{AddrSpace, Allocator};
+use sdalloc_sim::SimRng;
+use sdalloc_topology::workload::{random_scope, TtlDistribution};
+use sdalloc_topology::Topology;
+
+use crate::world::World;
+
+/// Allocate sessions on `world` until the first clash (or the allocator
+/// gives up); returns the number of *clash-free* allocations made.
+pub fn fill_until_clash(
+    world: &mut World,
+    alg: &dyn Allocator,
+    dist: &TtlDistribution,
+    rng: &mut SimRng,
+    max_allocations: usize,
+) -> usize {
+    world.clear_sessions();
+    let topo_nodes = world.scopes_mut().topology().node_count();
+    debug_assert!(topo_nodes > 0);
+    let mut count = 0usize;
+    while count < max_allocations {
+        let scope = {
+            let topo = world.scopes_mut().topology();
+            random_scope_on(topo, dist, rng)
+        };
+        match world.allocate(alg, scope, rng) {
+            None => break,          // algorithm reports its partition full
+            Some((_, true)) => break, // first clash
+            Some((_, false)) => count += 1,
+        }
+    }
+    count
+}
+
+fn random_scope_on(
+    topo: &Topology,
+    dist: &TtlDistribution,
+    rng: &mut SimRng,
+) -> sdalloc_topology::Scope {
+    random_scope(topo, dist, rng)
+}
+
+/// One Figure 5 data point: mean allocations before clash.
+#[derive(Debug, Clone)]
+pub struct FillPoint {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// TTL distribution name.
+    pub distribution: &'static str,
+    /// Address-space size.
+    pub space_size: u32,
+    /// Mean clash-free allocations over the trials.
+    pub mean_allocations: f64,
+}
+
+/// Run the Figure 5 sweep for one algorithm on a prepared world-per-size
+/// factory.  `sizes` is the x-axis; `trials` the repetitions per point.
+pub fn figure5_sweep(
+    topo: &Topology,
+    alg: &dyn Allocator,
+    dist: &TtlDistribution,
+    sizes: &[u32],
+    trials: usize,
+    seed: u64,
+) -> Vec<FillPoint> {
+    let mut out = Vec::new();
+    for &size in sizes {
+        // One world per size, reusing the per-size scope cache across
+        // trials (the cache is workload-independent).
+        let mut world = World::new(topo.clone(), AddrSpace::abstract_space(size));
+        let mut rng = SimRng::new(seed ^ (size as u64).wrapping_mul(0x9E37_79B9));
+        let mut total = 0usize;
+        for _ in 0..trials {
+            total += fill_until_clash(&mut world, alg, dist, &mut rng, size as usize * 8);
+        }
+        out.push(FillPoint {
+            algorithm: alg.name(),
+            distribution: dist.name,
+            space_size: size,
+            mean_allocations: total as f64 / trials as f64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdalloc_core::{AdaptiveIpr, InformedRandomAllocator, RandomAllocator, StaticIpr};
+    use sdalloc_topology::mbone::{MboneMap, MboneParams};
+
+    fn small_mbone() -> Topology {
+        MboneMap::generate(&MboneParams { seed: 3, target_nodes: 300 }).topo
+    }
+
+    #[test]
+    fn informed_beats_random() {
+        let topo = small_mbone();
+        let dist = TtlDistribution::ds4();
+        let r = figure5_sweep(&topo, &RandomAllocator, &dist, &[400], 5, 1);
+        let ir = figure5_sweep(&topo, &InformedRandomAllocator, &dist, &[400], 5, 1);
+        assert!(
+            ir[0].mean_allocations > r[0].mean_allocations,
+            "IR {} should beat R {}",
+            ir[0].mean_allocations,
+            r[0].mean_allocations
+        );
+    }
+
+    #[test]
+    fn random_tracks_birthday_sqrt() {
+        // Pure random should clash around sqrt-of-space scale, far below
+        // the space size.
+        let topo = small_mbone();
+        let dist = TtlDistribution::ds1();
+        let pts = figure5_sweep(&topo, &RandomAllocator, &dist, &[900], 10, 2);
+        let m = pts[0].mean_allocations;
+        assert!(m > 5.0 && m < 300.0, "R mean {m} out of birthday range");
+    }
+
+    #[test]
+    fn ipr7_beats_ipr3_with_ds4() {
+        // The headline Figure 5 ordering (perfect vs imperfect bands).
+        let topo = small_mbone();
+        let dist = TtlDistribution::ds4();
+        let p3 = figure5_sweep(&topo, &StaticIpr::three_band(), &dist, &[600], 6, 3);
+        let p7 = figure5_sweep(&topo, &StaticIpr::seven_band(), &dist, &[600], 6, 3);
+        assert!(
+            p7[0].mean_allocations > p3[0].mean_allocations,
+            "IPR7 {} vs IPR3 {}",
+            p7[0].mean_allocations,
+            p3[0].mean_allocations
+        );
+    }
+
+    #[test]
+    fn adaptive_allocates_meaningfully() {
+        let topo = small_mbone();
+        let dist = TtlDistribution::ds4();
+        let pts = figure5_sweep(&topo, &AdaptiveIpr::aipr1(), &dist, &[600], 4, 4);
+        assert!(pts[0].mean_allocations > 20.0, "AIPR-1 {}", pts[0].mean_allocations);
+    }
+
+    #[test]
+    fn local_scoping_helps_scaling() {
+        // ds4 (heavily local) should allow more allocations than ds1 for
+        // the informed schemes — "local scoping of sessions helps
+        // scaling".
+        let topo = small_mbone();
+        let alg = StaticIpr::seven_band();
+        let d1 = figure5_sweep(&topo, &alg, &TtlDistribution::ds1(), &[400], 6, 5);
+        let d4 = figure5_sweep(&topo, &alg, &TtlDistribution::ds4(), &[400], 6, 5);
+        assert!(
+            d4[0].mean_allocations > d1[0].mean_allocations,
+            "ds4 {} vs ds1 {}",
+            d4[0].mean_allocations,
+            d1[0].mean_allocations
+        );
+    }
+
+    #[test]
+    fn more_space_more_allocations() {
+        let topo = small_mbone();
+        let dist = TtlDistribution::ds4();
+        let pts = figure5_sweep(
+            &topo,
+            &InformedRandomAllocator,
+            &dist,
+            &[100, 800],
+            6,
+            6,
+        );
+        assert!(pts[1].mean_allocations > pts[0].mean_allocations);
+    }
+}

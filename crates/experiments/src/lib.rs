@@ -1,0 +1,29 @@
+//! # sdalloc-experiments — the paper's evaluation, regenerated
+//!
+//! One runner per table and figure of the paper, built on the other
+//! workspace crates:
+//!
+//! | Module | Figures |
+//! |---|---|
+//! | [`analytic_figs`] | 4 (birthday), 6 (Eq 1), 10 (hop counts + TTL table), 11 (partition map), §2.3 numbers |
+//! | [`fill`], [`alloc_figs`] | 5 (fill until clash) |
+//! | [`steady`], [`alloc_figs`] | 12, 13 (steady-state adaptive capacity) |
+//! | [`rr_figs`] | 14, 15, 16, 18, 19 (request–response suppression) |
+//! | [`ext_hier`] | extension E1: §4.1 flat vs hierarchical allocation |
+//! | [`eq1_sim`] | Monte-Carlo validation of Equation 1 against the closed form |
+//!
+//! The `experiments` binary prints each figure's series as aligned
+//! tables and optionally CSV; `--quick` (default) uses reduced grids,
+//! `--full` the paper-scale ones.
+
+#![warn(missing_docs)]
+
+pub mod alloc_figs;
+pub mod analytic_figs;
+pub mod eq1_sim;
+pub mod ext_hier;
+pub mod fill;
+pub mod report;
+pub mod rr_figs;
+pub mod steady;
+pub mod world;

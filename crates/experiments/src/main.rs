@@ -1,0 +1,699 @@
+//! The `experiments` binary: regenerate every table and figure.
+//!
+//! ```text
+//! experiments <target> [--full] [--seed N] [--nodes N] [--out DIR]
+//!
+//! targets: fig4 fig5 fig6 sec23 fig10 fig11 fig12 fig13
+//!          fig14 fig15 fig16 fig18 fig19 all
+//! ```
+//!
+//! `--quick` grids (the default) finish in a couple of minutes on a
+//! laptop; `--full` uses paper-scale grids (hours for fig12/fig13,
+//! matching the paper's own complaint about O(n³) simulation time).
+
+use std::path::PathBuf;
+
+use sdalloc_experiments::report::{fmt_f64, table, write_csv};
+use sdalloc_experiments::{alloc_figs, analytic_figs, rr_figs};
+use sdalloc_rr::sim::DelayDist;
+use sdalloc_topology::mbone::{MboneMap, MboneParams};
+
+struct Options {
+    target: String,
+    full: bool,
+    seed: u64,
+    nodes: usize,
+    out: Option<PathBuf>,
+    /// Override the per-target repeat count (0 = target default).
+    repeats: usize,
+    /// Cap the largest simulated group size (0 = no cap).
+    max_sites: u64,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        target: "all".to_string(),
+        full: false,
+        seed: 1998,
+        nodes: 0, // 0 = default per mode
+        out: None,
+        repeats: 0,
+        max_sites: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut positional = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => opts.full = true,
+            "--quick" => opts.full = false,
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"))
+            }
+            "--nodes" => {
+                opts.nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--nodes needs a number"))
+            }
+            "--repeats" => {
+                opts.repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--repeats needs a number"))
+            }
+            "--max-sites" => {
+                opts.max_sites = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--max-sites needs a number"))
+            }
+            "--out" => {
+                opts.out = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--out needs a path")),
+                ))
+            }
+            "-h" | "--help" => usage(""),
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if let Some(t) = positional.first() {
+        opts.target = t.clone();
+    }
+    if opts.nodes == 0 {
+        opts.nodes = if opts.full { 1864 } else { 400 };
+    }
+    opts
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: experiments <fig4|fig5|fig6|sec23|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig18|fig19|ext1|ext2|clash|eq1sim|all> [--full] [--seed N] [--nodes N] [--repeats N] [--max-sites N] [--out DIR]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn main() {
+    let opts = parse_args();
+    let known = [
+        "fig4", "fig5", "fig6", "sec23", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig18", "fig19", "ext1", "ext2", "clash", "eq1sim", "all",
+    ];
+    if !known.contains(&opts.target.as_str()) {
+        usage(&format!("unknown target {}", opts.target));
+    }
+    let run = |name: &str| opts.target == name || opts.target == "all";
+
+    if run("fig4") {
+        fig4(&opts);
+    }
+    if run("fig6") {
+        fig6(&opts);
+    }
+    if run("sec23") {
+        sec23();
+    }
+    if run("fig11") {
+        fig11(&opts);
+    }
+    if run("fig10") {
+        fig10(&opts);
+    }
+    if run("fig5") {
+        fig5(&opts);
+    }
+    if run("fig12") {
+        fig12(&opts);
+    }
+    if run("fig13") {
+        fig13(&opts);
+    }
+    if run("fig14") {
+        fig14(&opts);
+    }
+    if run("fig15") || run("fig16") {
+        fig15_16(&opts);
+    }
+    if run("fig18") {
+        fig18(&opts);
+    }
+    if run("fig19") {
+        fig19(&opts);
+    }
+    if run("ext1") {
+        ext1(&opts);
+    }
+    if run("ext2") {
+        ext2(&opts);
+    }
+    if run("clash") {
+        clash_demo(&opts);
+    }
+    if run("eq1sim") {
+        eq1sim(&opts);
+    }
+}
+
+fn eq1sim(opts: &Options) {
+    let runs = rep(opts, if opts.full { 2_000 } else { 300 });
+    let pts = sdalloc_experiments::eq1_sim::validate(runs, opts.seed);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.n.to_string(),
+                p.m.to_string(),
+                p.i.to_string(),
+                format!("{:.3}", p.model),
+                format!("{:.3}", p.simulated),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        "eq1sim",
+        "Equation 1 validation: model vs Monte-Carlo (no-clash probability)",
+        &["n", "m", "i", "Eq1 model", "simulated"],
+        rows,
+    );
+}
+
+/// Section 3 demonstration: measure the three-phase recovery protocol
+/// over many randomized partition-heal scenarios on the SAP testbed.
+fn clash_demo(opts: &Options) {
+    use sdalloc_core::{AddrSpace, InformedRandomAllocator};
+    use sdalloc_sap::directory::{DirectoryConfig, DirectoryEvent};
+    use sdalloc_sap::sdp::Media;
+    use sdalloc_sap::testbed::Testbed;
+    use sdalloc_sim::{Channel, SimDuration, SimRng, SimTime};
+    use std::net::Ipv4Addr;
+
+    let scenarios = rep(opts, if opts.full { 40 } else { 10 });
+    let mut resolved = 0usize;
+    let mut moves = 0usize;
+    let mut defences = 0usize;
+    let mut resolve_secs = Vec::new();
+    for k in 0..scenarios {
+        let configs: Vec<DirectoryConfig> = (0..3)
+            .map(|i| {
+                let mut cfg =
+                    DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1 + i as u8));
+                cfg.space = AddrSpace::abstract_space(2);
+                cfg
+            })
+            .collect();
+        let mut tb = Testbed::new(
+            configs,
+            || Box::new(InformedRandomAllocator),
+            Channel::mbone_default(),
+            opts.seed ^ k as u64,
+        );
+        tb.partition(0, 1);
+        let media = vec![Media {
+            kind: "audio".into(),
+            port: 5004,
+            proto: "RTP/AVP".into(),
+            format: 0,
+        }];
+        let mut rng0 = SimRng::new(opts.seed ^ (k as u64) << 8);
+        let mut rng1 = SimRng::new(opts.seed ^ (k as u64) << 8 ^ 1);
+        // Force both partitioned sides onto the same address.
+        loop {
+            let now = tb.now();
+            let id0 = tb
+                .directory_mut(0)
+                .create_session(now, "a", 127, media.clone(), &mut rng0)
+                .unwrap();
+            let id1 = tb
+                .directory_mut(1)
+                .create_session(now, "b", 127, media.clone(), &mut rng1)
+                .unwrap();
+            let g0 = tb.directory(0).own_sessions().next().unwrap().1.desc.group;
+            let g1 = tb.directory(1).own_sessions().next().unwrap().1.desc.group;
+            if g0 == g1 {
+                break;
+            }
+            tb.directory_mut(0).withdraw_session(id0);
+            tb.directory_mut(1).withdraw_session(id1);
+        }
+        tb.kick(0);
+        tb.kick(1);
+        tb.run_until(SimTime::from_secs(40));
+        tb.heal(0, 1);
+        let heal_at = tb.now();
+        let horizon = tb.now() + SimDuration::from_secs(1_300);
+        tb.run_until(horizon);
+        let g0 = tb.directory(0).own_sessions().next().unwrap().1.desc.group;
+        let g1 = tb.directory(1).own_sessions().next().unwrap().1.desc.group;
+        if g0 != g1 {
+            resolved += 1;
+            if let Some(m) = tb
+                .log
+                .iter()
+                .find(|e| matches!(e.event, DirectoryEvent::Moved { .. }))
+            {
+                resolve_secs.push(m.at.saturating_since(heal_at).as_secs_f64());
+            }
+        }
+        moves += tb
+            .log
+            .iter()
+            .filter(|e| matches!(e.event, DirectoryEvent::Moved { .. }))
+            .count();
+        defences += tb
+            .log
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    DirectoryEvent::Clash {
+                        action: sdalloc_core::ClashAction::ThirdPartyArmed { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+    }
+    println!("## Section 3: three-phase clash recovery over {scenarios} partition-heal scenarios");
+    println!("resolved: {resolved}/{scenarios}");
+    println!("session moves: {moves}  third-party defences armed: {defences}");
+    if !resolve_secs.is_empty() {
+        let mean = resolve_secs.iter().sum::<f64>() / resolve_secs.len() as f64;
+        let pre_heal = resolve_secs.iter().filter(|&&s| s == 0.0).count();
+        println!("mean time from heal to move: {mean:.1}s ({pre_heal} resolved even before the heal,");
+        println!("via a third party that could hear both sides of the partition)");
+    }
+    println!();
+}
+
+fn ext2(opts: &Options) {
+    let (sites, d2s, repeats): (usize, Vec<f64>, usize) = if opts.full {
+        (3_200, vec![800.0, 3_200.0, 12_800.0, 51_200.0], rep(opts, 15))
+    } else {
+        (400, vec![800.0, 3_200.0, 12_800.0], rep(opts, 4))
+    };
+    let pts = rr_figs::extension_responders(sites, &d2s, repeats, opts.seed);
+    emit_sim_rr(
+        opts,
+        "ext2",
+        "Extension E2 (Section 3.1): duplicate-response reduction levers",
+        pts,
+    );
+}
+
+fn ext1(opts: &Options) {
+    let map = mbone(opts);
+    let (sizes, trials): (Vec<u32>, usize) = if opts.full {
+        (vec![512, 2_048, 8_192, 32_768], rep(opts, 5))
+    } else {
+        (vec![512, 2_048], rep(opts, 3))
+    };
+    let pts = sdalloc_experiments::ext_hier::extension_hier(&map, &sizes, trials, opts.seed);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.scheme.to_string(),
+                p.space_size.to_string(),
+                fmt_f64(p.mean_allocations),
+                fmt_f64(p.clash_fraction),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        "ext1",
+        "Extension E1 (Section 4.1): flat vs hierarchical allocation",
+        &["scheme", "space", "mean allocations", "clash fraction"],
+        rows,
+    );
+}
+
+fn rep(opts: &Options, default: usize) -> usize {
+    if opts.repeats > 0 { opts.repeats } else { default }
+}
+
+fn cap_sites(opts: &Options, sites: Vec<u64>) -> Vec<u64> {
+    if opts.max_sites == 0 {
+        sites
+    } else {
+        sites.into_iter().filter(|&s| s <= opts.max_sites).collect()
+    }
+}
+
+fn emit(opts: &Options, name: &str, title: &str, headers: &[&str], rows: Vec<Vec<String>>) {
+    print!("{}", table(title, headers, &rows));
+    println!();
+    if let Some(dir) = &opts.out {
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = write_csv(&path, headers, &rows) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+fn mbone(opts: &Options) -> MboneMap {
+    eprintln!("# generating Mbone map ({} nodes, seed {})", opts.nodes, opts.seed);
+    MboneMap::generate(&MboneParams { seed: opts.seed, target_nodes: opts.nodes })
+}
+
+fn fig4(opts: &Options) {
+    let rows: Vec<Vec<String>> = analytic_figs::figure4(400, 10)
+        .into_iter()
+        .map(|(k, p)| vec![k.to_string(), format!("{p:.4}")])
+        .collect();
+    emit(
+        opts,
+        "fig4",
+        "Figure 4: clash probability, random allocation from 10,000 addresses",
+        &["allocations", "P(clash)"],
+        rows,
+    );
+}
+
+fn fig6(opts: &Options) {
+    let mut rows = Vec::new();
+    for series in analytic_figs::figure6() {
+        for (n, m) in series.points {
+            rows.push(vec![
+                format!("{}", series.i_frac),
+                format!("{n:.0}"),
+                format!("{m:.0}"),
+            ]);
+        }
+    }
+    emit(
+        opts,
+        "fig6",
+        "Figure 6: allocations in one partition at P(clash)=0.5 (Eq 1)",
+        &["i/m", "partition size", "allocations"],
+        rows,
+    );
+}
+
+fn sec23() {
+    let s = analytic_figs::section23();
+    println!("## Section 2.3 operating point");
+    println!(
+        "effective delay (10 min repeats): {:.2} s   (paper: ~12 s)",
+        s.effective_delay_slow_s
+    );
+    println!(
+        "effective delay (5 s first repeat): {:.2} s  (paper: ~0.3 s)",
+        s.effective_delay_fast_s
+    );
+    println!(
+        "invisible session fraction: {:.4}            (paper: ~0.001)",
+        s.invisible_fraction
+    );
+    println!(
+        "concurrent sessions (65536/8, i=0.001m): {:.0} (paper: ~16496)",
+        s.concurrent_sessions
+    );
+    println!();
+}
+
+fn fig11(opts: &Options) {
+    let rows: Vec<Vec<String>> = analytic_figs::figure11()
+        .into_iter()
+        .step_by(4)
+        .map(|(t, p)| vec![t.to_string(), p.to_string()])
+        .collect();
+    emit(
+        opts,
+        "fig11",
+        "Figure 11: TTL -> IPRMA partition (margin 2, 55 partitions)",
+        &["ttl", "partition"],
+        rows,
+    );
+}
+
+fn fig10(opts: &Options) {
+    let map = mbone(opts);
+    let stride = if opts.full { 1 } else { 2 };
+    let fig = analytic_figs::figure10(&map.topo, stride);
+    let rows: Vec<Vec<String>> = fig
+        .table
+        .iter()
+        .map(|r| {
+            vec![
+                r.ttl.to_string(),
+                fmt_f64(r.most_frequent),
+                r.max_hops.to_string(),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        "fig10_table",
+        "Section 2.4.1 TTL table: hop counts per scope",
+        &["ttl", "most frequent hops", "max hops"],
+        rows,
+    );
+    let mut hist_rows = Vec::new();
+    for (ttl, hist) in &fig.histograms {
+        for (hops, frac) in hist.iter().enumerate() {
+            if *frac > 0.0 {
+                hist_rows.push(vec![
+                    ttl.to_string(),
+                    hops.to_string(),
+                    format!("{frac:.4}"),
+                ]);
+            }
+        }
+    }
+    emit(
+        opts,
+        "fig10",
+        "Figure 10: hop-count distribution per TTL scope (normalised)",
+        &["ttl", "hops", "fraction"],
+        hist_rows,
+    );
+}
+
+fn fig5(opts: &Options) {
+    let map = mbone(opts);
+    let (sizes, trials): (Vec<u32>, usize) = if opts.full {
+        (vec![100, 200, 400, 800, 1_600], rep(opts, 10))
+    } else {
+        (vec![100, 200, 400, 800], rep(opts, 4))
+    };
+    let pts = alloc_figs::figure5(&map.topo, &sizes, trials, opts.seed);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.algorithm.clone(),
+                p.distribution.to_string(),
+                p.space_size.to_string(),
+                fmt_f64(p.mean_allocations),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        "fig5",
+        "Figure 5: allocations before first clash (Mbone map)",
+        &["algorithm", "ttl dist", "space", "mean allocations"],
+        rows,
+    );
+}
+
+fn fig12(opts: &Options) {
+    let map = mbone(opts);
+    let (sizes, repeats): (Vec<u32>, usize) = if opts.full {
+        (vec![100, 200, 400, 800, 1_600], rep(opts, 100))
+    } else {
+        (vec![100, 200, 400], rep(opts, 8))
+    };
+    let pts = alloc_figs::figure12(&map.topo, &sizes, repeats, opts.seed);
+    emit_steady(
+        opts,
+        "fig12",
+        "Figure 12: steady-state allocations at P(clash)=0.5 (ds4, random churn)",
+        pts,
+    );
+}
+
+fn fig13(opts: &Options) {
+    let map = mbone(opts);
+    let (sizes, repeats): (Vec<u32>, usize) = if opts.full {
+        (vec![100, 200, 400, 800, 1_600], rep(opts, 100))
+    } else {
+        (vec![100, 200, 400], rep(opts, 8))
+    };
+    let pts = alloc_figs::figure13(&map.topo, &sizes, repeats, opts.seed);
+    emit_steady(
+        opts,
+        "fig13",
+        "Figure 13: steady-state upper bound (same site+TTL churn)",
+        pts,
+    );
+}
+
+fn emit_steady(
+    opts: &Options,
+    name: &str,
+    title: &str,
+    pts: Vec<alloc_figs::SteadyPoint>,
+) {
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.algorithm.clone(),
+                p.space_size.to_string(),
+                p.allocations_at_half.to_string(),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        name,
+        title,
+        &["algorithm", "space", "allocations@0.5"],
+        rows,
+    );
+}
+
+fn fig14(opts: &Options) {
+    let pts = rr_figs::figure14(
+        &rr_figs::grids::d2_ms(opts.full),
+        &rr_figs::grids::sites(opts.full),
+    );
+    emit_analytic_rr(
+        opts,
+        "fig14",
+        "Figure 14: E[responders], uniform delay buckets (R=200 ms)",
+        pts,
+    );
+}
+
+fn fig18(opts: &Options) {
+    let pts = rr_figs::figure18_analytic(
+        &rr_figs::grids::d2_ms(opts.full),
+        &rr_figs::grids::sites(opts.full),
+    );
+    emit_analytic_rr(
+        opts,
+        "fig18",
+        "Figure 18: E[responders], exponential delay (R=200 ms)",
+        pts,
+    );
+    // Simulation overlay on a reduced grid.
+    let (sites, d2s, repeats): (Vec<u64>, Vec<f64>, usize) = if opts.full {
+        (
+            cap_sites(opts, vec![200, 800, 3_200, 12_800]),
+            vec![800.0, 3_200.0, 12_800.0],
+            rep(opts, 20),
+        )
+    } else {
+        (cap_sites(opts, vec![200, 800]), vec![800.0, 3_200.0], rep(opts, 5))
+    };
+    let sim = rr_figs::figure15_16(
+        &[rr_figs::Config15::SptExact],
+        &sites,
+        &d2s,
+        repeats,
+        opts.seed,
+        DelayDist::Exponential,
+    );
+    emit_sim_rr(opts, "fig18_sim", "Figure 18 (simulated overlay)", sim);
+}
+
+fn emit_analytic_rr(
+    opts: &Options,
+    name: &str,
+    title: &str,
+    pts: Vec<rr_figs::AnalyticPoint>,
+) {
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.sites.to_string(),
+                fmt_f64(p.d2_ms),
+                fmt_f64(p.expected_responses),
+            ]
+        })
+        .collect();
+    emit(opts, name, title, &["sites", "D2 (ms)", "E[responses]"], rows);
+}
+
+fn fig15_16(opts: &Options) {
+    let (sites, d2s, repeats): (Vec<u64>, Vec<f64>, usize) = if opts.full {
+        (cap_sites(opts, rr_figs::grids::sites(true)), rr_figs::grids::d2_ms(true), rep(opts, 20))
+    } else {
+        (cap_sites(opts, vec![200, 400, 800]), vec![800.0, 3_200.0, 12_800.0], rep(opts, 4))
+    };
+    let pts = rr_figs::figure15_16(
+        &rr_figs::Config15::all(),
+        &sites,
+        &d2s,
+        repeats,
+        opts.seed,
+        DelayDist::Uniform,
+    );
+    emit_sim_rr(
+        opts,
+        "fig15_16",
+        "Figures 15/16: simulated request-response (uniform delay)",
+        pts,
+    );
+}
+
+fn emit_sim_rr(opts: &Options, name: &str, title: &str, pts: Vec<rr_figs::SimPoint>) {
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.config.clone(),
+                p.sites.to_string(),
+                fmt_f64(p.d2_ms),
+                fmt_f64(p.mean_responses),
+                fmt_f64(p.mean_first_response_s),
+                fmt_f64(p.max_first_response_s),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        name,
+        title,
+        &[
+            "config",
+            "sites",
+            "D2 (ms)",
+            "mean resp",
+            "first resp (s)",
+            "max first (s)",
+        ],
+        rows,
+    );
+}
+
+fn fig19(opts: &Options) {
+    let (sites, d2s, repeats): (Vec<u64>, Vec<f64>, usize) = if opts.full {
+        (
+            cap_sites(opts, vec![200, 800, 3_200, 12_800, 25_600]),
+            vec![200.0, 800.0, 3_200.0, 12_800.0, 51_200.0],
+            rep(opts, 15),
+        )
+    } else {
+        (cap_sites(opts, vec![200, 800]), vec![800.0, 3_200.0, 12_800.0], rep(opts, 4))
+    };
+    let (uniform, exponential) = rr_figs::figure19(&sites, &d2s, repeats, opts.seed);
+    emit_sim_rr(opts, "fig19_uniform", "Figure 19: uniform random delay", uniform);
+    emit_sim_rr(
+        opts,
+        "fig19_exponential",
+        "Figure 19: exponential random delay",
+        exponential,
+    );
+}

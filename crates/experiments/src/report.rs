@@ -1,0 +1,132 @@
+//! Output formatting: aligned text tables (what the binary prints) and
+//! CSV files (what plotting scripts consume).
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Render an aligned text table.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
+        .collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write rows as CSV (naive quoting: cells containing commas or quotes
+/// are double-quoted).
+pub fn write_csv(
+    path: &Path,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "{}", headers.iter().map(|h| csv_cell(h)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        writeln!(
+            f,
+            "{}",
+            row.iter().map(|c| csv_cell(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    Ok(())
+}
+
+fn csv_cell(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Format a float compactly (3 significant-ish decimals, no trailing
+/// zero noise).
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let rows = vec![
+            vec!["a".to_string(), "1234".to_string()],
+            vec!["long-name".to_string(), "5".to_string()],
+        ];
+        let t = table("demo", &["alg", "n"], &rows);
+        assert!(t.contains("## demo"));
+        let lines: Vec<&str> = t.lines().collect();
+        // All data lines share the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(csv_cell("plain"), "plain");
+        assert_eq!(csv_cell("a,b"), "\"a,b\"");
+        assert_eq!(csv_cell("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_writes_file() {
+        let dir = std::env::temp_dir().join("sdalloc_report_test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4,5".into()]],
+        )
+        .unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n3,\"4,5\"\n");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1234.6), "1235");
+        assert_eq!(fmt_f64(56.78), "56.8");
+        assert_eq!(fmt_f64(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,343 @@
+//! Runners for the request–response figures: 14, 15, 16, 18, 19.
+
+use sdalloc_rr::analytic::{
+    buckets, expected_responses_exponential, expected_responses_uniform,
+};
+use sdalloc_rr::sim::{run_many, DelayDist, Population, RrParams, TreeMode};
+use sdalloc_sim::{SimDuration, SimRng};
+use sdalloc_topology::doar::{generate, DoarParams};
+
+/// A point of the Figure 14/18 analytic surfaces.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticPoint {
+    /// Receiver-set size.
+    pub sites: u64,
+    /// Suppression window D2 in milliseconds.
+    pub d2_ms: f64,
+    /// Expected number of responses.
+    pub expected_responses: f64,
+}
+
+/// Figure 14: uniform-delay upper bound over a (D2, sites) grid with
+/// R = 200 ms.
+pub fn figure14(d2_ms: &[f64], sites: &[u64]) -> Vec<AnalyticPoint> {
+    grid(d2_ms, sites, expected_responses_uniform)
+}
+
+/// Figure 18 (analytic part): exponential-delay expectation over the
+/// same kind of grid.
+pub fn figure18_analytic(d2_ms: &[f64], sites: &[u64]) -> Vec<AnalyticPoint> {
+    grid(d2_ms, sites, expected_responses_exponential)
+}
+
+fn grid(d2_ms: &[f64], sites: &[u64], f: fn(u64, u64) -> f64) -> Vec<AnalyticPoint> {
+    let mut out = Vec::new();
+    for &n in sites {
+        for &d2 in d2_ms {
+            out.push(AnalyticPoint {
+                sites: n,
+                d2_ms: d2,
+                expected_responses: f(n, buckets(d2, 200.0)),
+            });
+        }
+    }
+    out
+}
+
+/// The paper's default grids (quick subsets of the figures' axes).
+pub mod grids {
+    /// D2 values (ms) along the Figure 14/15 axis.
+    pub fn d2_ms(full: bool) -> Vec<f64> {
+        if full {
+            vec![
+                200.0, 800.0, 3_200.0, 12_800.0, 51_200.0, 204_800.0, 819_200.0,
+                3_276_800.0,
+            ]
+        } else {
+            vec![200.0, 800.0, 3_200.0, 12_800.0, 51_200.0]
+        }
+    }
+
+    /// Receiver-set sizes along the figures' axes.
+    pub fn sites(full: bool) -> Vec<u64> {
+        if full {
+            vec![200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600, 51_200]
+        } else {
+            vec![200, 400, 800, 1_600]
+        }
+    }
+}
+
+/// A simulated point of Figures 15/16/18/19.
+#[derive(Debug, Clone)]
+pub struct SimPoint {
+    /// Configuration label ("A: SPT, delay=distance", …).
+    pub config: String,
+    /// Number of sites (group members + requester).
+    pub sites: usize,
+    /// D2 in milliseconds.
+    pub d2_ms: f64,
+    /// Mean responses over the repeats.
+    pub mean_responses: f64,
+    /// Mean time of first response at the requester (seconds).
+    pub mean_first_response_s: f64,
+    /// Maximum first-response time seen (seconds).
+    pub max_first_response_s: f64,
+}
+
+/// The paper's four Figure 15 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config15 {
+    /// A: shortest-path trees, delay ≈ distance.
+    SptExact,
+    /// B: shared tree, delay ≈ distance.
+    SharedExact,
+    /// C: shortest-path trees, delay = distance + random jitter.
+    SptJitter,
+    /// D: shared tree, delay = distance + random jitter.
+    SharedJitter,
+}
+
+impl Config15 {
+    /// All four configurations.
+    pub fn all() -> [Config15; 4] {
+        [
+            Config15::SptExact,
+            Config15::SharedExact,
+            Config15::SptJitter,
+            Config15::SharedJitter,
+        ]
+    }
+
+    /// Display label matching the paper's legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Config15::SptExact => "A: SPT, delay~distance",
+            Config15::SharedExact => "B: shared, delay~distance",
+            Config15::SptJitter => "C: SPT, delay=distance+random",
+            Config15::SharedJitter => "D: shared, delay=distance+random",
+        }
+    }
+
+    fn params(&self, d2: SimDuration, dist: DelayDist) -> RrParams {
+        let (tree, jitter) = match self {
+            Config15::SptExact => (TreeMode::SourceTrees, None),
+            Config15::SharedExact => (TreeMode::SharedTree, None),
+            Config15::SptJitter => {
+                (TreeMode::SourceTrees, Some(SimDuration::from_millis(10)))
+            }
+            Config15::SharedJitter => {
+                (TreeMode::SharedTree, Some(SimDuration::from_millis(10)))
+            }
+        };
+        RrParams {
+            tree,
+            dist,
+            d1: SimDuration::ZERO,
+            d2,
+            rtt: SimDuration::from_millis(200),
+            jitter_per_hop: jitter,
+            population: Population::All,
+        }
+    }
+}
+
+/// Figures 15 and 16: simulate the request–response protocol across
+/// configurations, group sizes and windows.  Figure 15 reads the
+/// `mean_responses` column; Figure 16 reads the first-response columns.
+pub fn figure15_16(
+    configs: &[Config15],
+    sites: &[u64],
+    d2_ms: &[f64],
+    repeats: usize,
+    seed: u64,
+    dist: DelayDist,
+) -> Vec<SimPoint> {
+    let mut out = Vec::new();
+    for &n in sites {
+        let topo = generate(&DoarParams::new(n as usize, seed ^ n));
+        for config in configs {
+            for &d2 in d2_ms {
+                let params = config.params(SimDuration::from_secs_f64(d2 / 1_000.0), dist);
+                let mut rng = SimRng::new(seed ^ n ^ (d2 as u64));
+                let agg = run_many(&topo, &params, repeats, &mut rng);
+                out.push(SimPoint {
+                    config: config.label().to_string(),
+                    sites: n as usize,
+                    d2_ms: d2,
+                    mean_responses: agg.mean_responses,
+                    mean_first_response_s: agg.mean_first_response_secs,
+                    max_first_response_s: agg.max_first_response_secs,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Extension E2 (Section 3.1's levers): compare the duplicate-response
+/// reduction strategies the paper proposes — uniform baseline,
+/// exponential delays, announcers-respond-first tiering, and arbitrary
+/// site ranking — on one topology across windows.
+pub fn extension_responders(
+    sites: usize,
+    d2_ms: &[f64],
+    repeats: usize,
+    seed: u64,
+) -> Vec<SimPoint> {
+    let topo = generate(&DoarParams::new(sites, seed));
+    let variants: [(&str, DelayDist, Population); 4] = [
+        ("uniform", DelayDist::Uniform, Population::All),
+        ("exponential", DelayDist::Exponential, Population::All),
+        (
+            "announcers-first (5%)",
+            DelayDist::Uniform,
+            Population::AnnouncersFirst { fraction: 0.05 },
+        ),
+        ("ranked", DelayDist::Ranked, Population::All),
+    ];
+    let mut out = Vec::new();
+    for (label, dist, population) in variants {
+        for &d2 in d2_ms {
+            let params = RrParams {
+                tree: TreeMode::SourceTrees,
+                dist,
+                d1: SimDuration::ZERO,
+                d2: SimDuration::from_secs_f64(d2 / 1_000.0),
+                rtt: SimDuration::from_millis(200),
+                jitter_per_hop: Some(SimDuration::from_millis(10)),
+                population,
+            };
+            let mut rng = SimRng::new(seed ^ (d2 as u64));
+            let agg = run_many(&topo, &params, repeats, &mut rng);
+            out.push(SimPoint {
+                config: label.to_string(),
+                sites,
+                d2_ms: d2,
+                mean_responses: agg.mean_responses,
+                mean_first_response_s: agg.mean_first_response_secs,
+                max_first_response_s: agg.max_first_response_secs,
+            });
+        }
+    }
+    out
+}
+
+/// Figure 19: the trade-off curves — (mean responses, time of first
+/// response) per D2, for uniform (Figure 15 C) and exponential (Figure
+/// 18) random delays.
+pub fn figure19(
+    sites: &[u64],
+    d2_ms: &[f64],
+    repeats: usize,
+    seed: u64,
+) -> (Vec<SimPoint>, Vec<SimPoint>) {
+    let uniform = figure15_16(
+        &[Config15::SptJitter],
+        sites,
+        d2_ms,
+        repeats,
+        seed,
+        DelayDist::Uniform,
+    );
+    let exponential = figure15_16(
+        &[Config15::SptJitter],
+        sites,
+        d2_ms,
+        repeats,
+        seed,
+        DelayDist::Exponential,
+    );
+    (uniform, exponential)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure14_grid_shape() {
+        let pts = figure14(&grids::d2_ms(false), &[200, 1_600]);
+        assert_eq!(pts.len(), 2 * 5);
+        // More sites → more expected responses at fixed D2.
+        let small = pts.iter().find(|p| p.sites == 200 && p.d2_ms == 3_200.0).unwrap();
+        let big = pts.iter().find(|p| p.sites == 1_600 && p.d2_ms == 3_200.0).unwrap();
+        assert!(big.expected_responses > small.expected_responses);
+    }
+
+    #[test]
+    fn figure18_bounded() {
+        let pts = figure18_analytic(&grids::d2_ms(false), &grids::sites(false));
+        for p in &pts {
+            if p.d2_ms >= 3_200.0 {
+                assert!(
+                    p.expected_responses < 10.0,
+                    "exponential exploded: {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_points_sane() {
+        let pts = figure15_16(
+            &[Config15::SptExact, Config15::SharedExact],
+            &[200],
+            &[800.0, 12_800.0],
+            3,
+            1,
+            DelayDist::Uniform,
+        );
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert!(p.mean_responses >= 1.0, "{p:?}");
+            assert!(p.mean_first_response_s >= 0.0);
+            assert!(p.max_first_response_s >= p.mean_first_response_s * 0.99);
+        }
+        // Longer window suppresses more (per config).
+        for cfg in ["A: SPT, delay~distance", "B: shared, delay~distance"] {
+            let short = pts.iter().find(|p| p.config == cfg && p.d2_ms == 800.0).unwrap();
+            let long = pts
+                .iter()
+                .find(|p| p.config == cfg && p.d2_ms == 12_800.0)
+                .unwrap();
+            assert!(
+                long.mean_responses <= short.mean_responses + 0.5,
+                "{cfg}: {} vs {}",
+                short.mean_responses,
+                long.mean_responses
+            );
+        }
+    }
+
+    #[test]
+    fn extension_responders_orders_schemes() {
+        let pts = extension_responders(300, &[3_200.0], 4, 5);
+        assert_eq!(pts.len(), 4);
+        let get = |name: &str| {
+            pts.iter().find(|p| p.config.starts_with(name)).unwrap().mean_responses
+        };
+        let uniform = get("uniform");
+        // Every reduction lever should do no worse than the baseline.
+        for name in ["exponential", "announcers-first", "ranked"] {
+            assert!(
+                get(name) <= uniform + 0.5,
+                "{name} ({}) worse than uniform ({uniform})",
+                get(name)
+            );
+        }
+    }
+
+    #[test]
+    fn figure19_exponential_dominates() {
+        let (uni, exp) = figure19(&[400], &[3_200.0], 4, 2);
+        assert_eq!(uni.len(), 1);
+        assert_eq!(exp.len(), 1);
+        assert!(
+            exp[0].mean_responses <= uni[0].mean_responses,
+            "exp {} uni {}",
+            exp[0].mean_responses,
+            uni[0].mean_responses
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! The allocation world: active sessions on a topology, with the
+//! announce/listen visibility rule and clash bookkeeping.
+//!
+//! Both Figure 5 (fill until clash) and Figures 12/13 (steady state)
+//! run on this substrate.  Visibility is the paper's Section 2.1 rule:
+//! a site sees exactly the sessions whose scope reaches it ("a session
+//! directory at a particular location can only see sessions advertised
+//! that will reach its location"), and a clash is two sessions on one
+//! address whose scope zones overlap.
+//!
+//! These experiments assume *instant, lossless* announcements (the
+//! paper's Figure 5 setting: "In this simulation we assume no packet
+//! loss, and this gives unrealistically good results for the informed
+//! schemes"); the delay/loss effects are modelled analytically in
+//! Figure 6 and end-to-end in the SAP testbed.
+
+use std::collections::HashMap;
+
+use sdalloc_core::{Addr, AddrSpace, Allocator, View, VisibleSession};
+use sdalloc_sim::SimRng;
+use sdalloc_topology::{NodeId, Scope, ScopeCache, Topology};
+
+/// One active session.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveSession {
+    /// Where and how far.
+    pub scope: Scope,
+    /// The address it occupies.
+    pub addr: Addr,
+}
+
+/// The allocation world.
+pub struct World {
+    scopes: ScopeCache,
+    space: AddrSpace,
+    sessions: Vec<ActiveSession>,
+    by_addr: HashMap<Addr, Vec<usize>>,
+}
+
+impl World {
+    /// Create an empty world over a topology and address space.
+    pub fn new(topo: Topology, space: AddrSpace) -> World {
+        World {
+            scopes: ScopeCache::new(topo),
+            space,
+            sessions: Vec::new(),
+            by_addr: HashMap::new(),
+        }
+    }
+
+    /// The address space.
+    pub fn space(&self) -> &AddrSpace {
+        &self.space
+    }
+
+    /// The scope cache (shared tree/reach-set state).
+    pub fn scopes_mut(&mut self) -> &mut ScopeCache {
+        &mut self.scopes
+    }
+
+    /// Number of active sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no sessions are active.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Active sessions (including any clashing ones).
+    pub fn sessions(&self) -> &[ActiveSession] {
+        &self.sessions
+    }
+
+    /// Remove all sessions but keep the (expensive) scope cache.
+    pub fn clear_sessions(&mut self) {
+        self.sessions.clear();
+        self.by_addr.clear();
+    }
+
+    /// The sessions visible at `site`: those whose announcements reach it.
+    pub fn visible_at(&mut self, site: NodeId) -> Vec<VisibleSession> {
+        let mut v: Vec<VisibleSession> = Vec::new();
+        for s in &self.sessions {
+            if self.scopes.spt().tree(s.scope.source).reaches(site, s.scope.ttl) {
+                v.push(VisibleSession::new(s.addr, s.scope.ttl));
+            }
+        }
+        v.sort_unstable_by_key(|s| (s.addr, s.ttl));
+        v
+    }
+
+    /// Whether a new session `(scope, addr)` would clash with any active
+    /// session: same address, overlapping scope zones.
+    pub fn would_clash(&mut self, scope: Scope, addr: Addr) -> bool {
+        let Some(users) = self.by_addr.get(&addr) else {
+            return false;
+        };
+        let users = users.clone();
+        users
+            .iter()
+            .any(|&i| self.scopes.zones_overlap(self.sessions[i].scope, scope))
+    }
+
+    /// Allocate an address for `scope` with `alg` using the visibility
+    /// rule, insert the session, and report whether it clashed.
+    /// Returns `None` when the allocator refuses (space full).
+    pub fn allocate(
+        &mut self,
+        alg: &dyn Allocator,
+        scope: Scope,
+        rng: &mut SimRng,
+    ) -> Option<(Addr, bool)> {
+        let visible = self.visible_at(scope.source);
+        let view = View::new(&visible);
+        let addr = alg.allocate(&self.space, scope.ttl, &view, rng)?;
+        let clash = self.would_clash(scope, addr);
+        self.insert(ActiveSession { scope, addr });
+        Some((addr, clash))
+    }
+
+    /// Insert a session directly (used to seed initial state).
+    pub fn insert(&mut self, s: ActiveSession) {
+        let idx = self.sessions.len();
+        self.sessions.push(s);
+        self.by_addr.entry(s.addr).or_default().push(idx);
+    }
+
+    /// Remove the session at `index`, returning it (swap-remove order).
+    pub fn remove_at(&mut self, index: usize) -> ActiveSession {
+        let removed = self.sessions.swap_remove(index);
+        // Fix the by_addr index for the removed entry...
+        let users = self.by_addr.get_mut(&removed.addr).expect("indexed");
+        users.retain(|&i| i != index);
+        if users.is_empty() {
+            self.by_addr.remove(&removed.addr);
+        }
+        // ...and for the session that moved into `index`.
+        if index < self.sessions.len() {
+            let moved = self.sessions[index];
+            let old = self.sessions.len(); // its previous index
+            let users = self.by_addr.get_mut(&moved.addr).expect("indexed");
+            for i in users.iter_mut() {
+                if *i == old {
+                    *i = index;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Remove a uniformly random session.
+    pub fn remove_random(&mut self, rng: &mut SimRng) -> ActiveSession {
+        assert!(!self.sessions.is_empty(), "no sessions to remove");
+        let i = rng.index(self.sessions.len());
+        self.remove_at(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdalloc_core::InformedRandomAllocator;
+    use sdalloc_sim::SimDuration;
+
+    /// a0 - a1 -[16]- b0 - b1: two sites.
+    fn two_sites() -> Topology {
+        let mut t = Topology::new();
+        let a0 = t.add_simple_node();
+        let a1 = t.add_simple_node();
+        let b0 = t.add_simple_node();
+        let b1 = t.add_simple_node();
+        let d = SimDuration::from_millis(1);
+        t.add_link(a0, a1, 1, 1, d);
+        t.add_link(a1, b0, 1, 16, d);
+        t.add_link(b0, b1, 1, 1, d);
+        t
+    }
+
+    #[test]
+    fn visibility_follows_scope() {
+        let mut w = World::new(two_sites(), AddrSpace::abstract_space(16));
+        w.insert(ActiveSession { scope: Scope::new(NodeId(0), 15), addr: Addr(3) });
+        w.insert(ActiveSession { scope: Scope::new(NodeId(3), 127), addr: Addr(5) });
+        // At b1 (node 3): only the global session is visible.
+        let at_b1 = w.visible_at(NodeId(3));
+        assert_eq!(at_b1.len(), 1);
+        assert_eq!(at_b1[0].addr, Addr(5));
+        // At a0: both.
+        let at_a0 = w.visible_at(NodeId(0));
+        assert_eq!(at_a0.len(), 2);
+    }
+
+    #[test]
+    fn clash_requires_same_addr_and_overlap() {
+        let mut w = World::new(two_sites(), AddrSpace::abstract_space(16));
+        w.insert(ActiveSession { scope: Scope::new(NodeId(0), 15), addr: Addr(3) });
+        // Same address, non-overlapping site: no clash.
+        assert!(!w.would_clash(Scope::new(NodeId(3), 15), Addr(3)));
+        // Same address, overlapping: clash.
+        assert!(w.would_clash(Scope::new(NodeId(1), 15), Addr(3)));
+        assert!(w.would_clash(Scope::new(NodeId(3), 127), Addr(3)));
+        // Different address: never.
+        assert!(!w.would_clash(Scope::new(NodeId(1), 15), Addr(4)));
+    }
+
+    #[test]
+    fn allocate_avoids_visible_sessions() {
+        let mut w = World::new(two_sites(), AddrSpace::abstract_space(4));
+        let mut rng = SimRng::new(1);
+        let alg = InformedRandomAllocator;
+        // Fill from node 0 at global scope: all allocations visible
+        // everywhere, so informed-random never clashes until full.
+        for k in 0..4 {
+            let (_, clash) = w.allocate(&alg, Scope::new(NodeId(0), 127), &mut rng).unwrap();
+            assert!(!clash, "clash at allocation {k}");
+        }
+        assert!(w.allocate(&alg, Scope::new(NodeId(0), 127), &mut rng).is_none());
+    }
+
+    #[test]
+    fn invisible_sessions_cause_clashes() {
+        let mut w = World::new(two_sites(), AddrSpace::abstract_space(1));
+        let mut rng = SimRng::new(2);
+        let alg = InformedRandomAllocator;
+        // A site-local session at a0 is invisible at b1...
+        let (a, clash) = w.allocate(&alg, Scope::new(NodeId(0), 15), &mut rng).unwrap();
+        assert!(!clash);
+        assert_eq!(a, Addr(0));
+        // ...so b1's global allocation picks the same address and clashes.
+        let (b, clash) = w.allocate(&alg, Scope::new(NodeId(3), 127), &mut rng).unwrap();
+        assert_eq!(b, Addr(0));
+        assert!(clash, "the TTL-scoping asymmetry must bite");
+    }
+
+    #[test]
+    fn remove_keeps_index_consistent() {
+        let mut w = World::new(two_sites(), AddrSpace::abstract_space(16));
+        for i in 0..6u32 {
+            w.insert(ActiveSession {
+                scope: Scope::new(NodeId(i % 4), 127),
+                addr: Addr(i % 3), // shared addresses across sessions
+            });
+        }
+        let mut rng = SimRng::new(3);
+        // A TTL-255 scope from node 0 overlaps every zone, so
+        // `would_clash` at that scope is exactly "address in use".
+        let probe = Scope::new(NodeId(0), 255);
+        while !w.is_empty() {
+            let before = w.len();
+            w.remove_random(&mut rng);
+            assert_eq!(w.len(), before - 1);
+            let mut present: Vec<Addr> = w.sessions().iter().map(|s| s.addr).collect();
+            present.sort_unstable();
+            present.dedup();
+            for a in 0..3u32 {
+                assert_eq!(
+                    w.would_clash(probe, Addr(a)),
+                    present.contains(&Addr(a)),
+                    "by_addr inconsistent for {a} with {} sessions left",
+                    w.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clear_sessions_retains_cache() {
+        let mut w = World::new(two_sites(), AddrSpace::abstract_space(8));
+        w.insert(ActiveSession { scope: Scope::new(NodeId(0), 127), addr: Addr(0) });
+        w.visible_at(NodeId(3));
+        w.clear_sessions();
+        assert!(w.is_empty());
+        assert!(w.visible_at(NodeId(3)).is_empty());
+    }
+}

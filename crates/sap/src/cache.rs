@@ -1,0 +1,296 @@
+//! The announcement cache: the listener half of announce/listen.
+//!
+//! "Session directories use an announce/listen approach to build up a
+//! complete list of these advertised sessions, and a multicast address
+//! is chosen from those not already in use."  The cache holds every
+//! session description heard, keyed by `(originating source, session
+//! id)`, ages entries out when announcements stop, honours explicit
+//! deletions, and — crucially for allocation — projects itself onto the
+//! allocator's [`sdalloc_core::View`] as `(address, TTL)` pairs.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use sdalloc_core::{AddrSpace, VisibleSession};
+use sdalloc_sim::{SimDuration, SimTime};
+
+use crate::sdp::SessionDescription;
+
+/// Cache key: who announced, which of their sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Originating host (from the SDP `o=` line).
+    pub origin: Ipv4Addr,
+    /// Origin's session id.
+    pub session_id: u64,
+}
+
+/// A cached announcement.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The most recent session description heard.
+    pub desc: SessionDescription,
+    /// When this session was first heard.
+    pub first_heard: SimTime,
+    /// When this session was last heard.
+    pub last_heard: SimTime,
+    /// Number of announcements received.
+    pub announcements: u64,
+}
+
+/// Outcome of feeding an announcement to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheUpdate {
+    /// First time this session was heard.
+    New,
+    /// Re-announcement with unchanged content.
+    Refreshed,
+    /// The description changed (higher `o=` version) — e.g. an address
+    /// moved after a clash.
+    Modified,
+    /// Stale: lower version than what we hold; ignored.
+    Stale,
+}
+
+/// The announcement cache.
+#[derive(Debug, Clone)]
+pub struct AnnouncementCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    /// Entries not refreshed within this span are purged.
+    timeout: SimDuration,
+}
+
+impl AnnouncementCache {
+    /// Create a cache with the given expiry timeout.
+    ///
+    /// RFC 2974 recommends "ten times the announcement period, or one
+    /// hour, whichever is the greater"; pass that in from the directory's
+    /// announcement schedule.
+    pub fn new(timeout: SimDuration) -> Self {
+        AnnouncementCache { entries: HashMap::new(), timeout }
+    }
+
+    /// Feed one announcement heard at `now`.
+    pub fn observe_announce(&mut self, now: SimTime, desc: SessionDescription) -> CacheUpdate {
+        let key = CacheKey {
+            origin: desc.origin.address,
+            session_id: desc.origin.session_id,
+        };
+        match self.entries.get_mut(&key) {
+            None => {
+                self.entries.insert(
+                    key,
+                    CacheEntry { desc, first_heard: now, last_heard: now, announcements: 1 },
+                );
+                CacheUpdate::New
+            }
+            Some(entry) => {
+                if desc.origin.version < entry.desc.origin.version {
+                    return CacheUpdate::Stale;
+                }
+                let modified = desc.origin.version > entry.desc.origin.version
+                    || desc != entry.desc;
+                entry.desc = desc;
+                entry.last_heard = now;
+                entry.announcements += 1;
+                if modified {
+                    CacheUpdate::Modified
+                } else {
+                    CacheUpdate::Refreshed
+                }
+            }
+        }
+    }
+
+    /// Feed a deletion for `(origin, session_id)`; returns whether an
+    /// entry was removed.
+    pub fn observe_delete(&mut self, origin: Ipv4Addr, session_id: u64) -> bool {
+        self.entries
+            .remove(&CacheKey { origin, session_id })
+            .is_some()
+    }
+
+    /// Remove entries that have not been refreshed within the timeout;
+    /// returns the purged keys.
+    pub fn purge_expired(&mut self, now: SimTime) -> Vec<CacheKey> {
+        let timeout = self.timeout;
+        let mut purged = Vec::new();
+        self.entries.retain(|key, entry| {
+            let alive = now.saturating_since(entry.last_heard) <= timeout;
+            if !alive {
+                purged.push(*key);
+            }
+            alive
+        });
+        purged.sort_by_key(|k| (k.origin, k.session_id));
+        purged
+    }
+
+    /// Number of cached sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up one entry.
+    pub fn get(&self, origin: Ipv4Addr, session_id: u64) -> Option<&CacheEntry> {
+        self.entries.get(&CacheKey { origin, session_id })
+    }
+
+    /// All entries using the given multicast group — the clash-detection
+    /// probe.
+    pub fn users_of(&self, group: Ipv4Addr) -> Vec<(&CacheKey, &CacheEntry)> {
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.desc.group == group)
+            .collect();
+        v.sort_by_key(|(k, _)| (k.origin, k.session_id));
+        v
+    }
+
+    /// Project the cache onto an allocator view: `(address index, TTL)`
+    /// for every cached session whose group lies in `space`.
+    pub fn visible_sessions(&self, space: &AddrSpace) -> Vec<VisibleSession> {
+        let mut v: Vec<VisibleSession> = self
+            .entries
+            .values()
+            .filter_map(|e| {
+                space
+                    .index_of(e.desc.group)
+                    .map(|addr| VisibleSession::new(addr, e.desc.ttl))
+            })
+            .collect();
+        v.sort_by_key(|s| (s.addr, s.ttl));
+        v
+    }
+
+    /// Iterate all entries (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (&CacheKey, &CacheEntry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdp::{Media, Origin};
+
+    fn desc(origin_ip: [u8; 4], sid: u64, version: u64, group: [u8; 4], ttl: u8) -> SessionDescription {
+        SessionDescription {
+            origin: Origin {
+                username: "-".into(),
+                session_id: sid,
+                version,
+                address: Ipv4Addr::from(origin_ip),
+            },
+            name: format!("s{sid}"),
+            info: None,
+            group: Ipv4Addr::from(group),
+            ttl,
+            start: 0,
+            stop: 0,
+            media: vec![Media {
+                kind: "audio".into(),
+                port: 5004,
+                proto: "RTP/AVP".into(),
+                format: 0,
+            }],
+        }
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn new_refresh_modify_stale() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(3600));
+        let d1 = desc([10, 0, 0, 1], 7, 1, [224, 2, 128, 5], 63);
+        assert_eq!(c.observe_announce(t(0), d1.clone()), CacheUpdate::New);
+        assert_eq!(c.observe_announce(t(10), d1.clone()), CacheUpdate::Refreshed);
+        let mut d2 = d1.clone();
+        d2.origin.version = 2;
+        d2.group = Ipv4Addr::new(224, 2, 128, 9);
+        assert_eq!(c.observe_announce(t(20), d2), CacheUpdate::Modified);
+        // The old version is now stale.
+        assert_eq!(c.observe_announce(t(30), d1), CacheUpdate::Stale);
+        assert_eq!(c.len(), 1);
+        let e = c.get(Ipv4Addr::new(10, 0, 0, 1), 7).unwrap();
+        assert_eq!(e.desc.group, Ipv4Addr::new(224, 2, 128, 9));
+        assert_eq!(e.announcements, 3); // stale one not counted
+    }
+
+    #[test]
+    fn same_version_content_change_counts_as_modified() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(3600));
+        let d1 = desc([10, 0, 0, 1], 7, 1, [224, 2, 128, 5], 63);
+        c.observe_announce(t(0), d1.clone());
+        let mut d2 = d1;
+        d2.ttl = 127;
+        assert_eq!(c.observe_announce(t(1), d2), CacheUpdate::Modified);
+    }
+
+    #[test]
+    fn delete_removes() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(3600));
+        c.observe_announce(t(0), desc([10, 0, 0, 1], 7, 1, [224, 2, 128, 5], 63));
+        assert!(c.observe_delete(Ipv4Addr::new(10, 0, 0, 1), 7));
+        assert!(!c.observe_delete(Ipv4Addr::new(10, 0, 0, 1), 7));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn expiry() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(100));
+        c.observe_announce(t(0), desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 1], 63));
+        c.observe_announce(t(50), desc([10, 0, 0, 2], 2, 1, [224, 2, 128, 2], 63));
+        let purged = c.purge_expired(t(120));
+        assert_eq!(purged.len(), 1);
+        assert_eq!(purged[0].session_id, 1);
+        assert_eq!(c.len(), 1);
+        // Refreshing resets the clock.
+        c.observe_announce(t(140), desc([10, 0, 0, 2], 2, 1, [224, 2, 128, 2], 63));
+        assert!(c.purge_expired(t(240)).is_empty());
+    }
+
+    #[test]
+    fn users_of_group() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(3600));
+        c.observe_announce(t(0), desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 5], 63));
+        c.observe_announce(t(0), desc([10, 0, 0, 2], 9, 1, [224, 2, 128, 5], 15));
+        c.observe_announce(t(0), desc([10, 0, 0, 3], 3, 1, [224, 2, 128, 6], 63));
+        let users = c.users_of(Ipv4Addr::new(224, 2, 128, 5));
+        assert_eq!(users.len(), 2);
+        assert_eq!(users[0].0.origin, Ipv4Addr::new(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn visible_sessions_projection() {
+        let space = AddrSpace::sdr_dynamic(); // base 224.2.128.0
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(3600));
+        c.observe_announce(t(0), desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 5], 63));
+        c.observe_announce(t(0), desc([10, 0, 0, 2], 2, 1, [224, 2, 129, 0], 127));
+        // Outside the space: ignored in the view.
+        c.observe_announce(t(0), desc([10, 0, 0, 3], 3, 1, [239, 1, 1, 1], 15));
+        let view = c.visible_sessions(&space);
+        assert_eq!(view.len(), 2);
+        assert_eq!(view[0].addr.0, 5);
+        assert_eq!(view[0].ttl, 63);
+        assert_eq!(view[1].addr.0, 256);
+        assert_eq!(view[1].ttl, 127);
+    }
+
+    #[test]
+    fn distinct_origins_distinct_entries() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(3600));
+        // Same session id from two hosts: two sessions.
+        c.observe_announce(t(0), desc([10, 0, 0, 1], 7, 1, [224, 2, 128, 1], 63));
+        c.observe_announce(t(0), desc([10, 0, 0, 2], 7, 1, [224, 2, 128, 2], 63));
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,870 @@
+//! The session directory engine — an sdr-alike.
+//!
+//! Ties together the four mechanisms the paper describes into one
+//! transport-agnostic state machine:
+//!
+//! * the **announcement cache** (announce/listen, [`crate::cache`]);
+//! * the **announcement schedule** (exponential back-off,
+//!   [`crate::schedule`]);
+//! * the **address allocator** (any [`sdalloc_core::Allocator`] — the
+//!   dual use of announcements as reservations);
+//! * the **clash detector/responder** (three-phase recovery,
+//!   [`sdalloc_core::clash`]).
+//!
+//! The engine never touches a socket or a clock: callers feed it
+//! received packets and the current time, and it returns packets to
+//! send.  The same code therefore runs under the discrete-event
+//! simulator ([`crate::testbed`]), the real UDP transport
+//! ([`crate::net`]) and the examples.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use sdalloc_core::{
+    Addr, AddrSpace, Allocator, ClashAction, ClashPolicy, ClashResponder, Incumbent,
+    SessionId, View, VisibleSession,
+};
+use sdalloc_sim::{SimDuration, SimRng, SimTime};
+
+use crate::cache::{AnnouncementCache, CacheUpdate};
+use crate::schedule::BackoffSchedule;
+use crate::sdp::{Media, Origin, SessionDescription};
+use crate::wire::{msg_id_hash, MessageType, SapPacket};
+
+/// Static configuration of a directory instance.
+#[derive(Debug, Clone)]
+pub struct DirectoryConfig {
+    /// This host's unicast address (goes into `o=` lines).
+    pub host: Ipv4Addr,
+    /// The address space allocations are made from.
+    pub space: AddrSpace,
+    /// Announcement repeat schedule.
+    pub schedule: BackoffSchedule,
+    /// Cache expiry timeout.
+    pub cache_timeout: SimDuration,
+    /// Clash-recovery timing policy.
+    pub clash_policy: ClashPolicy,
+    /// Announcement bandwidth budget for the whole scope, bits/second.
+    /// When set, the background repeat interval stretches with the
+    /// number of sessions sharing the scope (sdr/RFC 2974 behaviour —
+    /// and the scaling pressure behind the paper's Section 4: "the
+    /// inter-announcement interval would become too long to give any
+    /// kind of assurance of reliability").  `None` = unpaced.
+    pub bandwidth_limit_bps: Option<f64>,
+}
+
+impl DirectoryConfig {
+    /// A sensible default for host `host`: sdr dynamic space, paper
+    /// back-off schedule, one-hour cache timeout.
+    pub fn new(host: Ipv4Addr) -> Self {
+        DirectoryConfig {
+            host,
+            space: AddrSpace::sdr_dynamic(),
+            schedule: BackoffSchedule::default(),
+            cache_timeout: SimDuration::from_hours(1),
+            clash_policy: ClashPolicy::default(),
+            bandwidth_limit_bps: None,
+        }
+    }
+}
+
+/// One of our own announced sessions.
+#[derive(Debug, Clone)]
+pub struct OwnSession {
+    /// Current description (including the allocated group).
+    pub desc: SessionDescription,
+    /// When we first announced it.
+    pub first_announced: SimTime,
+    /// Number of announcements sent.
+    pub sends: u32,
+    /// When the next scheduled announcement is due.
+    pub next_send: SimTime,
+}
+
+/// Why a session could not be created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CreateError {
+    /// The allocator found no free address for this TTL.
+    SpaceFull,
+}
+
+impl std::fmt::Display for CreateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CreateError::SpaceFull => write!(f, "no free multicast address for this scope"),
+        }
+    }
+}
+
+impl std::error::Error for CreateError {}
+
+/// Events a caller may want to react to (logging, metrics, tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectoryEvent {
+    /// A clash was detected on `group`; we are taking `action`.
+    Clash {
+        /// The contested group.
+        group: Ipv4Addr,
+        /// What the three-phase protocol decided.
+        action: ClashAction,
+    },
+    /// We moved one of our sessions to a new address after losing a race.
+    Moved {
+        /// Our session id.
+        session_id: u64,
+        /// The abandoned group.
+        from: Ipv4Addr,
+        /// The replacement group.
+        to: Ipv4Addr,
+    },
+    /// Cache update classification for an incoming announcement.
+    Heard(CacheUpdate),
+}
+
+/// The session directory engine.
+pub struct SessionDirectory {
+    cfg: DirectoryConfig,
+    allocator: Box<dyn Allocator>,
+    cache: AnnouncementCache,
+    own: BTreeMap<u64, OwnSession>,
+    responder: ClashResponder,
+    next_session_id: u64,
+}
+
+impl SessionDirectory {
+    /// Create a directory with the given allocator.
+    pub fn new(cfg: DirectoryConfig, allocator: Box<dyn Allocator>) -> Self {
+        let cache = AnnouncementCache::new(cfg.cache_timeout);
+        let responder = ClashResponder::new(cfg.clash_policy.clone());
+        SessionDirectory {
+            cfg,
+            allocator,
+            cache,
+            own: BTreeMap::new(),
+            responder,
+            next_session_id: 1,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DirectoryConfig {
+        &self.cfg
+    }
+
+    /// Number of sessions in the listen cache.
+    pub fn cached_sessions(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Our own sessions.
+    pub fn own_sessions(&self) -> impl Iterator<Item = (&u64, &OwnSession)> {
+        self.own.iter()
+    }
+
+    /// Direct read access to the cache.
+    pub fn cache(&self) -> &AnnouncementCache {
+        &self.cache
+    }
+
+    /// Test helper: inject a cache entry without going through a packet.
+    #[doc(hidden)]
+    pub fn cache_observe_for_test(&mut self, now: SimTime, desc: SessionDescription) {
+        self.cache.observe_announce(now, desc);
+    }
+
+    /// The allocator's current view: everything cached plus our own
+    /// sessions (we must not collide with ourselves).
+    pub fn current_view(&self) -> Vec<VisibleSession> {
+        let mut v = self.cache.visible_sessions(&self.cfg.space);
+        for s in self.own.values() {
+            if let Some(addr) = self.cfg.space.index_of(s.desc.group) {
+                v.push(VisibleSession::new(addr, s.desc.ttl));
+            }
+        }
+        v.sort_by_key(|s| (s.addr, s.ttl));
+        v
+    }
+
+    /// Create and start announcing a session.  Returns the session id;
+    /// the first announcement is emitted by the next [`Self::poll`].
+    pub fn create_session(
+        &mut self,
+        now: SimTime,
+        name: &str,
+        ttl: u8,
+        media: Vec<Media>,
+        rng: &mut SimRng,
+    ) -> Result<u64, CreateError> {
+        let view_data = self.current_view();
+        let view = View::new(&view_data);
+        let addr = self
+            .allocator
+            .allocate(&self.cfg.space, ttl, &view, rng)
+            .ok_or(CreateError::SpaceFull)?;
+        let session_id = self.next_session_id;
+        self.next_session_id += 1;
+        let desc = SessionDescription {
+            origin: Origin {
+                username: "-".into(),
+                session_id,
+                version: 1,
+                address: self.cfg.host,
+            },
+            name: name.to_string(),
+            info: None,
+            group: self.cfg.space.ip(addr),
+            ttl,
+            start: 0,
+            stop: 0,
+            media,
+        };
+        self.own.insert(
+            session_id,
+            OwnSession { desc, first_announced: now, sends: 0, next_send: now },
+        );
+        Ok(session_id)
+    }
+
+    /// Stop announcing a session; returns the deletion packet to send.
+    pub fn withdraw_session(&mut self, session_id: u64) -> Option<SapPacket> {
+        let s = self.own.remove(&session_id)?;
+        let payload = s.desc.format();
+        Some(SapPacket::delete(self.cfg.host, msg_id_hash(&payload), payload))
+    }
+
+    /// Advance time: emit due announcements, fire expired third-party
+    /// defences, purge the cache.
+    pub fn poll(&mut self, now: SimTime) -> Vec<SapPacket> {
+        let mut out = Vec::new();
+        self.cache.purge_expired(now);
+
+        // Under a bandwidth budget, the steady repeat interval grows
+        // with the number of sessions sharing the scope (ours plus
+        // everything cached), so the scope's total announcement traffic
+        // stays within the budget.
+        let paced_floor = self.cfg.bandwidth_limit_bps.map(|bps| {
+            let population = self.cache.len() + self.own.len();
+            let bytes = self
+                .own
+                .values()
+                .next()
+                .map(|s| s.desc.format().len() + 8)
+                .unwrap_or(256);
+            crate::schedule::bandwidth_limited_interval(
+                population.max(1),
+                bytes,
+                bps,
+                self.cfg.schedule.cap,
+            )
+        });
+        for s in self.own.values_mut() {
+            while s.next_send <= now {
+                out.push(Self::announcement_packet(self.cfg.host, &s.desc));
+                let mut interval = self.cfg.schedule.interval_after(s.sends);
+                if let Some(floor) = paced_floor {
+                    // Pacing only stretches the background rate; the
+                    // fast initial repeats (which fix the effective
+                    // propagation delay of *new* sessions) stay.
+                    if interval >= self.cfg.schedule.cap {
+                        interval = interval.max(floor);
+                    }
+                }
+                s.sends += 1;
+                s.next_send += interval;
+            }
+        }
+
+        for action in self.responder.poll(now) {
+            if let ClashAction::DefendThirdParty { session } = action {
+                // Re-announce the cached session on the originator's
+                // behalf, if we still hold it.
+                let origin = Ipv4Addr::from(session.site);
+                if let Some(entry) = self.cache.get(origin, session.seq as u64) {
+                    out.push(Self::announcement_packet(origin, &entry.desc));
+                }
+            }
+        }
+        out
+    }
+
+    /// The next instant at which [`Self::poll`] has work to do.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        let own = self.own.values().map(|s| s.next_send).min();
+        match (own, self.responder.next_deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Process one received SAP packet.  Returns packets to send in
+    /// response (defences, modified announcements) plus events for the
+    /// caller's logs.
+    pub fn handle_packet(
+        &mut self,
+        now: SimTime,
+        pkt: &SapPacket,
+        rng: &mut SimRng,
+    ) -> (Vec<SapPacket>, Vec<DirectoryEvent>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+
+        let Ok(desc) = SessionDescription::parse(&pkt.payload) else {
+            return (out, events); // unparseable payloads are dropped
+        };
+
+        if pkt.message_type == MessageType::Delete {
+            self.cache.observe_delete(desc.origin.address, desc.origin.session_id);
+            return (out, events);
+        }
+
+        let their_sid = SessionId {
+            site: u32::from(desc.origin.address),
+            seq: desc.origin.session_id as u32,
+        };
+
+        // Our own announcement echoed back (multicast loop or a third
+        // party defending us): nothing to do.
+        if desc.origin.address == self.cfg.host
+            && self.own.contains_key(&desc.origin.session_id)
+        {
+            return (out, events);
+        }
+
+        // Any pending third-party defence for this session is now moot.
+        self.responder.on_announcement_seen(their_sid);
+
+        let update = self.cache.observe_announce(now, desc.clone());
+        events.push(DirectoryEvent::Heard(update));
+        if update == CacheUpdate::Stale {
+            return (out, events);
+        }
+        // A modification implies any clash on the *old* address resolved.
+        if update == CacheUpdate::Modified {
+            // We don't know the old group here; conservatively keep
+            // pending defences — they are cancelled when their session
+            // re-announces.
+        }
+
+        // Clash detection against our own sessions.
+        let own_clashes: Vec<u64> = self
+            .own
+            .iter()
+            .filter(|(_, s)| s.desc.group == desc.group)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in own_clashes {
+            let s = &self.own[&id];
+            let our_sid = SessionId { site: u32::from(self.cfg.host), seq: id as u32 };
+            // Total order for the post-partition mutual-clash tiebreak:
+            // lowest (origin address, session id) keeps the address.
+            let ours_key = (u32::from(self.cfg.host), id);
+            let theirs_key = (u32::from(desc.origin.address), desc.origin.session_id);
+            let action = self.responder.on_clash(
+                now,
+                self.cfg.space.index_of(desc.group).unwrap_or(Addr(0)),
+                our_sid,
+                Incumbent::Ours {
+                    announced_at: s.first_announced,
+                    wins_tiebreak: ours_key < theirs_key,
+                },
+                rng,
+            );
+            events.push(DirectoryEvent::Clash { group: desc.group, action: action.clone() });
+            match action {
+                ClashAction::DefendOwn { .. } => {
+                    // Phase 1: re-send immediately.
+                    out.push(Self::announcement_packet(self.cfg.host, &self.own[&id].desc));
+                }
+                ClashAction::ModifyOwn { .. } => {
+                    // Phase 2: move to a fresh address and re-announce.
+                    if let Some((from, to)) = self.move_session(id, rng) {
+                        events.push(DirectoryEvent::Moved { session_id: id, from, to });
+                        out.push(Self::announcement_packet(
+                            self.cfg.host,
+                            &self.own[&id].desc,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Clash detection against cached third-party sessions: defend the
+        // *older* session (the incumbent).
+        let incumbents: Vec<(Ipv4Addr, u64)> = self
+            .cache
+            .users_of(desc.group)
+            .into_iter()
+            .filter(|(k, e)| {
+                !(k.origin == desc.origin.address && k.session_id == desc.origin.session_id)
+                    && e.first_heard < now
+            })
+            .map(|(k, _)| (k.origin, k.session_id))
+            .collect();
+        for (origin, session_id) in incumbents {
+            let sid = SessionId { site: u32::from(origin), seq: session_id as u32 };
+            let action = self.responder.on_clash(
+                now,
+                self.cfg.space.index_of(desc.group).unwrap_or(Addr(0)),
+                sid,
+                Incumbent::Cached,
+                rng,
+            );
+            events.push(DirectoryEvent::Clash { group: desc.group, action });
+        }
+
+        (out, events)
+    }
+
+    /// Reallocate a clashing own session; returns (old group, new group).
+    fn move_session(&mut self, session_id: u64, rng: &mut SimRng) -> Option<(Ipv4Addr, Ipv4Addr)> {
+        let view_data = self.current_view();
+        let view = View::new(&view_data);
+        let ttl = self.own[&session_id].desc.ttl;
+        let addr = self.allocator.allocate(&self.cfg.space, ttl, &view, rng)?;
+        let new_group = self.cfg.space.ip(addr);
+        let s = self.own.get_mut(&session_id).expect("own session exists");
+        let old_group = s.desc.group;
+        s.desc.group = new_group;
+        s.desc.origin.version += 1;
+        // Restart the fast announcement phase so the move propagates
+        // quickly, and reset the "recent" clock: the moved announcement
+        // is effectively new.
+        s.sends = 0;
+        s.first_announced = s.next_send.min(s.first_announced);
+        Some((old_group, new_group))
+    }
+
+    fn announcement_packet(origin: Ipv4Addr, desc: &SessionDescription) -> SapPacket {
+        let payload = desc.format();
+        SapPacket::announce(origin, msg_id_hash(&payload), payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdalloc_core::InformedRandomAllocator;
+
+    fn media() -> Vec<Media> {
+        vec![Media { kind: "audio".into(), port: 5004, proto: "RTP/AVP".into(), format: 0 }]
+    }
+
+    fn directory(host: [u8; 4]) -> SessionDirectory {
+        let mut cfg = DirectoryConfig::new(Ipv4Addr::from(host));
+        cfg.space = AddrSpace::abstract_space(64);
+        SessionDirectory::new(cfg, Box::new(InformedRandomAllocator))
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn create_and_announce() {
+        let mut d = directory([10, 0, 0, 1]);
+        let mut rng = SimRng::new(1);
+        let id = d.create_session(t(0), "seminar", 63, media(), &mut rng).unwrap();
+        let pkts = d.poll(t(0));
+        assert_eq!(pkts.len(), 1);
+        let desc = SessionDescription::parse(&pkts[0].payload).unwrap();
+        assert_eq!(desc.origin.session_id, id);
+        assert_eq!(desc.ttl, 63);
+        assert!(desc.group.is_multicast());
+    }
+
+    #[test]
+    fn backoff_announcements() {
+        let mut d = directory([10, 0, 0, 1]);
+        let mut rng = SimRng::new(2);
+        d.create_session(t(0), "s", 63, media(), &mut rng).unwrap();
+        assert_eq!(d.poll(t(0)).len(), 1); // t=0
+        assert_eq!(d.poll(t(4)).len(), 0);
+        assert_eq!(d.poll(t(5)).len(), 1); // t=5
+        assert_eq!(d.poll(t(14)).len(), 0);
+        assert_eq!(d.poll(t(15)).len(), 1); // t=15
+        assert_eq!(d.poll(t(35)).len(), 1); // t=35
+    }
+
+    #[test]
+    fn two_directories_allocate_distinct_addresses() {
+        let mut a = directory([10, 0, 0, 1]);
+        let mut b = directory([10, 0, 0, 2]);
+        let mut rng = SimRng::new(3);
+        a.create_session(t(0), "a", 63, media(), &mut rng).unwrap();
+        let pkts = a.poll(t(0));
+        // b hears a's announcement before allocating.
+        b.handle_packet(t(0), &pkts[0], &mut rng);
+        assert_eq!(b.cached_sessions(), 1);
+        b.create_session(t(1), "b", 63, media(), &mut rng).unwrap();
+        let ga: Vec<Ipv4Addr> = a.own_sessions().map(|(_, s)| s.desc.group).collect();
+        let gb: Vec<Ipv4Addr> = b.own_sessions().map(|(_, s)| s.desc.group).collect();
+        assert_ne!(ga[0], gb[0], "informed allocation must avoid the cached group");
+    }
+
+    #[test]
+    fn phase2_recent_announcer_moves() {
+        // Two directories race to the same address: the one that hears
+        // the other's announcement just after announcing must move.
+        let mut a = directory([10, 0, 0, 1]);
+        let mut rng = SimRng::new(4);
+        let id = a.create_session(t(0), "a", 63, media(), &mut rng).unwrap();
+        let group = a.own_sessions().next().unwrap().1.desc.group;
+        a.poll(t(0));
+
+        // Forge a competing announcement for the same group from b.
+        let competing = SessionDescription {
+            origin: Origin {
+                username: "-".into(),
+                session_id: 9,
+                version: 1,
+                address: Ipv4Addr::new(10, 0, 0, 2),
+            },
+            name: "b".into(),
+            info: None,
+            group,
+            ttl: 63,
+            start: 0,
+            stop: 0,
+            media: media(),
+        };
+        let payload = competing.format();
+        let pkt = SapPacket::announce(competing.origin.address, msg_id_hash(&payload), payload);
+        let (replies, events) = a.handle_packet(t(2), &pkt, &mut rng);
+        // a announced at t=0, clash at t=2 (inside the recent window):
+        // phase 2 → move.
+        assert!(events.iter().any(|e| matches!(e, DirectoryEvent::Moved { .. })));
+        assert_eq!(replies.len(), 1);
+        let new_desc = SessionDescription::parse(&replies[0].payload).unwrap();
+        assert_ne!(new_desc.group, group);
+        assert_eq!(new_desc.origin.version, 2);
+        assert_eq!(a.own.get(&id).unwrap().desc.group, new_desc.group);
+    }
+
+    #[test]
+    fn phase1_old_session_defends() {
+        let mut a = directory([10, 0, 0, 1]);
+        let mut rng = SimRng::new(5);
+        a.create_session(t(0), "a", 63, media(), &mut rng).unwrap();
+        let group = a.own_sessions().next().unwrap().1.desc.group;
+        a.poll(t(0));
+        let competing = SessionDescription {
+            origin: Origin {
+                username: "-".into(),
+                session_id: 9,
+                version: 1,
+                address: Ipv4Addr::new(10, 0, 0, 2),
+            },
+            name: "b".into(),
+            info: None,
+            group,
+            ttl: 63,
+            start: 0,
+            stop: 0,
+            media: media(),
+        };
+        let payload = competing.format();
+        let pkt = SapPacket::announce(competing.origin.address, msg_id_hash(&payload), payload);
+        // Clash arrives long after our announcement: phase 1, defend.
+        let (replies, events) = a.handle_packet(t(5_000), &pkt, &mut rng);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, DirectoryEvent::Clash { action: ClashAction::DefendOwn { .. }, .. })));
+        assert_eq!(replies.len(), 1);
+        let defended = SessionDescription::parse(&replies[0].payload).unwrap();
+        assert_eq!(defended.group, group);
+        assert_eq!(defended.origin.address, Ipv4Addr::new(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn phase3_third_party_defends_cached_session() {
+        let mut c = directory([10, 0, 0, 3]);
+        let mut rng = SimRng::new(6);
+        // c caches a session from origin A at t=0.
+        let a_desc = SessionDescription {
+            origin: Origin {
+                username: "-".into(),
+                session_id: 1,
+                version: 1,
+                address: Ipv4Addr::new(10, 0, 0, 1),
+            },
+            name: "a".into(),
+            info: None,
+            group: Ipv4Addr::new(224, 2, 128, 5),
+            ttl: 63,
+            start: 0,
+            stop: 0,
+            media: media(),
+        };
+        let pa = a_desc.format();
+        c.handle_packet(
+            t(0),
+            &SapPacket::announce(a_desc.origin.address, msg_id_hash(&pa), pa),
+            &mut rng,
+        );
+        // Later, a clashing announcement from B arrives.
+        let b_desc = SessionDescription {
+            origin: Origin {
+                username: "-".into(),
+                session_id: 2,
+                version: 1,
+                address: Ipv4Addr::new(10, 0, 0, 2),
+            },
+            name: "b".into(),
+            info: None,
+            group: Ipv4Addr::new(224, 2, 128, 5),
+            ttl: 63,
+            start: 0,
+            stop: 0,
+            media: media(),
+        };
+        let pb = b_desc.format();
+        let (_, events) = c.handle_packet(
+            t(100),
+            &SapPacket::announce(b_desc.origin.address, msg_id_hash(&pb), pb),
+            &mut rng,
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, DirectoryEvent::Clash { action: ClashAction::ThirdPartyArmed { .. }, .. })));
+        // Nothing before the deadline...
+        let deadline = c.next_wakeup().unwrap();
+        assert!(c.poll(deadline - SimDuration::from_nanos(1)).is_empty());
+        // ...then c re-announces A's session on its behalf.
+        let fired = c.poll(deadline);
+        assert_eq!(fired.len(), 1);
+        let defended = SessionDescription::parse(&fired[0].payload).unwrap();
+        assert_eq!(defended.origin.address, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(defended.origin.session_id, 1);
+    }
+
+    #[test]
+    fn phase3_suppressed_when_originator_defends() {
+        let mut c = directory([10, 0, 0, 3]);
+        let mut rng = SimRng::new(7);
+        let make = |host: [u8; 4], sid: u64, name: &str| {
+            let d = SessionDescription {
+                origin: Origin {
+                    username: "-".into(),
+                    session_id: sid,
+                    version: 1,
+                    address: Ipv4Addr::from(host),
+                },
+                name: name.into(),
+                info: None,
+                group: Ipv4Addr::new(224, 2, 128, 5),
+                ttl: 63,
+                start: 0,
+                stop: 0,
+                media: vec![],
+            };
+            let p = d.format();
+            SapPacket::announce(d.origin.address, msg_id_hash(&p), p)
+        };
+        c.handle_packet(t(0), &make([10, 0, 0, 1], 1, "a"), &mut rng);
+        c.handle_packet(t(100), &make([10, 0, 0, 2], 2, "b"), &mut rng);
+        // Originator A defends itself before our timer fires.
+        c.handle_packet(t(101), &make([10, 0, 0, 1], 1, "a"), &mut rng);
+        // Our pending defence is suppressed; polling far in the future
+        // yields nothing for session A.
+        let fired = c.poll(t(10_000));
+        assert!(
+            fired.is_empty(),
+            "suppressed defence still fired: {fired:?}"
+        );
+    }
+
+    #[test]
+    fn withdraw_emits_delete() {
+        let mut d = directory([10, 0, 0, 1]);
+        let mut rng = SimRng::new(8);
+        let id = d.create_session(t(0), "s", 63, media(), &mut rng).unwrap();
+        let del = d.withdraw_session(id).unwrap();
+        assert_eq!(del.message_type, MessageType::Delete);
+        assert!(d.withdraw_session(id).is_none());
+        assert_eq!(d.poll(t(100)).len(), 0, "withdrawn session not announced");
+    }
+
+    #[test]
+    fn delete_packet_clears_peer_cache() {
+        let mut a = directory([10, 0, 0, 1]);
+        let mut b = directory([10, 0, 0, 2]);
+        let mut rng = SimRng::new(9);
+        let id = a.create_session(t(0), "s", 63, media(), &mut rng).unwrap();
+        let ann = a.poll(t(0));
+        b.handle_packet(t(0), &ann[0], &mut rng);
+        assert_eq!(b.cached_sessions(), 1);
+        let del = a.withdraw_session(id).unwrap();
+        b.handle_packet(t(1), &del, &mut rng);
+        assert_eq!(b.cached_sessions(), 0);
+    }
+
+    #[test]
+    fn space_full_error() {
+        let mut cfg = DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1));
+        cfg.space = AddrSpace::abstract_space(2);
+        let mut d = SessionDirectory::new(cfg, Box::new(InformedRandomAllocator));
+        let mut rng = SimRng::new(10);
+        d.create_session(t(0), "a", 63, media(), &mut rng).unwrap();
+        d.create_session(t(0), "b", 63, media(), &mut rng).unwrap();
+        assert_eq!(
+            d.create_session(t(0), "c", 63, media(), &mut rng),
+            Err(CreateError::SpaceFull)
+        );
+    }
+
+    #[test]
+    fn bandwidth_pacing_stretches_background_interval() {
+        let mut cfg = DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1));
+        cfg.space = AddrSpace::abstract_space(64);
+        // Tiny budget: 160 bit/s.
+        cfg.bandwidth_limit_bps = Some(160.0);
+        let mut d = SessionDirectory::new(cfg, Box::new(InformedRandomAllocator));
+        let mut rng = SimRng::new(31);
+        d.create_session(t(0), "s", 63, media(), &mut rng).unwrap();
+        // Walk through the fast phase: intervals 5,10,…,cap.
+        let mut sent = 0;
+        let mut now = 0u64;
+        while sent < 9 {
+            now += 1;
+            sent += d.poll(t(now)).len();
+            assert!(now < 10_000, "never reached the paced regime");
+        }
+        // In the paced regime the next interval must exceed the plain
+        // cap: announcement ~150 bytes → 1200 bits / 160 bps = ~7.5 s…
+        // with one session that's below the 600 s cap, so shrink the
+        // budget by pretending many cached sessions instead:
+        for k in 0..200u64 {
+            let desc = SessionDescription {
+                origin: Origin {
+                    username: "-".into(),
+                    session_id: k,
+                    version: 1,
+                    address: Ipv4Addr::new(10, 0, 1, (k % 250) as u8 + 1),
+                },
+                name: format!("peer{k}"),
+                info: None,
+                group: Ipv4Addr::new(239, 1, (k / 250) as u8, (k % 250) as u8),
+                ttl: 63,
+                start: 0,
+                stop: 0,
+                media: vec![],
+            };
+            d.cache_observe_for_test(t(now), desc);
+        }
+        let before = d.next_wakeup().unwrap();
+        d.poll(before);
+        let after = d.next_wakeup().unwrap();
+        let interval = after.saturating_since(before);
+        assert!(
+            interval > d.config().schedule.cap,
+            "paced interval {interval} not stretched beyond cap"
+        );
+    }
+
+    #[test]
+    fn cache_expiry_frees_addresses_for_reuse() {
+        // If a peer's session stops being announced, its address ages
+        // out of the cache and becomes allocatable again.
+        let mut cfg = DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1));
+        cfg.space = AddrSpace::abstract_space(1); // one address total
+        cfg.cache_timeout = SimDuration::from_secs(100);
+        let mut d = SessionDirectory::new(cfg, Box::new(InformedRandomAllocator));
+        let mut rng = SimRng::new(21);
+        // Hear a remote session occupying the only address.
+        let remote = SessionDescription {
+            origin: Origin {
+                username: "-".into(),
+                session_id: 5,
+                version: 1,
+                address: Ipv4Addr::new(10, 0, 0, 9),
+            },
+            name: "r".into(),
+            info: None,
+            group: Ipv4Addr::new(224, 2, 128, 0),
+            ttl: 63,
+            start: 0,
+            stop: 0,
+            media: vec![],
+        };
+        let p = remote.format();
+        d.handle_packet(
+            t(0),
+            &SapPacket::announce(remote.origin.address, msg_id_hash(&p), p),
+            &mut rng,
+        );
+        assert_eq!(
+            d.create_session(t(1), "mine", 63, media(), &mut rng),
+            Err(CreateError::SpaceFull)
+        );
+        // After the timeout the cache purges on poll and the address is
+        // free again.
+        d.poll(t(200));
+        assert_eq!(d.cached_sessions(), 0);
+        assert!(d.create_session(t(201), "mine", 63, media(), &mut rng).is_ok());
+    }
+
+    #[test]
+    fn modification_updates_peer_cache_group() {
+        // A moved session (higher o= version, new group) replaces the
+        // old entry rather than duplicating it.
+        let mut b = directory([10, 0, 0, 2]);
+        let mut rng = SimRng::new(22);
+        let make = |version: u64, group: Ipv4Addr| {
+            let d = SessionDescription {
+                origin: Origin {
+                    username: "-".into(),
+                    session_id: 3,
+                    version,
+                    address: Ipv4Addr::new(10, 0, 0, 1),
+                },
+                name: "mv".into(),
+                info: None,
+                group,
+                ttl: 63,
+                start: 0,
+                stop: 0,
+                media: vec![],
+            };
+            let p = d.format();
+            SapPacket::announce(d.origin.address, msg_id_hash(&p), p)
+        };
+        let g1 = Ipv4Addr::new(224, 2, 128, 1);
+        let g2 = Ipv4Addr::new(224, 2, 128, 2);
+        b.handle_packet(t(0), &make(1, g1), &mut rng);
+        let (_, events) = b.handle_packet(t(10), &make(2, g2), &mut rng);
+        assert!(events.contains(&DirectoryEvent::Heard(CacheUpdate::Modified)));
+        assert_eq!(b.cached_sessions(), 1);
+        let view = b.current_view();
+        assert_eq!(view.len(), 1);
+        assert_eq!(b.config().space.ip(view[0].addr), g2);
+        // A stale re-announcement of the old version is ignored.
+        let (_, events) = b.handle_packet(t(20), &make(1, g1), &mut rng);
+        assert!(events.contains(&DirectoryEvent::Heard(CacheUpdate::Stale)));
+        let view = b.current_view();
+        assert_eq!(b.config().space.ip(view[0].addr), g2);
+    }
+
+    #[test]
+    fn poll_emits_missed_announcements_in_batch() {
+        // A directory that slept through several scheduled sends catches
+        // up on the next poll (the schedule is wall-clock anchored).
+        let mut d = directory([10, 0, 0, 1]);
+        let mut rng = SimRng::new(23);
+        d.create_session(t(0), "s", 63, media(), &mut rng).unwrap();
+        // Sends due at t = 0, 5, 15, 35: polling at 35 emits all four.
+        let pkts = d.poll(t(35));
+        assert_eq!(pkts.len(), 4);
+    }
+
+    #[test]
+    fn next_wakeup_tracks_schedule() {
+        let mut d = directory([10, 0, 0, 1]);
+        let mut rng = SimRng::new(11);
+        assert_eq!(d.next_wakeup(), None);
+        d.create_session(t(10), "s", 63, media(), &mut rng).unwrap();
+        assert_eq!(d.next_wakeup(), Some(t(10)));
+        d.poll(t(10));
+        assert_eq!(d.next_wakeup(), Some(t(15)));
+    }
+}

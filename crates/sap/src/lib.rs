@@ -1,0 +1,51 @@
+//! # sdalloc-sap — the Session Announcement Protocol substrate
+//!
+//! Everything "session directory" in the paper: SDP-lite session
+//! descriptions ([`sdp`]), the SAP v1 wire format ([`wire`]), the
+//! announce/listen cache ([`cache`]), the exponential back-off
+//! announcement schedule the paper's conclusions demand ([`schedule`]),
+//! and the full sdr-alike engine ([`directory`]) that couples those to
+//! an address allocator from `sdalloc-core` and the three-phase clash
+//! recovery protocol.
+//!
+//! Category-partitioned announcement channels (the paper's Section 4
+//! scaling mechanism) live in [`categories`].
+//!
+//! The engine is transport-agnostic; two transports are provided:
+//! * [`testbed`] — an in-memory multicast scope over the discrete-event
+//!   simulator, with loss, delay and network partitions;
+//! * [`net`] — real UDP multicast via `std::net`, the path an actual
+//!   deployment uses.
+//!
+//! ```
+//! use sdalloc_sap::directory::{DirectoryConfig, SessionDirectory};
+//! use sdalloc_sap::sdp::Media;
+//! use sdalloc_core::AdaptiveIpr;
+//! use sdalloc_sim::{SimRng, SimTime};
+//! use std::net::Ipv4Addr;
+//!
+//! let cfg = DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1));
+//! let mut sdr = SessionDirectory::new(cfg, Box::new(AdaptiveIpr::aipr3()));
+//! let mut rng = SimRng::new(7);
+//! let media = vec![Media { kind: "audio".into(), port: 5004, proto: "RTP/AVP".into(), format: 0 }];
+//! sdr.create_session(SimTime::ZERO, "team meeting", 63, media, &mut rng).unwrap();
+//! let packets = sdr.poll(SimTime::ZERO);
+//! assert_eq!(packets.len(), 1); // the first announcement, ready to send
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod categories;
+pub mod directory;
+pub mod net;
+pub mod schedule;
+pub mod sdp;
+pub mod testbed;
+pub mod wire;
+
+pub use cache::{AnnouncementCache, CacheEntry, CacheKey, CacheUpdate};
+pub use directory::{CreateError, DirectoryConfig, DirectoryEvent, SessionDirectory};
+pub use schedule::BackoffSchedule;
+pub use sdp::{Media, Origin, SdpError, SessionDescription};
+pub use wire::{MessageType, SapPacket, WireError, SAP_GROUP, SAP_PORT};

@@ -1,0 +1,348 @@
+//! Real UDP multicast transport for the session directory.
+//!
+//! Runs the same [`SessionDirectory`] engine that the simulator drives,
+//! but over a kernel UDP socket joined to a SAP multicast group — the
+//! code path an actual sdr deployment would use.  `std::net` supports
+//! everything needed (join, TTL, loopback), so no extra dependencies.
+//!
+//! Two layers:
+//! * [`SapSocket`] — a joined, non-blocking-with-timeout UDP socket that
+//!   sends/receives [`SapPacket`]s.
+//! * [`SapAgent`] — glue mapping wall-clock time onto the engine's
+//!   [`SimTime`] and pumping packets both ways; step it from your own
+//!   loop, or run it on a background thread via [`SapAgent::spawn`].
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddrV4, UdpSocket};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use sdalloc_core::Allocator;
+use sdalloc_sim::{SimRng, SimTime};
+
+use crate::directory::{CreateError, DirectoryConfig, SessionDirectory};
+use crate::sdp::Media;
+use crate::wire::{SapPacket, SAP_GROUP, SAP_PORT};
+
+/// A UDP socket joined to a SAP multicast group.
+pub struct SapSocket {
+    sock: UdpSocket,
+    dest: SocketAddrV4,
+}
+
+impl SapSocket {
+    /// Join `group:port` on all interfaces with the given send TTL.
+    /// Multicast loopback is enabled so co-located agents hear each
+    /// other (and us), matching sdr's behaviour on a shared host.
+    pub fn open(group: Ipv4Addr, port: u16, ttl: u8) -> io::Result<SapSocket> {
+        assert!(group.is_multicast(), "{group} is not a multicast group");
+        let sock = UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, port))?;
+        sock.join_multicast_v4(&group, &Ipv4Addr::UNSPECIFIED)?;
+        sock.set_multicast_loop_v4(true)?;
+        sock.set_multicast_ttl_v4(ttl.max(1) as u32)?;
+        Ok(SapSocket { sock, dest: SocketAddrV4::new(group, port) })
+    }
+
+    /// Join the well-known SAP group/port (224.2.127.254:9875).
+    pub fn open_default(ttl: u8) -> io::Result<SapSocket> {
+        SapSocket::open(SAP_GROUP, SAP_PORT, ttl)
+    }
+
+    /// Send a packet to the group.
+    pub fn send(&self, pkt: &SapPacket) -> io::Result<usize> {
+        self.sock.send_to(&pkt.encode(), self.dest)
+    }
+
+    /// Receive one packet, waiting at most `timeout`.  Returns
+    /// `Ok(None)` on timeout or on an undecodable datagram.
+    pub fn recv_timeout(&self, timeout: Duration) -> io::Result<Option<SapPacket>> {
+        self.sock.set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let mut buf = [0u8; 2048];
+        match self.sock.recv_from(&mut buf) {
+            Ok((len, _src)) => Ok(SapPacket::decode(&buf[..len]).ok()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock
+                || e.kind() == io::ErrorKind::TimedOut => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The group/port this socket is joined to.
+    pub fn destination(&self) -> SocketAddrV4 {
+        self.dest
+    }
+}
+
+/// Statistics a running agent exposes.
+#[derive(Debug, Clone, Default)]
+pub struct AgentStats {
+    /// Announcements sent.
+    pub sent: u64,
+    /// Packets received and fed to the engine.
+    pub received: u64,
+    /// Sessions currently in the listen cache.
+    pub cached_sessions: usize,
+}
+
+/// The session directory bound to a real socket and the wall clock.
+pub struct SapAgent {
+    directory: SessionDirectory,
+    socket: SapSocket,
+    epoch: Instant,
+    rng: SimRng,
+    stats: AgentStats,
+}
+
+impl SapAgent {
+    /// Create an agent over an already-open socket.
+    pub fn new(
+        cfg: DirectoryConfig,
+        allocator: Box<dyn Allocator>,
+        socket: SapSocket,
+        seed: u64,
+    ) -> SapAgent {
+        SapAgent {
+            directory: SessionDirectory::new(cfg, allocator),
+            socket,
+            epoch: Instant::now(),
+            rng: SimRng::new(seed),
+            stats: AgentStats::default(),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// The engine, for creating/withdrawing sessions.
+    pub fn directory_mut(&mut self) -> &mut SessionDirectory {
+        &mut self.directory
+    }
+
+    /// Create a session now (convenience over [`Self::directory_mut`]).
+    pub fn create_session(
+        &mut self,
+        name: &str,
+        ttl: u8,
+        media: Vec<Media>,
+    ) -> Result<u64, CreateError> {
+        let now = self.now();
+        self.directory.create_session(now, name, ttl, media, &mut self.rng)
+    }
+
+    /// Current stats snapshot.
+    pub fn stats(&self) -> AgentStats {
+        AgentStats {
+            cached_sessions: self.directory.cached_sessions(),
+            ..self.stats.clone()
+        }
+    }
+
+    /// One pump iteration: send due announcements, then listen for up to
+    /// `listen`.  Call in a loop.
+    pub fn step(&mut self, listen: Duration) -> io::Result<()> {
+        let now = self.now();
+        for pkt in self.directory.poll(now) {
+            self.socket.send(&pkt)?;
+            self.stats.sent += 1;
+        }
+        if let Some(pkt) = self.socket.recv_timeout(listen)? {
+            self.stats.received += 1;
+            let now = self.now();
+            let (replies, _events) = self.directory.handle_packet(now, &pkt, &mut self.rng);
+            for reply in replies {
+                self.socket.send(&reply)?;
+                self.stats.sent += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the agent on a background thread, returning a handle for
+    /// issuing commands and reading state.  The thread exits when the
+    /// handle is dropped.
+    pub fn spawn(mut self) -> AgentHandle {
+        let (cmd_tx, cmd_rx): (Sender<Command>, Receiver<Command>) = bounded(16);
+        let stats = Arc::new(Mutex::new(AgentStats::default()));
+        let stats_writer = Arc::clone(&stats);
+        let thread = std::thread::spawn(move || {
+            loop {
+                match cmd_rx.try_recv() {
+                    Ok(Command::Create { name, ttl, media, reply }) => {
+                        let _ = reply.send(self.create_session(&name, ttl, media));
+                    }
+                    Ok(Command::Withdraw { id }) => {
+                        if let Some(pkt) = self.directory.withdraw_session(id) {
+                            let _ = self.socket.send(&pkt);
+                        }
+                    }
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => break,
+                    Err(crossbeam::channel::TryRecvError::Empty) => {}
+                }
+                if self.step(Duration::from_millis(100)).is_err() {
+                    break;
+                }
+                *stats_writer.lock() = self.stats();
+            }
+        });
+        AgentHandle { cmd: cmd_tx, stats, thread: Some(thread) }
+    }
+}
+
+enum Command {
+    Create {
+        name: String,
+        ttl: u8,
+        media: Vec<Media>,
+        reply: Sender<Result<u64, CreateError>>,
+    },
+    Withdraw {
+        id: u64,
+    },
+}
+
+/// Handle to a spawned [`SapAgent`].
+pub struct AgentHandle {
+    cmd: Sender<Command>,
+    stats: Arc<Mutex<AgentStats>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AgentHandle {
+    /// Create a session on the running agent.
+    pub fn create_session(
+        &self,
+        name: &str,
+        ttl: u8,
+        media: Vec<Media>,
+    ) -> Result<u64, CreateError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cmd
+            .send(Command::Create {
+                name: name.to_string(),
+                ttl,
+                media,
+                reply: reply_tx,
+            })
+            .map_err(|_| CreateError::SpaceFull)?;
+        reply_rx.recv().unwrap_or(Err(CreateError::SpaceFull))
+    }
+
+    /// Withdraw a session.
+    pub fn withdraw(&self, id: u64) {
+        let _ = self.cmd.send(Command::Withdraw { id });
+    }
+
+    /// Stats snapshot.
+    pub fn stats(&self) -> AgentStats {
+        self.stats.lock().clone()
+    }
+}
+
+impl Drop for AgentHandle {
+    fn drop(&mut self) {
+        // Closing the command channel tells the thread to exit.
+        let (tx, _) = bounded(0);
+        self.cmd = tx;
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdalloc_core::{AddrSpace, InformedRandomAllocator};
+
+    /// Multicast may be unavailable in sandboxes; skip gracefully.
+    fn try_socket(port: u16) -> Option<SapSocket> {
+        match SapSocket::open(Ipv4Addr::new(239, 195, 255, 253), port, 1) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("skipping multicast test: {e}");
+                None
+            }
+        }
+    }
+
+    fn media() -> Vec<Media> {
+        vec![Media { kind: "audio".into(), port: 5004, proto: "RTP/AVP".into(), format: 0 }]
+    }
+
+    #[test]
+    fn socket_loopback_roundtrip() {
+        let Some(sock) = try_socket(29875) else { return };
+        let pkt = SapPacket::announce(
+            Ipv4Addr::new(127, 0, 0, 1),
+            0xABCD,
+            "v=0\r\no=- 1 1 IN IP4 127.0.0.1\r\ns=x\r\nc=IN IP4 239.195.255.253/1\r\nt=0 0\r\n"
+                .into(),
+        );
+        sock.send(&pkt).expect("send");
+        // Loopback should deliver our own packet.
+        let mut got = None;
+        for _ in 0..20 {
+            if let Some(p) = sock.recv_timeout(Duration::from_millis(100)).expect("recv") {
+                got = Some(p);
+                break;
+            }
+        }
+        match got {
+            Some(p) => assert_eq!(p.msg_id_hash, 0xABCD),
+            None => eprintln!("skipping assertion: multicast loopback not delivered"),
+        }
+    }
+
+    #[test]
+    fn two_agents_over_loopback() {
+        let Some(sock_a) = try_socket(29876) else { return };
+        let Ok(sock_b) = SapSocket::open(Ipv4Addr::new(239, 195, 255, 253), 29876, 1) else {
+            eprintln!("skipping: cannot open second socket (no SO_REUSEADDR?)");
+            return;
+        };
+        let mut cfg_a = DirectoryConfig::new(Ipv4Addr::new(127, 0, 0, 1));
+        cfg_a.space = AddrSpace::abstract_space(64);
+        let mut cfg_b = DirectoryConfig::new(Ipv4Addr::new(127, 0, 0, 2));
+        cfg_b.space = AddrSpace::abstract_space(64);
+        let mut a = SapAgent::new(cfg_a, Box::new(InformedRandomAllocator), sock_a, 1);
+        let mut b = SapAgent::new(cfg_b, Box::new(InformedRandomAllocator), sock_b, 2);
+        a.create_session("from-a", 1, media()).unwrap();
+        for _ in 0..50 {
+            a.step(Duration::from_millis(20)).unwrap();
+            b.step(Duration::from_millis(20)).unwrap();
+            if b.stats().cached_sessions > 0 {
+                break;
+            }
+        }
+        if b.stats().cached_sessions == 0 {
+            eprintln!("skipping assertion: multicast delivery unavailable");
+            return;
+        }
+        assert_eq!(b.stats().cached_sessions, 1);
+    }
+
+    #[test]
+    fn spawned_agent_responds_to_commands() {
+        let Some(sock) = try_socket(29877) else { return };
+        let mut cfg = DirectoryConfig::new(Ipv4Addr::new(127, 0, 0, 9));
+        cfg.space = AddrSpace::abstract_space(64);
+        let agent = SapAgent::new(cfg, Box::new(InformedRandomAllocator), sock, 3);
+        let handle = agent.spawn();
+        let id = handle.create_session("bg", 1, media()).unwrap();
+        assert!(id >= 1);
+        std::thread::sleep(Duration::from_millis(250));
+        let stats = handle.stats();
+        assert!(stats.sent >= 1, "no announcement sent: {stats:?}");
+        handle.withdraw(id);
+        drop(handle); // joins the thread
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multicast")]
+    fn unicast_group_rejected() {
+        let _ = SapSocket::open(Ipv4Addr::new(10, 0, 0, 1), 29878, 1);
+    }
+}

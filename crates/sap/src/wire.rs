@@ -1,0 +1,321 @@
+//! SAP wire format (Session Announcement Protocol, RFC 2974 v1).
+//!
+//! The paper's reference \[6\] is the SAP Internet Draft that became
+//! RFC 2974; sdr's announcements use exactly this layout:
+//!
+//! ```text
+//!  0                   1                   2                   3
+//!  0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! | V=1 |A|R|T|E|C|   auth len    |         msg id hash           |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |                originating source (IPv4, A=0)                 |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |          optional authentication data (auth len words)        |
+//! |        optional payload type ("application/sdp" NUL)          |
+//! |                          payload                              |
+//! ```
+//!
+//! We implement announcements and deletions over IPv4 sources with
+//! optional authentication data, and reject the encrypted/compressed
+//! bits (sdr never negotiated them in the open Mbone).
+
+use std::net::Ipv4Addr;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// The SAP version this implementation speaks.
+pub const SAP_VERSION: u8 = 1;
+
+/// The well-known SAP multicast group for global-scope announcements.
+pub const SAP_GROUP: Ipv4Addr = Ipv4Addr::new(224, 2, 127, 254);
+
+/// The well-known SAP port.
+pub const SAP_PORT: u16 = 9875;
+
+/// The conventional payload type for session descriptions.
+pub const PAYLOAD_TYPE_SDP: &str = "application/sdp";
+
+/// Message type: announce a session or delete a previous announcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageType {
+    /// Session announcement (T = 0).
+    Announce,
+    /// Session deletion (T = 1).
+    Delete,
+}
+
+/// A decoded SAP packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SapPacket {
+    /// Announce or delete.
+    pub message_type: MessageType,
+    /// 16-bit hash identifying this version of the announcement; a
+    /// changed hash from the same source means a modified session.
+    pub msg_id_hash: u16,
+    /// Originating source address (identifies the announcer, *not* the
+    /// session's multicast group).
+    pub source: Ipv4Addr,
+    /// Optional authentication data (opaque; length must be a multiple
+    /// of four bytes on the wire).
+    pub auth: Vec<u8>,
+    /// The payload — SDP text for our purposes.
+    pub payload: String,
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than a minimal header.
+    Truncated,
+    /// Version field is not 1.
+    BadVersion(u8),
+    /// IPv6 sources are not supported by this implementation.
+    UnsupportedAddressType,
+    /// Encrypted (E) or compressed (C) packets are not supported.
+    UnsupportedEncoding,
+    /// Authentication data longer than the packet.
+    BadAuthLength,
+    /// Payload is not valid UTF-8.
+    BadPayload,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "packet truncated"),
+            WireError::BadVersion(v) => write!(f, "unsupported SAP version {v}"),
+            WireError::UnsupportedAddressType => write!(f, "IPv6 origin not supported"),
+            WireError::UnsupportedEncoding => write!(f, "encrypted/compressed SAP not supported"),
+            WireError::BadAuthLength => write!(f, "authentication data overruns packet"),
+            WireError::BadPayload => write!(f, "payload is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl SapPacket {
+    /// Build an announcement packet.
+    pub fn announce(source: Ipv4Addr, msg_id_hash: u16, payload: String) -> SapPacket {
+        SapPacket {
+            message_type: MessageType::Announce,
+            msg_id_hash,
+            source,
+            auth: Vec::new(),
+            payload,
+        }
+    }
+
+    /// Build a deletion packet for a previous announcement.
+    pub fn delete(source: Ipv4Addr, msg_id_hash: u16, payload: String) -> SapPacket {
+        SapPacket {
+            message_type: MessageType::Delete,
+            msg_id_hash,
+            source,
+            auth: Vec::new(),
+            payload,
+        }
+    }
+
+    /// Encode to wire bytes, including the `application/sdp` payload
+    /// type marker.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(
+            8 + self.auth.len() + PAYLOAD_TYPE_SDP.len() + 1 + self.payload.len(),
+        );
+        // Auth data must be padded to a multiple of 4 (length field is in
+        // 32-bit words).
+        let auth_words = self.auth.len().div_ceil(4);
+        debug_assert!(auth_words <= 255, "auth data too long");
+        let mut b0: u8 = (SAP_VERSION & 0x07) << 5;
+        // A (address type) = 0 → IPv4.  R = 0.
+        if self.message_type == MessageType::Delete {
+            b0 |= 0x04; // T bit
+        }
+        // E = 0, C = 0.
+        buf.put_u8(b0);
+        buf.put_u8(auth_words as u8);
+        buf.put_u16(self.msg_id_hash);
+        buf.put_slice(&self.source.octets());
+        buf.put_slice(&self.auth);
+        for _ in self.auth.len()..auth_words * 4 {
+            buf.put_u8(0);
+        }
+        buf.put_slice(PAYLOAD_TYPE_SDP.as_bytes());
+        buf.put_u8(0);
+        buf.put_slice(self.payload.as_bytes());
+        buf.freeze()
+    }
+
+    /// Decode from wire bytes.
+    ///
+    /// The payload-type marker is optional on the wire (early sdr
+    /// omitted it); per the RFC's guidance we treat a payload starting
+    /// with `v=` as bare SDP.
+    pub fn decode(mut data: &[u8]) -> Result<SapPacket, WireError> {
+        if data.len() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let b0 = data.get_u8();
+        let version = (b0 >> 5) & 0x07;
+        if version != SAP_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        if b0 & 0x10 != 0 {
+            return Err(WireError::UnsupportedAddressType); // A bit: IPv6
+        }
+        if b0 & 0x03 != 0 {
+            return Err(WireError::UnsupportedEncoding); // E or C bit
+        }
+        let message_type = if b0 & 0x04 != 0 {
+            MessageType::Delete
+        } else {
+            MessageType::Announce
+        };
+        let auth_words = data.get_u8() as usize;
+        let msg_id_hash = data.get_u16();
+        let mut src = [0u8; 4];
+        data.copy_to_slice(&mut src);
+        let source = Ipv4Addr::from(src);
+        let auth_len = auth_words * 4;
+        if data.len() < auth_len {
+            return Err(WireError::BadAuthLength);
+        }
+        let auth = data[..auth_len].to_vec();
+        data.advance(auth_len);
+
+        // Optional payload type: text up to a NUL, unless the payload
+        // starts directly with SDP.
+        let rest = data;
+        let payload_bytes = if rest.starts_with(b"v=") {
+            rest
+        } else if let Some(nul) = rest.iter().position(|&b| b == 0) {
+            &rest[nul + 1..]
+        } else {
+            rest
+        };
+        let payload = std::str::from_utf8(payload_bytes)
+            .map_err(|_| WireError::BadPayload)?
+            .to_string();
+        Ok(SapPacket { message_type, msg_id_hash, source, auth, payload })
+    }
+}
+
+/// The 16-bit message-id hash for a payload: FNV-1a folded to 16 bits.
+///
+/// SAP only requires the hash to change whenever the session
+/// description changes; any uniform 16-bit digest suffices.
+pub fn msg_id_hash(payload: &str) -> u16 {
+    let mut h: u32 = 0x811c9dc5;
+    for &b in payload.as_bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x01000193);
+    }
+    ((h >> 16) ^ (h & 0xffff)) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src() -> Ipv4Addr {
+        Ipv4Addr::new(128, 16, 64, 32)
+    }
+
+    #[test]
+    fn announce_roundtrip() {
+        let p = SapPacket::announce(src(), 0xBEEF, "v=0\r\ns=test\r\n".into());
+        let decoded = SapPacket::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn delete_roundtrip() {
+        let p = SapPacket::delete(src(), 0x1234, "v=0\r\ns=bye\r\n".into());
+        let decoded = SapPacket::decode(&p.encode()).unwrap();
+        assert_eq!(decoded.message_type, MessageType::Delete);
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn auth_data_roundtrip_with_padding() {
+        let mut p = SapPacket::announce(src(), 1, "v=0\r\n".into());
+        p.auth = vec![1, 2, 3, 4, 5]; // padded to 8 on the wire
+        let decoded = SapPacket::decode(&p.encode()).unwrap();
+        assert_eq!(&decoded.auth[..5], &[1, 2, 3, 4, 5]);
+        assert_eq!(decoded.auth.len(), 8);
+        assert_eq!(decoded.payload, p.payload);
+    }
+
+    #[test]
+    fn bare_sdp_payload_without_type_marker() {
+        // Hand-build a packet without the payload type string.
+        let mut raw = vec![0x20, 0, 0xAB, 0xCD, 10, 0, 0, 1];
+        raw.extend_from_slice(b"v=0\r\ns=x\r\n");
+        let p = SapPacket::decode(&raw).unwrap();
+        assert_eq!(p.msg_id_hash, 0xABCD);
+        assert_eq!(p.source, Ipv4Addr::new(10, 0, 0, 1));
+        assert!(p.payload.starts_with("v=0"));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(SapPacket::decode(&[0x20, 0, 0]), Err(WireError::Truncated));
+        assert_eq!(SapPacket::decode(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut raw = SapPacket::announce(src(), 1, "v=0\r\n".into()).encode().to_vec();
+        raw[0] = (2 << 5) | (raw[0] & 0x1f);
+        assert_eq!(SapPacket::decode(&raw), Err(WireError::BadVersion(2)));
+    }
+
+    #[test]
+    fn ipv6_flag_rejected() {
+        let mut raw = SapPacket::announce(src(), 1, "v=0\r\n".into()).encode().to_vec();
+        raw[0] |= 0x10;
+        assert_eq!(SapPacket::decode(&raw), Err(WireError::UnsupportedAddressType));
+    }
+
+    #[test]
+    fn encrypted_or_compressed_rejected() {
+        for bit in [0x01u8, 0x02] {
+            let mut raw = SapPacket::announce(src(), 1, "v=0\r\n".into()).encode().to_vec();
+            raw[0] |= bit;
+            assert_eq!(SapPacket::decode(&raw), Err(WireError::UnsupportedEncoding));
+        }
+    }
+
+    #[test]
+    fn overlong_auth_rejected() {
+        let mut raw = SapPacket::announce(src(), 1, "v=0\r\n".into()).encode().to_vec();
+        raw[1] = 200; // 800 bytes of auth data that aren't there
+        assert_eq!(SapPacket::decode(&raw), Err(WireError::BadAuthLength));
+    }
+
+    #[test]
+    fn hash_changes_with_payload() {
+        let a = msg_id_hash("v=0\r\ns=a\r\n");
+        let b = msg_id_hash("v=0\r\ns=b\r\n");
+        assert_ne!(a, b);
+        assert_eq!(a, msg_id_hash("v=0\r\ns=a\r\n"));
+    }
+
+    #[test]
+    fn hash_spreads() {
+        // Hashes of many distinct payloads should rarely collide.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            seen.insert(msg_id_hash(&format!("v=0\r\ns=session-{i}\r\n")));
+        }
+        assert!(seen.len() > 950, "only {} distinct hashes", seen.len());
+    }
+
+    #[test]
+    fn well_known_constants() {
+        assert!(SAP_GROUP.is_multicast());
+        assert_eq!(SAP_PORT, 9875);
+    }
+}

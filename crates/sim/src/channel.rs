@@ -1,0 +1,235 @@
+//! Link/channel impairment models: propagation delay and packet loss.
+//!
+//! The paper's analyses hinge on two channel parameters: the mean
+//! end-to-end propagation delay (200 ms across the 1998 Mbone) and the
+//! mean packet-loss rate (2%).  Section 2.3 combines them into an
+//! *effective* announcement delay: a lost announcement is not seen until
+//! the next retransmission, so with a repeat interval of ten minutes the
+//! mean effective delay is `(1-p)·d + p·(repeat interval)` ≈ 12 s.
+//!
+//! These models are deliberately simple — independent Bernoulli loss and
+//! additive jitter — matching the paper's assumptions rather than trying
+//! to model congestion dynamics the paper does not consider.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Propagation-delay model for a link or end-to-end path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DelayModel {
+    /// Fixed delay.
+    Constant(SimDuration),
+    /// Fixed base plus a uniform random addition in `[0, jitter)`,
+    /// resampled per packet — the "delay=distance+random" configuration of
+    /// the paper's request–response simulations (Fig 15 C/D).
+    Jittered {
+        /// Deterministic component (≈ distance).
+        base: SimDuration,
+        /// Upper bound of the uniform per-packet jitter.
+        jitter: SimDuration,
+    },
+    /// Exponentially distributed delay with the given mean (used in
+    /// stress tests; not a paper configuration).
+    Exponential(SimDuration),
+}
+
+impl DelayModel {
+    /// Sample a packet delay.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Jittered { base, jitter } => {
+                if jitter.is_zero() {
+                    base
+                } else {
+                    base + SimDuration::from_nanos(rng.below(jitter.as_nanos().max(1)))
+                }
+            }
+            DelayModel::Exponential(mean) => {
+                SimDuration::from_secs_f64(rng.exp(mean.as_secs_f64()))
+            }
+        }
+    }
+
+    /// The mean delay of the model.
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Jittered { base, jitter } => base + jitter / 2,
+            DelayModel::Exponential(mean) => mean,
+        }
+    }
+}
+
+/// Packet-loss model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossModel {
+    /// Independent per-packet drop probability in `[0, 1]`.
+    pub drop_probability: f64,
+}
+
+impl LossModel {
+    /// A lossless channel.
+    pub const NONE: LossModel = LossModel { drop_probability: 0.0 };
+
+    /// The paper's default 2% loss.
+    pub const MBONE_DEFAULT: LossModel = LossModel { drop_probability: 0.02 };
+
+    /// Create a model with the given drop probability (clamped to \[0,1\]).
+    pub fn new(p: f64) -> Self {
+        LossModel { drop_probability: p.clamp(0.0, 1.0) }
+    }
+
+    /// Decide whether a packet is dropped.
+    pub fn drops(&self, rng: &mut SimRng) -> bool {
+        rng.chance(self.drop_probability)
+    }
+}
+
+/// A channel combining loss and delay: the outcome of one transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Channel {
+    /// Loss applied before delay is even sampled.
+    pub loss: LossModel,
+    /// Delay applied to delivered packets.
+    pub delay: DelayModel,
+}
+
+/// Result of offering one packet to a [`Channel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Transmission {
+    /// Delivered after the contained delay.
+    Delivered(SimDuration),
+    /// Dropped by the loss process.
+    Lost,
+}
+
+impl Channel {
+    /// A perfect channel with the given constant delay.
+    pub fn perfect(delay: SimDuration) -> Self {
+        Channel { loss: LossModel::NONE, delay: DelayModel::Constant(delay) }
+    }
+
+    /// The paper's Section 2.3 operating point: 200 ms delay, 2% loss.
+    pub fn mbone_default() -> Self {
+        Channel {
+            loss: LossModel::MBONE_DEFAULT,
+            delay: DelayModel::Constant(SimDuration::from_millis(200)),
+        }
+    }
+
+    /// Offer one packet to the channel.
+    pub fn transmit(&self, rng: &mut SimRng) -> Transmission {
+        if self.loss.drops(rng) {
+            Transmission::Lost
+        } else {
+            Transmission::Delivered(self.delay.sample(rng))
+        }
+    }
+
+    /// Mean *effective* delay when lost packets are recovered by the next
+    /// periodic retransmission — Section 2.3's
+    /// `(1-p)·delay + p·repeat_interval` approximation.
+    ///
+    /// With the paper's numbers (200 ms, 2% loss, 600 s repeat) this is
+    /// ≈ 12.2 s, which the paper rounds to 12 s.
+    pub fn effective_delay(&self, repeat_interval: SimDuration) -> SimDuration {
+        let p = self.loss.drop_probability;
+        self.delay.mean().mul_f64(1.0 - p) + repeat_interval.mul_f64(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_delay() {
+        let mut rng = SimRng::new(1);
+        let m = DelayModel::Constant(SimDuration::from_millis(200));
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_millis(200));
+        }
+        assert_eq!(m.mean(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn jittered_delay_within_bounds() {
+        let mut rng = SimRng::new(2);
+        let base = SimDuration::from_millis(100);
+        let jitter = SimDuration::from_millis(50);
+        let m = DelayModel::Jittered { base, jitter };
+        for _ in 0..10_000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= base && d < base + jitter);
+        }
+        assert_eq!(m.mean(), SimDuration::from_millis(125));
+    }
+
+    #[test]
+    fn jitter_zero_degenerates_to_constant() {
+        let mut rng = SimRng::new(3);
+        let m = DelayModel::Jittered {
+            base: SimDuration::from_millis(10),
+            jitter: SimDuration::ZERO,
+        };
+        assert_eq!(m.sample(&mut rng), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn loss_rate_statistics() {
+        let mut rng = SimRng::new(4);
+        let loss = LossModel::new(0.02);
+        let n = 200_000;
+        let dropped = (0..n).filter(|_| loss.drops(&mut rng)).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.02).abs() < 0.002, "rate {rate}");
+    }
+
+    #[test]
+    fn loss_clamps() {
+        assert_eq!(LossModel::new(-0.5).drop_probability, 0.0);
+        assert_eq!(LossModel::new(1.5).drop_probability, 1.0);
+    }
+
+    #[test]
+    fn effective_delay_matches_paper_section_2_3() {
+        // (0.98*0.2)+(0.02*600) = 12.196 s; the paper quotes "about 12 s".
+        let ch = Channel::mbone_default();
+        let eff = ch.effective_delay(SimDuration::from_mins(10));
+        let secs = eff.as_secs_f64();
+        assert!((secs - 12.196).abs() < 0.01, "effective delay {secs}");
+    }
+
+    #[test]
+    fn effective_delay_with_fast_repeat() {
+        // Section 2.3 again: repeating 5 s after the first announcement
+        // gives a mean delay of about 0.3 s.
+        let ch = Channel::mbone_default();
+        let eff = ch.effective_delay(SimDuration::from_secs(5));
+        let secs = eff.as_secs_f64();
+        assert!((secs - 0.296).abs() < 0.01, "effective delay {secs}");
+    }
+
+    #[test]
+    fn perfect_channel_never_drops() {
+        let mut rng = SimRng::new(5);
+        let ch = Channel::perfect(SimDuration::from_millis(1));
+        for _ in 0..1000 {
+            assert_eq!(
+                ch.transmit(&mut rng),
+                Transmission::Delivered(SimDuration::from_millis(1))
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_delay_mean() {
+        let mut rng = SimRng::new(6);
+        let m = DelayModel::Exponential(SimDuration::from_millis(100));
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| m.sample(&mut rng).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.1).abs() < 0.005, "mean {mean}");
+    }
+}

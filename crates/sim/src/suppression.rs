@@ -1,0 +1,175 @@
+//! Random response-delay sampling for multicast suppression protocols.
+//!
+//! When many receivers could all answer the same multicast event (a
+//! repair request in SRM, a clash report in the session directory), each
+//! delays its response by a random time and suppresses itself if it
+//! hears someone else answer first.  The paper studies two delay
+//! distributions over the window `[D1, D2]`:
+//!
+//! * **uniform** — simple, but the expected number of duplicate
+//!   responses depends strongly on the receiver-set size (Figures 14–16);
+//! * **exponential** — bucket `b` of `d` is chosen with probability
+//!   proportional to `2^(b-1)`, i.e. most receivers pick late slots and
+//!   only an expected-constant few pick early ones.  In continuous form:
+//!
+//!   ```text
+//!   D = D1 + r · log2(1 + x · (2^d − 1)),   x ~ U[0,1),  d = (D2−D1)/r
+//!   ```
+//!
+//!   where `r` is the bucket width (nominally the maximum RTT).  This
+//!   makes the duplicate count nearly independent of the receiver-set
+//!   size (Figures 18–19), at a floor of ≈ 1.44 expected responses.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Sample a uniform response delay in `[d1, d2)`.
+pub fn uniform_delay(rng: &mut SimRng, d1: SimDuration, d2: SimDuration) -> SimDuration {
+    assert!(d2 >= d1, "inverted window");
+    let span = (d2 - d1).as_nanos();
+    if span == 0 {
+        return d1;
+    }
+    d1 + SimDuration::from_nanos(rng.below(span))
+}
+
+/// Sample an exponentially-weighted response delay in `[d1, d2)` with
+/// bucket width `r` (the round-trip-time scale).
+///
+/// ```
+/// use sdalloc_sim::{SimRng, SimDuration};
+/// use sdalloc_sim::suppression::exponential_delay;
+/// let mut rng = SimRng::new(7);
+/// let d2 = SimDuration::from_secs(10);
+/// let late = (0..1000)
+///     .filter(|_| {
+///         let d = exponential_delay(&mut rng, SimDuration::ZERO, d2, SimDuration::from_secs(1));
+///         d >= SimDuration::from_secs(9)
+///     })
+///     .count();
+/// assert!(late > 400, "half the mass sits in the last bucket; got {late}");
+/// ```
+///
+/// With `d = (d2-d1)/r` buckets, bucket `b` (1-based from the earliest)
+/// is hit with probability `2^(b-1) / (2^d − 1)` — late responses are
+/// overwhelmingly more likely, so early slots thin out the responder set
+/// exponentially.
+pub fn exponential_delay(
+    rng: &mut SimRng,
+    d1: SimDuration,
+    d2: SimDuration,
+    r: SimDuration,
+) -> SimDuration {
+    assert!(d2 >= d1, "inverted window");
+    assert!(!r.is_zero(), "bucket width must be positive");
+    let window = (d2 - d1).as_secs_f64();
+    if window == 0.0 {
+        return d1;
+    }
+    let d = window / r.as_secs_f64();
+    let x = rng.f64();
+    // D = r · log2(1 + x·(2^d − 1)); exp_m1/ln_1p keep precision for
+    // small d, and for large d we avoid overflow by noting
+    // 2^d − 1 ≈ 2^d when d > 60.
+    let delay_secs = if d > 60.0 {
+        // log2(1 + x·2^d) = d + log2(x + 2^-d) ≈ d + log2(x) for x ≫ 2^-d.
+        let l = if x > 0.0 { d + x.log2() } else { 0.0 };
+        r.as_secs_f64() * l.max(0.0)
+    } else {
+        let pow = (2f64).powf(d) - 1.0;
+        r.as_secs_f64() * (1.0 + x * pow).log2()
+    };
+    d1 + SimDuration::from_secs_f64(delay_secs.min(window))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: f64) -> SimDuration {
+        SimDuration::from_secs_f64(x)
+    }
+
+    #[test]
+    fn uniform_within_window() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..10_000 {
+            let d = uniform_delay(&mut rng, s(1.0), s(3.0));
+            assert!(d >= s(1.0) && d < s(3.0));
+        }
+    }
+
+    #[test]
+    fn uniform_mean() {
+        let mut rng = SimRng::new(2);
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|_| uniform_delay(&mut rng, s(0.0), s(2.0)).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_degenerate_window() {
+        let mut rng = SimRng::new(3);
+        assert_eq!(uniform_delay(&mut rng, s(5.0), s(5.0)), s(5.0));
+    }
+
+    #[test]
+    fn exponential_within_window() {
+        let mut rng = SimRng::new(4);
+        for _ in 0..10_000 {
+            let d = exponential_delay(&mut rng, s(1.0), s(9.0), s(0.2));
+            assert!(d >= s(1.0) && d <= s(9.0), "delay {d}");
+        }
+    }
+
+    #[test]
+    fn exponential_is_late_biased() {
+        // With d = 10 buckets, the last bucket holds ~half the mass.
+        let mut rng = SimRng::new(5);
+        let r = s(1.0);
+        let n = 50_000;
+        let mut last_bucket = 0u32;
+        for _ in 0..n {
+            let d = exponential_delay(&mut rng, s(0.0), s(10.0), r);
+            if d.as_secs_f64() >= 9.0 {
+                last_bucket += 1;
+            }
+        }
+        let frac = last_bucket as f64 / n as f64;
+        // bucket 10 has 2^9/(2^10 - 1) ≈ 0.5 of the probability.
+        assert!((frac - 0.5).abs() < 0.02, "last-bucket fraction {frac}");
+    }
+
+    #[test]
+    fn exponential_early_slots_thin() {
+        // P(delay < r) = 1/(2^d − 1): with d=10, about 0.1%.
+        let mut rng = SimRng::new(6);
+        let n = 200_000;
+        let early = (0..n)
+            .filter(|_| {
+                exponential_delay(&mut rng, s(0.0), s(10.0), s(1.0)).as_secs_f64() < 1.0
+            })
+            .count();
+        let frac = early as f64 / n as f64;
+        assert!(frac < 0.004, "early fraction {frac}");
+    }
+
+    #[test]
+    fn exponential_large_d_stable() {
+        // Huge windows relative to RTT must not overflow or go negative.
+        let mut rng = SimRng::new(7);
+        for _ in 0..1_000 {
+            let d = exponential_delay(&mut rng, s(0.0), s(3_276.8), s(0.2));
+            assert!(d >= s(0.0) && d <= s(3_276.8), "delay {d}");
+        }
+    }
+
+    #[test]
+    fn exponential_degenerate_window() {
+        let mut rng = SimRng::new(8);
+        assert_eq!(exponential_delay(&mut rng, s(2.0), s(2.0), s(0.2)), s(2.0));
+    }
+}

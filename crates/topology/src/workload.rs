@@ -1,0 +1,167 @@
+//! Session workload generation: the paper's TTL distributions.
+//!
+//! Figure 5's simulations choose session originators uniformly at random
+//! and TTLs "randomly from the following distributions":
+//!
+//! * ds1 `{1,15,31,47,63,127,191}`
+//! * ds2 `{1,1,15,15,31,47,63,127,191}`
+//! * ds3 `{1,1,1,1,15,15,15,15,31,47,63,127,191}`
+//! * ds4 `{1,1,1,1,1,1,1,1,15,15,15,15,15,15,31,31,47,47,63,63,127,191}`
+//!
+//! Each list is sampled uniformly, so repetition weights low TTLs more
+//! heavily from ds1 to ds4 — "they help illustrate the way that local
+//! scoping of sessions helps scaling".
+
+use sdalloc_sim::SimRng;
+
+use crate::graph::{NodeId, Topology};
+use crate::scope::Scope;
+
+/// A discrete TTL distribution sampled uniformly from a fixed list.
+///
+/// ```
+/// use sdalloc_topology::TtlDistribution;
+/// use sdalloc_sim::SimRng;
+/// let ds4 = TtlDistribution::ds4();
+/// let mut rng = SimRng::new(3);
+/// let ttl = ds4.sample(&mut rng);
+/// assert!(ds4.values().contains(&ttl));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TtlDistribution {
+    /// Name used in figures ("ds1".."ds4" or custom).
+    pub name: &'static str,
+    values: Vec<u8>,
+}
+
+impl TtlDistribution {
+    /// Build a distribution from explicit values.
+    pub fn new(name: &'static str, values: Vec<u8>) -> Self {
+        assert!(!values.is_empty(), "empty TTL distribution");
+        TtlDistribution { name, values }
+    }
+
+    /// The paper's ds1.
+    pub fn ds1() -> Self {
+        TtlDistribution::new("ds1", vec![1, 15, 31, 47, 63, 127, 191])
+    }
+
+    /// The paper's ds2.
+    pub fn ds2() -> Self {
+        TtlDistribution::new("ds2", vec![1, 1, 15, 15, 31, 47, 63, 127, 191])
+    }
+
+    /// The paper's ds3.
+    pub fn ds3() -> Self {
+        TtlDistribution::new(
+            "ds3",
+            vec![1, 1, 1, 1, 15, 15, 15, 15, 31, 47, 63, 127, 191],
+        )
+    }
+
+    /// The paper's ds4.
+    pub fn ds4() -> Self {
+        TtlDistribution::new(
+            "ds4",
+            vec![
+                1, 1, 1, 1, 1, 1, 1, 1, 15, 15, 15, 15, 15, 15, 31, 31, 47, 47, 63,
+                63, 127, 191,
+            ],
+        )
+    }
+
+    /// All four paper distributions, in order.
+    pub fn all_paper() -> Vec<TtlDistribution> {
+        vec![Self::ds1(), Self::ds2(), Self::ds3(), Self::ds4()]
+    }
+
+    /// Sample one TTL.
+    pub fn sample(&self, rng: &mut SimRng) -> u8 {
+        *rng.choose(&self.values)
+    }
+
+    /// The distinct TTL values, ascending.
+    pub fn distinct(&self) -> Vec<u8> {
+        let mut v = self.values.clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The raw value list (with repetitions).
+    pub fn values(&self) -> &[u8] {
+        &self.values
+    }
+}
+
+/// Draw a random session scope: uniform originator, TTL from `dist` —
+/// exactly the paper's workload ("Nodes in this graph were chosen at
+/// random as the originator of a session, and the TTL for the session
+/// was chosen randomly from the following distributions").
+pub fn random_scope(topo: &Topology, dist: &TtlDistribution, rng: &mut SimRng) -> Scope {
+    let src = NodeId(rng.below(topo.node_count() as u64) as u32);
+    Scope::new(src, dist.sample(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdalloc_sim::SimDuration;
+
+    #[test]
+    fn paper_distributions_have_right_weights() {
+        assert_eq!(TtlDistribution::ds1().values().len(), 7);
+        assert_eq!(TtlDistribution::ds2().values().len(), 9);
+        assert_eq!(TtlDistribution::ds3().values().len(), 13);
+        assert_eq!(TtlDistribution::ds4().values().len(), 22);
+        // All share the same support.
+        let support = vec![1, 15, 31, 47, 63, 127, 191];
+        for d in TtlDistribution::all_paper() {
+            assert_eq!(d.distinct(), support, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn ds4_is_locally_weighted() {
+        // ds4 gives TTL 1 probability 8/22 and TTL 191 probability 1/22.
+        let d = TtlDistribution::ds4();
+        let ones = d.values().iter().filter(|&&t| t == 1).count();
+        assert_eq!(ones, 8);
+        let globals = d.values().iter().filter(|&&t| t == 191).count();
+        assert_eq!(globals, 1);
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        let d = TtlDistribution::ds2();
+        let mut rng = SimRng::new(5);
+        let n = 90_000;
+        let ones = (0..n).filter(|_| d.sample(&mut rng) == 1).count();
+        // Expect 2/9 ≈ 0.2222.
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 2.0 / 9.0).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn random_scope_uniform_sources() {
+        let mut t = Topology::new();
+        let a = t.add_simple_node();
+        let b = t.add_simple_node();
+        t.add_link(a, b, 1, 1, SimDuration::from_millis(1));
+        let d = TtlDistribution::ds1();
+        let mut rng = SimRng::new(6);
+        let mut saw = [false; 2];
+        for _ in 0..100 {
+            let s = random_scope(&t, &d, &mut rng);
+            saw[s.source.index()] = true;
+            assert!(d.distinct().contains(&s.ttl));
+        }
+        assert!(saw[0] && saw[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty TTL distribution")]
+    fn empty_distribution_rejected() {
+        TtlDistribution::new("bad", vec![]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Mbone-scale allocation simulation.
+//!
+//! Generates the synthetic 1998 Mbone map (or a smaller one with
+//! `--nodes N`), prints its TTL/hop-count profile, then races the
+//! paper's allocation algorithms against each other: how many sessions
+//! can each allocate before the first address clash?
+//!
+//! Run with: `cargo run --release --example mbone_sim [-- --nodes 600 --space 400]`
+
+use sdalloc::core::{
+    AddrSpace, AdaptiveIpr, Allocator, InformedRandomAllocator, RandomAllocator, StaticIpr,
+};
+use sdalloc::experiments::fill::fill_until_clash;
+use sdalloc::experiments::world::World;
+use sdalloc::sim::SimRng;
+use sdalloc::topology::hopcount::ttl_table;
+use sdalloc::topology::mbone::{MboneMap, MboneParams};
+use sdalloc::topology::workload::TtlDistribution;
+
+fn main() {
+    let mut nodes = 600usize;
+    let mut space = 400u32;
+    let mut trials = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--nodes" => nodes = args.next().and_then(|v| v.parse().ok()).unwrap_or(600),
+            "--space" => space = args.next().and_then(|v| v.parse().ok()).unwrap_or(400),
+            "--trials" => trials = args.next().and_then(|v| v.parse().ok()).unwrap_or(5),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("generating an Mbone-like map with {nodes} mrouters…");
+    let map = MboneMap::generate(&MboneParams { seed: 98, target_nodes: nodes });
+    println!(
+        "  {} nodes, {} links, {} countries",
+        map.topo.node_count(),
+        map.topo.link_count(),
+        map.countries.len()
+    );
+
+    println!("\nTTL scope profile (cf. the paper's Section 2.4.1 table):");
+    println!("  {:>4}  {:>18}  {:>8}", "TTL", "most frequent hops", "max hops");
+    for row in ttl_table(&map.topo, (nodes / 200).max(1)) {
+        println!("  {:>4}  {:>18}  {:>8}", row.ttl, row.most_frequent, row.max_hops);
+    }
+
+    let dist = TtlDistribution::ds4();
+    println!(
+        "\nfilling a {space}-address space with ds4-scoped sessions until the first clash"
+    );
+    println!("(mean of {trials} trials per algorithm):\n");
+    let algorithms: Vec<Box<dyn Allocator>> = vec![
+        Box::new(RandomAllocator),
+        Box::new(InformedRandomAllocator),
+        Box::new(StaticIpr::three_band()),
+        Box::new(StaticIpr::seven_band()),
+        Box::new(AdaptiveIpr::aipr1()),
+        Box::new(AdaptiveIpr::aipr3()),
+        Box::new(AdaptiveIpr::hybrid()),
+    ];
+    println!("  {:>18}  {:>22}", "algorithm", "allocations to clash");
+    let mut world = World::new(map.topo.clone(), AddrSpace::abstract_space(space));
+    for alg in &algorithms {
+        let mut rng = SimRng::new(7);
+        let mut total = 0usize;
+        for _ in 0..trials {
+            total += fill_until_clash(&mut world, alg.as_ref(), &dist, &mut rng, space as usize * 8);
+        }
+        println!(
+            "  {:>18}  {:>22.1}",
+            alg.name(),
+            total as f64 / trials as f64
+        );
+    }
+    println!("\nThe ordering mirrors the paper's Figure 5: random ≈ informed-random");
+    println!("≪ partitioned, with perfect static partitioning (IPR-7) using the");
+    println!("space almost linearly.  The adaptive variants give up first-clash");
+    println!("headroom (their gap cushions reserve space) to stay robust when the");
+    println!("TTL boundary policy is NOT known in advance — the trade-off the");
+    println!("paper's Figures 12/13 quantify.");
+}

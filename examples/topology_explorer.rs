@@ -1,0 +1,114 @@
+//! Topology explorer: inspect the two generators the experiments run on.
+//!
+//! Prints structural statistics for the synthetic Mbone map (threshold
+//! rings, scope-zone sizes, hop counts) and a Doar-style random
+//! topology (degree distribution, link-length profile) — useful for
+//! eyeballing whether a parameter change keeps the substrates honest.
+//!
+//! Run with: `cargo run --release --example topology_explorer`
+
+use std::collections::BTreeMap;
+
+use sdalloc::sim::SimRng;
+use sdalloc::topology::doar::{generate, DoarParams};
+use sdalloc::topology::mbone::{ttl as scope_ttl, MboneMap, MboneParams};
+use sdalloc::topology::routing::SourceTree;
+use sdalloc::topology::{NodeId, Scope, ScopeCache};
+
+fn main() {
+    explore_mbone();
+    println!();
+    explore_doar();
+}
+
+fn explore_mbone() {
+    println!("=== synthetic Mbone map (paper scale: 1864 mrouters) ===");
+    let map = MboneMap::generate(&MboneParams { seed: 7, target_nodes: 1_864 });
+    println!(
+        "{} nodes, {} links, {} countries",
+        map.topo.node_count(),
+        map.topo.link_count(),
+        map.countries.len()
+    );
+
+    // Threshold census.
+    let mut thresholds: BTreeMap<u8, usize> = BTreeMap::new();
+    for l in map.topo.links() {
+        *thresholds.entry(l.threshold).or_default() += 1;
+    }
+    println!("link TTL thresholds:");
+    for (t, n) in &thresholds {
+        println!("  threshold {t:>3}: {n:>5} links");
+    }
+
+    // Scope-zone sizes from a European and a North-American vantage.
+    let uk = map
+        .countries
+        .iter()
+        .position(|c| c.name == "uk")
+        .expect("uk exists");
+    let uk_src = map.countries[uk].backbone[0];
+    let us_src = map.countries[0].backbone[0];
+    let mut scopes = ScopeCache::new(map.topo.clone());
+    println!("scope-zone sizes (mrouters reached):");
+    println!("  {:>18} {:>10} {:>10}", "TTL", "from UK", "from US");
+    for (label, ttl) in [
+        ("1 (subnet)", scope_ttl::SUBNET),
+        ("15 (site)", scope_ttl::SITE),
+        ("47 (national)", scope_ttl::NATIONAL_EU),
+        ("63 (internat.)", scope_ttl::INTERNATIONAL),
+        ("127 (intercont.)", scope_ttl::INTERCONTINENTAL),
+        ("191 (global)", scope_ttl::GLOBAL),
+    ] {
+        let z_uk = scopes.zone_size(Scope::new(uk_src, ttl));
+        let z_us = scopes.zone_size(Scope::new(us_src, ttl));
+        println!("  {label:>18} {z_uk:>10} {z_us:>10}");
+    }
+    println!("note the Figure-3 asymmetry: TTL 47 ≈ TTL 63 from the US (no 48-");
+    println!("boundaries there), but much smaller from the UK.");
+}
+
+fn explore_doar() {
+    println!("=== Doar-style random topology (request-response substrate) ===");
+    let n = 5_000;
+    let topo = generate(&DoarParams::new(n, 11));
+    println!("{} nodes, {} links", topo.node_count(), topo.link_count());
+
+    // Degree distribution.
+    let mut degrees: BTreeMap<usize, usize> = BTreeMap::new();
+    for v in topo.node_ids() {
+        *degrees.entry(topo.degree(v)).or_default() += 1;
+    }
+    let max_degree = degrees.keys().max().copied().unwrap_or(0);
+    println!("degree distribution (tree + redundant backbone links):");
+    for (d, c) in degrees.iter().take(8) {
+        println!("  degree {d:>2}: {c:>6} nodes");
+    }
+    if max_degree > 8 {
+        println!("  …max degree {max_degree}");
+    }
+
+    // Delay profile from a few random sources.
+    let mut rng = SimRng::new(3);
+    let mut max_delay = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut count = 0u64;
+    for _ in 0..5 {
+        let src = NodeId(rng.below(n as u64) as u32);
+        let tree = SourceTree::compute(&topo, src);
+        for d in tree.delay.iter() {
+            if *d != sdalloc::sim::SimDuration::MAX {
+                let secs = d.as_secs_f64();
+                max_delay = max_delay.max(secs);
+                sum += secs;
+                count += 1;
+            }
+        }
+    }
+    println!(
+        "one-way delays over shortest-path trees: mean {:.1} ms, max {:.1} ms",
+        1e3 * sum / count as f64,
+        1e3 * max_delay
+    );
+    println!("(the early links form long 'backbone' spans; later links cluster locally)");
+}

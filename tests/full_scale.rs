@@ -1,0 +1,66 @@
+//! Paper-scale smoke tests, `#[ignore]`d by default (minutes each in
+//! release mode).  Run with:
+//!
+//! ```sh
+//! cargo test --release -p sdalloc --test full_scale -- --ignored
+//! ```
+
+use sdalloc::rr::sim::{run_many, RrParams};
+use sdalloc::sim::{SimDuration, SimRng};
+use sdalloc::topology::doar::{generate, DoarParams};
+use sdalloc::topology::hopcount::ttl_table;
+use sdalloc::topology::mbone::MboneMap;
+
+#[test]
+#[ignore = "paper-scale: ~1 min in release"]
+fn full_mbone_hop_count_table() {
+    // The Figure 10 table on the full 1864-node map, every source.
+    let map = MboneMap::generate_default();
+    let table = ttl_table(&map.topo, 1);
+    let mf: Vec<f64> = table.iter().map(|r| r.most_frequent).collect();
+    let mx: Vec<u32> = table.iter().map(|r| r.max_hops).collect();
+    // Paper: most-frequent 3.1 / 7.0 / 7.7 / 10.6; max 10 / 18 / 18 / 26.
+    assert!((1.0..=6.0).contains(&mf[0]), "ttl16 mode {mf:?}");
+    assert!((4.0..=11.0).contains(&mf[1]), "ttl47 mode {mf:?}");
+    assert!((4.0..=12.0).contains(&mf[2]), "ttl63 mode {mf:?}");
+    assert!((6.0..=16.0).contains(&mf[3]), "ttl127 mode {mf:?}");
+    assert!(mx[3] <= 32, "ttl127 max {mx:?} exceeds DVMRP infinity");
+    assert!(mx[0] < mx[3], "maxima not ordered {mx:?}");
+}
+
+#[test]
+#[ignore = "paper-scale: tens of seconds in release"]
+fn rr_at_25600_sites() {
+    // Figure 15's upper-right corner: a 25 600-site group.
+    let topo = generate(&DoarParams::new(25_600, 42));
+    let params = RrParams::figure15a(SimDuration::from_secs_f64(51.2));
+    let mut rng = SimRng::new(43);
+    let agg = run_many(&topo, &params, 2, &mut rng);
+    assert!(agg.mean_responses >= 1.0);
+    assert!(
+        agg.mean_responses < 200.0,
+        "suppression collapsed at scale: {}",
+        agg.mean_responses
+    );
+}
+
+#[test]
+#[ignore = "paper-scale: ~1 min in release"]
+fn mbone_default_scope_structure() {
+    // Full-size structural checks (the unit tests use small maps).
+    use sdalloc::topology::scope::{Scope, ScopeCache};
+    use sdalloc::topology::NodeId;
+    let map = MboneMap::generate_default();
+    assert_eq!(map.topo.node_count(), 1864);
+    let mut scopes = ScopeCache::new(map.topo.clone());
+    // Global scope covers the world from anywhere sampled.
+    for i in (0..1864).step_by(311) {
+        let z = scopes.zone_size(Scope::new(NodeId(i as u32), 191));
+        assert_eq!(z, 1864, "global zone from node {i} covers {z}");
+    }
+    // Site scopes stay tiny.
+    for i in (0..1864).step_by(97) {
+        let z = scopes.zone_size(Scope::new(NodeId(i as u32), 15));
+        assert!(z <= 16, "site zone from node {i} covers {z}");
+    }
+}
