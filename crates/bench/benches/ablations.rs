@@ -31,14 +31,20 @@ fn ablate_occupancy(c: &mut Criterion) {
             None,
             format!("occ-{occ}"),
         );
-        let p = steady_state_clash_probability(
-            &topo, &alg, &dist, 300, 60, Replacement::Random, 6, 31,
-        );
+        let p =
+            steady_state_clash_probability(&topo, &alg, &dist, 300, 60, Replacement::Random, 6, 31);
         println!("quality: occupancy={occ} p_clash(n=60,space=300)={p:.2}");
         group.bench_function(format!("occupancy_{occ}"), |b| {
             b.iter(|| {
                 steady_state_clash_probability(
-                    &topo, &alg, &dist, 300, 30, Replacement::Random, 2, 33,
+                    &topo,
+                    &alg,
+                    &dist,
+                    300,
+                    30,
+                    Replacement::Random,
+                    2,
+                    33,
                 )
             })
         });
@@ -62,16 +68,20 @@ fn ablate_margin(c: &mut Criterion) {
             None,
             format!("margin-{margin}"),
         );
-        let p = steady_state_clash_probability(
-            &topo, &alg, &dist, 300, 60, Replacement::Random, 6, 37,
-        );
-        println!(
-            "quality: margin={margin} partitions={partitions} p_clash(n=60,space=300)={p:.2}"
-        );
+        let p =
+            steady_state_clash_probability(&topo, &alg, &dist, 300, 60, Replacement::Random, 6, 37);
+        println!("quality: margin={margin} partitions={partitions} p_clash(n=60,space=300)={p:.2}");
         group.bench_function(format!("margin_{margin}"), |b| {
             b.iter(|| {
                 steady_state_clash_probability(
-                    &topo, &alg, &dist, 300, 30, Replacement::Random, 2, 39,
+                    &topo,
+                    &alg,
+                    &dist,
+                    300,
+                    30,
+                    Replacement::Random,
+                    2,
+                    39,
                 )
             })
         });
@@ -93,14 +103,20 @@ fn ablate_gap_fraction(c: &mut Criterion) {
             None,
             format!("gap-{gap}"),
         );
-        let p = steady_state_clash_probability(
-            &topo, &alg, &dist, 400, 60, Replacement::Random, 6, 41,
-        );
+        let p =
+            steady_state_clash_probability(&topo, &alg, &dist, 400, 60, Replacement::Random, 6, 41);
         println!("quality: gap={gap} p_clash(n=60,space=400)={p:.2}");
         group.bench_function(format!("gap_{gap}"), |b| {
             b.iter(|| {
                 steady_state_clash_probability(
-                    &topo, &alg, &dist, 400, 30, Replacement::Random, 2, 43,
+                    &topo,
+                    &alg,
+                    &dist,
+                    400,
+                    30,
+                    Replacement::Random,
+                    2,
+                    43,
                 )
             })
         });
@@ -114,7 +130,10 @@ fn ablate_gap_fraction(c: &mut Criterion) {
 fn ablate_backoff(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_backoff");
     let schedules = [
-        ("constant_600s", BackoffSchedule::constant(SimDuration::from_mins(10))),
+        (
+            "constant_600s",
+            BackoffSchedule::constant(SimDuration::from_mins(10)),
+        ),
         ("exponential_5s", BackoffSchedule::default()),
     ];
     for (name, sched) in &schedules {
@@ -146,14 +165,20 @@ fn ablate_static_controls(c: &mut Criterion) {
         ("IPR3", StaticIpr::three_band()),
         ("IPR7", StaticIpr::seven_band()),
     ] {
-        let p = steady_state_clash_probability(
-            &topo, &alg, &dist, 300, 60, Replacement::Random, 6, 47,
-        );
+        let p =
+            steady_state_clash_probability(&topo, &alg, &dist, 300, 60, Replacement::Random, 6, 47);
         println!("quality: control={name} p_clash(n=60,space=300)={p:.2}");
         group.bench_function(format!("control_{name}"), |b| {
             b.iter(|| {
                 steady_state_clash_probability(
-                    &topo, &alg, &dist, 300, 30, Replacement::Random, 2, 49,
+                    &topo,
+                    &alg,
+                    &dist,
+                    300,
+                    30,
+                    Replacement::Random,
+                    2,
+                    49,
                 )
             })
         });

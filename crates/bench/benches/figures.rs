@@ -8,6 +8,7 @@ use std::hint::black_box;
 
 use sdalloc_bench::bench_mbone;
 use sdalloc_core::analytic::{birthday_clash_probability, eq1_allocations_at_half};
+use sdalloc_core::AddrSpace;
 use sdalloc_core::{AdaptiveIpr, InformedRandomAllocator, RandomAllocator, StaticIpr};
 use sdalloc_experiments::fill::fill_until_clash;
 use sdalloc_experiments::steady::{steady_state_clash_probability, Replacement};
@@ -18,7 +19,6 @@ use sdalloc_sim::{SimDuration, SimRng};
 use sdalloc_topology::doar::{generate, DoarParams};
 use sdalloc_topology::hopcount::ttl_table;
 use sdalloc_topology::workload::TtlDistribution;
-use sdalloc_core::AddrSpace;
 
 fn bench_fig4(c: &mut Criterion) {
     c.bench_function("fig4/birthday_curve_10000x400", |b| {
@@ -38,7 +38,10 @@ fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5");
     group.sample_size(10);
     for (name, alg) in [
-        ("R", Box::new(RandomAllocator) as Box<dyn sdalloc_core::Allocator>),
+        (
+            "R",
+            Box::new(RandomAllocator) as Box<dyn sdalloc_core::Allocator>,
+        ),
         ("IR", Box::new(InformedRandomAllocator)),
         ("IPR3", Box::new(StaticIpr::three_band())),
         ("IPR7", Box::new(StaticIpr::seven_band())),
@@ -80,7 +83,10 @@ fn bench_fig12(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12");
     group.sample_size(10);
     for (name, alg) in [
-        ("AIPR1", Box::new(AdaptiveIpr::aipr1()) as Box<dyn sdalloc_core::Allocator>),
+        (
+            "AIPR1",
+            Box::new(AdaptiveIpr::aipr1()) as Box<dyn sdalloc_core::Allocator>,
+        ),
         ("AIPR3", Box::new(AdaptiveIpr::aipr3())),
         ("AIPRH", Box::new(AdaptiveIpr::hybrid())),
         ("IPR7", Box::new(StaticIpr::seven_band())),
@@ -157,7 +163,10 @@ fn bench_fig15_16(c: &mut Criterion) {
     let topo = generate(&DoarParams::new(400, 21));
     let mut group = c.benchmark_group("fig15_16");
     group.sample_size(10);
-    for (name, tree) in [("spt", TreeMode::SourceTrees), ("shared", TreeMode::SharedTree)] {
+    for (name, tree) in [
+        ("spt", TreeMode::SourceTrees),
+        ("shared", TreeMode::SharedTree),
+    ] {
         group.bench_function(format!("rr_round/{name}/400_sites"), |b| {
             let params = RrParams {
                 tree,

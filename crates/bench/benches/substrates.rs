@@ -8,8 +8,8 @@ use std::hint::black_box;
 
 use sdalloc_bench::bench_mbone;
 use sdalloc_core::{
-    Addr, AddrSpace, AdaptiveIpr, Allocator, InformedRandomAllocator, RandomAllocator,
-    StaticIpr, View, VisibleSession,
+    AdaptiveIpr, Addr, AddrSpace, Allocator, InformedRandomAllocator, RandomAllocator, StaticIpr,
+    View, VisibleSession,
 };
 use sdalloc_sap::sdp::{Media, Origin, SessionDescription};
 use sdalloc_sap::wire::{msg_id_hash, SapPacket};
@@ -68,8 +68,18 @@ fn sample_sdp() -> SessionDescription {
         start: 0,
         stop: 0,
         media: vec![
-            Media { kind: "audio".into(), port: 49_170, proto: "RTP/AVP".into(), format: 0 },
-            Media { kind: "video".into(), port: 51_372, proto: "RTP/AVP".into(), format: 31 },
+            Media {
+                kind: "audio".into(),
+                port: 49_170,
+                proto: "RTP/AVP".into(),
+                format: 0,
+            },
+            Media {
+                kind: "video".into(),
+                port: 51_372,
+                proto: "RTP/AVP".into(),
+                format: 31,
+            },
         ],
     }
 }
@@ -102,12 +112,7 @@ fn bench_allocators(c: &mut Criterion) {
     let mut rng = SimRng::new(3);
     let ttls = [1u8, 15, 31, 47, 63, 127, 191];
     let sessions: Vec<VisibleSession> = (0..2_000)
-        .map(|_| {
-            VisibleSession::new(
-                Addr(rng.below(32_768) as u32),
-                ttls[rng.index(ttls.len())],
-            )
-        })
+        .map(|_| VisibleSession::new(Addr(rng.below(32_768) as u32), ttls[rng.index(ttls.len())]))
         .collect();
     let mut group = c.benchmark_group("allocators");
     for (name, alg) in [

@@ -15,5 +15,9 @@ use sdalloc_topology::Topology;
 /// A small Mbone map shared by bench targets (kept small so Criterion
 /// iterations stay in the milliseconds).
 pub fn bench_mbone(nodes: usize) -> Topology {
-    MboneMap::generate(&MboneParams { seed: 42, target_nodes: nodes }).topo
+    MboneMap::generate(&MboneParams {
+        seed: 42,
+        target_nodes: nodes,
+    })
+    .topo
 }

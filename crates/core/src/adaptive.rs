@@ -95,8 +95,14 @@ impl AdaptiveIpr {
         hybrid_span: Option<f64>,
         label: impl Into<String>,
     ) -> AdaptiveIpr {
-        assert!((0.0..1.0).contains(&gap_fraction), "gap fraction out of range");
-        assert!(occupancy > 0.0 && occupancy <= 1.0, "occupancy out of range");
+        assert!(
+            (0.0..1.0).contains(&gap_fraction),
+            "gap fraction out of range"
+        );
+        assert!(
+            occupancy > 0.0 && occupancy <= 1.0,
+            "occupancy out of range"
+        );
         if let Some(s) = hybrid_span {
             assert!(s > 0.0 && s <= 1.0, "hybrid span out of range");
         }
@@ -171,12 +177,7 @@ impl AdaptiveIpr {
     /// capacity, and bands are separated by an even share of the gap
     /// budget.  Returns `None` if the stack runs off the bottom of the
     /// space — the adaptive scheme's expression of "full".
-    pub fn band_range(
-        &self,
-        space: &AddrSpace,
-        ttl: u8,
-        view: &View<'_>,
-    ) -> Option<(u32, u32)> {
+    pub fn band_range(&self, space: &AddrSpace, ttl: u8, view: &View<'_>) -> Option<(u32, u32)> {
         let n = space.size() as i64;
         let k = self.bands.len();
         let target = self.bands.band_of(ttl);
@@ -208,10 +209,14 @@ impl AdaptiveIpr {
         // actually be occupied simultaneously in practice.
         const GAP_CUSHIONS: f64 = 8.0;
         let gap = ((self.gap_fraction * n as f64) / GAP_CUSHIONS).floor() as i64;
-        let width = |c: u32| -> i64 {
-            ((c as f64 / self.occupancy).ceil() as i64).max(1)
+        let width = |c: u32| -> i64 { ((c as f64 / self.occupancy).ceil() as i64).max(1) };
+        let gap_after = |c: u32| -> i64 {
+            if c == 0 {
+                0
+            } else {
+                gap
+            }
         };
-        let gap_after = |c: u32| -> i64 { if c == 0 { 0 } else { gap } };
 
         // Initial top positions: clustered at the very top, or (hybrid)
         // spread over the top `span` fraction.
@@ -236,6 +241,10 @@ impl AdaptiveIpr {
                 if lo < 0 {
                     return None; // ran off the bottom: space exhausted
                 }
+                debug_assert!(
+                    lo <= hi && hi <= n,
+                    "band range [{lo},{hi}) escapes the space of {n}"
+                );
                 return Some((lo as u32, (hi.max(lo)) as u32));
             }
             // Only occupied bands earn breathing room below them.  The
@@ -244,7 +253,11 @@ impl AdaptiveIpr {
             // with 20% of the space being used for inter-band gaps"),
             // and a band moves only when the one above pushes into it.
             let dynamic_gaps = self.hybrid_span.is_none();
-            hi = if dynamic_gaps { lo - gap_after(counts[band]) } else { lo };
+            hi = if dynamic_gaps {
+                lo - gap_after(counts[band])
+            } else {
+                lo
+            };
             if hi <= 0 {
                 return None;
             }
@@ -277,8 +290,7 @@ impl Allocator for AdaptiveIpr {
         // drift ("partitions can move in response to allocation bursts
         // without colliding"), so extend into it — but never beyond,
         // since past the cushion lies the next band's territory.
-        let cushion =
-            ((self.gap_fraction * space.size() as f64) / 8.0).floor() as u32;
+        let cushion = ((self.gap_fraction * space.size() as f64) / 8.0).floor() as u32;
         if self.hybrid_span.is_none() && cushion > 1 {
             let floor = lo.saturating_sub(cushion - 1);
             return pick_free_in_range(floor, lo, &used, rng);
@@ -405,8 +417,7 @@ mod tests {
         let space = AddrSpace::abstract_space(100);
         // 60 sessions at TTL 1: band width alone exceeds what's left
         // below the 54 bands above it.
-        let s: Vec<VisibleSession> =
-            (0..60).map(|i| VisibleSession::new(Addr(i), 1)).collect();
+        let s: Vec<VisibleSession> = (0..60).map(|i| VisibleSession::new(Addr(i), 1)).collect();
         let view = View::new(&s);
         assert_eq!(a.band_range(&space, 1, &view), None);
     }
@@ -421,7 +432,10 @@ mod tests {
         assert_eq!(hi_top, 10_000);
         // Bottom band around the middle of the space, not at the bottom.
         let (lo_bot, hi_bot) = h.band_range(&space, 1, &view).unwrap();
-        assert!(hi_bot <= 5_800 && lo_bot >= 4_000, "bottom band at {lo_bot}..{hi_bot}");
+        assert!(
+            hi_bot <= 5_800 && lo_bot >= 4_000,
+            "bottom band at {lo_bot}..{hi_bot}"
+        );
     }
 
     #[test]
@@ -444,7 +458,12 @@ mod tests {
             .collect();
         let view2 = View::new(&s2);
         let pushed = h.band_range(&space, 63, &view2).unwrap();
-        assert!(pushed.1 < before.1, "band not pushed: {:?} vs {:?}", pushed, before);
+        assert!(
+            pushed.1 < before.1,
+            "band not pushed: {:?} vs {:?}",
+            pushed,
+            before
+        );
     }
 
     #[test]

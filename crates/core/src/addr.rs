@@ -69,7 +69,12 @@ impl AddrSpace {
 
     /// The concrete IPv4 address for an index.  Panics if out of range.
     pub fn ip(&self, addr: Addr) -> Ipv4Addr {
-        assert!(addr.0 < self.size, "address index {} out of space {}", addr.0, self.size);
+        assert!(
+            addr.0 < self.size,
+            "address index {} out of space {}",
+            addr.0,
+            self.size
+        );
         Ipv4Addr::from(u32::from(self.base) + addr.0)
     }
 

@@ -54,6 +54,10 @@ pub(crate) fn pick_free_in_range(
     rng: &mut SimRng,
 ) -> Option<Addr> {
     assert!(lo <= hi, "inverted range");
+    debug_assert!(
+        used.windows(2).all(|w| w[0] < w[1]),
+        "used list must be sorted and deduplicated"
+    );
     let width = hi - lo;
     if width == 0 {
         return None;
@@ -151,7 +155,9 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut hit_used = false;
         for _ in 0..100 {
-            let a = RandomAllocator.allocate(&space, 127, &view, &mut rng).unwrap();
+            let a = RandomAllocator
+                .allocate(&space, 127, &view, &mut rng)
+                .unwrap();
             assert!(space.contains(a));
             if a.0 < 3 {
                 hit_used = true;
@@ -241,7 +247,10 @@ mod tests {
         let used: Vec<Addr> = (0..1000u32).filter(|&a| a != 613).map(Addr).collect();
         let mut rng = SimRng::new(8);
         for _ in 0..10 {
-            assert_eq!(pick_free_in_range(0, 1000, &used, &mut rng), Some(Addr(613)));
+            assert_eq!(
+                pick_free_in_range(0, 1000, &used, &mut rng),
+                Some(Addr(613))
+            );
         }
     }
 

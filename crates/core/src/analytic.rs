@@ -204,7 +204,10 @@ mod tests {
         // partition grows; smaller invisible fractions always pack better.
         for &i_frac in &[0.01, 0.001, 0.0001, 0.00001] {
             let m_small = eq1_allocations_at_half(100.0, i_frac);
-            assert!(m_small > 10.0, "i={i_frac}: small partition packs {m_small}");
+            assert!(
+                m_small > 10.0,
+                "i={i_frac}: small partition packs {m_small}"
+            );
         }
         let tight = eq1_allocations_at_half(100_000.0, 0.00001);
         let loose = eq1_allocations_at_half(100_000.0, 0.01);

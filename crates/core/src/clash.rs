@@ -138,7 +138,10 @@ pub struct ClashResponder {
 impl ClashResponder {
     /// Create a responder with the given policy.
     pub fn new(policy: ClashPolicy) -> Self {
-        ClashResponder { policy, pending: Vec::new() }
+        ClashResponder {
+            policy,
+            pending: Vec::new(),
+        }
     }
 
     /// Handle a detected clash: a new announcement for `new_session`
@@ -154,30 +157,47 @@ impl ClashResponder {
         rng: &mut SimRng,
     ) -> ClashAction {
         match incumbent {
-            Incumbent::Ours { announced_at, wins_tiebreak } => {
+            Incumbent::Ours {
+                announced_at,
+                wins_tiebreak,
+            } => {
                 if now.saturating_since(announced_at) <= self.policy.recent_window {
                     // Phase 2: we only just announced; the clash is
                     // probably propagation delay and we yield.
-                    ClashAction::ModifyOwn { session: incumbent_session, old_addr: addr }
+                    ClashAction::ModifyOwn {
+                        session: incumbent_session,
+                        old_addr: addr,
+                    }
                 } else if wins_tiebreak {
                     // Phase 1: long-standing session defends itself.
-                    ClashAction::DefendOwn { session: incumbent_session }
+                    ClashAction::DefendOwn {
+                        session: incumbent_session,
+                    }
                 } else {
                     // Both sessions are long-standing (a healed
                     // partition): the tiebreak loser moves.
-                    ClashAction::ModifyOwn { session: incumbent_session, old_addr: addr }
+                    ClashAction::ModifyOwn {
+                        session: incumbent_session,
+                        old_addr: addr,
+                    }
                 }
             }
             Incumbent::Cached => {
-                let delay =
-                    exponential_delay(rng, self.policy.d1, self.policy.d2, self.policy.rtt);
+                let delay = exponential_delay(rng, self.policy.d1, self.policy.d2, self.policy.rtt);
+                debug_assert!(
+                    delay >= self.policy.d1 && delay <= self.policy.d2,
+                    "third-party delay outside [D1, D2]"
+                );
                 let fire_at = now + delay;
                 self.pending.push(PendingDefense {
                     session: incumbent_session,
                     addr,
                     fire_at,
                 });
-                ClashAction::ThirdPartyArmed { session: incumbent_session, fire_at }
+                ClashAction::ThirdPartyArmed {
+                    session: incumbent_session,
+                    fire_at,
+                }
             }
         }
     }
@@ -240,7 +260,10 @@ mod tests {
             t(1000),
             Addr(7),
             sid(1, 1),
-            Incumbent::Ours { announced_at: t(0), wins_tiebreak: true },
+            Incumbent::Ours {
+                announced_at: t(0),
+                wins_tiebreak: true,
+            },
             &mut rng,
         );
         assert_eq!(action, ClashAction::DefendOwn { session: sid(1, 1) });
@@ -255,18 +278,27 @@ mod tests {
             t(105),
             Addr(7),
             sid(1, 1),
-            Incumbent::Ours { announced_at: t(100), wins_tiebreak: true },
+            Incumbent::Ours {
+                announced_at: t(100),
+                wins_tiebreak: true,
+            },
             &mut rng,
         );
         assert_eq!(
             action,
-            ClashAction::ModifyOwn { session: sid(1, 1), old_addr: Addr(7) }
+            ClashAction::ModifyOwn {
+                session: sid(1, 1),
+                old_addr: Addr(7)
+            }
         );
     }
 
     #[test]
     fn phase2_window_boundary() {
-        let policy = ClashPolicy { recent_window: SimDuration::from_secs(10), ..Default::default() };
+        let policy = ClashPolicy {
+            recent_window: SimDuration::from_secs(10),
+            ..Default::default()
+        };
         let mut r = ClashResponder::new(policy);
         let mut rng = SimRng::new(3);
         // Exactly at the window edge: still "recent".
@@ -274,7 +306,10 @@ mod tests {
             t(110),
             Addr(1),
             sid(2, 1),
-            Incumbent::Ours { announced_at: t(100), wins_tiebreak: true },
+            Incumbent::Ours {
+                announced_at: t(100),
+                wins_tiebreak: true,
+            },
             &mut rng,
         );
         assert!(matches!(a, ClashAction::ModifyOwn { .. }));
@@ -283,7 +318,10 @@ mod tests {
             t(111),
             Addr(1),
             sid(2, 1),
-            Incumbent::Ours { announced_at: t(100), wins_tiebreak: true },
+            Incumbent::Ours {
+                announced_at: t(100),
+                wins_tiebreak: true,
+            },
             &mut rng,
         );
         assert!(matches!(b, ClashAction::DefendOwn { .. }));
@@ -316,7 +354,10 @@ mod tests {
         let deadline = r.next_deadline().unwrap();
         assert!(r.poll(deadline - SimDuration::from_nanos(1)).is_empty());
         let fired = r.poll(deadline);
-        assert_eq!(fired, vec![ClashAction::DefendThirdParty { session: sid(3, 2) }]);
+        assert_eq!(
+            fired,
+            vec![ClashAction::DefendThirdParty { session: sid(3, 2) }]
+        );
         assert_eq!(r.pending_count(), 0);
         // Idempotent.
         assert!(r.poll(deadline + SimDuration::from_secs(1)).is_empty());
@@ -375,6 +416,9 @@ mod tests {
             .iter()
             .filter(|&&d| d.saturating_since(min) <= policy.rtt)
             .count();
-        assert!(near < 100, "{near} responders within one RTT of the earliest");
+        assert!(
+            near < 100,
+            "{near} responders within one RTT of the earliest"
+        );
     }
 }

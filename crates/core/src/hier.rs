@@ -31,7 +31,7 @@
 //! eliminated by construction; what remains is intra-domain contention,
 //! where announcements are local, fast and near-lossless.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use sdalloc_sim::SimRng;
 
@@ -96,7 +96,10 @@ impl PrefixRegistry {
     /// An empty registry over a space of `space` addresses.
     pub fn new(space: u32) -> Self {
         assert!(space > 0, "empty space");
-        PrefixRegistry { space, claims: Vec::new() }
+        PrefixRegistry {
+            space,
+            claims: Vec::new(),
+        }
     }
 
     /// Size of the managed space.
@@ -135,8 +138,13 @@ impl PrefixRegistry {
         if insert_at == self.claims.len() && self.space - cursor < size {
             return None;
         }
-        let prefix = Prefix { lo: cursor, hi: cursor + size };
+        let prefix = Prefix {
+            lo: cursor,
+            hi: cursor + size,
+        };
         self.claims.insert(insert_at, (domain, prefix));
+        debug_assert!(prefix.hi <= self.space, "claim overruns the space");
+        debug_assert!(self.is_consistent(), "claims overlap after insert");
         Some(prefix)
     }
 
@@ -153,9 +161,7 @@ impl PrefixRegistry {
 
     /// Sanity: no two claims overlap.
     pub fn is_consistent(&self) -> bool {
-        self.claims
-            .windows(2)
-            .all(|w| w[0].1.hi <= w[1].1.lo)
+        self.claims.windows(2).all(|w| w[0].1.hi <= w[1].1.lo)
     }
 }
 
@@ -204,13 +210,8 @@ impl HierarchicalAllocator {
     }
 
     /// Allocate inside the given domain's prefixes, growing on demand.
-    fn allocate_in_domain(
-        &self,
-        level: u32,
-        view: &View<'_>,
-        rng: &mut SimRng,
-    ) -> Option<Addr> {
-        let mut registry = self.registry.lock().expect("registry poisoned");
+    fn allocate_in_domain(&self, level: u32, view: &View<'_>, rng: &mut SimRng) -> Option<Addr> {
+        let mut registry = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
         let used = view.occupied();
         loop {
             let prefixes = registry.prefixes_of(level);
@@ -258,7 +259,7 @@ impl Allocator for HierarchicalAllocator {
         rng: &mut SimRng,
     ) -> Option<Addr> {
         {
-            let registry = self.registry.lock().expect("registry poisoned");
+            let registry = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
             assert_eq!(
                 registry.space(),
                 space.size(),
@@ -353,9 +354,11 @@ mod tests {
                 seen_a.iter().map(|&x| VisibleSession::new(x, 15)).collect();
             let vb: Vec<VisibleSession> =
                 seen_b.iter().map(|&x| VisibleSession::new(x, 15)).collect();
-            let xa = a.allocate(&space, 15, &View::new(&va), &mut rng)
+            let xa = a
+                .allocate(&space, 15, &View::new(&va), &mut rng)
                 .unwrap_or_else(|| panic!("domain 1 full at {i}"));
-            let xb = b.allocate(&space, 15, &View::new(&vb), &mut rng)
+            let xb = b
+                .allocate(&space, 15, &View::new(&vb), &mut rng)
                 .unwrap_or_else(|| panic!("domain 2 full at {i}"));
             seen_a.push(xa);
             seen_b.push(xb);
@@ -364,7 +367,10 @@ mod tests {
         let sb: std::collections::HashSet<_> = seen_b.iter().collect();
         assert_eq!(sa.len(), 200, "domain 1 self-collided");
         assert_eq!(sb.len(), 200, "domain 2 self-collided");
-        assert!(sa.is_disjoint(&sb), "cross-domain collision despite prefixes");
+        assert!(
+            sa.is_disjoint(&sb),
+            "cross-domain collision despite prefixes"
+        );
         assert!(reg.lock().unwrap().is_consistent());
     }
 
@@ -379,7 +385,11 @@ mod tests {
             let view_data: Vec<VisibleSession> =
                 mine.iter().map(|&a| VisibleSession::new(a, 15)).collect();
             let view = View::new(&view_data);
-            mine.push(alloc.allocate(&space, 15, &view, &mut rng).expect("space remains"));
+            mine.push(
+                alloc
+                    .allocate(&space, 15, &view, &mut rng)
+                    .expect("space remains"),
+            );
         }
         let capacity: u32 = reg
             .lock()
@@ -389,7 +399,10 @@ mod tests {
             .map(Prefix::len)
             .sum();
         assert!(capacity >= 300, "claimed capacity {capacity} too small");
-        assert!(capacity <= 1_024, "claimed capacity {capacity} wastefully large");
+        assert!(
+            capacity <= 1_024,
+            "claimed capacity {capacity} wastefully large"
+        );
     }
 
     #[test]

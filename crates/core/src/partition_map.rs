@@ -57,14 +57,29 @@ impl PartitionMap {
             // n = ceil(32·t / (255·m)), at least one TTL per partition.
             let n = ((32 * t).div_ceil(255 * margin)).max(1);
             let hi = (t + n - 1).min(255);
-            let idx = partitions.len() as u16;
-            partitions.push(TtlPartition { lo: t as u8, hi: hi as u8 });
+            // At most 256 single-TTL partitions exist, so the index
+            // always fits; `t` and `hi` are clamped to 0..=255 above.
+            let idx = u16::try_from(partitions.len())
+                .unwrap_or_else(|_| unreachable!("more than 65535 partitions"));
+            let (lo8, hi8) = match (u8::try_from(t), u8::try_from(hi)) {
+                (Ok(lo), Ok(hi)) => (lo, hi),
+                _ => unreachable!("TTL bounds escape 0..=255"),
+            };
+            partitions.push(TtlPartition { lo: lo8, hi: hi8 });
             for v in t..=hi {
                 by_ttl[v as usize] = idx;
             }
             t = hi + 1;
         }
-        PartitionMap { margin, partitions, by_ttl }
+        debug_assert!(
+            partitions.windows(2).all(|w| w[1].lo == w[0].hi + 1),
+            "partitions must be contiguous and non-overlapping"
+        );
+        PartitionMap {
+            margin,
+            partitions,
+            by_ttl,
+        }
     }
 
     /// The paper's configuration: margin 2, 55 partitions.

@@ -48,7 +48,7 @@ impl StaticIpr {
             separators.windows(2).all(|w| w[0] < w[1]),
             "separators must be strictly ascending"
         );
-        if *separators.last().expect("non-empty") != 255 {
+        if separators.last() != Some(&255) {
             separators.push(255);
         }
         let label = format!("IPR {}-band", separators.len());
@@ -79,10 +79,19 @@ impl StaticIpr {
     /// The address range `[lo, hi)` of band `band` in a space of `size`
     /// addresses: equal split, remainder to the last band.
     pub fn band_range(&self, band: usize, size: u32) -> (u32, u32) {
+        debug_assert!(band < self.bands(), "band index {band} out of range");
         let k = self.bands() as u32;
         let width = size / k;
         let lo = band as u32 * width;
-        let hi = if band + 1 == self.bands() { size } else { lo + width };
+        let hi = if band + 1 == self.bands() {
+            size
+        } else {
+            lo + width
+        };
+        debug_assert!(
+            lo <= hi && hi <= size,
+            "band range [{lo},{hi}) escapes the space"
+        );
         (lo, hi)
     }
 }
@@ -172,7 +181,7 @@ mod tests {
     fn band_fills_up_independently() {
         let a = StaticIpr::three_band();
         let space = AddrSpace::abstract_space(9); // 3 addresses per band
-        // Fill band 0 (addresses 0..3).
+                                                  // Fill band 0 (addresses 0..3).
         let sessions: Vec<VisibleSession> = (0..3u32)
             .map(|i| VisibleSession::new(Addr(i), 15))
             .collect();

@@ -68,11 +68,11 @@ impl<'a> View<'a> {
 
     /// Iterate sessions with TTL at least `min_ttl` — the subset
     /// Deterministic Adaptive IPRMA bases partition geometry on.
-    pub fn with_ttl_at_least(
-        &self,
-        min_ttl: u8,
-    ) -> impl Iterator<Item = VisibleSession> + 'a {
-        self.sessions.iter().copied().filter(move |s| s.ttl >= min_ttl)
+    pub fn with_ttl_at_least(&self, min_ttl: u8) -> impl Iterator<Item = VisibleSession> + 'a {
+        self.sessions
+            .iter()
+            .copied()
+            .filter(move |s| s.ttl >= min_ttl)
     }
 
     /// Sorted, deduplicated list of occupied addresses (any TTL).

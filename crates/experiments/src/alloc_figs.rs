@@ -1,8 +1,6 @@
 //! Runners for the allocation figures: 5, 12 and 13.
 
-use sdalloc_core::{
-    AdaptiveIpr, Allocator, InformedRandomAllocator, RandomAllocator, StaticIpr,
-};
+use sdalloc_core::{AdaptiveIpr, Allocator, InformedRandomAllocator, RandomAllocator, StaticIpr};
 use sdalloc_topology::workload::TtlDistribution;
 use sdalloc_topology::Topology;
 
@@ -44,16 +42,18 @@ pub fn figure13_algorithms() -> Vec<Box<dyn Allocator>> {
 }
 
 /// Figure 5: all four algorithms × all four TTL distributions.
-pub fn figure5(
-    topo: &Topology,
-    sizes: &[u32],
-    trials: usize,
-    seed: u64,
-) -> Vec<FillPoint> {
+pub fn figure5(topo: &Topology, sizes: &[u32], trials: usize, seed: u64) -> Vec<FillPoint> {
     let mut out = Vec::new();
     for alg in figure5_algorithms() {
         for dist in TtlDistribution::all_paper() {
-            out.extend(figure5_sweep(topo, alg.as_ref(), &dist, sizes, trials, seed));
+            out.extend(figure5_sweep(
+                topo,
+                alg.as_ref(),
+                &dist,
+                sizes,
+                trials,
+                seed,
+            ));
         }
     }
     out
@@ -73,22 +73,19 @@ pub struct SteadyPoint {
 
 /// Figure 12: steady-state capacity under random churn, TTL
 /// distribution ds4.
-pub fn figure12(
-    topo: &Topology,
-    sizes: &[u32],
-    repeats: usize,
-    seed: u64,
-) -> Vec<SteadyPoint> {
-    steady_sweep(topo, figure12_algorithms(), sizes, Replacement::Random, repeats, seed)
+pub fn figure12(topo: &Topology, sizes: &[u32], repeats: usize, seed: u64) -> Vec<SteadyPoint> {
+    steady_sweep(
+        topo,
+        figure12_algorithms(),
+        sizes,
+        Replacement::Random,
+        repeats,
+        seed,
+    )
 }
 
 /// Figure 13: the upper bound — replacement preserves (site, TTL).
-pub fn figure13(
-    topo: &Topology,
-    sizes: &[u32],
-    repeats: usize,
-    seed: u64,
-) -> Vec<SteadyPoint> {
+pub fn figure13(topo: &Topology, sizes: &[u32], repeats: usize, seed: u64) -> Vec<SteadyPoint> {
     steady_sweep(
         topo,
         figure13_algorithms(),
@@ -137,7 +134,11 @@ mod tests {
     use sdalloc_topology::mbone::{MboneMap, MboneParams};
 
     fn small_mbone() -> Topology {
-        MboneMap::generate(&MboneParams { seed: 11, target_nodes: 200 }).topo
+        MboneMap::generate(&MboneParams {
+            seed: 11,
+            target_nodes: 200,
+        })
+        .topo
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Runners for the closed-form figures: 4, 6, 10, 11 and the Section
 //! 2.3 worked numbers.
 
-use sdalloc_core::analytic::{
-    birthday_clash_probability, eq1_allocations_at_half, section_2_3,
-};
+use sdalloc_core::analytic::{birthday_clash_probability, eq1_allocations_at_half, section_2_3};
 use sdalloc_core::PartitionMap;
 use sdalloc_topology::hopcount::{hop_count_profiles, ttl_table, TtlTableRow};
 use sdalloc_topology::Topology;
@@ -143,7 +141,7 @@ mod tests {
         let rows = figure11();
         assert_eq!(rows.len(), 256);
         assert_eq!(rows.last().unwrap().1, 54); // zero-based partition 54 = 55th
-        // Monotone non-decreasing.
+                                                // Monotone non-decreasing.
         for w in rows.windows(2) {
             assert!(w[1].1 >= w[0].1);
         }
@@ -151,7 +149,10 @@ mod tests {
 
     #[test]
     fn figure10_runs_on_small_map() {
-        let map = MboneMap::generate(&MboneParams { seed: 9, target_nodes: 250 });
+        let map = MboneMap::generate(&MboneParams {
+            seed: 9,
+            target_nodes: 250,
+        });
         let fig = figure10(&map.topo, 2);
         assert_eq!(fig.table.len(), 4);
         assert_eq!(fig.histograms.len(), 4);

@@ -37,15 +37,12 @@ pub struct Eq1Point {
 /// Each replacement step removes one random session and allocates a new
 /// one that sees all but `i` uniformly-chosen existing sessions; a
 /// clash is picking an address one of the hidden sessions holds.
-pub fn simulate_no_clash_probability(
-    n: u32,
-    m: u32,
-    i: u32,
-    runs: usize,
-    seed: u64,
-) -> f64 {
+pub fn simulate_no_clash_probability(n: u32, m: u32, i: u32, runs: usize, seed: u64) -> f64 {
     assert!(m < n, "partition must not be over-full");
-    assert!((i as usize) < m.max(1) as usize + 1, "cannot hide more than m sessions");
+    assert!(
+        (i as usize) < m.max(1) as usize + 1,
+        "cannot hide more than m sessions"
+    );
     let mut clean_runs = 0usize;
     for run in 0..runs {
         let mut rng = SimRng::new(seed ^ (run as u64 + 1).wrapping_mul(0x9E37_79B9));

@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use sdalloc_core::{
-    Addr, AddrSpace, AdaptiveIpr, Allocator, HierarchicalAllocator, PrefixRegistry, View,
+    AdaptiveIpr, Addr, AddrSpace, Allocator, HierarchicalAllocator, PrefixRegistry, View,
     VisibleSession,
 };
 use sdalloc_sim::SimRng;
@@ -93,20 +93,29 @@ pub fn hier_fill_until_clash(
         let view = View::new(&view_data);
 
         let Some(addr) = alloc.allocate(&space, scope.ttl, &view, rng) else {
-            return HierFill { allocations: count, ended: FillEnd::Exhausted };
+            return HierFill {
+                allocations: count,
+                ended: FillEnd::Exhausted,
+            };
         };
         // Clash check: same address, overlapping scopes.
         if let Some(users) = by_addr.get(&addr) {
             for &i in users {
                 if scopes.zones_overlap(sessions[i].0, scope) {
-                    return HierFill { allocations: count, ended: FillEnd::Clash };
+                    return HierFill {
+                        allocations: count,
+                        ended: FillEnd::Clash,
+                    };
                 }
             }
         }
         by_addr.entry(addr).or_default().push(sessions.len());
         sessions.push((scope, addr));
     }
-    HierFill { allocations: cap, ended: FillEnd::Cap }
+    HierFill {
+        allocations: cap,
+        ended: FillEnd::Cap,
+    }
 }
 
 /// One comparison point.
@@ -123,20 +132,14 @@ pub struct HierPoint {
 }
 
 /// Run the flat-vs-hierarchical sweep.
-pub fn extension_hier(
-    map: &MboneMap,
-    sizes: &[u32],
-    trials: usize,
-    seed: u64,
-) -> Vec<HierPoint> {
+pub fn extension_hier(map: &MboneMap, sizes: &[u32], trials: usize, seed: u64) -> Vec<HierPoint> {
     let dist = TtlDistribution::ds4();
     let mut out = Vec::new();
     let mut scopes = ScopeCache::new(map.topo.clone());
 
     for &size in sizes {
         // Flat: AIPR-3 through the standard world harness.
-        let mut world =
-            crate::world::World::new(map.topo.clone(), AddrSpace::abstract_space(size));
+        let mut world = crate::world::World::new(map.topo.clone(), AddrSpace::abstract_space(size));
         let flat_alg = AdaptiveIpr::aipr3();
         let mut flat_total = 0usize;
         let mut flat_clashes = 0usize;
@@ -166,14 +169,8 @@ pub fn extension_hier(
         let mut hier_clashes = 0usize;
         for t in 0..trials {
             let mut rng = SimRng::new(seed ^ (t as u64) << 8 ^ size as u64 ^ 0xBEEF);
-            let r = hier_fill_until_clash(
-                map,
-                &mut scopes,
-                size,
-                &dist,
-                &mut rng,
-                size as usize * 4,
-            );
+            let r =
+                hier_fill_until_clash(map, &mut scopes, size, &dist, &mut rng, size as usize * 4);
             hier_total += r.allocations;
             if r.ended == FillEnd::Clash {
                 hier_clashes += 1;
@@ -195,7 +192,10 @@ mod tests {
     use sdalloc_topology::mbone::MboneParams;
 
     fn small_map() -> MboneMap {
-        MboneMap::generate(&MboneParams { seed: 13, target_nodes: 200 })
+        MboneMap::generate(&MboneParams {
+            seed: 13,
+            target_nodes: 200,
+        })
     }
 
     #[test]

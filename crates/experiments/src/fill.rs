@@ -34,7 +34,7 @@ pub fn fill_until_clash(
             random_scope_on(topo, dist, rng)
         };
         match world.allocate(alg, scope, rng) {
-            None => break,          // algorithm reports its partition full
+            None => break,            // algorithm reports its partition full
             Some((_, true)) => break, // first clash
             Some((_, false)) => count += 1,
         }
@@ -100,7 +100,11 @@ mod tests {
     use sdalloc_topology::mbone::{MboneMap, MboneParams};
 
     fn small_mbone() -> Topology {
-        MboneMap::generate(&MboneParams { seed: 3, target_nodes: 300 }).topo
+        MboneMap::generate(&MboneParams {
+            seed: 3,
+            target_nodes: 300,
+        })
+        .topo
     }
 
     #[test]
@@ -148,7 +152,11 @@ mod tests {
         let topo = small_mbone();
         let dist = TtlDistribution::ds4();
         let pts = figure5_sweep(&topo, &AdaptiveIpr::aipr1(), &dist, &[600], 4, 4);
-        assert!(pts[0].mean_allocations > 20.0, "AIPR-1 {}", pts[0].mean_allocations);
+        assert!(
+            pts[0].mean_allocations > 20.0,
+            "AIPR-1 {}",
+            pts[0].mean_allocations
+        );
     }
 
     #[test]
@@ -172,14 +180,7 @@ mod tests {
     fn more_space_more_allocations() {
         let topo = small_mbone();
         let dist = TtlDistribution::ds4();
-        let pts = figure5_sweep(
-            &topo,
-            &InformedRandomAllocator,
-            &dist,
-            &[100, 800],
-            6,
-            6,
-        );
+        let pts = figure5_sweep(&topo, &InformedRandomAllocator, &dist, &[100, 800], 6, 6);
         assert!(pts[1].mean_allocations > pts[0].mean_allocations);
     }
 }

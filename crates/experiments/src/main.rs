@@ -50,30 +50,30 @@ fn parse_args() -> Options {
                 opts.seed = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs a number"))
+                    .unwrap_or_else(|| usage("--seed needs a number"));
             }
             "--nodes" => {
                 opts.nodes = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--nodes needs a number"))
+                    .unwrap_or_else(|| usage("--nodes needs a number"));
             }
             "--repeats" => {
                 opts.repeats = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--repeats needs a number"))
+                    .unwrap_or_else(|| usage("--repeats needs a number"));
             }
             "--max-sites" => {
                 opts.max_sites = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--max-sites needs a number"))
+                    .unwrap_or_else(|| usage("--max-sites needs a number"));
             }
             "--out" => {
                 opts.out = Some(PathBuf::from(
                     args.next().unwrap_or_else(|| usage("--out needs a path")),
-                ))
+                ));
             }
             "-h" | "--help" => usage(""),
             other if !other.starts_with('-') => positional.push(other.to_string()),
@@ -102,8 +102,8 @@ fn usage(err: &str) -> ! {
 fn main() {
     let opts = parse_args();
     let known = [
-        "fig4", "fig5", "fig6", "sec23", "fig10", "fig11", "fig12", "fig13", "fig14",
-        "fig15", "fig16", "fig18", "fig19", "ext1", "ext2", "clash", "eq1sim", "all",
+        "fig4", "fig5", "fig6", "sec23", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        "fig16", "fig18", "fig19", "ext1", "ext2", "clash", "eq1sim", "all",
     ];
     if !known.contains(&opts.target.as_str()) {
         usage(&format!("unknown target {}", opts.target));
@@ -202,8 +202,7 @@ fn clash_demo(opts: &Options) {
     for k in 0..scenarios {
         let configs: Vec<DirectoryConfig> = (0..3)
             .map(|i| {
-                let mut cfg =
-                    DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1 + i as u8));
+                let mut cfg = DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1 + i as u8));
                 cfg.space = AddrSpace::abstract_space(2);
                 cfg
             })
@@ -286,7 +285,9 @@ fn clash_demo(opts: &Options) {
     if !resolve_secs.is_empty() {
         let mean = resolve_secs.iter().sum::<f64>() / resolve_secs.len() as f64;
         let pre_heal = resolve_secs.iter().filter(|&&s| s == 0.0).count();
-        println!("mean time from heal to move: {mean:.1}s ({pre_heal} resolved even before the heal,");
+        println!(
+            "mean time from heal to move: {mean:.1}s ({pre_heal} resolved even before the heal,"
+        );
         println!("via a third party that could hear both sides of the partition)");
     }
     println!();
@@ -294,7 +295,11 @@ fn clash_demo(opts: &Options) {
 
 fn ext2(opts: &Options) {
     let (sites, d2s, repeats): (usize, Vec<f64>, usize) = if opts.full {
-        (3_200, vec![800.0, 3_200.0, 12_800.0, 51_200.0], rep(opts, 15))
+        (
+            3_200,
+            vec![800.0, 3_200.0, 12_800.0, 51_200.0],
+            rep(opts, 15),
+        )
     } else {
         (400, vec![800.0, 3_200.0, 12_800.0], rep(opts, 4))
     };
@@ -336,7 +341,11 @@ fn ext1(opts: &Options) {
 }
 
 fn rep(opts: &Options, default: usize) -> usize {
-    if opts.repeats > 0 { opts.repeats } else { default }
+    if opts.repeats > 0 {
+        opts.repeats
+    } else {
+        default
+    }
 }
 
 fn cap_sites(opts: &Options, sites: Vec<u64>) -> Vec<u64> {
@@ -359,8 +368,14 @@ fn emit(opts: &Options, name: &str, title: &str, headers: &[&str], rows: Vec<Vec
 }
 
 fn mbone(opts: &Options) -> MboneMap {
-    eprintln!("# generating Mbone map ({} nodes, seed {})", opts.nodes, opts.seed);
-    MboneMap::generate(&MboneParams { seed: opts.seed, target_nodes: opts.nodes })
+    eprintln!(
+        "# generating Mbone map ({} nodes, seed {})",
+        opts.nodes, opts.seed
+    );
+    MboneMap::generate(&MboneParams {
+        seed: opts.seed,
+        target_nodes: opts.nodes,
+    })
 }
 
 fn fig4(opts: &Options) {
@@ -537,12 +552,7 @@ fn fig13(opts: &Options) {
     );
 }
 
-fn emit_steady(
-    opts: &Options,
-    name: &str,
-    title: &str,
-    pts: Vec<alloc_figs::SteadyPoint>,
-) {
+fn emit_steady(opts: &Options, name: &str, title: &str, pts: Vec<alloc_figs::SteadyPoint>) {
     let rows: Vec<Vec<String>> = pts
         .iter()
         .map(|p| {
@@ -594,7 +604,11 @@ fn fig18(opts: &Options) {
             rep(opts, 20),
         )
     } else {
-        (cap_sites(opts, vec![200, 800]), vec![800.0, 3_200.0], rep(opts, 5))
+        (
+            cap_sites(opts, vec![200, 800]),
+            vec![800.0, 3_200.0],
+            rep(opts, 5),
+        )
     };
     let sim = rr_figs::figure15_16(
         &[rr_figs::Config15::SptExact],
@@ -607,12 +621,7 @@ fn fig18(opts: &Options) {
     emit_sim_rr(opts, "fig18_sim", "Figure 18 (simulated overlay)", sim);
 }
 
-fn emit_analytic_rr(
-    opts: &Options,
-    name: &str,
-    title: &str,
-    pts: Vec<rr_figs::AnalyticPoint>,
-) {
+fn emit_analytic_rr(opts: &Options, name: &str, title: &str, pts: Vec<rr_figs::AnalyticPoint>) {
     let rows: Vec<Vec<String>> = pts
         .iter()
         .map(|p| {
@@ -623,14 +632,28 @@ fn emit_analytic_rr(
             ]
         })
         .collect();
-    emit(opts, name, title, &["sites", "D2 (ms)", "E[responses]"], rows);
+    emit(
+        opts,
+        name,
+        title,
+        &["sites", "D2 (ms)", "E[responses]"],
+        rows,
+    );
 }
 
 fn fig15_16(opts: &Options) {
     let (sites, d2s, repeats): (Vec<u64>, Vec<f64>, usize) = if opts.full {
-        (cap_sites(opts, rr_figs::grids::sites(true)), rr_figs::grids::d2_ms(true), rep(opts, 20))
+        (
+            cap_sites(opts, rr_figs::grids::sites(true)),
+            rr_figs::grids::d2_ms(true),
+            rep(opts, 20),
+        )
     } else {
-        (cap_sites(opts, vec![200, 400, 800]), vec![800.0, 3_200.0, 12_800.0], rep(opts, 4))
+        (
+            cap_sites(opts, vec![200, 400, 800]),
+            vec![800.0, 3_200.0, 12_800.0],
+            rep(opts, 4),
+        )
     };
     let pts = rr_figs::figure15_16(
         &rr_figs::Config15::all(),
@@ -686,10 +709,19 @@ fn fig19(opts: &Options) {
             rep(opts, 15),
         )
     } else {
-        (cap_sites(opts, vec![200, 800]), vec![800.0, 3_200.0, 12_800.0], rep(opts, 4))
+        (
+            cap_sites(opts, vec![200, 800]),
+            vec![800.0, 3_200.0, 12_800.0],
+            rep(opts, 4),
+        )
     };
     let (uniform, exponential) = rr_figs::figure19(&sites, &d2s, repeats, opts.seed);
-    emit_sim_rr(opts, "fig19_uniform", "Figure 19: uniform random delay", uniform);
+    emit_sim_rr(
+        opts,
+        "fig19_uniform",
+        "Figure 19: uniform random delay",
+        uniform,
+    );
     emit_sim_rr(
         opts,
         "fig19_exponential",

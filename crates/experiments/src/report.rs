@@ -40,21 +40,28 @@ pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Write rows as CSV (naive quoting: cells containing commas or quotes
 /// are double-quoted).
-pub fn write_csv(
-    path: &Path,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
     let mut f = fs::File::create(path)?;
-    writeln!(f, "{}", headers.iter().map(|h| csv_cell(h)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        f,
+        "{}",
+        headers
+            .iter()
+            .map(|h| csv_cell(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
     for row in rows {
         writeln!(
             f,
             "{}",
-            row.iter().map(|c| csv_cell(c)).collect::<Vec<_>>().join(",")
+            row.iter()
+                .map(|c| csv_cell(c))
+                .collect::<Vec<_>>()
+                .join(",")
         )?;
     }
     Ok(())

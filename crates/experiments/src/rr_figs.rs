@@ -1,8 +1,6 @@
 //! Runners for the request–response figures: 14, 15, 16, 18, 19.
 
-use sdalloc_rr::analytic::{
-    buckets, expected_responses_exponential, expected_responses_uniform,
-};
+use sdalloc_rr::analytic::{buckets, expected_responses_exponential, expected_responses_uniform};
 use sdalloc_rr::sim::{run_many, DelayDist, Population, RrParams, TreeMode};
 use sdalloc_sim::{SimDuration, SimRng};
 use sdalloc_topology::doar::{generate, DoarParams};
@@ -50,7 +48,13 @@ pub mod grids {
     pub fn d2_ms(full: bool) -> Vec<f64> {
         if full {
             vec![
-                200.0, 800.0, 3_200.0, 12_800.0, 51_200.0, 204_800.0, 819_200.0,
+                200.0,
+                800.0,
+                3_200.0,
+                12_800.0,
+                51_200.0,
+                204_800.0,
+                819_200.0,
                 3_276_800.0,
             ]
         } else {
@@ -123,12 +127,8 @@ impl Config15 {
         let (tree, jitter) = match self {
             Config15::SptExact => (TreeMode::SourceTrees, None),
             Config15::SharedExact => (TreeMode::SharedTree, None),
-            Config15::SptJitter => {
-                (TreeMode::SourceTrees, Some(SimDuration::from_millis(10)))
-            }
-            Config15::SharedJitter => {
-                (TreeMode::SharedTree, Some(SimDuration::from_millis(10)))
-            }
+            Config15::SptJitter => (TreeMode::SourceTrees, Some(SimDuration::from_millis(10))),
+            Config15::SharedJitter => (TreeMode::SharedTree, Some(SimDuration::from_millis(10))),
         };
         RrParams {
             tree,
@@ -260,8 +260,14 @@ mod tests {
         let pts = figure14(&grids::d2_ms(false), &[200, 1_600]);
         assert_eq!(pts.len(), 2 * 5);
         // More sites → more expected responses at fixed D2.
-        let small = pts.iter().find(|p| p.sites == 200 && p.d2_ms == 3_200.0).unwrap();
-        let big = pts.iter().find(|p| p.sites == 1_600 && p.d2_ms == 3_200.0).unwrap();
+        let small = pts
+            .iter()
+            .find(|p| p.sites == 200 && p.d2_ms == 3_200.0)
+            .unwrap();
+        let big = pts
+            .iter()
+            .find(|p| p.sites == 1_600 && p.d2_ms == 3_200.0)
+            .unwrap();
         assert!(big.expected_responses > small.expected_responses);
     }
 
@@ -270,10 +276,7 @@ mod tests {
         let pts = figure18_analytic(&grids::d2_ms(false), &grids::sites(false));
         for p in &pts {
             if p.d2_ms >= 3_200.0 {
-                assert!(
-                    p.expected_responses < 10.0,
-                    "exponential exploded: {p:?}"
-                );
+                assert!(p.expected_responses < 10.0, "exponential exploded: {p:?}");
             }
         }
     }
@@ -296,7 +299,10 @@ mod tests {
         }
         // Longer window suppresses more (per config).
         for cfg in ["A: SPT, delay~distance", "B: shared, delay~distance"] {
-            let short = pts.iter().find(|p| p.config == cfg && p.d2_ms == 800.0).unwrap();
+            let short = pts
+                .iter()
+                .find(|p| p.config == cfg && p.d2_ms == 800.0)
+                .unwrap();
             let long = pts
                 .iter()
                 .find(|p| p.config == cfg && p.d2_ms == 12_800.0)
@@ -315,7 +321,10 @@ mod tests {
         let pts = extension_responders(300, &[3_200.0], 4, 5);
         assert_eq!(pts.len(), 4);
         let get = |name: &str| {
-            pts.iter().find(|p| p.config.starts_with(name)).unwrap().mean_responses
+            pts.iter()
+                .find(|p| p.config.starts_with(name))
+                .unwrap()
+                .mean_responses
         };
         let uniform = get("uniform");
         // Every reduction lever should do no worse than the baseline.

@@ -111,8 +111,7 @@ fn seed_clash_free(
             for _ in 0..64 {
                 let visible = world.visible_at(scope.source);
                 let view = sdalloc_core::View::new(&visible);
-                let Some(addr) = alg.allocate(world.space(), scope.ttl, &view, rng)
-                else {
+                let Some(addr) = alg.allocate(world.space(), scope.ttl, &view, rng) else {
                     break; // this scope's partition is full; redraw
                 };
                 if !world.would_clash(scope, addr) {
@@ -156,9 +155,7 @@ pub fn allocations_at_half(
     // crossing; require an independent confirmation before treating a
     // point as "over", or a gradually-rising clash curve gets its
     // bracket cut absurdly short by one unlucky probe.
-    let over = |n: usize, salt: u64| {
-        prob(n, salt) > 0.5 && prob(n, salt ^ 0x5EED_5EED) > 0.5
-    };
+    let over = |n: usize, salt: u64| prob(n, salt) > 0.5 && prob(n, salt ^ 0x5EED_5EED) > 0.5;
     // Exponential bracket.
     let mut lo = 1usize;
     let mut hi = 2usize;
@@ -205,7 +202,11 @@ mod tests {
     use sdalloc_topology::mbone::{MboneMap, MboneParams};
 
     fn small_mbone() -> Topology {
-        MboneMap::generate(&MboneParams { seed: 5, target_nodes: 200 }).topo
+        MboneMap::generate(&MboneParams {
+            seed: 5,
+            target_nodes: 200,
+        })
+        .topo
     }
 
     #[test]
@@ -245,16 +246,19 @@ mod tests {
         let topo = small_mbone();
         let dist = TtlDistribution::ds4();
         let alg = AdaptiveIpr::aipr1();
-        let p_small = steady_state_clash_probability(
-            &topo, &alg, &dist, 300, 5, Replacement::Random, 10, 3,
-        );
+        let p_small =
+            steady_state_clash_probability(&topo, &alg, &dist, 300, 5, Replacement::Random, 10, 3);
         let p_big = steady_state_clash_probability(
-            &topo, &alg, &dist, 300, 120, Replacement::Random, 10, 3,
+            &topo,
+            &alg,
+            &dist,
+            300,
+            120,
+            Replacement::Random,
+            10,
+            3,
         );
-        assert!(
-            p_big >= p_small,
-            "p(120) = {p_big} < p(5) = {p_small}"
-        );
+        assert!(p_big >= p_small, "p(120) = {p_big} < p(5) = {p_small}");
     }
 
     #[test]
@@ -262,21 +266,19 @@ mod tests {
         let topo = small_mbone();
         let alg = StaticIpr::seven_band();
         let dist = TtlDistribution::ds4();
-        let n_half = allocations_at_half(
-            &topo,
-            &alg,
-            &dist,
-            300,
-            Replacement::Random,
-            8,
-            4,
-            5_000,
-        );
+        let n_half = allocations_at_half(&topo, &alg, &dist, 300, Replacement::Random, 8, 4, 5_000);
         assert!(n_half >= 1);
         assert!(n_half < 5_000, "unbounded result");
         // Probability just below the found point should be moderate.
         let p = steady_state_clash_probability(
-            &topo, &alg, &dist, 300, n_half.max(2) / 2, Replacement::Random, 10, 5,
+            &topo,
+            &alg,
+            &dist,
+            300,
+            n_half.max(2) / 2,
+            Replacement::Random,
+            10,
+            5,
         );
         assert!(p <= 0.8, "p at half the crossing = {p}");
     }
@@ -289,11 +291,17 @@ mod tests {
         let topo = small_mbone();
         let alg = AdaptiveIpr::aipr1();
         let dist = TtlDistribution::ds4();
-        let random = allocations_at_half(
-            &topo, &alg, &dist, 200, Replacement::Random, 10, 6, 2_000,
-        );
+        let random =
+            allocations_at_half(&topo, &alg, &dist, 200, Replacement::Random, 10, 6, 2_000);
         let pinned = allocations_at_half(
-            &topo, &alg, &dist, 200, Replacement::SameSiteAndTtl, 10, 6, 2_000,
+            &topo,
+            &alg,
+            &dist,
+            200,
+            Replacement::SameSiteAndTtl,
+            10,
+            6,
+            2_000,
         );
         // The crossing search has coarse granularity at small spaces;
         // only assert pinned churn is in the same ballpark or better.

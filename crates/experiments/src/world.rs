@@ -83,7 +83,12 @@ impl World {
     pub fn visible_at(&mut self, site: NodeId) -> Vec<VisibleSession> {
         let mut v: Vec<VisibleSession> = Vec::new();
         for s in &self.sessions {
-            if self.scopes.spt().tree(s.scope.source).reaches(site, s.scope.ttl) {
+            if self
+                .scopes
+                .spt()
+                .tree(s.scope.source)
+                .reaches(site, s.scope.ttl)
+            {
                 v.push(VisibleSession::new(s.addr, s.scope.ttl));
             }
         }
@@ -181,8 +186,14 @@ mod tests {
     #[test]
     fn visibility_follows_scope() {
         let mut w = World::new(two_sites(), AddrSpace::abstract_space(16));
-        w.insert(ActiveSession { scope: Scope::new(NodeId(0), 15), addr: Addr(3) });
-        w.insert(ActiveSession { scope: Scope::new(NodeId(3), 127), addr: Addr(5) });
+        w.insert(ActiveSession {
+            scope: Scope::new(NodeId(0), 15),
+            addr: Addr(3),
+        });
+        w.insert(ActiveSession {
+            scope: Scope::new(NodeId(3), 127),
+            addr: Addr(5),
+        });
         // At b1 (node 3): only the global session is visible.
         let at_b1 = w.visible_at(NodeId(3));
         assert_eq!(at_b1.len(), 1);
@@ -195,7 +206,10 @@ mod tests {
     #[test]
     fn clash_requires_same_addr_and_overlap() {
         let mut w = World::new(two_sites(), AddrSpace::abstract_space(16));
-        w.insert(ActiveSession { scope: Scope::new(NodeId(0), 15), addr: Addr(3) });
+        w.insert(ActiveSession {
+            scope: Scope::new(NodeId(0), 15),
+            addr: Addr(3),
+        });
         // Same address, non-overlapping site: no clash.
         assert!(!w.would_clash(Scope::new(NodeId(3), 15), Addr(3)));
         // Same address, overlapping: clash.
@@ -213,10 +227,14 @@ mod tests {
         // Fill from node 0 at global scope: all allocations visible
         // everywhere, so informed-random never clashes until full.
         for k in 0..4 {
-            let (_, clash) = w.allocate(&alg, Scope::new(NodeId(0), 127), &mut rng).unwrap();
+            let (_, clash) = w
+                .allocate(&alg, Scope::new(NodeId(0), 127), &mut rng)
+                .unwrap();
             assert!(!clash, "clash at allocation {k}");
         }
-        assert!(w.allocate(&alg, Scope::new(NodeId(0), 127), &mut rng).is_none());
+        assert!(w
+            .allocate(&alg, Scope::new(NodeId(0), 127), &mut rng)
+            .is_none());
     }
 
     #[test]
@@ -225,11 +243,15 @@ mod tests {
         let mut rng = SimRng::new(2);
         let alg = InformedRandomAllocator;
         // A site-local session at a0 is invisible at b1...
-        let (a, clash) = w.allocate(&alg, Scope::new(NodeId(0), 15), &mut rng).unwrap();
+        let (a, clash) = w
+            .allocate(&alg, Scope::new(NodeId(0), 15), &mut rng)
+            .unwrap();
         assert!(!clash);
         assert_eq!(a, Addr(0));
         // ...so b1's global allocation picks the same address and clashes.
-        let (b, clash) = w.allocate(&alg, Scope::new(NodeId(3), 127), &mut rng).unwrap();
+        let (b, clash) = w
+            .allocate(&alg, Scope::new(NodeId(3), 127), &mut rng)
+            .unwrap();
         assert_eq!(b, Addr(0));
         assert!(clash, "the TTL-scoping asymmetry must bite");
     }
@@ -268,7 +290,10 @@ mod tests {
     #[test]
     fn clear_sessions_retains_cache() {
         let mut w = World::new(two_sites(), AddrSpace::abstract_space(8));
-        w.insert(ActiveSession { scope: Scope::new(NodeId(0), 127), addr: Addr(0) });
+        w.insert(ActiveSession {
+            scope: Scope::new(NodeId(0), 127),
+            addr: Addr(0),
+        });
         w.visible_at(NodeId(3));
         w.clear_sessions();
         assert!(w.is_empty());

@@ -98,8 +98,8 @@ pub fn expected_responses_naive(n: u64, bucket_mass: &[f64]) -> f64 {
     for b in 0..d {
         let p = bucket_mass[b] / s; // this bucket
         let after = suffix[b + 1] / s; // strictly after
-        // Σ_k k·C(n,k)·p^k·after^(n−k) = n·p·(p+after)^(n−1)
-        // — but verify by literal summation as the paper writes it:
+                                       // Σ_k k·C(n,k)·p^k·after^(n−k) = n·p·(p+after)^(n−1)
+                                       // — but verify by literal summation as the paper writes it:
         let mut eb = 0.0;
         for k in 1..=n {
             let log_c = ln_choose(n, k);
@@ -239,7 +239,12 @@ mod tests {
         for w in d2_values.windows(2) {
             let e_short = expected_responses_uniform(1_600, buckets(w[0], 200.0));
             let e_long = expected_responses_uniform(1_600, buckets(w[1], 200.0));
-            assert!(e_long < e_short, "D2 {} → {e_short}, {} → {e_long}", w[0], w[1]);
+            assert!(
+                e_long < e_short,
+                "D2 {} → {e_short}, {} → {e_long}",
+                w[0],
+                w[1]
+            );
         }
         for w in sites.windows(2) {
             let e_small = expected_responses_uniform(w[0], 256);

@@ -119,10 +119,8 @@ impl<'a> RrSim<'a> {
     }
 
     fn shared_tree(&mut self) -> &SharedTree {
-        if self.shared.is_none() {
-            self.shared = Some(SharedTree::with_central_core(self.topo));
-        }
-        self.shared.as_ref().expect("just built")
+        self.shared
+            .get_or_insert_with(|| SharedTree::with_central_core(self.topo))
     }
 
     /// Run one request–response exchange from `requester`, with all
@@ -179,7 +177,10 @@ impl<'a> RrSim<'a> {
                     d1 + sdalloc_sim::SimDuration::from_nanos((span * frac) as u64)
                 }
             };
-            candidates.push(Candidate { node: NodeId(i as u32), send_at: a + d });
+            candidates.push(Candidate {
+                node: NodeId(i as u32),
+                send_at: a + d,
+            });
         }
         // Earliest first; ties broken by node id for determinism.
         candidates.sort_by_key(|c| (c.send_at, c.node.0));
@@ -227,7 +228,10 @@ impl<'a> RrSim<'a> {
             let _ = resp_hops; // hop counts reserved for stats
         }
 
-        RrOutcome { responses, first_response: first_at_requester }
+        RrOutcome {
+            responses,
+            first_response: first_at_requester,
+        }
     }
 
     /// One-to-all delivery delays from `src` under the params' routing
@@ -477,7 +481,11 @@ mod tests {
             u.mean_responses,
             r.mean_responses
         );
-        assert!(r.mean_responses < 12.0, "ranked too chatty: {}", r.mean_responses);
+        assert!(
+            r.mean_responses < 12.0,
+            "ranked too chatty: {}",
+            r.mean_responses
+        );
     }
 
     #[test]

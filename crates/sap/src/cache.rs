@@ -67,7 +67,10 @@ impl AnnouncementCache {
     /// hour, whichever is the greater"; pass that in from the directory's
     /// announcement schedule.
     pub fn new(timeout: SimDuration) -> Self {
-        AnnouncementCache { entries: HashMap::new(), timeout }
+        AnnouncementCache {
+            entries: HashMap::new(),
+            timeout,
+        }
     }
 
     /// Feed one announcement heard at `now`.
@@ -80,7 +83,12 @@ impl AnnouncementCache {
             None => {
                 self.entries.insert(
                     key,
-                    CacheEntry { desc, first_heard: now, last_heard: now, announcements: 1 },
+                    CacheEntry {
+                        desc,
+                        first_heard: now,
+                        last_heard: now,
+                        announcements: 1,
+                    },
                 );
                 CacheUpdate::New
             }
@@ -88,8 +96,8 @@ impl AnnouncementCache {
                 if desc.origin.version < entry.desc.origin.version {
                     return CacheUpdate::Stale;
                 }
-                let modified = desc.origin.version > entry.desc.origin.version
-                    || desc != entry.desc;
+                let modified =
+                    desc.origin.version > entry.desc.origin.version || desc != entry.desc;
                 entry.desc = desc;
                 entry.last_heard = now;
                 entry.announcements += 1;
@@ -180,7 +188,13 @@ mod tests {
     use super::*;
     use crate::sdp::{Media, Origin};
 
-    fn desc(origin_ip: [u8; 4], sid: u64, version: u64, group: [u8; 4], ttl: u8) -> SessionDescription {
+    fn desc(
+        origin_ip: [u8; 4],
+        sid: u64,
+        version: u64,
+        group: [u8; 4],
+        ttl: u8,
+    ) -> SessionDescription {
         SessionDescription {
             origin: Origin {
                 username: "-".into(),
@@ -212,7 +226,10 @@ mod tests {
         let mut c = AnnouncementCache::new(SimDuration::from_secs(3600));
         let d1 = desc([10, 0, 0, 1], 7, 1, [224, 2, 128, 5], 63);
         assert_eq!(c.observe_announce(t(0), d1.clone()), CacheUpdate::New);
-        assert_eq!(c.observe_announce(t(10), d1.clone()), CacheUpdate::Refreshed);
+        assert_eq!(
+            c.observe_announce(t(10), d1.clone()),
+            CacheUpdate::Refreshed
+        );
         let mut d2 = d1.clone();
         d2.origin.version = 2;
         d2.group = Ipv4Addr::new(224, 2, 128, 9);

@@ -279,12 +279,26 @@ mod tests {
         let mut rng = SimRng::new(1);
         let in_use = vec![VisibleSession::new(sdalloc_core::Addr(5), 127)];
         let a = reg
-            .create_category("misc", 127, &space, &InformedRandomAllocator, &in_use, &mut rng)
+            .create_category(
+                "misc",
+                127,
+                &space,
+                &InformedRandomAllocator,
+                &in_use,
+                &mut rng,
+            )
             .unwrap();
         assert_ne!(a.group, space.ip(sdalloc_core::Addr(5)));
         // Idempotent: the same name returns the existing group.
         let b = reg
-            .create_category("misc", 127, &space, &InformedRandomAllocator, &in_use, &mut rng)
+            .create_category(
+                "misc",
+                127,
+                &space,
+                &InformedRandomAllocator,
+                &in_use,
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(a, b);
     }
@@ -300,8 +314,12 @@ mod tests {
         sessions.insert("bulk".to_string(), (990usize, 400usize));
         let report = bandwidth(&reg, &sessions, 600.0, 60);
         // Flat: 1000 sessions' announcements; subscribed: 10 plus base.
-        assert!(report.subscribed_bps < report.flat_bps / 10.0,
-            "subscribed {} vs flat {}", report.subscribed_bps, report.flat_bps);
+        assert!(
+            report.subscribed_bps < report.flat_bps / 10.0,
+            "subscribed {} vs flat {}",
+            report.subscribed_bps,
+            report.flat_bps
+        );
         // Base channel cost is shared by both.
         assert!(report.subscribed_bps > 0.0);
     }

@@ -21,8 +21,8 @@ use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use sdalloc_core::{
-    Addr, AddrSpace, Allocator, ClashAction, ClashPolicy, ClashResponder, Incumbent,
-    SessionId, View, VisibleSession,
+    Addr, AddrSpace, Allocator, ClashAction, ClashPolicy, ClashResponder, Incumbent, SessionId,
+    View, VisibleSession,
 };
 use sdalloc_sim::{SimDuration, SimRng, SimTime};
 
@@ -220,7 +220,12 @@ impl SessionDirectory {
         };
         self.own.insert(
             session_id,
-            OwnSession { desc, first_announced: now, sends: 0, next_send: now },
+            OwnSession {
+                desc,
+                first_announced: now,
+                sends: 0,
+                next_send: now,
+            },
         );
         Ok(session_id)
     }
@@ -229,7 +234,11 @@ impl SessionDirectory {
     pub fn withdraw_session(&mut self, session_id: u64) -> Option<SapPacket> {
         let s = self.own.remove(&session_id)?;
         let payload = s.desc.format();
-        Some(SapPacket::delete(self.cfg.host, msg_id_hash(&payload), payload))
+        Some(SapPacket::delete(
+            self.cfg.host,
+            msg_id_hash(&payload),
+            payload,
+        ))
     }
 
     /// Advance time: emit due announcements, fire expired third-party
@@ -313,7 +322,8 @@ impl SessionDirectory {
         };
 
         if pkt.message_type == MessageType::Delete {
-            self.cache.observe_delete(desc.origin.address, desc.origin.session_id);
+            self.cache
+                .observe_delete(desc.origin.address, desc.origin.session_id);
             return (out, events);
         }
 
@@ -324,9 +334,7 @@ impl SessionDirectory {
 
         // Our own announcement echoed back (multicast loop or a third
         // party defending us): nothing to do.
-        if desc.origin.address == self.cfg.host
-            && self.own.contains_key(&desc.origin.session_id)
-        {
+        if desc.origin.address == self.cfg.host && self.own.contains_key(&desc.origin.session_id) {
             return (out, events);
         }
 
@@ -354,7 +362,10 @@ impl SessionDirectory {
             .collect();
         for id in own_clashes {
             let s = &self.own[&id];
-            let our_sid = SessionId { site: u32::from(self.cfg.host), seq: id as u32 };
+            let our_sid = SessionId {
+                site: u32::from(self.cfg.host),
+                seq: id as u32,
+            };
             // Total order for the post-partition mutual-clash tiebreak:
             // lowest (origin address, session id) keeps the address.
             let ours_key = (u32::from(self.cfg.host), id);
@@ -369,16 +380,26 @@ impl SessionDirectory {
                 },
                 rng,
             );
-            events.push(DirectoryEvent::Clash { group: desc.group, action: action.clone() });
+            events.push(DirectoryEvent::Clash {
+                group: desc.group,
+                action: action.clone(),
+            });
             match action {
                 ClashAction::DefendOwn { .. } => {
                     // Phase 1: re-send immediately.
-                    out.push(Self::announcement_packet(self.cfg.host, &self.own[&id].desc));
+                    out.push(Self::announcement_packet(
+                        self.cfg.host,
+                        &self.own[&id].desc,
+                    ));
                 }
                 ClashAction::ModifyOwn { .. } => {
                     // Phase 2: move to a fresh address and re-announce.
                     if let Some((from, to)) = self.move_session(id, rng) {
-                        events.push(DirectoryEvent::Moved { session_id: id, from, to });
+                        events.push(DirectoryEvent::Moved {
+                            session_id: id,
+                            from,
+                            to,
+                        });
                         out.push(Self::announcement_packet(
                             self.cfg.host,
                             &self.own[&id].desc,
@@ -402,7 +423,10 @@ impl SessionDirectory {
             .map(|(k, _)| (k.origin, k.session_id))
             .collect();
         for (origin, session_id) in incumbents {
-            let sid = SessionId { site: u32::from(origin), seq: session_id as u32 };
+            let sid = SessionId {
+                site: u32::from(origin),
+                seq: session_id as u32,
+            };
             let action = self.responder.on_clash(
                 now,
                 self.cfg.space.index_of(desc.group).unwrap_or(Addr(0)),
@@ -410,7 +434,10 @@ impl SessionDirectory {
                 Incumbent::Cached,
                 rng,
             );
-            events.push(DirectoryEvent::Clash { group: desc.group, action });
+            events.push(DirectoryEvent::Clash {
+                group: desc.group,
+                action,
+            });
         }
 
         (out, events)
@@ -420,10 +447,10 @@ impl SessionDirectory {
     fn move_session(&mut self, session_id: u64, rng: &mut SimRng) -> Option<(Ipv4Addr, Ipv4Addr)> {
         let view_data = self.current_view();
         let view = View::new(&view_data);
-        let ttl = self.own[&session_id].desc.ttl;
+        let ttl = self.own.get(&session_id)?.desc.ttl;
         let addr = self.allocator.allocate(&self.cfg.space, ttl, &view, rng)?;
         let new_group = self.cfg.space.ip(addr);
-        let s = self.own.get_mut(&session_id).expect("own session exists");
+        let s = self.own.get_mut(&session_id)?;
         let old_group = s.desc.group;
         s.desc.group = new_group;
         s.desc.origin.version += 1;
@@ -447,7 +474,12 @@ mod tests {
     use sdalloc_core::InformedRandomAllocator;
 
     fn media() -> Vec<Media> {
-        vec![Media { kind: "audio".into(), port: 5004, proto: "RTP/AVP".into(), format: 0 }]
+        vec![Media {
+            kind: "audio".into(),
+            port: 5004,
+            proto: "RTP/AVP".into(),
+            format: 0,
+        }]
     }
 
     fn directory(host: [u8; 4]) -> SessionDirectory {
@@ -464,7 +496,9 @@ mod tests {
     fn create_and_announce() {
         let mut d = directory([10, 0, 0, 1]);
         let mut rng = SimRng::new(1);
-        let id = d.create_session(t(0), "seminar", 63, media(), &mut rng).unwrap();
+        let id = d
+            .create_session(t(0), "seminar", 63, media(), &mut rng)
+            .unwrap();
         let pkts = d.poll(t(0));
         assert_eq!(pkts.len(), 1);
         let desc = SessionDescription::parse(&pkts[0].payload).unwrap();
@@ -499,7 +533,10 @@ mod tests {
         b.create_session(t(1), "b", 63, media(), &mut rng).unwrap();
         let ga: Vec<Ipv4Addr> = a.own_sessions().map(|(_, s)| s.desc.group).collect();
         let gb: Vec<Ipv4Addr> = b.own_sessions().map(|(_, s)| s.desc.group).collect();
-        assert_ne!(ga[0], gb[0], "informed allocation must avoid the cached group");
+        assert_ne!(
+            ga[0], gb[0],
+            "informed allocation must avoid the cached group"
+        );
     }
 
     #[test]
@@ -533,7 +570,9 @@ mod tests {
         let (replies, events) = a.handle_packet(t(2), &pkt, &mut rng);
         // a announced at t=0, clash at t=2 (inside the recent window):
         // phase 2 → move.
-        assert!(events.iter().any(|e| matches!(e, DirectoryEvent::Moved { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, DirectoryEvent::Moved { .. })));
         assert_eq!(replies.len(), 1);
         let new_desc = SessionDescription::parse(&replies[0].payload).unwrap();
         assert_ne!(new_desc.group, group);
@@ -567,9 +606,13 @@ mod tests {
         let pkt = SapPacket::announce(competing.origin.address, msg_id_hash(&payload), payload);
         // Clash arrives long after our announcement: phase 1, defend.
         let (replies, events) = a.handle_packet(t(5_000), &pkt, &mut rng);
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, DirectoryEvent::Clash { action: ClashAction::DefendOwn { .. }, .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            DirectoryEvent::Clash {
+                action: ClashAction::DefendOwn { .. },
+                ..
+            }
+        )));
         assert_eq!(replies.len(), 1);
         let defended = SessionDescription::parse(&replies[0].payload).unwrap();
         assert_eq!(defended.group, group);
@@ -624,9 +667,13 @@ mod tests {
             &SapPacket::announce(b_desc.origin.address, msg_id_hash(&pb), pb),
             &mut rng,
         );
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, DirectoryEvent::Clash { action: ClashAction::ThirdPartyArmed { .. }, .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            DirectoryEvent::Clash {
+                action: ClashAction::ThirdPartyArmed { .. },
+                ..
+            }
+        )));
         // Nothing before the deadline...
         let deadline = c.next_wakeup().unwrap();
         assert!(c.poll(deadline - SimDuration::from_nanos(1)).is_empty());
@@ -801,7 +848,9 @@ mod tests {
         // free again.
         d.poll(t(200));
         assert_eq!(d.cached_sessions(), 0);
-        assert!(d.create_session(t(201), "mine", 63, media(), &mut rng).is_ok());
+        assert!(d
+            .create_session(t(201), "mine", 63, media(), &mut rng)
+            .is_ok());
     }
 
     #[test]

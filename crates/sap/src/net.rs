@@ -43,7 +43,10 @@ impl SapSocket {
         sock.join_multicast_v4(&group, &Ipv4Addr::UNSPECIFIED)?;
         sock.set_multicast_loop_v4(true)?;
         sock.set_multicast_ttl_v4(ttl.max(1) as u32)?;
-        Ok(SapSocket { sock, dest: SocketAddrV4::new(group, port) })
+        Ok(SapSocket {
+            sock,
+            dest: SocketAddrV4::new(group, port),
+        })
     }
 
     /// Join the well-known SAP group/port (224.2.127.254:9875).
@@ -59,12 +62,16 @@ impl SapSocket {
     /// Receive one packet, waiting at most `timeout`.  Returns
     /// `Ok(None)` on timeout or on an undecodable datagram.
     pub fn recv_timeout(&self, timeout: Duration) -> io::Result<Option<SapPacket>> {
-        self.sock.set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        self.sock
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
         let mut buf = [0u8; 2048];
         match self.sock.recv_from(&mut buf) {
             Ok((len, _src)) => Ok(SapPacket::decode(&buf[..len]).ok()),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock
-                || e.kind() == io::ErrorKind::TimedOut => Ok(None),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
             Err(e) => Err(e),
         }
     }
@@ -129,7 +136,8 @@ impl SapAgent {
         media: Vec<Media>,
     ) -> Result<u64, CreateError> {
         let now = self.now();
-        self.directory.create_session(now, name, ttl, media, &mut self.rng)
+        self.directory
+            .create_session(now, name, ttl, media, &mut self.rng)
     }
 
     /// Current stats snapshot.
@@ -167,27 +175,34 @@ impl SapAgent {
         let (cmd_tx, cmd_rx): (Sender<Command>, Receiver<Command>) = bounded(16);
         let stats = Arc::new(Mutex::new(AgentStats::default()));
         let stats_writer = Arc::clone(&stats);
-        let thread = std::thread::spawn(move || {
-            loop {
-                match cmd_rx.try_recv() {
-                    Ok(Command::Create { name, ttl, media, reply }) => {
-                        let _ = reply.send(self.create_session(&name, ttl, media));
-                    }
-                    Ok(Command::Withdraw { id }) => {
-                        if let Some(pkt) = self.directory.withdraw_session(id) {
-                            let _ = self.socket.send(&pkt);
-                        }
-                    }
-                    Err(crossbeam::channel::TryRecvError::Disconnected) => break,
-                    Err(crossbeam::channel::TryRecvError::Empty) => {}
+        let thread = std::thread::spawn(move || loop {
+            match cmd_rx.try_recv() {
+                Ok(Command::Create {
+                    name,
+                    ttl,
+                    media,
+                    reply,
+                }) => {
+                    let _ = reply.send(self.create_session(&name, ttl, media));
                 }
-                if self.step(Duration::from_millis(100)).is_err() {
-                    break;
+                Ok(Command::Withdraw { id }) => {
+                    if let Some(pkt) = self.directory.withdraw_session(id) {
+                        let _ = self.socket.send(&pkt);
+                    }
                 }
-                *stats_writer.lock() = self.stats();
+                Err(crossbeam::channel::TryRecvError::Disconnected) => break,
+                Err(crossbeam::channel::TryRecvError::Empty) => {}
             }
+            if self.step(Duration::from_millis(100)).is_err() {
+                break;
+            }
+            *stats_writer.lock() = self.stats();
         });
-        AgentHandle { cmd: cmd_tx, stats, thread: Some(thread) }
+        AgentHandle {
+            cmd: cmd_tx,
+            stats,
+            thread: Some(thread),
+        }
     }
 }
 
@@ -269,12 +284,19 @@ mod tests {
     }
 
     fn media() -> Vec<Media> {
-        vec![Media { kind: "audio".into(), port: 5004, proto: "RTP/AVP".into(), format: 0 }]
+        vec![Media {
+            kind: "audio".into(),
+            port: 5004,
+            proto: "RTP/AVP".into(),
+            format: 0,
+        }]
     }
 
     #[test]
     fn socket_loopback_roundtrip() {
-        let Some(sock) = try_socket(29875) else { return };
+        let Some(sock) = try_socket(29875) else {
+            return;
+        };
         let pkt = SapPacket::announce(
             Ipv4Addr::new(127, 0, 0, 1),
             0xABCD,
@@ -298,7 +320,9 @@ mod tests {
 
     #[test]
     fn two_agents_over_loopback() {
-        let Some(sock_a) = try_socket(29876) else { return };
+        let Some(sock_a) = try_socket(29876) else {
+            return;
+        };
         let Ok(sock_b) = SapSocket::open(Ipv4Addr::new(239, 195, 255, 253), 29876, 1) else {
             eprintln!("skipping: cannot open second socket (no SO_REUSEADDR?)");
             return;
@@ -326,7 +350,9 @@ mod tests {
 
     #[test]
     fn spawned_agent_responds_to_commands() {
-        let Some(sock) = try_socket(29877) else { return };
+        let Some(sock) = try_socket(29877) else {
+            return;
+        };
         let mut cfg = DirectoryConfig::new(Ipv4Addr::new(127, 0, 0, 9));
         cfg.space = AddrSpace::abstract_space(64);
         let agent = SapAgent::new(cfg, Box::new(InformedRandomAllocator), sock, 3);

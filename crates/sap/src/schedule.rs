@@ -50,7 +50,11 @@ impl BackoffSchedule {
     /// A constant-interval schedule (the pre-paper sdr behaviour, used
     /// as the ablation baseline).
     pub fn constant(interval: SimDuration) -> Self {
-        BackoffSchedule { initial: interval, factor: 1, cap: interval }
+        BackoffSchedule {
+            initial: interval,
+            factor: 1,
+            cap: interval,
+        }
     }
 
     /// The interval to wait *after* the `n`-th transmission (n = 0 for
@@ -79,11 +83,7 @@ impl BackoffSchedule {
     /// Mean effective announcement-propagation delay at this schedule's
     /// *initial* repeat spacing, per Section 2.3:
     /// `(1-loss)·delay + loss·repeat`.
-    pub fn effective_initial_delay(
-        &self,
-        network_delay: SimDuration,
-        loss: f64,
-    ) -> SimDuration {
+    pub fn effective_initial_delay(&self, network_delay: SimDuration, loss: f64) -> SimDuration {
         network_delay.mul_f64(1.0 - loss) + self.interval_after(0).mul_f64(loss)
     }
 }

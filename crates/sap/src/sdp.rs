@@ -261,8 +261,18 @@ mod tests {
             start: 0,
             stop: 0,
             media: vec![
-                Media { kind: "audio".into(), port: 49170, proto: "RTP/AVP".into(), format: 0 },
-                Media { kind: "video".into(), port: 51372, proto: "RTP/AVP".into(), format: 31 },
+                Media {
+                    kind: "audio".into(),
+                    port: 49170,
+                    proto: "RTP/AVP".into(),
+                    format: 0,
+                },
+                Media {
+                    kind: "video".into(),
+                    port: 51372,
+                    proto: "RTP/AVP".into(),
+                    format: 31,
+                },
             ],
         }
     }
@@ -338,7 +348,8 @@ mod tests {
 
     #[test]
     fn rejects_malformed_media() {
-        let text = "v=0\no=- 1 1 IN IP4 10.0.0.1\ns=x\nc=IN IP4 224.2.0.1/63\nt=0 0\nm=audio 5004\n";
+        let text =
+            "v=0\no=- 1 1 IN IP4 10.0.0.1\ns=x\nc=IN IP4 224.2.0.1/63\nt=0 0\nm=audio 5004\n";
         assert!(matches!(
             SessionDescription::parse(text),
             Err(SdpError::Malformed(_))

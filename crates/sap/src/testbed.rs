@@ -157,7 +157,11 @@ impl Testbed {
                 let now = ctx.now();
                 let (replies, events) = directories[to].handle_packet(now, &pkt, rng);
                 for e in events {
-                    log.push(LoggedEvent { at: now, node: to, event: e });
+                    log.push(LoggedEvent {
+                        at: now,
+                        node: to,
+                        event: e,
+                    });
                 }
                 for reply in replies {
                     fan_out(ctx, channel, rng, blocked, directories.len(), to, reply);
@@ -190,7 +194,13 @@ fn fan_out(
         match channel.transmit(rng) {
             Transmission::Lost => {}
             Transmission::Delivered(delay) => {
-                ctx.schedule_after(delay, Event::Deliver { to, pkt: pkt.clone() });
+                ctx.schedule_after(
+                    delay,
+                    Event::Deliver {
+                        to,
+                        pkt: pkt.clone(),
+                    },
+                );
             }
         }
     }
@@ -221,7 +231,12 @@ mod tests {
     }
 
     fn media() -> Vec<Media> {
-        vec![Media { kind: "audio".into(), port: 5004, proto: "RTP/AVP".into(), format: 0 }]
+        vec![Media {
+            kind: "audio".into(),
+            port: 5004,
+            proto: "RTP/AVP".into(),
+            format: 0,
+        }]
     }
 
     #[test]
@@ -322,7 +337,9 @@ mod tests {
         let g1 = tb.directory(1).own_sessions().next().unwrap().1.desc.group;
         assert_ne!(g0, g1, "clash not resolved after heal");
         assert!(
-            tb.log.iter().any(|e| matches!(e.event, DirectoryEvent::Moved { .. })),
+            tb.log
+                .iter()
+                .any(|e| matches!(e.event, DirectoryEvent::Moved { .. })),
             "no session moved: {:?}",
             tb.log
         );

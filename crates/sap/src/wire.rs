@@ -198,7 +198,13 @@ impl SapPacket {
         let payload = std::str::from_utf8(payload_bytes)
             .map_err(|_| WireError::BadPayload)?
             .to_string();
-        Ok(SapPacket { message_type, msg_id_hash, source, auth, payload })
+        Ok(SapPacket {
+            message_type,
+            msg_id_hash,
+            source,
+            auth,
+            payload,
+        })
     }
 }
 
@@ -267,22 +273,31 @@ mod tests {
 
     #[test]
     fn wrong_version_rejected() {
-        let mut raw = SapPacket::announce(src(), 1, "v=0\r\n".into()).encode().to_vec();
+        let mut raw = SapPacket::announce(src(), 1, "v=0\r\n".into())
+            .encode()
+            .to_vec();
         raw[0] = (2 << 5) | (raw[0] & 0x1f);
         assert_eq!(SapPacket::decode(&raw), Err(WireError::BadVersion(2)));
     }
 
     #[test]
     fn ipv6_flag_rejected() {
-        let mut raw = SapPacket::announce(src(), 1, "v=0\r\n".into()).encode().to_vec();
+        let mut raw = SapPacket::announce(src(), 1, "v=0\r\n".into())
+            .encode()
+            .to_vec();
         raw[0] |= 0x10;
-        assert_eq!(SapPacket::decode(&raw), Err(WireError::UnsupportedAddressType));
+        assert_eq!(
+            SapPacket::decode(&raw),
+            Err(WireError::UnsupportedAddressType)
+        );
     }
 
     #[test]
     fn encrypted_or_compressed_rejected() {
         for bit in [0x01u8, 0x02] {
-            let mut raw = SapPacket::announce(src(), 1, "v=0\r\n".into()).encode().to_vec();
+            let mut raw = SapPacket::announce(src(), 1, "v=0\r\n".into())
+                .encode()
+                .to_vec();
             raw[0] |= bit;
             assert_eq!(SapPacket::decode(&raw), Err(WireError::UnsupportedEncoding));
         }
@@ -290,7 +305,9 @@ mod tests {
 
     #[test]
     fn overlong_auth_rejected() {
-        let mut raw = SapPacket::announce(src(), 1, "v=0\r\n".into()).encode().to_vec();
+        let mut raw = SapPacket::announce(src(), 1, "v=0\r\n".into())
+            .encode()
+            .to_vec();
         raw[1] = 200; // 800 bytes of auth data that aren't there
         assert_eq!(SapPacket::decode(&raw), Err(WireError::BadAuthLength));
     }

@@ -70,14 +70,20 @@ pub struct LossModel {
 
 impl LossModel {
     /// A lossless channel.
-    pub const NONE: LossModel = LossModel { drop_probability: 0.0 };
+    pub const NONE: LossModel = LossModel {
+        drop_probability: 0.0,
+    };
 
     /// The paper's default 2% loss.
-    pub const MBONE_DEFAULT: LossModel = LossModel { drop_probability: 0.02 };
+    pub const MBONE_DEFAULT: LossModel = LossModel {
+        drop_probability: 0.02,
+    };
 
     /// Create a model with the given drop probability (clamped to \[0,1\]).
     pub fn new(p: f64) -> Self {
-        LossModel { drop_probability: p.clamp(0.0, 1.0) }
+        LossModel {
+            drop_probability: p.clamp(0.0, 1.0),
+        }
     }
 
     /// Decide whether a packet is dropped.
@@ -107,7 +113,10 @@ pub enum Transmission {
 impl Channel {
     /// A perfect channel with the given constant delay.
     pub fn perfect(delay: SimDuration) -> Self {
-        Channel { loss: LossModel::NONE, delay: DelayModel::Constant(delay) }
+        Channel {
+            loss: LossModel::NONE,
+            delay: DelayModel::Constant(delay),
+        }
     }
 
     /// The paper's Section 2.3 operating point: 200 ms delay, 2% loss.

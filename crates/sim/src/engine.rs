@@ -92,7 +92,11 @@ impl<E> SimContext<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Scheduled { due: at, seq, payload });
+        self.queue.push(Scheduled {
+            due: at,
+            seq,
+            payload,
+        });
     }
 
     /// Schedule `payload` to fire `after` from now.
@@ -120,7 +124,9 @@ impl<E> Default for Simulator<E> {
 impl<E> Simulator<E> {
     /// Create an empty simulator at t = 0.
     pub fn new() -> Self {
-        Simulator { ctx: SimContext::new() }
+        Simulator {
+            ctx: SimContext::new(),
+        }
     }
 
     /// Access the context to seed initial events before running.

@@ -40,10 +40,7 @@ impl SimRng {
     #[inline]
     pub fn next_u64_raw(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -183,7 +180,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -272,7 +271,9 @@ mod tests {
         let mut parent = SimRng::new(23);
         let mut c1 = parent.fork();
         let mut c2 = parent.fork();
-        let same = (0..64).filter(|_| c1.next_u64_raw() == c2.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| c1.next_u64_raw() == c2.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 

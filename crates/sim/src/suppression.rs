@@ -149,9 +149,7 @@ mod tests {
         let mut rng = SimRng::new(6);
         let n = 200_000;
         let early = (0..n)
-            .filter(|_| {
-                exponential_delay(&mut rng, s(0.0), s(10.0), s(1.0)).as_secs_f64() < 1.0
-            })
+            .filter(|_| exponential_delay(&mut rng, s(0.0), s(10.0), s(1.0)).as_secs_f64() < 1.0)
             .count();
         let frac = early as f64 / n as f64;
         assert!(frac < 0.004, "early fraction {frac}");

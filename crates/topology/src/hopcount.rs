@@ -54,7 +54,10 @@ pub fn hop_count_profiles(topo: &Topology, ttls: &[u8], stride: usize) -> Vec<Ho
     assert!(stride >= 1, "stride must be positive");
     let mut profiles: Vec<HopCountProfile> = ttls
         .iter()
-        .map(|&ttl| HopCountProfile { ttl, histogram: Histogram::new() })
+        .map(|&ttl| HopCountProfile {
+            ttl,
+            histogram: Histogram::new(),
+        })
         .collect();
     for src_idx in (0..topo.node_count()).step_by(stride) {
         let tree = SourceTree::compute(topo, NodeId(src_idx as u32));
@@ -145,7 +148,10 @@ mod tests {
         // to TTL, the ordering 16 < 47 <= 63 < 127 must hold, and the
         // maxima must stay under DVMRP infinity (32).  The paper's values
         // are 3.1/7.0/7.7/10.6 most-frequent and 10/18/18/26 max.
-        let map = MboneMap::generate(&MboneParams { seed: 1, target_nodes: 1000 });
+        let map = MboneMap::generate(&MboneParams {
+            seed: 1,
+            target_nodes: 1000,
+        });
         let table = ttl_table(&map.topo, 3);
         assert_eq!(table.len(), 4);
         let mf: Vec<f64> = table.iter().map(|r| r.most_frequent).collect();
@@ -162,7 +168,10 @@ mod tests {
 
     #[test]
     fn stride_subsampling_close_to_full() {
-        let map = MboneMap::generate(&MboneParams { seed: 2, target_nodes: 400 });
+        let map = MboneMap::generate(&MboneParams {
+            seed: 2,
+            target_nodes: 400,
+        });
         let full = hop_count_profiles(&map.topo, &[127], 1);
         let sub = hop_count_profiles(&map.topo, &[127], 5);
         // Means should agree within ~20%.

@@ -63,10 +63,19 @@ impl From<io::Error> for MapfileError {
 /// Serialise a topology to the map format.
 pub fn save_str(topo: &Topology) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# sdalloc topology map: {} nodes, {} links", topo.node_count(), topo.link_count());
+    let _ = writeln!(
+        out,
+        "# sdalloc topology map: {} nodes, {} links",
+        topo.node_count(),
+        topo.link_count()
+    );
     for v in topo.node_ids() {
         let label = topo.node(v).label.replace(char::is_whitespace, "_");
-        let label = if label.is_empty() { "-".to_string() } else { label };
+        let label = if label.is_empty() {
+            "-".to_string()
+        } else {
+            label
+        };
         let _ = writeln!(out, "node {} {}", v.0, label);
     }
     for link in topo.links() {
@@ -110,8 +119,15 @@ pub fn load_str(text: &str) -> Result<Topology, MapfileError> {
                 if id as usize != topo.node_count() {
                     return Err(MapfileError::BadNodeOrder(lineno));
                 }
-                let label = if fields[2] == "-" { String::new() } else { fields[2].to_string() };
-                topo.add_node(Node { label, pos: (0.0, 0.0) });
+                let label = if fields[2] == "-" {
+                    String::new()
+                } else {
+                    fields[2].to_string()
+                };
+                topo.add_node(Node {
+                    label,
+                    pos: (0.0, 0.0),
+                });
             }
             Some(&"link") => {
                 if fields.len() != 9
@@ -121,10 +137,10 @@ pub fn load_str(text: &str) -> Result<Topology, MapfileError> {
                 {
                     return Err(MapfileError::Malformed(lineno, raw.to_string()));
                 }
-                let parse =
-                    |s: &str| -> Result<u64, MapfileError> {
-                        s.parse().map_err(|_| MapfileError::Malformed(lineno, raw.to_string()))
-                    };
+                let parse = |s: &str| -> Result<u64, MapfileError> {
+                    s.parse()
+                        .map_err(|_| MapfileError::Malformed(lineno, raw.to_string()))
+                };
                 let a = parse(fields[1])? as u32;
                 let b = parse(fields[2])? as u32;
                 let metric = parse(fields[4])? as u32;
@@ -162,7 +178,10 @@ mod tests {
 
     #[test]
     fn roundtrip_small_map() {
-        let map = MboneMap::generate(&MboneParams { seed: 3, target_nodes: 150 });
+        let map = MboneMap::generate(&MboneParams {
+            seed: 3,
+            target_nodes: 150,
+        });
         let text = save_str(&map.topo);
         let loaded = load_str(&text).unwrap();
         assert_eq!(loaded.node_count(), map.topo.node_count());
@@ -182,7 +201,10 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let map = MboneMap::generate(&MboneParams { seed: 4, target_nodes: 100 });
+        let map = MboneMap::generate(&MboneParams {
+            seed: 4,
+            target_nodes: 100,
+        });
         let dir = std::env::temp_dir().join("sdalloc_mapfile_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("map.txt");
@@ -204,7 +226,10 @@ mod tests {
 
     #[test]
     fn malformed_lines_rejected() {
-        assert!(matches!(load_str("bogus"), Err(MapfileError::Malformed(1, _))));
+        assert!(matches!(
+            load_str("bogus"),
+            Err(MapfileError::Malformed(1, _))
+        ));
         assert!(matches!(
             load_str("node 0"),
             Err(MapfileError::Malformed(1, _))
@@ -246,7 +271,10 @@ mod tests {
     #[test]
     fn whitespace_in_labels_flattened() {
         let mut topo = Topology::new();
-        topo.add_node(Node { label: "has space".into(), pos: (0.0, 0.0) });
+        topo.add_node(Node {
+            label: "has space".into(),
+            pos: (0.0, 0.0),
+        });
         let text = save_str(&topo);
         let loaded = load_str(&text).unwrap();
         assert_eq!(loaded.node(NodeId(0)).label, "has_space");

@@ -99,7 +99,10 @@ pub struct MboneParams {
 
 impl Default for MboneParams {
     fn default() -> Self {
-        MboneParams { seed: 0x05da_110c, target_nodes: 1864 }
+        MboneParams {
+            seed: 0x05da_110c,
+            target_nodes: 1864,
+        }
     }
 }
 
@@ -178,7 +181,11 @@ impl MboneMap {
         link_countries(&mut topo, &countries, &mut rng);
 
         debug_assert!(topo.is_connected(), "generated map must be connected");
-        MboneMap { topo, node_country, countries }
+        MboneMap {
+            topo,
+            node_country,
+            countries,
+        }
     }
 
     /// Nodes in a given country.
@@ -217,7 +224,10 @@ fn build_country(
         country_idx: u16,
         label: String,
     ) -> NodeId {
-        let id = topo.add_node(crate::graph::Node { label, pos: (0.0, 0.0) });
+        let id = topo.add_node(crate::graph::Node {
+            label,
+            pos: (0.0, 0.0),
+        });
         node_country.push(country_idx);
         id
     }
@@ -238,7 +248,9 @@ fn build_country(
     let mut used = nb;
 
     // Regional hubs.
-    let nr = (budget / 25).clamp(1, 10).min(budget.saturating_sub(used).max(1));
+    let nr = (budget / 25)
+        .clamp(1, 10)
+        .min(budget.saturating_sub(used).max(1));
     let regions: Vec<NodeId> = (0..nr)
         .map(|i| {
             let hub = add(topo, node_country, country_idx, format!("{name}/r{i}"));
@@ -259,12 +271,22 @@ fn build_country(
             size += 1;
         }
         let size = size.min(remaining);
-        let gw = add(topo, node_country, country_idx, format!("{name}/s{site_no}/gw"));
+        let gw = add(
+            topo,
+            node_country,
+            country_idx,
+            format!("{name}/s{site_no}/gw"),
+        );
         let hub = *rng.choose(&regions);
         topo.add_link(gw, hub, 1, THRESHOLD_SITE, ms(2 + rng.below(7)));
         let mut members = vec![gw];
         for r in 1..size {
-            let v = add(topo, node_country, country_idx, format!("{name}/s{site_no}/r{r}"));
+            let v = add(
+                topo,
+                node_country,
+                country_idx,
+                format!("{name}/s{site_no}/r{r}"),
+            );
             // Chain bias: usually extend the most recent router, giving
             // organisations some depth (paper: up to ~10 hops at TTL 16).
             let parent = if rng.chance(0.7) {
@@ -279,7 +301,11 @@ fn build_country(
         site_no += 1;
     }
 
-    Country { name: name.to_string(), continent, backbone }
+    Country {
+        name: name.to_string(),
+        continent,
+        backbone,
+    }
 }
 
 /// Wire countries together: TTL-48 borders inside Europe, TTL-64
@@ -342,7 +368,13 @@ fn link_countries(topo: &mut Topology, countries: &[Country], rng: &mut SimRng) 
         (Continent::Asia, Continent::Oceania),
     ];
     for (x, y) in pairs {
-        topo.add_link(hub(x), hub(y), 1, THRESHOLD_INTERNATIONAL, ms(40 + rng.below(50)));
+        topo.add_link(
+            hub(x),
+            hub(y),
+            1,
+            THRESHOLD_INTERNATIONAL,
+            ms(40 + rng.below(50)),
+        );
     }
 }
 
@@ -353,7 +385,10 @@ mod tests {
     use crate::scope::{Scope, ScopeCache};
 
     fn small_map() -> MboneMap {
-        MboneMap::generate(&MboneParams { seed: 1, target_nodes: 400 })
+        MboneMap::generate(&MboneParams {
+            seed: 1,
+            target_nodes: 400,
+        })
     }
 
     #[test]
@@ -365,8 +400,14 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        let a = MboneMap::generate(&MboneParams { seed: 7, target_nodes: 500 });
-        let b = MboneMap::generate(&MboneParams { seed: 7, target_nodes: 500 });
+        let a = MboneMap::generate(&MboneParams {
+            seed: 7,
+            target_nodes: 500,
+        });
+        let b = MboneMap::generate(&MboneParams {
+            seed: 7,
+            target_nodes: 500,
+        });
         assert_eq!(a.topo.node_count(), b.topo.node_count());
         assert_eq!(a.topo.link_count(), b.topo.link_count());
         assert_eq!(a.node_country, b.node_country);
@@ -374,13 +415,27 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = MboneMap::generate(&MboneParams { seed: 1, target_nodes: 500 });
-        let b = MboneMap::generate(&MboneParams { seed: 2, target_nodes: 500 });
+        let a = MboneMap::generate(&MboneParams {
+            seed: 1,
+            target_nodes: 500,
+        });
+        let b = MboneMap::generate(&MboneParams {
+            seed: 2,
+            target_nodes: 500,
+        });
         // Same node count (budgeted) but different wiring.
         assert_eq!(a.topo.node_count(), b.topo.node_count());
         assert_ne!(
-            a.topo.links().iter().map(|l| (l.a, l.b)).collect::<Vec<_>>(),
-            b.topo.links().iter().map(|l| (l.a, l.b)).collect::<Vec<_>>()
+            a.topo
+                .links()
+                .iter()
+                .map(|l| (l.a, l.b))
+                .collect::<Vec<_>>(),
+            b.topo
+                .links()
+                .iter()
+                .map(|l| (l.a, l.b))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -460,7 +515,9 @@ mod tests {
         let map = small_map();
         let mut cache = ScopeCache::new(map.topo.clone());
         let src = map.countries[0].backbone[0]; // NA hub
-        let set = cache.reach_set(Scope::new(src, ttl::INTERCONTINENTAL)).clone();
+        let set = cache
+            .reach_set(Scope::new(src, ttl::INTERCONTINENTAL))
+            .clone();
         let continents: std::collections::HashSet<_> =
             set.iter().map(|v| map.continent_of(v)).collect();
         assert!(continents.len() >= 3, "TTL-127 reached {continents:?}");
@@ -502,11 +559,17 @@ mod tests {
         let src = map.countries[uk].backbone[0];
         let z47 = cache.zone_size(Scope::new(src, ttl::NATIONAL_EU));
         let z63 = cache.zone_size(Scope::new(src, ttl::INTERNATIONAL));
-        assert!(z47 < z63, "47-zone {z47} should be smaller than 63-zone {z63}");
+        assert!(
+            z47 < z63,
+            "47-zone {z47} should be smaller than 63-zone {z63}"
+        );
         // And the 47 zone is exactly the UK's reachable portion.
         let set = cache.reach_set(Scope::new(src, ttl::NATIONAL_EU)).clone();
         for v in set.iter() {
-            assert_eq!(map.countries[map.node_country[v.index()] as usize].name, "uk");
+            assert_eq!(
+                map.countries[map.node_country[v.index()] as usize].name,
+                "uk"
+            );
         }
     }
 

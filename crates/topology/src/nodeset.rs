@@ -44,7 +44,11 @@ impl NodeSet {
     #[inline]
     pub fn insert(&mut self, id: NodeId) {
         let i = id.index();
-        assert!(i < self.capacity, "node id {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "node id {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / 64] |= 1 << (i % 64);
     }
 
@@ -187,7 +191,10 @@ mod tests {
         b.insert(NodeId(3));
         let mut u = a.clone();
         u.union_with(&b);
-        assert_eq!(u.iter().collect::<Vec<_>>(), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            u.iter().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
         let mut i = a.clone();
         i.intersect_with(&b);
         assert_eq!(i.iter().collect::<Vec<_>>(), vec![NodeId(2)]);

@@ -107,7 +107,10 @@ impl SourceTree {
         // are always finished before children.
         let mut required_ttl = vec![TTL_UNREACHABLE; n];
         required_ttl[source.index()] = 0;
-        let mut order: Vec<NodeId> = (0..n as u32).map(NodeId).filter(|v| done[v.index()]).collect();
+        let mut order: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|v| done[v.index()])
+            .collect();
         order.sort_by_key(|v| hops[v.index()]);
         for v in order {
             if v == source {
@@ -121,7 +124,14 @@ impl SourceTree {
             required_ttl[v.index()] = need.min(TTL_UNREACHABLE as u32 - 1) as u16;
         }
 
-        SourceTree { source, parent, metric, hops, delay, required_ttl }
+        SourceTree {
+            source,
+            parent,
+            metric,
+            hops,
+            delay,
+            required_ttl,
+        }
     }
 
     /// Whether a packet sent with `ttl` from this tree's source reaches `v`.
@@ -144,7 +154,10 @@ impl SourceTree {
 
     /// Nodes reachable at `ttl` with their hop distance and delay —
     /// the per-source ingredient of the Figure 10 hop-count histograms.
-    pub fn reach_with_hops(&self, ttl: u8) -> impl Iterator<Item = (NodeId, u32, SimDuration)> + '_ {
+    pub fn reach_with_hops(
+        &self,
+        ttl: u8,
+    ) -> impl Iterator<Item = (NodeId, u32, SimDuration)> + '_ {
         let ttl = ttl as u32;
         self.required_ttl
             .iter()
@@ -171,7 +184,10 @@ impl SptCache {
     /// Wrap a topology.
     pub fn new(topo: Topology) -> Self {
         let n = topo.node_count();
-        SptCache { topo, trees: (0..n).map(|_| None).collect() }
+        SptCache {
+            topo,
+            trees: (0..n).map(|_| None).collect(),
+        }
     }
 
     /// The underlying topology.
@@ -209,7 +225,10 @@ pub struct SharedTree {
 impl SharedTree {
     /// Build the shared tree rooted at `core`.
     pub fn compute(topo: &Topology, core: NodeId) -> SharedTree {
-        SharedTree { core, tree: SourceTree::compute(topo, core) }
+        SharedTree {
+            core,
+            tree: SourceTree::compute(topo, core),
+        }
     }
 
     /// Pick the most central node (minimum eccentricity by delay over a
@@ -276,8 +295,9 @@ impl SharedTree {
     /// Hop count along the tree path between `a` and `b`.
     pub fn path_hops(&self, a: NodeId, b: NodeId) -> Option<u32> {
         let lca = self.lca(a, b)?;
-        Some(self.tree.hops[a.index()] + self.tree.hops[b.index()]
-            - 2 * self.tree.hops[lca.index()])
+        Some(
+            self.tree.hops[a.index()] + self.tree.hops[b.index()] - 2 * self.tree.hops[lca.index()],
+        )
     }
 
     /// Lowest common ancestor of `a` and `b` on the tree.
@@ -510,8 +530,14 @@ mod tests {
         assert_eq!(a.hops, b.hops);
         assert_eq!(a.required_ttl, b.required_ttl);
         assert_eq!(
-            a.parent.iter().map(|p| p.map(|(n, _)| n)).collect::<Vec<_>>(),
-            b.parent.iter().map(|p| p.map(|(n, _)| n)).collect::<Vec<_>>()
+            a.parent
+                .iter()
+                .map(|p| p.map(|(n, _)| n))
+                .collect::<Vec<_>>(),
+            b.parent
+                .iter()
+                .map(|p| p.map(|(n, _)| n))
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -45,7 +45,10 @@ pub struct ScopeCache {
 impl ScopeCache {
     /// Wrap a topology.
     pub fn new(topo: Topology) -> Self {
-        ScopeCache { spt: SptCache::new(topo), sets: HashMap::new() }
+        ScopeCache {
+            spt: SptCache::new(topo),
+            sets: HashMap::new(),
+        }
     }
 
     /// The underlying topology.

@@ -64,8 +64,7 @@ impl TtlDistribution {
         TtlDistribution::new(
             "ds4",
             vec![
-                1, 1, 1, 1, 1, 1, 1, 1, 15, 15, 15, 15, 15, 15, 31, 31, 47, 47, 63,
-                63, 127, 191,
+                1, 1, 1, 1, 1, 1, 1, 1, 15, 15, 15, 15, 15, 15, 31, 31, 47, 47, 63, 63, 127, 191,
             ],
         )
     }

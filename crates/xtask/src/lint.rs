@@ -1,0 +1,588 @@
+//! The custom source lint pass.
+//!
+//! Three rules, all scoped to where their failure mode actually bites:
+//!
+//! * **panic-path** — `.unwrap()`, `.expect(`, `panic!`, `todo!` and
+//!   `unimplemented!` are banned in the non-test code of the protocol
+//!   and allocator crates (`crates/core`, `crates/sap`, `crates/rr`).
+//!   A session directory is a long-running daemon; an allocator that
+//!   panics on a malformed announcement takes the whole agent down.
+//!   `unreachable!` stays legal: it documents a statically impossible
+//!   branch rather than an unhandled input.
+//! * **rng-discipline** — non-deterministic RNG construction
+//!   (`thread_rng`, `OsRng`, `from_entropy`, `rand::random`) is banned
+//!   everywhere except `crates/sim/src/rng.rs`.  Every simulation result
+//!   in the paper reproduction must be replayable from a seed.
+//! * **truncating-cast** — `as u8` / `as u16` / `as u32` are banned in
+//!   the address-arithmetic files (`addr.rs`, `partition_map.rs`), where
+//!   a silent truncation corrupts an address instead of crashing.
+//!
+//! The scanner is deliberately lexical: it masks comments, string and
+//! character literals (preserving line structure), skips `#[cfg(test)]`
+//! regions by brace matching, and then applies substring rules per
+//! line.  A `lint:allow(<rule>)` marker in a comment on the offending
+//! line suppresses a finding — grep-able, and loud in review.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test source must be panic-free (directory prefixes,
+/// workspace-relative).
+const PANIC_FREE: &[&str] = &["crates/core/src/", "crates/sap/src/", "crates/rr/src/"];
+
+/// Files where truncating `as` casts are banned.
+const CAST_CHECKED: &[&str] = &[
+    "crates/core/src/addr.rs",
+    "crates/core/src/partition_map.rs",
+];
+
+/// The one file allowed to construct RNG state from the environment.
+const RNG_EXEMPT: &[&str] = &["crates/sim/src/rng.rs"];
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Panicking calls in protocol/allocator code paths.
+    PanicPath,
+    /// Unseeded / non-deterministic RNG construction.
+    RngDiscipline,
+    /// Truncating `as` casts in address arithmetic.
+    TruncatingCast,
+}
+
+impl Rule {
+    /// The name used in reports and in `lint:allow(...)` markers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::PanicPath => "panic-path",
+            Rule::RngDiscipline => "rng-discipline",
+            Rule::TruncatingCast => "truncating-cast",
+        }
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// What was found.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Run the lint pass over every `.rs` file under `<root>/crates`.
+/// Returns the findings plus the number of files scanned.
+pub fn run(root: &Path) -> (Vec<Finding>, usize) {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+    let mut findings = Vec::new();
+    let mut scanned = 0;
+    for path in files {
+        let Ok(source) = fs::read_to_string(&path) else {
+            continue;
+        };
+        scanned += 1;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(scan_source(&rel, &source));
+    }
+    (findings, scanned)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scan one file's source; `rel` is its workspace-relative path.
+pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
+    let masked = mask_comments_and_strings(source);
+    let in_test = test_region_lines(&masked);
+    let raw_lines: Vec<&str> = source.lines().collect();
+
+    let panic_scoped = PANIC_FREE.iter().any(|p| rel.starts_with(p));
+    let cast_scoped = CAST_CHECKED.contains(&rel);
+    let rng_scoped = !RNG_EXEMPT.contains(&rel);
+
+    let mut findings = Vec::new();
+    for (i, line) in masked.lines().enumerate() {
+        if in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let raw = raw_lines.get(i).copied().unwrap_or("");
+        let allowed = |rule: Rule| raw.contains(&format!("lint:allow({})", rule.name()));
+        let mut push = |rule: Rule, message: String| {
+            if !allowed(rule) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule,
+                    message,
+                });
+            }
+        };
+
+        if panic_scoped {
+            for pat in [".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"] {
+                if line.contains(pat) {
+                    push(
+                        Rule::PanicPath,
+                        format!("`{pat}` in protocol/allocator code (use Option/Result; `unreachable!` is allowed for impossible branches)"),
+                    );
+                }
+            }
+        }
+        if rng_scoped {
+            for pat in ["thread_rng", "OsRng", "from_entropy", "rand::random"] {
+                if line.contains(pat) {
+                    push(
+                        Rule::RngDiscipline,
+                        format!("`{pat}` constructs a non-deterministic RNG; seed a SimRng instead (only crates/sim/src/rng.rs may touch entropy)"),
+                    );
+                }
+            }
+        }
+        if cast_scoped {
+            for pat in ["as u8", "as u16", "as u32"] {
+                if contains_cast(line, pat) {
+                    push(
+                        Rule::TruncatingCast,
+                        format!("truncating `{pat}` in address arithmetic; use `try_from` or restructure to the narrow type"),
+                    );
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Whether `line` contains `pat` ("as uN") as a whole-token cast.
+fn contains_cast(line: &str, pat: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(pat) {
+        let at = start + pos;
+        let before_ok =
+            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let end = at + pat.len();
+        let after_ok =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+/// Replace the contents of comments and string/char literals with
+/// spaces, preserving newlines so line numbers survive.
+pub fn mask_comments_and_strings(source: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        CharLit,
+    }
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Str;
+                    out.push(b'"');
+                    i += 1;
+                } else if b == b'r'
+                    && matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#'))
+                    && !prev_is_ident(&out)
+                {
+                    // r"..." or r#"..."# raw string.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        state = State::RawStr(hashes);
+                        out.resize(out.len() + (j - i + 1), b' ');
+                        i = j + 1;
+                    } else {
+                        out.push(b);
+                        i += 1;
+                    }
+                } else if b == b'\'' && is_char_literal(bytes, i) {
+                    state = State::CharLit;
+                    out.push(b'\'');
+                    i += 1;
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Code;
+                    out.push(b'"');
+                    i += 1;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && bytes.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        state = State::Code;
+                        out.resize(out.len() + (j - i), b' ');
+                        i = j;
+                        continue;
+                    }
+                }
+                out.push(if b == b'\n' { b'\n' } else { b' ' });
+                i += 1;
+            }
+            State::CharLit => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'\'' {
+                    state = State::Code;
+                    out.push(b'\'');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Masked output is byte-for-byte positionally aligned ASCII-safe.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Whether the masked output so far ends in an identifier character
+/// (distinguishes the raw-string prefix `r"` from an identifier ending
+/// in `r`).
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last()
+        .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// Whether the `'` at `bytes[i]` starts a char literal (vs a lifetime).
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => {
+            // 'x' is a char literal; 'x followed by anything else is a
+            // lifetime.  Multibyte chars: scan to the closing quote
+            // within a few bytes.
+            bytes[i + 1..].iter().take(5).skip(1).any(|&b| b == b'\'')
+        }
+        None => false,
+    }
+}
+
+/// Per-line flags: `true` where the line falls inside a `#[cfg(test)]`
+/// item (the attribute line through the item's closing brace).
+pub fn test_region_lines(masked: &str) -> Vec<bool> {
+    let line_count = masked.lines().count();
+    let mut flags = vec![false; line_count];
+    // Byte offset of each line start, for offset→line translation.
+    let mut line_starts = vec![0usize];
+    for (i, b) in masked.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |off: usize| -> usize {
+        match line_starts.binary_search(&off) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        }
+    };
+
+    let mut search_from = 0;
+    while let Some(pos) = masked[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + pos;
+        let after = attr_at + "#[cfg(test)]".len();
+        // The guarded item runs to the matching close of the first `{`
+        // opened after the attribute (or to the first `;` if none —
+        // e.g. `#[cfg(test)] use ...;`).
+        let bytes = masked.as_bytes();
+        let mut j = after;
+        let mut depth = 0usize;
+        let mut end = masked.len();
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = j;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let (start_line, end_line) = (line_of(attr_at), line_of(end.min(masked.len() - 1)));
+        for flag in flags.iter_mut().take(end_line + 1).skip(start_line) {
+            *flag = true;
+        }
+        search_from = end.min(masked.len());
+        if search_from <= attr_at {
+            break;
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(rel: &str, src: &str) -> Vec<Finding> {
+        scan_source(rel, src)
+    }
+
+    #[test]
+    fn unwrap_in_core_flagged() {
+        let f = find(
+            "crates/core/src/alloc.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::PanicPath);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn expect_and_panic_flagged() {
+        let src = "fn f() { g().expect(\"boom\"); }\nfn h() { panic!(\"no\"); }\n";
+        let f = find("crates/sap/src/directory.rs", src);
+        assert_eq!(f.len(), 2);
+        assert_eq!((f[0].line, f[1].line), (1, 2));
+    }
+
+    #[test]
+    fn unwrap_outside_scoped_crates_ignored() {
+        let f = find(
+            "crates/sim/src/engine.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_not_flagged() {
+        let f = find(
+            "crates/core/src/hier.rs",
+            "fn f() { lock().unwrap_or_else(PoisonError::into_inner); }\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unreachable_allowed() {
+        let f = find("crates/core/src/adaptive.rs", "fn f() { unreachable!() }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn test_module_skipped() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap() }\n}\n";
+        let f = find("crates/core/src/alloc.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn code_after_test_module_still_scanned() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap() }\n}\nfn g() { y.unwrap(); }\n";
+        let f = find("crates/core/src/alloc.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn comments_and_strings_masked() {
+        let src = "// calls .unwrap() freely\nfn f() { log(\"never .unwrap() here\"); }\n";
+        let f = find("crates/core/src/alloc.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let src = "fn f() { x.unwrap() } // lint:allow(panic-path): startup only\n";
+        let f = find("crates/core/src/alloc.rs", src);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn rng_discipline_flags_entropy_sources() {
+        for pat in [
+            "rand::thread_rng()",
+            "OsRng.next_u64()",
+            "SmallRng::from_entropy()",
+        ] {
+            let src = format!("fn f() {{ let r = {pat}; }}\n");
+            let f = find("crates/experiments/src/main.rs", &src);
+            assert_eq!(f.len(), 1, "{pat}");
+            assert_eq!(f[0].rule, Rule::RngDiscipline);
+        }
+    }
+
+    #[test]
+    fn rng_exempt_file_ignored() {
+        let f = find("crates/sim/src/rng.rs", "fn f() { from_entropy(); }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn truncating_cast_flagged_in_addr_files() {
+        let f = find(
+            "crates/core/src/partition_map.rs",
+            "fn f(x: u32) -> u8 { x as u8 }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::TruncatingCast);
+    }
+
+    #[test]
+    fn widening_cast_not_flagged() {
+        let f = find(
+            "crates/core/src/addr.rs",
+            "fn f(x: u8) -> u64 { x as u64 + 1 }\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn cast_in_other_files_ignored() {
+        let f = find(
+            "crates/core/src/analytic.rs",
+            "fn f(x: u64) -> u32 { x as u32 }\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn masking_preserves_line_count() {
+        let src = "fn a() {}\n/* multi\nline\ncomment */\nfn b() { \"s\ntring\"; }\n";
+        let masked = mask_comments_and_strings(src);
+        assert_eq!(src.lines().count(), masked.lines().count());
+    }
+
+    #[test]
+    fn lifetimes_do_not_confuse_masking() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g() { y.unwrap(); }\n";
+        let f = find("crates/core/src/view.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn char_literals_masked() {
+        let src = "fn f() { let q = '\"'; let n = '\\n'; x.unwrap(); }\n";
+        let f = find("crates/core/src/view.rs", src);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_masked() {
+        let src = "fn f() { let s = r#\".unwrap() panic!\"#; }\n";
+        let f = find("crates/core/src/view.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,85 @@
+//! `cargo xtask` — the workspace's own static-analysis tool.
+//!
+//! * `cargo xtask check` — run the custom lint pass and the invariant
+//!   verifier; exit non-zero if either finds a violation.
+//! * `cargo xtask lint` — lint pass only.
+//! * `cargo xtask invariants` — invariant verifier only.
+//!
+//! No external dependencies: the lint pass is a lexical scanner over
+//! the workspace's own sources, and the verifier drives the real
+//! `sdalloc-core` artifacts.  See DESIGN.md "Static analysis and
+//! verification".
+
+mod invariants;
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map_or(manifest.clone(), PathBuf::from)
+}
+
+fn main() -> ExitCode {
+    let mode = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "check".to_string());
+    match mode.as_str() {
+        "check" => run(true, true),
+        "lint" => run(true, false),
+        "invariants" => run(false, true),
+        "help" | "--help" | "-h" => {
+            eprintln!("usage: cargo xtask [check|lint|invariants]");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`; usage: cargo xtask [check|lint|invariants]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(do_lint: bool, do_invariants: bool) -> ExitCode {
+    let mut failed = false;
+
+    if do_lint {
+        let (findings, scanned) = lint::run(&workspace_root());
+        if findings.is_empty() {
+            println!("lint: OK ({scanned} files scanned)");
+        } else {
+            failed = true;
+            println!("lint: {} violation(s) in {scanned} files:", findings.len());
+            for f in &findings {
+                println!("  {f}");
+            }
+        }
+    }
+
+    if do_invariants {
+        let report = invariants::run();
+        if report.failures.is_empty() {
+            println!("invariants: OK ({} checks)", report.checks);
+        } else {
+            failed = true;
+            println!(
+                "invariants: {} of {} checks FAILED:",
+                report.failures.len(),
+                report.checks
+            );
+            for f in &report.failures {
+                println!("  {f}");
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -18,7 +18,12 @@ use sdalloc::sap::testbed::Testbed;
 use sdalloc::sim::{Channel, SimDuration, SimRng, SimTime};
 
 fn media() -> Vec<Media> {
-    vec![Media { kind: "audio".into(), port: 5004, proto: "RTP/AVP".into(), format: 0 }]
+    vec![Media {
+        kind: "audio".into(),
+        port: 5004,
+        proto: "RTP/AVP".into(),
+        format: 0,
+    }]
 }
 
 fn main() {
@@ -46,8 +51,12 @@ fn main() {
     let mut rng1 = SimRng::new(42);
     let (g0, g1) = loop {
         let now = tb.now();
-        let id0 = tb.directory_mut(0).create_session(now, "alpha", 127, media(), &mut rng0);
-        let id1 = tb.directory_mut(1).create_session(now, "beta", 127, media(), &mut rng1);
+        let id0 = tb
+            .directory_mut(0)
+            .create_session(now, "alpha", 127, media(), &mut rng0);
+        let id1 = tb
+            .directory_mut(1)
+            .create_session(now, "beta", 127, media(), &mut rng1);
         let (Ok(id0), Ok(id1)) = (id0, id1) else {
             panic!("tiny space exhausted before a collision occurred");
         };
@@ -60,12 +69,16 @@ fn main() {
         tb.directory_mut(1).withdraw_session(id1);
     };
     println!("t=0s: directory 0 announced 'alpha' on {g0}");
-    println!("t=0s: directory 1 announced 'beta'  on {g1}  <-- same address, neither can hear the other");
+    println!(
+        "t=0s: directory 1 announced 'beta'  on {g1}  <-- same address, neither can hear the other"
+    );
 
     tb.kick(0);
     tb.kick(1);
     tb.run_until(SimTime::from_secs(60));
-    println!("t=60s: both sessions announced repeatedly; directory 2 heard only one side per address");
+    println!(
+        "t=60s: both sessions announced repeatedly; directory 2 heard only one side per address"
+    );
 
     println!("t=60s: healing the partition");
     tb.heal(0, 1);
@@ -82,7 +95,11 @@ fn main() {
                     action
                 );
             }
-            DirectoryEvent::Moved { session_id, from, to } => {
+            DirectoryEvent::Moved {
+                session_id,
+                from,
+                to,
+            } => {
                 println!(
                     "  [{:>7.1}s] node {} MOVED session {session_id}: {from} -> {to}",
                     e.at.as_secs_f64(),

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example mbone_sim [-- --nodes 600 --space 400]`
 
 use sdalloc::core::{
-    AddrSpace, AdaptiveIpr, Allocator, InformedRandomAllocator, RandomAllocator, StaticIpr,
+    AdaptiveIpr, AddrSpace, Allocator, InformedRandomAllocator, RandomAllocator, StaticIpr,
 };
 use sdalloc::experiments::fill::fill_until_clash;
 use sdalloc::experiments::world::World;
@@ -35,7 +35,10 @@ fn main() {
     }
 
     println!("generating an Mbone-like map with {nodes} mrouters…");
-    let map = MboneMap::generate(&MboneParams { seed: 98, target_nodes: nodes });
+    let map = MboneMap::generate(&MboneParams {
+        seed: 98,
+        target_nodes: nodes,
+    });
     println!(
         "  {} nodes, {} links, {} countries",
         map.topo.node_count(),
@@ -44,15 +47,19 @@ fn main() {
     );
 
     println!("\nTTL scope profile (cf. the paper's Section 2.4.1 table):");
-    println!("  {:>4}  {:>18}  {:>8}", "TTL", "most frequent hops", "max hops");
+    println!(
+        "  {:>4}  {:>18}  {:>8}",
+        "TTL", "most frequent hops", "max hops"
+    );
     for row in ttl_table(&map.topo, (nodes / 200).max(1)) {
-        println!("  {:>4}  {:>18}  {:>8}", row.ttl, row.most_frequent, row.max_hops);
+        println!(
+            "  {:>4}  {:>18}  {:>8}",
+            row.ttl, row.most_frequent, row.max_hops
+        );
     }
 
     let dist = TtlDistribution::ds4();
-    println!(
-        "\nfilling a {space}-address space with ds4-scoped sessions until the first clash"
-    );
+    println!("\nfilling a {space}-address space with ds4-scoped sessions until the first clash");
     println!("(mean of {trials} trials per algorithm):\n");
     let algorithms: Vec<Box<dyn Allocator>> = vec![
         Box::new(RandomAllocator),
@@ -69,7 +76,13 @@ fn main() {
         let mut rng = SimRng::new(7);
         let mut total = 0usize;
         for _ in 0..trials {
-            total += fill_until_clash(&mut world, alg.as_ref(), &dist, &mut rng, space as usize * 8);
+            total += fill_until_clash(
+                &mut world,
+                alg.as_ref(),
+                &dist,
+                &mut rng,
+                space as usize * 8,
+            );
         }
         println!(
             "  {:>18}  {:>22.1}",

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use sdalloc::core::{
-    Addr, AddrSpace, AdaptiveIpr, Allocator, InformedRandomAllocator, View, VisibleSession,
+    AdaptiveIpr, Addr, AddrSpace, Allocator, InformedRandomAllocator, View, VisibleSession,
 };
 use sdalloc::sim::SimRng;
 
@@ -48,9 +48,7 @@ fn main() {
         let addr = aipr
             .allocate(&space, ttl, &view, &mut rng)
             .expect("plenty of space");
-        let (lo, hi) = aipr
-            .band_range(&space, ttl, &view)
-            .expect("band exists");
+        let (lo, hi) = aipr.band_range(&space, ttl, &view).expect("band exists");
         println!(
             "AIPR-3 allocated  {} for a TTL-{ttl:<3} session   (band [{lo}, {hi}) of {})",
             space.ip(addr),

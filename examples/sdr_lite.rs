@@ -36,7 +36,9 @@ fn main() {
             "--listen" => name = None,
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: sdr_lite [--name <session name> --ttl <ttl>] [--listen] [--seconds N]");
+                eprintln!(
+                    "usage: sdr_lite [--name <session name> --ttl <ttl>] [--listen] [--seconds N]"
+                );
                 std::process::exit(2);
             }
         }

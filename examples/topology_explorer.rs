@@ -23,7 +23,10 @@ fn main() {
 
 fn explore_mbone() {
     println!("=== synthetic Mbone map (paper scale: 1864 mrouters) ===");
-    let map = MboneMap::generate(&MboneParams { seed: 7, target_nodes: 1_864 });
+    let map = MboneMap::generate(&MboneParams {
+        seed: 7,
+        target_nodes: 1_864,
+    });
     println!(
         "{} nodes, {} links, {} countries",
         map.topo.node_count(),

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local quality gate: formatting, clippy (deny warnings), the
+# workspace's own lint pass + invariant verifier, then the test suite.
+# Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo xtask check
+run cargo test -q
+
+echo "All checks passed."

@@ -5,7 +5,7 @@
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
-use sdalloc::core::{AddrSpace, AdaptiveIpr, Allocator, InformedRandomAllocator};
+use sdalloc::core::{AdaptiveIpr, AddrSpace, Allocator, InformedRandomAllocator};
 use sdalloc::experiments::fill::fill_until_clash;
 use sdalloc::experiments::world::World;
 use sdalloc::sap::directory::{DirectoryConfig, DirectoryEvent};
@@ -16,14 +16,22 @@ use sdalloc::topology::mbone::{MboneMap, MboneParams};
 use sdalloc::topology::workload::TtlDistribution;
 
 fn media() -> Vec<Media> {
-    vec![Media { kind: "audio".into(), port: 5004, proto: "RTP/AVP".into(), format: 0 }]
+    vec![Media {
+        kind: "audio".into(),
+        port: 5004,
+        proto: "RTP/AVP".into(),
+        format: 0,
+    }]
 }
 
 #[test]
 fn mbone_fill_pipeline_all_algorithms() {
     // Topology generation → scope caching → visibility → allocation,
     // for every algorithm family in one go.
-    let map = MboneMap::generate(&MboneParams { seed: 21, target_nodes: 250 });
+    let map = MboneMap::generate(&MboneParams {
+        seed: 21,
+        target_nodes: 250,
+    });
     let dist = TtlDistribution::ds3();
     let algorithms: Vec<Box<dyn Allocator>> = vec![
         Box::new(InformedRandomAllocator),
@@ -124,7 +132,12 @@ fn directory_cache_matches_announced_population() {
         );
     }
     // Withdraw two sessions; deletions propagate.
-    let ids: Vec<u64> = tb.directory(0).own_sessions().map(|(id, _)| *id).take(2).collect();
+    let ids: Vec<u64> = tb
+        .directory(0)
+        .own_sessions()
+        .map(|(id, _)| *id)
+        .take(2)
+        .collect();
     for id in ids {
         if let Some(del) = tb.directory_mut(0).withdraw_session(id) {
             // Deliver the deletion by hand through the testbed's channel:
@@ -222,5 +235,9 @@ fn third_party_defence_repairs_deaf_originator() {
                 }
             )
     });
-    assert!(c_defended, "C never armed a third-party defence: {:?}", tb.log);
+    assert!(
+        c_defended,
+        "C never armed a third-party defence: {:?}",
+        tb.log
+    );
 }

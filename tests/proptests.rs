@@ -6,8 +6,8 @@ use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 use sdalloc::core::{
-    Addr, AddrSpace, AdaptiveIpr, Allocator, InformedRandomAllocator, PartitionMap,
-    StaticIpr, View, VisibleSession,
+    AdaptiveIpr, Addr, AddrSpace, Allocator, InformedRandomAllocator, PartitionMap, StaticIpr,
+    View, VisibleSession,
 };
 use sdalloc::sap::sdp::{Media, Origin, SessionDescription};
 use sdalloc::sap::wire::{MessageType, SapPacket};
@@ -292,6 +292,42 @@ proptest! {
             prop_assert!(map.partition(ttl).contains(ttl));
         }
     }
+
+    #[test]
+    fn partition_map_every_ttl_mapped(margin in 1u32..8, ttl in any::<u8>()) {
+        // Every TTL 0..=255 resolves to an in-range partition index and
+        // the lookup table agrees with the range list.
+        let map = PartitionMap::new(margin);
+        let idx = map.partition_of(ttl);
+        prop_assert!(idx < map.len());
+        let p = map.partitions()[idx];
+        prop_assert_eq!(p, map.partition(ttl));
+        prop_assert!(p.contains(ttl));
+    }
+
+    #[test]
+    fn partition_map_disjoint_and_contiguous(margin in 1u32..8) {
+        // Partitions are pairwise disjoint and leave no TTL uncovered:
+        // exactly 256 TTL values across all partitions, each claimed once.
+        let map = PartitionMap::new(margin);
+        let mut claimed = [0u32; 256];
+        for p in map.partitions() {
+            for t in p.lo..=p.hi {
+                claimed[t as usize] += 1;
+            }
+        }
+        for (t, &n) in claimed.iter().enumerate() {
+            prop_assert_eq!(n, 1, "TTL {} claimed {} times", t, n);
+        }
+    }
+
+    #[test]
+    fn partition_map_paper_default_is_55(_dummy in any::<bool>()) {
+        // The paper's margin-2 configuration yields exactly 55 partitions.
+        let map = PartitionMap::paper_default();
+        prop_assert_eq!(map.len(), 55);
+        prop_assert_eq!(map.margin(), 2);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -367,7 +403,7 @@ proptest! {
             // Reaching v needs at least hops+1 TTL (per-hop decrement),
             // and reachability is monotone in TTL.
             if i != 0 {
-                prop_assert!(tree.required_ttl[i] as u32 >= tree.hops[i] + 1);
+                prop_assert!(tree.required_ttl[i] as u32 > tree.hops[i]);
                 let (parent, _) = tree.parent[i].expect("reachable node has parent");
                 // Parent metrics/hops/delays are monotone along the tree.
                 prop_assert!(tree.metric[parent.index()] <= tree.metric[i]);

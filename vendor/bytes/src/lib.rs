@@ -1,0 +1,225 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the SAP wire codec uses: [`Bytes`],
+//! [`BytesMut`], and the [`Buf`]/[`BufMut`] traits with big-endian
+//! integer accessors.  Backed by plain `Vec<u8>` — the zero-copy
+//! machinery of the real crate is irrelevant at announcement rates
+//! (SAP's entire global budget is a few packets per second).
+
+use std::ops::Deref;
+
+/// An immutable byte buffer (cheaply cloneable).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: std::sync::Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes {
+            data: std::sync::Arc::from(&[][..]),
+        }
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: std::sync::Arc::from(data),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            data: std::sync::Arc::from(v.into_boxed_slice()),
+        }
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read access to a byte cursor (mirrors `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+    /// Advance the cursor by `cnt` bytes.  Panics if out of bounds.
+    fn advance(&mut self, cnt: usize);
+    /// Read one byte and advance.
+    fn get_u8(&mut self) -> u8;
+    /// Read a big-endian u16 and advance.
+    fn get_u16(&mut self) -> u16;
+    /// Read a big-endian u32 and advance.
+    fn get_u32(&mut self) -> u32;
+    /// Copy `dst.len()` bytes out and advance.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes([self[0], self[1]]);
+        *self = &self[2..];
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes([self[0], self[1], self[2], self[3]]);
+        *self = &self[4..];
+        v
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+/// Write access to a byte buffer (mirrors `bytes::BufMut`).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16);
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(0xAB);
+        b.put_u16(0x1234);
+        b.put_u32(0xDEADBEEF);
+        b.put_slice(&[1, 2, 3]);
+        let frozen = b.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u8(), 0xAB);
+        assert_eq!(cursor.get_u16(), 0x1234);
+        assert_eq!(cursor.get_u32(), 0xDEADBEEF);
+        let mut rest = [0u8; 3];
+        cursor.copy_to_slice(&mut rest);
+        assert_eq!(rest, [1, 2, 3]);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_moves_cursor() {
+        let data = [9u8, 8, 7, 6];
+        let mut cursor: &[u8] = &data;
+        cursor.advance(2);
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.remaining(), 1);
+    }
+}

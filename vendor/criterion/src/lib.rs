@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements enough of criterion's API for the workspace's bench
+//! targets to compile and run without crates.io access.  Instead of
+//! statistical sampling it runs each benchmark a fixed small number of
+//! iterations and prints the mean wall-clock time — a smoke-benchmark
+//! runner that keeps `cargo bench` usable as a regression *functional*
+//! gate offline.  Absolute numbers are indicative only.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How many timed iterations the smoke runner performs per benchmark.
+const SMOKE_ITERS: u64 = 3;
+
+/// Batch sizing hint (accepted for API compatibility, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(name, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the smoke runner ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_named(&full, f);
+        self
+    }
+
+    /// Finish the group (no-op).
+    pub fn finish(self) {}
+}
+
+fn run_named<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        total_nanos: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    let mean = if b.iters == 0 {
+        0
+    } else {
+        b.total_nanos / u128::from(b.iters)
+    };
+    println!(
+        "bench {name:<60} {mean:>12} ns/iter (smoke, {} iters)",
+        b.iters
+    );
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the smoke iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..SMOKE_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` with a fresh input from `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..SMOKE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Define a benchmark group function from a list of target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u32;
+        Criterion::default().bench_function("t", |b| b.iter(|| ran += 1));
+        assert_eq!(u64::from(ran), SMOKE_ITERS);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut count = 0u32;
+        group.bench_function(format!("inner_{}", 1), |b| {
+            b.iter_batched(|| 5u32, |x| count += x, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(u64::from(count), 5 * SMOKE_ITERS);
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel`'s bounded MPMC channel API over
+//! `std::sync::mpsc`.  The workspace only ever uses single-consumer
+//! topologies (one background agent thread per handle), so mpsc
+//! semantics are sufficient; the `Receiver` is additionally wrapped in a
+//! mutex so the type stays `Sync` like crossbeam's.
+
+/// Multi-producer channels with a bounded capacity.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+
+    /// Sending half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: Mutex<mpsc::Receiver<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message waiting; senders still connected.
+        Empty,
+        /// No message waiting and every sender has disconnected.
+        Disconnected,
+    }
+
+    /// Create a channel that holds at most `cap` queued messages.
+    /// `cap == 0` gives a rendezvous channel, as in crossbeam.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Mutex::new(rx),
+            },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking until a message or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let guard = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match guard.try_recv() {
+                Ok(v) => Ok(v),
+                Err(mpsc::TryRecvError::Empty) => Err(TryRecvError::Empty),
+                Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, TryRecvError};
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = bounded(4);
+        tx.send(41).unwrap();
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv(), Ok(41));
+        assert_eq!(rx.try_recv(), Ok(42));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_reported() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn cloned_senders_share_channel() {
+        let (tx, rx) = bounded(8);
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap())
+            .join()
+            .unwrap();
+        tx.send(8).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8]);
+    }
+}

@@ -1,0 +1,753 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API that the workspace's
+//! property tests use: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, `any::<T>()`, integer-range strategies, tuple strategies,
+//! regex-subset string strategies, and the `collection`/`option`
+//! modules.  Differences from the real crate, by design:
+//!
+//! * **Deterministic**: each test's RNG is seeded from its module path
+//!   (override with `PROPTEST_SEED=<u64>`), so CI failures reproduce
+//!   exactly.
+//! * **No shrinking**: a failing case reports its seed and case number
+//!   instead of a minimised input.
+//! * **Regex strategies** support the subset used here: character
+//!   classes `[a-z0-9 ._-]`, alternation `(a|b|c)`, `.`, escapes, and
+//!   `{m}`/`{m,n}`/`?`/`+`/`*` quantifiers.
+
+use std::hash::Hasher;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic generator driving all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name (stable across runs) unless `PROPTEST_SEED`
+    /// overrides it.
+    pub fn deterministic(name: &str) -> TestRng {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.parse::<u64>() {
+                return TestRng { state: seed };
+            }
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        h.write(name.as_bytes());
+        TestRng {
+            state: h.finish() | 1,
+        }
+    }
+
+    /// Seed directly.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit multiply-shift; bias is negligible for test generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------
+
+/// A generator of test values (mirrors `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over a type's full domain; see [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The full-domain strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix plain uniform values with boundary cases, which is
+                // where integer bugs live.
+                match rng.below(8) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        pattern::any_char(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Integer range strategies
+// ---------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                let pick = ((u128::from(rng.next_u64()) * width) >> 64) as i128;
+                (start as i128 + pick) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------
+
+mod pattern {
+    use super::TestRng;
+
+    /// Pool for `.`: printable ASCII, whitespace controls, and a few
+    /// multibyte scalars so UTF-8 handling gets exercised.
+    pub(crate) fn any_char(rng: &mut TestRng) -> char {
+        const EXTRA: [char; 8] = ['\t', '\n', '\r', 'à', 'ß', 'λ', '中', '🦀'];
+        let roll = rng.below(100);
+        if roll < 90 {
+            char::from(0x20 + rng.below(0x5F) as u8) // ASCII 0x20..=0x7E
+        } else {
+            EXTRA[rng.below(EXTRA.len() as u64) as usize]
+        }
+    }
+
+    enum Atom {
+        Class(Vec<char>),
+        Alt(Vec<String>),
+        Any,
+        Lit(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pat: &str) -> Vec<Piece> {
+        let mut chars = pat.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let Some(k) = chars.next() else {
+                            panic!("unterminated character class in pattern {pat:?}");
+                        };
+                        match k {
+                            ']' => break,
+                            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                                let lo = prev.take().expect("checked above");
+                                let hi = chars.next().expect("peeked above");
+                                for v in lo..=hi {
+                                    set.push(v);
+                                }
+                            }
+                            '\\' => {
+                                let esc = chars.next().unwrap_or('\\');
+                                if let Some(p) = prev.replace(esc) {
+                                    set.push(p);
+                                }
+                            }
+                            _ => {
+                                if let Some(p) = prev.replace(k) {
+                                    set.push(p);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        set.push(p);
+                    }
+                    assert!(!set.is_empty(), "empty character class in pattern {pat:?}");
+                    Atom::Class(set)
+                }
+                '(' => {
+                    let mut alts = vec![String::new()];
+                    loop {
+                        let Some(k) = chars.next() else {
+                            panic!("unterminated group in pattern {pat:?}");
+                        };
+                        match k {
+                            ')' => break,
+                            '|' => alts.push(String::new()),
+                            '\\' => {
+                                let esc = chars.next().unwrap_or('\\');
+                                alts.last_mut().expect("non-empty").push(esc);
+                            }
+                            _ => alts.last_mut().expect("non-empty").push(k),
+                        }
+                    }
+                    Atom::Alt(alts)
+                }
+                '.' => Atom::Any,
+                '\\' => Atom::Lit(chars.next().unwrap_or('\\')),
+                _ => Atom::Lit(c),
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for k in chars.by_ref() {
+                        if k == '}' {
+                            break;
+                        }
+                        spec.push(k);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().unwrap_or(0),
+                            hi.trim().parse().unwrap_or(8),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    pub(crate) fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pat) {
+            let span = (piece.max - piece.min) as u64 + 1;
+            let reps = piece.min + rng.below(span) as usize;
+            for _ in 0..reps {
+                match &piece.atom {
+                    Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                    Atom::Alt(alts) => out.push_str(&alts[rng.below(alts.len() as u64) as usize]),
+                    Atom::Any => out.push(any_char(rng)),
+                    Atom::Lit(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// collection / option modules
+// ---------------------------------------------------------------------
+
+/// Size specifications for collection strategies.
+pub trait SizeRange {
+    /// Pick a concrete size.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
+/// Strategies over collections (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `sizes`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, sizes: R) -> VecStrategy<S, R> {
+        VecStrategy { element, sizes }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        sizes: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.sizes.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with *up to* the drawn size
+    /// (duplicates shrink the set, as in real proptest).
+    pub fn hash_set<S, R>(element: S, sizes: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: SizeRange,
+    {
+        HashSetStrategy { element, sizes }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S, R> {
+        element: S,
+        sizes: R,
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: SizeRange,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = self.sizes.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over `Option` (mirrors `proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>`: `None` about a quarter of the
+    /// time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config + macros + prelude
+// ---------------------------------------------------------------------
+
+/// Per-test configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                let mut rng = $crate::TestRng::deterministic(test_name);
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Property assertion (no shrinking, so a plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Common imports (mirrors `proptest::prelude`).
+pub mod prelude {
+    /// Re-export so `proptest::collection::..` paths work via prelude
+    /// glob too.
+    pub use crate as proptest;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn deterministic_rng_stable() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_strategy_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = (10u32..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (0u8..=255).generate(&mut rng);
+            let _ = w; // full domain, nothing to assert beyond type
+            let s = (1i64..=1).generate(&mut rng);
+            assert_eq!(s, 1);
+        }
+    }
+
+    #[test]
+    fn class_pattern_generates_members() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = "[a-c]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_trailing_dash_is_literal() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..300 {
+            let s = "[a-]".generate(&mut rng);
+            assert!(s == "a" || s == "-", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_picks_alternatives() {
+        let mut rng = TestRng::from_seed(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert("(audio|video|text)".generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3, "{seen:?}");
+        assert!(seen.contains("audio"));
+    }
+
+    #[test]
+    fn dot_quantified_length() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..100 {
+            let s = ".{0,16}".generate(&mut rng);
+            assert!(s.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    fn literal_pieces_kept() {
+        let mut rng = TestRng::from_seed(6);
+        assert_eq!("v=0".generate(&mut rng), "v=0");
+    }
+
+    #[test]
+    fn vec_and_hashset_sizes() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..100 {
+            let v = collection::vec(any::<u8>(), 3..6).generate(&mut rng);
+            assert!((3..6).contains(&v.len()));
+            let s = collection::hash_set(0u32..4, 0..10).generate(&mut rng);
+            assert!(s.len() <= 4 + 6); // duplicates collapse; never exceeds draw
+        }
+    }
+
+    #[test]
+    fn option_of_mixes() {
+        let mut rng = TestRng::from_seed(8);
+        let strat = option::of(1u32..10);
+        let results: Vec<_> = (0..200).map(|_| strat.generate(&mut rng)).collect();
+        assert!(results.iter().any(Option::is_some));
+        assert!(results.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = TestRng::from_seed(9);
+        let strat = (1u32..5).prop_map(|v| v * 10);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(x in 0u32..10, y in any::<bool>()) {
+            prop_assert!(x < 10);
+            prop_assert!(u8::from(y) <= 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn macro_config_respected(x in 0u64..u64::MAX / 2) {
+            prop_assert!(x < u64::MAX / 2);
+        }
+    }
+}

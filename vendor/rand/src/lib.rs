@@ -1,0 +1,58 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds in environments with no access to crates.io, so
+//! the few external APIs the code actually uses are provided by small
+//! local crates under `vendor/`.  This one supplies the [`RngCore`]
+//! trait that `sdalloc-sim`'s deterministic xoshiro256++ generator
+//! implements; the generator itself has always been ours (exact
+//! reproducibility is a requirement, see `crates/sim/src/rng.rs`).
+//!
+//! Only the surface the workspace uses is implemented.  If code starts
+//! needing distributions or seeding helpers, extend this crate rather
+//! than reaching for the real `rand` — determinism rules in
+//! `cargo xtask check` forbid entropy-seeded generators anyway.
+
+/// Error type for fallible byte-filling; our generators never fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RNG failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator interface (mirrors `rand::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill; infallible for every generator in this workspace.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
