@@ -100,11 +100,14 @@ pub enum ClashAction {
 }
 
 /// A pending third-party defence timer.
-#[derive(Debug, Clone)]
-struct PendingDefense {
-    session: SessionId,
-    addr: Addr,
-    fire_at: SimTime,
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PendingDefense {
+    /// The cached session we may defend.
+    pub session: SessionId,
+    /// The clashing address the defence is about.
+    pub addr: Addr,
+    /// When the timer expires.
+    pub fire_at: SimTime,
 }
 
 /// Our relationship to the session already holding an address when a
@@ -128,105 +131,18 @@ pub enum Incumbent {
     Cached,
 }
 
-/// The per-site clash responder state machine.
-#[derive(Debug, Clone)]
-pub struct ClashResponder {
-    policy: ClashPolicy,
+/// The responder's pure protocol state: the armed third-party defence
+/// timers, kept sorted by `(fire_at, session, addr)` so equal protocol
+/// states have equal representations (the model checker hashes them).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClashState {
     pending: Vec<PendingDefense>,
 }
 
-impl ClashResponder {
-    /// Create a responder with the given policy.
-    pub fn new(policy: ClashPolicy) -> Self {
-        ClashResponder {
-            policy,
-            pending: Vec::new(),
-        }
-    }
-
-    /// Handle a detected clash: a new announcement for `new_session`
-    /// arrived using `addr`, which our cache says `incumbent` already
-    /// holds.  Returns the action to take now (phases 1/2 act
-    /// immediately; phase 3 arms a timer).
-    pub fn on_clash(
-        &mut self,
-        now: SimTime,
-        addr: Addr,
-        incumbent_session: SessionId,
-        incumbent: Incumbent,
-        rng: &mut SimRng,
-    ) -> ClashAction {
-        match incumbent {
-            Incumbent::Ours {
-                announced_at,
-                wins_tiebreak,
-            } => {
-                if now.saturating_since(announced_at) <= self.policy.recent_window {
-                    // Phase 2: we only just announced; the clash is
-                    // probably propagation delay and we yield.
-                    ClashAction::ModifyOwn {
-                        session: incumbent_session,
-                        old_addr: addr,
-                    }
-                } else if wins_tiebreak {
-                    // Phase 1: long-standing session defends itself.
-                    ClashAction::DefendOwn {
-                        session: incumbent_session,
-                    }
-                } else {
-                    // Both sessions are long-standing (a healed
-                    // partition): the tiebreak loser moves.
-                    ClashAction::ModifyOwn {
-                        session: incumbent_session,
-                        old_addr: addr,
-                    }
-                }
-            }
-            Incumbent::Cached => {
-                let delay = exponential_delay(rng, self.policy.d1, self.policy.d2, self.policy.rtt);
-                debug_assert!(
-                    delay >= self.policy.d1 && delay <= self.policy.d2,
-                    "third-party delay outside [D1, D2]"
-                );
-                let fire_at = now + delay;
-                self.pending.push(PendingDefense {
-                    session: incumbent_session,
-                    addr,
-                    fire_at,
-                });
-                ClashAction::ThirdPartyArmed {
-                    session: incumbent_session,
-                    fire_at,
-                }
-            }
-        }
-    }
-
-    /// Note that an announcement for `session` was heard (the originator
-    /// defended, or another third party beat us to it): suppress any
-    /// pending defence of that session.
-    pub fn on_announcement_seen(&mut self, session: SessionId) {
-        self.pending.retain(|p| p.session != session);
-    }
-
-    /// Note that the clash on `addr` was resolved another way (the new
-    /// session moved): cancel defences armed for that address.
-    pub fn on_clash_resolved(&mut self, addr: Addr) {
-        self.pending.retain(|p| p.addr != addr);
-    }
-
-    /// Advance time: fire any expired third-party defences.
-    pub fn poll(&mut self, now: SimTime) -> Vec<ClashAction> {
-        let mut fired = Vec::new();
-        self.pending.retain(|p| {
-            if p.fire_at <= now {
-                fired.push(ClashAction::DefendThirdParty { session: p.session });
-                false
-            } else {
-                true
-            }
-        });
-        fired
+impl ClashState {
+    /// The empty state: nothing armed.
+    pub fn new() -> Self {
+        ClashState::default()
     }
 
     /// Number of armed third-party defences.
@@ -237,6 +153,269 @@ impl ClashResponder {
     /// Earliest pending defence expiry, if any.
     pub fn next_deadline(&self) -> Option<SimTime> {
         self.pending.iter().map(|p| p.fire_at).min()
+    }
+
+    /// The armed defences, in canonical order.
+    pub fn pending(&self) -> &[PendingDefense] {
+        &self.pending
+    }
+
+    /// Arm `defense` without the per-`(session, addr)` idempotence check
+    /// of [`clash_step`].  Fault-injection hook: the model checker's
+    /// seeded-violation tests use it to rebuild the pre-fix double-arm
+    /// behaviour and prove the checker catches it.  Not for protocol
+    /// drivers — duplicated timers mean duplicated authoritative
+    /// responses.
+    pub fn arm_unchecked(&mut self, defense: PendingDefense) {
+        self.pending.push(defense);
+        self.pending
+            .sort_unstable_by_key(|p| (p.fire_at, p.session, p.addr));
+    }
+}
+
+/// An input to the clash responder machine.
+///
+/// The driver (the session directory, or the model checker) owns the
+/// clock and the RNG: `Clash` carries the pre-sampled third-party delay
+/// and `Poll` carries the current time, so the transition function
+/// itself is pure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClashEvent {
+    /// A new announcement arrived using `addr`, which our cache says
+    /// `incumbent` already holds for `incumbent_session`.
+    Clash {
+        /// Current time.
+        now: SimTime,
+        /// The contested address.
+        addr: Addr,
+        /// The session our cache says holds `addr`.
+        incumbent_session: SessionId,
+        /// Our relationship to that session.
+        incumbent: Incumbent,
+        /// Pre-sampled third-party response delay (used only when
+        /// `incumbent` is [`Incumbent::Cached`]; the driver draws it
+        /// from [`exponential_delay`] over `[D1, D2]`).
+        third_party_delay: SimDuration,
+    },
+    /// An announcement for `session` was heard (the originator defended,
+    /// or another third party beat us to it).
+    AnnouncementSeen {
+        /// The announced session.
+        session: SessionId,
+    },
+    /// The clash on `addr` was resolved another way (the new session
+    /// moved off it).
+    ClashResolved {
+        /// The address no longer contested.
+        addr: Addr,
+    },
+    /// Time advanced to `now`: expired defence timers fire.
+    Poll {
+        /// Current time.
+        now: SimTime,
+    },
+}
+
+/// Advance the clash responder by one event.  Pure: same
+/// `(state, event)` always yields the same `(state', actions)`.
+///
+/// Arming is **idempotent per `(session, addr)`**: a duplicated or
+/// re-delivered clash announcement re-reports the already-armed timer
+/// instead of arming a second one.  (The bounded model checker found
+/// the double-arm: under message duplication a site with two timers for
+/// one session fires two third-party defences — two authoritative
+/// responses to one clash.)
+pub fn clash_step(
+    policy: &ClashPolicy,
+    state: &ClashState,
+    event: &ClashEvent,
+) -> (ClashState, Vec<ClashAction>) {
+    let mut next = state.clone();
+    let mut actions = Vec::new();
+    match *event {
+        ClashEvent::Clash {
+            now,
+            addr,
+            incumbent_session,
+            incumbent,
+            third_party_delay,
+        } => match incumbent {
+            Incumbent::Ours {
+                announced_at,
+                wins_tiebreak,
+            } => {
+                if now.saturating_since(announced_at) <= policy.recent_window {
+                    // Phase 2: we only just announced; the clash is
+                    // probably propagation delay and we yield.
+                    actions.push(ClashAction::ModifyOwn {
+                        session: incumbent_session,
+                        old_addr: addr,
+                    });
+                } else if wins_tiebreak {
+                    // Phase 1: long-standing session defends itself.
+                    actions.push(ClashAction::DefendOwn {
+                        session: incumbent_session,
+                    });
+                } else {
+                    // Both sessions are long-standing (a healed
+                    // partition): the tiebreak loser moves.
+                    actions.push(ClashAction::ModifyOwn {
+                        session: incumbent_session,
+                        old_addr: addr,
+                    });
+                }
+            }
+            Incumbent::Cached => {
+                let existing = next
+                    .pending
+                    .iter()
+                    .find(|p| p.session == incumbent_session && p.addr == addr);
+                let fire_at = match existing {
+                    // Already armed for this clash: keep the original
+                    // timer — never two defences for one clash.
+                    Some(p) => p.fire_at,
+                    None => {
+                        let fire_at = now + third_party_delay;
+                        next.pending.push(PendingDefense {
+                            session: incumbent_session,
+                            addr,
+                            fire_at,
+                        });
+                        next.pending
+                            .sort_unstable_by_key(|p| (p.fire_at, p.session, p.addr));
+                        fire_at
+                    }
+                };
+                actions.push(ClashAction::ThirdPartyArmed {
+                    session: incumbent_session,
+                    fire_at,
+                });
+            }
+        },
+        ClashEvent::AnnouncementSeen { session } => {
+            next.pending.retain(|p| p.session != session);
+        }
+        ClashEvent::ClashResolved { addr } => {
+            next.pending.retain(|p| p.addr != addr);
+        }
+        ClashEvent::Poll { now } => {
+            next.pending.retain(|p| {
+                if p.fire_at <= now {
+                    actions.push(ClashAction::DefendThirdParty { session: p.session });
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+    (next, actions)
+}
+
+/// The per-site clash responder: a thin driver over [`clash_step`] that
+/// owns the policy and samples the third-party delay.
+#[derive(Debug, Clone)]
+pub struct ClashResponder {
+    policy: ClashPolicy,
+    state: ClashState,
+}
+
+impl ClashResponder {
+    /// Create a responder with the given policy.
+    pub fn new(policy: ClashPolicy) -> Self {
+        ClashResponder {
+            policy,
+            state: ClashState::new(),
+        }
+    }
+
+    /// Handle a detected clash: a new announcement arrived using `addr`,
+    /// which our cache says `incumbent` already holds.  Returns the
+    /// action to take now (phases 1/2 act immediately; phase 3 arms a
+    /// timer).
+    pub fn on_clash(
+        &mut self,
+        now: SimTime,
+        addr: Addr,
+        incumbent_session: SessionId,
+        incumbent: Incumbent,
+        rng: &mut SimRng,
+    ) -> ClashAction {
+        // Sample only on the path that consumes randomness, so the
+        // refactor to a pure step function leaves every seeded
+        // simulation's RNG stream untouched.
+        let third_party_delay = match incumbent {
+            Incumbent::Cached => {
+                let d = exponential_delay(rng, self.policy.d1, self.policy.d2, self.policy.rtt);
+                debug_assert!(
+                    d >= self.policy.d1 && d <= self.policy.d2,
+                    "third-party delay outside [D1, D2]"
+                );
+                d
+            }
+            Incumbent::Ours { .. } => SimDuration::ZERO,
+        };
+        let (next, mut actions) = clash_step(
+            &self.policy,
+            &self.state,
+            &ClashEvent::Clash {
+                now,
+                addr,
+                incumbent_session,
+                incumbent,
+                third_party_delay,
+            },
+        );
+        self.state = next;
+        debug_assert_eq!(actions.len(), 1, "a clash maps to exactly one action");
+        actions.pop().unwrap_or(ClashAction::DefendOwn {
+            session: incumbent_session,
+        })
+    }
+
+    /// Note that an announcement for `session` was heard (the originator
+    /// defended, or another third party beat us to it): suppress any
+    /// pending defence of that session.
+    pub fn on_announcement_seen(&mut self, session: SessionId) {
+        let (next, _) = clash_step(
+            &self.policy,
+            &self.state,
+            &ClashEvent::AnnouncementSeen { session },
+        );
+        self.state = next;
+    }
+
+    /// Note that the clash on `addr` was resolved another way (the new
+    /// session moved): cancel defences armed for that address.
+    pub fn on_clash_resolved(&mut self, addr: Addr) {
+        let (next, _) = clash_step(
+            &self.policy,
+            &self.state,
+            &ClashEvent::ClashResolved { addr },
+        );
+        self.state = next;
+    }
+
+    /// Advance time: fire any expired third-party defences.
+    pub fn poll(&mut self, now: SimTime) -> Vec<ClashAction> {
+        let (next, actions) = clash_step(&self.policy, &self.state, &ClashEvent::Poll { now });
+        self.state = next;
+        actions
+    }
+
+    /// Number of armed third-party defences.
+    pub fn pending_count(&self) -> usize {
+        self.state.pending_count()
+    }
+
+    /// Earliest pending defence expiry, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.state.next_deadline()
+    }
+
+    /// The pure protocol state (for instrumentation and the checker).
+    pub fn state(&self) -> &ClashState {
+        &self.state
     }
 }
 
@@ -395,6 +574,76 @@ mod tests {
         assert_eq!(r.pending_count(), 2);
         let fired = r.poll(t(100));
         assert_eq!(fired.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_clash_does_not_double_arm() {
+        // A duplicated clash announcement must re-report the existing
+        // timer, not arm a second defence (two timers would mean two
+        // authoritative third-party responses for one clash).
+        let mut r = ClashResponder::new(ClashPolicy::default());
+        let mut rng = SimRng::new(21);
+        let a = r.on_clash(t(0), Addr(9), sid(3, 2), Incumbent::Cached, &mut rng);
+        let b = r.on_clash(t(1), Addr(9), sid(3, 2), Incumbent::Cached, &mut rng);
+        assert_eq!(r.pending_count(), 1);
+        let (fa, fb) = match (a, b) {
+            (
+                ClashAction::ThirdPartyArmed { fire_at: fa, .. },
+                ClashAction::ThirdPartyArmed { fire_at: fb, .. },
+            ) => (fa, fb),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(fa, fb, "re-arm must keep the original timer");
+        let fired = r.poll(t(100));
+        assert_eq!(fired.len(), 1);
+    }
+
+    #[test]
+    fn step_is_pure() {
+        let policy = ClashPolicy::default();
+        let state = ClashState::new();
+        let ev = ClashEvent::Clash {
+            now: t(5),
+            addr: Addr(1),
+            incumbent_session: sid(1, 1),
+            incumbent: Incumbent::Cached,
+            third_party_delay: SimDuration::from_secs(2),
+        };
+        let (s1, a1) = clash_step(&policy, &state, &ev);
+        let (s2, a2) = clash_step(&policy, &state, &ev);
+        assert_eq!(s1, s2);
+        assert_eq!(a1, a2);
+        assert_eq!(state.pending_count(), 0, "input state untouched");
+        assert_eq!(s1.next_deadline(), Some(t(7)));
+    }
+
+    #[test]
+    fn poll_fires_in_deadline_order() {
+        let policy = ClashPolicy::default();
+        let mut state = ClashState::new();
+        for (secs, site) in [(9u64, 1u32), (3, 2), (6, 3)] {
+            let (next, _) = clash_step(
+                &policy,
+                &state,
+                &ClashEvent::Clash {
+                    now: t(0),
+                    addr: Addr(site),
+                    incumbent_session: sid(site, 1),
+                    incumbent: Incumbent::Cached,
+                    third_party_delay: SimDuration::from_secs(secs),
+                },
+            );
+            state = next;
+        }
+        let (_, fired) = clash_step(&policy, &state, &ClashEvent::Poll { now: t(100) });
+        let order: Vec<u32> = fired
+            .iter()
+            .map(|a| match a {
+                ClashAction::DefendThirdParty { session } => session.site,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(order, vec![2, 3, 1]);
     }
 
     #[test]

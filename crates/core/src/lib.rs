@@ -53,7 +53,10 @@ pub mod view;
 pub use adaptive::{AdaptiveIpr, BandMap};
 pub use addr::{Addr, AddrSpace};
 pub use alloc::{Allocator, InformedRandomAllocator, RandomAllocator};
-pub use clash::{ClashAction, ClashPolicy, ClashResponder, Incumbent, SessionId};
+pub use clash::{
+    clash_step, ClashAction, ClashEvent, ClashPolicy, ClashResponder, ClashState, Incumbent,
+    PendingDefense, SessionId,
+};
 pub use hier::{HierarchicalAllocator, Prefix, PrefixRegistry, GLOBAL_DOMAIN};
 pub use partition_map::{PartitionMap, TtlPartition};
 pub use static_ipr::StaticIpr;

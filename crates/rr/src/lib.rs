@@ -25,9 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod responder;
 pub mod sim;
 
 pub use analytic::{
     buckets, expected_responses_exponential, expected_responses_uniform, EXPONENTIAL_FLOOR,
 };
-pub use sim::{run_many, DelayDist, Population, RrAggregate, RrOutcome, RrParams, RrSim, TreeMode};
+pub use responder::{responder_step, ResponderState, RrEvent, RrOutput};
+pub use sim::{
+    run_many, trace_fingerprint, DelayDist, Population, RrAggregate, RrOutcome, RrParams, RrSim,
+    RrTrace, TraceEvent, TreeMode,
+};

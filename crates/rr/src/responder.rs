@@ -1,0 +1,270 @@
+//! The request–response responder as a pure state machine.
+//!
+//! Each group member that could answer a multicast request runs one of
+//! these: schedule a response at a randomly delayed instant, and cancel
+//! it if someone else's response arrives strictly before that instant.
+//! The machine is a pure transition function
+//!
+//! ```text
+//! responder_step(state, event) -> (state', outputs)
+//! ```
+//!
+//! with no clock, no RNG and no I/O — the *driver* (the suppression
+//! sweep in [`crate::sim`], or the bounded model checker in
+//! `cargo xtask model`) samples the delay, orders the events and carries
+//! the outputs.  Purity is what makes the protocol explorable: the model
+//! checker enumerates every interleaving of deliveries, duplicates and
+//! losses over exactly the code the simulation runs.
+//!
+//! Transition semantics (matching the paper's suppression rules):
+//!
+//! * a request schedules a response; **duplicate requests are ignored**
+//!   in every later state (a responder answers a request at most once);
+//! * responses heard while scheduled accumulate the *earliest* arrival
+//!   instant; the suppression decision is taken at the deadline:
+//!   strictly-earlier arrival ⇒ suppressed, otherwise send.  An arrival
+//!   at exactly the send instant cannot stop the transmission (on a
+//!   tree, nodes downstream of a zero-delay sender hit equality);
+//! * `Responded` and `Suppressed` are terminal.
+
+use sdalloc_sim::SimDuration;
+
+/// The responder's lifecycle for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResponderState {
+    /// No request seen yet (or not a group member).
+    Idle,
+    /// A response is scheduled; `heard` is the earliest instant another
+    /// response has arrived so far (if any).
+    Scheduled {
+        /// When our response will be transmitted.
+        send_at: SimDuration,
+        /// Earliest arrival of someone else's response, if heard.
+        heard: Option<SimDuration>,
+    },
+    /// We transmitted our response at `sent_at`.
+    Responded {
+        /// When we transmitted.
+        sent_at: SimDuration,
+    },
+    /// We cancelled: a response arrived at `heard_at`, strictly before
+    /// our `scheduled_at`.
+    Suppressed {
+        /// When we would have sent.
+        scheduled_at: SimDuration,
+        /// The arrival that silenced us.
+        heard_at: SimDuration,
+    },
+}
+
+/// An input to the responder machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrEvent {
+    /// The request arrived; the driver has already added the sampled
+    /// response delay, so `send_at` is the absolute send instant.
+    Request {
+        /// The scheduled transmission instant.
+        send_at: SimDuration,
+    },
+    /// Someone else's response arrived at `at`.
+    HearResponse {
+        /// Arrival instant.
+        at: SimDuration,
+    },
+    /// Our response timer expired: decide between sending and
+    /// suppression.
+    Deadline,
+}
+
+/// An output of the responder machine, for the driver to carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrOutput {
+    /// Transmit our response at `at`.
+    SendResponse {
+        /// Transmission instant.
+        at: SimDuration,
+    },
+}
+
+/// Advance the responder by one event.  Pure: same `(state, event)`
+/// always yields the same `(state', outputs)`.
+pub fn responder_step(state: ResponderState, event: RrEvent) -> (ResponderState, Vec<RrOutput>) {
+    match (state, event) {
+        (ResponderState::Idle, RrEvent::Request { send_at }) => (
+            ResponderState::Scheduled {
+                send_at,
+                heard: None,
+            },
+            Vec::new(),
+        ),
+        // A response heard before we ever saw the request: nothing to
+        // suppress, and SAP-style responders do not adopt other
+        // receivers' schedules.
+        (ResponderState::Idle, _) => (ResponderState::Idle, Vec::new()),
+
+        (ResponderState::Scheduled { send_at, heard }, RrEvent::HearResponse { at }) => (
+            ResponderState::Scheduled {
+                send_at,
+                heard: Some(match heard {
+                    None => at,
+                    Some(prev) => prev.min(at),
+                }),
+            },
+            Vec::new(),
+        ),
+        // Duplicate request while scheduled: keep the original schedule.
+        (s @ ResponderState::Scheduled { .. }, RrEvent::Request { .. }) => (s, Vec::new()),
+        (ResponderState::Scheduled { send_at, heard }, RrEvent::Deadline) => match heard {
+            // Strictly earlier arrival silences us.
+            Some(h) if h < send_at => (
+                ResponderState::Suppressed {
+                    scheduled_at: send_at,
+                    heard_at: h,
+                },
+                Vec::new(),
+            ),
+            _ => (
+                ResponderState::Responded { sent_at: send_at },
+                vec![RrOutput::SendResponse { at: send_at }],
+            ),
+        },
+
+        // Terminal states absorb everything — in particular a duplicated
+        // request must NOT re-arm a responder that already answered:
+        // that would be a second authoritative response.
+        (s @ ResponderState::Responded { .. }, _) => (s, Vec::new()),
+        (s @ ResponderState::Suppressed { .. }, _) => (s, Vec::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn request_schedules() {
+        let (s, out) = responder_step(ResponderState::Idle, RrEvent::Request { send_at: ms(100) });
+        assert_eq!(
+            s,
+            ResponderState::Scheduled {
+                send_at: ms(100),
+                heard: None
+            }
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn deadline_without_interference_sends() {
+        let s = ResponderState::Scheduled {
+            send_at: ms(100),
+            heard: None,
+        };
+        let (s, out) = responder_step(s, RrEvent::Deadline);
+        assert_eq!(s, ResponderState::Responded { sent_at: ms(100) });
+        assert_eq!(out, vec![RrOutput::SendResponse { at: ms(100) }]);
+    }
+
+    #[test]
+    fn earlier_arrival_suppresses() {
+        let s = ResponderState::Scheduled {
+            send_at: ms(100),
+            heard: None,
+        };
+        let (s, _) = responder_step(s, RrEvent::HearResponse { at: ms(40) });
+        let (s, out) = responder_step(s, RrEvent::Deadline);
+        assert_eq!(
+            s,
+            ResponderState::Suppressed {
+                scheduled_at: ms(100),
+                heard_at: ms(40)
+            }
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn equal_instant_does_not_suppress() {
+        let s = ResponderState::Scheduled {
+            send_at: ms(100),
+            heard: None,
+        };
+        let (s, _) = responder_step(s, RrEvent::HearResponse { at: ms(100) });
+        let (_, out) = responder_step(s, RrEvent::Deadline);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn earliest_arrival_wins() {
+        let s = ResponderState::Scheduled {
+            send_at: ms(100),
+            heard: None,
+        };
+        let (s, _) = responder_step(s, RrEvent::HearResponse { at: ms(150) });
+        let (s, _) = responder_step(s, RrEvent::HearResponse { at: ms(30) });
+        let (s, _) = responder_step(s, RrEvent::HearResponse { at: ms(60) });
+        assert_eq!(
+            s,
+            ResponderState::Scheduled {
+                send_at: ms(100),
+                heard: Some(ms(30))
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_request_keeps_schedule() {
+        let s = ResponderState::Scheduled {
+            send_at: ms(100),
+            heard: None,
+        };
+        let (s2, out) = responder_step(s, RrEvent::Request { send_at: ms(5) });
+        assert_eq!(s2, s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn responded_is_terminal_even_for_duplicate_requests() {
+        let s = ResponderState::Responded { sent_at: ms(100) };
+        for ev in [
+            RrEvent::Request { send_at: ms(5) },
+            RrEvent::HearResponse { at: ms(1) },
+            RrEvent::Deadline,
+        ] {
+            let (s2, out) = responder_step(s, ev);
+            assert_eq!(s2, s);
+            assert!(out.is_empty(), "{ev:?} produced output from Responded");
+        }
+    }
+
+    #[test]
+    fn suppressed_is_terminal() {
+        let s = ResponderState::Suppressed {
+            scheduled_at: ms(100),
+            heard_at: ms(40),
+        };
+        for ev in [
+            RrEvent::Request { send_at: ms(5) },
+            RrEvent::HearResponse { at: ms(1) },
+            RrEvent::Deadline,
+        ] {
+            let (s2, out) = responder_step(s, ev);
+            assert_eq!(s2, s);
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn hear_before_request_is_dropped() {
+        let (s, out) = responder_step(ResponderState::Idle, RrEvent::HearResponse { at: ms(1) });
+        assert_eq!(s, ResponderState::Idle);
+        assert!(out.is_empty());
+        let (s, out) = responder_step(ResponderState::Idle, RrEvent::Deadline);
+        assert_eq!(s, ResponderState::Idle);
+        assert!(out.is_empty());
+    }
+}

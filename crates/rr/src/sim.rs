@@ -20,6 +20,8 @@ use sdalloc_sim::{SimDuration, SimRng};
 use sdalloc_topology::routing::{SharedTree, SourceTree};
 use sdalloc_topology::{NodeId, Topology};
 
+use crate::responder::{responder_step, ResponderState, RrEvent, RrOutput};
+
 /// How responses (and the request) are routed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TreeMode {
@@ -106,6 +108,78 @@ pub struct RrOutcome {
     pub first_response: Option<SimDuration>,
 }
 
+/// One observable event in a request–response exchange, in the order the
+/// suppression sweep processes it.  The trace is the protocol's complete
+/// deterministic history: two implementations are equivalent iff they
+/// produce identical traces for identical seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `node` transmitted its response at `at` (since the request).
+    ResponseSent {
+        /// Responding member.
+        node: u32,
+        /// Send instant.
+        at: SimDuration,
+    },
+    /// `node` cancelled its scheduled response: another response reached
+    /// it at `heard_at`, strictly before its own `scheduled_at`.
+    Suppressed {
+        /// Suppressed member.
+        node: u32,
+        /// When it would have sent.
+        scheduled_at: SimDuration,
+        /// When the suppressing response arrived.
+        heard_at: SimDuration,
+    },
+    /// A transmitted response reached the requester at `at`.
+    ResponseAtRequester {
+        /// The responder it came from.
+        from: u32,
+        /// Arrival instant.
+        at: SimDuration,
+    },
+}
+
+/// A full event trace of one exchange.
+pub type RrTrace = Vec<TraceEvent>;
+
+/// FNV-1a hash of a trace's canonical byte encoding — a compact
+/// fingerprint for regression tests ("byte-identical traces").
+pub fn trace_fingerprint(trace: &[TraceEvent]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for ev in trace {
+        match *ev {
+            TraceEvent::ResponseSent { node, at } => {
+                eat(1);
+                eat(u64::from(node));
+                eat(at.as_nanos());
+            }
+            TraceEvent::Suppressed {
+                node,
+                scheduled_at,
+                heard_at,
+            } => {
+                eat(2);
+                eat(u64::from(node));
+                eat(scheduled_at.as_nanos());
+                eat(heard_at.as_nanos());
+            }
+            TraceEvent::ResponseAtRequester { from, at } => {
+                eat(3);
+                eat(u64::from(from));
+                eat(at.as_nanos());
+            }
+        }
+    }
+    h
+}
+
 /// A reusable harness over one topology: caches the shared tree.
 pub struct RrSim<'a> {
     topo: &'a Topology,
@@ -130,6 +204,30 @@ impl<'a> RrSim<'a> {
         params: &RrParams,
         requester: NodeId,
         rng: &mut SimRng,
+    ) -> RrOutcome {
+        self.run_once_impl(params, requester, rng, None)
+    }
+
+    /// Like [`Self::run_once`], additionally recording the full event
+    /// trace (sends, suppressions, arrivals at the requester) in
+    /// processing order.
+    pub fn run_once_traced(
+        &mut self,
+        params: &RrParams,
+        requester: NodeId,
+        rng: &mut SimRng,
+    ) -> (RrOutcome, RrTrace) {
+        let mut trace = Vec::new();
+        let outcome = self.run_once_impl(params, requester, rng, Some(&mut trace));
+        (outcome, trace)
+    }
+
+    fn run_once_impl(
+        &mut self,
+        params: &RrParams,
+        requester: NodeId,
+        rng: &mut SimRng,
+        mut trace: Option<&mut RrTrace>,
     ) -> RrOutcome {
         let n = self.topo.node_count();
         assert!(requester.index() < n, "requester out of range");
@@ -185,47 +283,73 @@ impl<'a> RrSim<'a> {
         // Earliest first; ties broken by node id for determinism.
         candidates.sort_by_key(|c| (c.send_at, c.node.0));
 
-        // -- suppression sweep: walk candidates in send order; each new
-        // sender immediately marks which later candidates its response
-        // reaches in time.  `suppressed_at[j]` is the earliest instant a
-        // response arrives at candidate j.
-        let mut suppressed_at: Vec<Option<SimDuration>> = vec![None; n];
+        // -- suppression sweep: every member runs the pure responder
+        // machine ([`responder_step`]); this driver merely orders the
+        // events.  Each member is fed its `Request` (scheduling the
+        // send), then deadlines fire in send order; every transmission
+        // immediately delivers `HearResponse` events to the later
+        // candidates its response reaches.
+        let mut machines: Vec<ResponderState> = vec![ResponderState::Idle; n];
+        for c in &candidates {
+            let (s, _) = responder_step(
+                machines[c.node.index()],
+                RrEvent::Request { send_at: c.send_at },
+            );
+            machines[c.node.index()] = s;
+        }
         let mut responses = 0usize;
         let mut first_at_requester: Option<SimDuration> = None;
 
         for idx in 0..candidates.len() {
             let c = candidates[idx];
-            if let Some(t) = suppressed_at[c.node.index()] {
-                // Strictly earlier: a response arriving at the exact
-                // send instant cannot stop the transmission (on a tree,
-                // nodes downstream of a zero-delay sender hit equality).
-                if t < c.send_at {
-                    continue; // heard someone else in time
+            let (next, outputs) = responder_step(machines[c.node.index()], RrEvent::Deadline);
+            machines[c.node.index()] = next;
+            if let ResponderState::Suppressed {
+                scheduled_at,
+                heard_at,
+            } = next
+            {
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(TraceEvent::Suppressed {
+                        node: c.node.0,
+                        scheduled_at,
+                        heard_at,
+                    });
                 }
+                continue; // heard someone else in time
             }
-            // c sends.
-            responses += 1;
-            let (resp_delay, resp_hops) = self.delays_from(params, c.node, rng);
-            // Arrival at the requester.
-            if let Some(d) = resp_delay[requester.index()] {
-                let at = c.send_at + d;
-                first_at_requester = Some(match first_at_requester {
-                    None => at,
-                    Some(prev) => prev.min(at),
-                });
-            }
-            // Mark later candidates.
-            for later in &candidates[idx + 1..] {
-                let j = later.node.index();
-                if let Some(d) = resp_delay[j] {
-                    let at = c.send_at + d;
-                    suppressed_at[j] = Some(match suppressed_at[j] {
+            for out in outputs {
+                let RrOutput::SendResponse { at: sent_at } = out;
+                responses += 1;
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(TraceEvent::ResponseSent {
+                        node: c.node.0,
+                        at: sent_at,
+                    });
+                }
+                let (resp_delay, resp_hops) = self.delays_from(params, c.node, rng);
+                // Arrival at the requester.
+                if let Some(d) = resp_delay[requester.index()] {
+                    let at = sent_at + d;
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.push(TraceEvent::ResponseAtRequester { from: c.node.0, at });
+                    }
+                    first_at_requester = Some(match first_at_requester {
                         None => at,
                         Some(prev) => prev.min(at),
                     });
                 }
+                // Deliver to the later candidates.
+                for later in &candidates[idx + 1..] {
+                    let j = later.node.index();
+                    if let Some(d) = resp_delay[j] {
+                        let (s, _) =
+                            responder_step(machines[j], RrEvent::HearResponse { at: sent_at + d });
+                        machines[j] = s;
+                    }
+                }
+                let _ = resp_hops; // hop counts reserved for stats
             }
-            let _ = resp_hops; // hop counts reserved for stats
         }
 
         RrOutcome {
@@ -560,5 +684,63 @@ mod tests {
         let out = sim.run_once(&params, a, &mut rng);
         assert_eq!(out.responses, 1);
         assert_eq!(out.first_response, Some(SimDuration::from_millis(60)));
+    }
+
+    #[test]
+    fn refactor_traces_match_pre_refactor_golden() {
+        // Regression anchor for the pure `responder_step` refactor: the
+        // fingerprints below were captured from the pre-refactor inline
+        // suppression sweep (direct `suppressed_at` bookkeeping) under
+        // these three fixed seeds.  The state-machine-driven sweep must
+        // reproduce the event traces byte for byte.
+        let golden = [
+            (
+                31u64,
+                101u64,
+                5usize,
+                Some(110_550_349u64),
+                124usize,
+                0x53a6_0713_9f7d_252d_u64,
+            ),
+            (32, 202, 3, Some(26_137_807), 122, 0x14f8_228f_564e_c2b3),
+            (33, 303, 6, Some(65_073_247), 125, 0xab32_7272_51c4_d91f),
+        ];
+        for (topo_seed, rng_seed, responses, first_ns, trace_len, fp) in golden {
+            let t = topo(120, topo_seed);
+            let mut sim = RrSim::new(&t);
+            let params = RrParams::figure15a(s(1.5));
+            let mut rng = SimRng::new(rng_seed);
+            let (out, trace) = sim.run_once_traced(&params, NodeId(3), &mut rng);
+            assert_eq!(out.responses, responses, "seed ({topo_seed},{rng_seed})");
+            assert_eq!(
+                out.first_response.map(SimDuration::as_nanos),
+                first_ns,
+                "seed ({topo_seed},{rng_seed})"
+            );
+            assert_eq!(trace.len(), trace_len, "seed ({topo_seed},{rng_seed})");
+            assert_eq!(
+                trace_fingerprint(&trace),
+                fp,
+                "seed ({topo_seed},{rng_seed}): trace diverged from pre-refactor history"
+            );
+        }
+    }
+
+    #[test]
+    fn untraced_and_traced_agree() {
+        let t = topo(150, 41);
+        let params = RrParams::figure15a(s(2.0));
+        let mut sim1 = RrSim::new(&t);
+        let mut sim2 = RrSim::new(&t);
+        let mut r1 = SimRng::new(7);
+        let mut r2 = SimRng::new(7);
+        let a = sim1.run_once(&params, NodeId(5), &mut r1);
+        let (b, trace) = sim2.run_once_traced(&params, NodeId(5), &mut r2);
+        assert_eq!(a, b);
+        let sent = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ResponseSent { .. }))
+            .count();
+        assert_eq!(sent, a.responses);
     }
 }

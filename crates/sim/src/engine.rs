@@ -156,15 +156,49 @@ impl<E> Simulator<E> {
     where
         F: FnMut(&mut SimContext<E>, E),
     {
+        self.run_until_observed(horizon, handler, &mut |_, _, _: &E| {})
+    }
+
+    /// Like [`Self::run`], additionally calling `observer` with
+    /// `(time, dispatch index, payload)` immediately before each event
+    /// is handled.  The observer sees the exact dispatch order — the
+    /// instrumentation hook behind event-trace regression tests and the
+    /// protocol drivers the model checker compares against.
+    pub fn run_observed<F, O>(&mut self, mut handler: F, mut observer: O) -> u64
+    where
+        F: FnMut(&mut SimContext<E>, E),
+        O: FnMut(SimTime, u64, &E),
+    {
+        self.run_until_observed(SimTime::MAX, &mut handler, &mut observer)
+    }
+
+    /// The fully general run loop: bounded horizon plus dispatch
+    /// observer.  All other run methods delegate here.
+    pub fn run_until_observed<F, O>(
+        &mut self,
+        horizon: SimTime,
+        handler: &mut F,
+        observer: &mut O,
+    ) -> u64
+    where
+        F: FnMut(&mut SimContext<E>, E),
+        O: FnMut(SimTime, u64, &E),
+    {
         let start = self.ctx.processed;
         self.ctx.stopped = false;
         while let Some(head) = self.ctx.queue.peek() {
             if head.due > horizon {
                 break;
             }
-            let ev = self.ctx.queue.pop().expect("peeked");
+            // The peek above guarantees the queue is non-empty, so the
+            // `else` arm can never run; it exists to keep this loop
+            // panic-free without an `expect`.
+            let Some(ev) = self.ctx.queue.pop() else {
+                break;
+            };
             debug_assert!(ev.due >= self.ctx.now, "time went backwards");
             self.ctx.now = ev.due;
+            observer(ev.due, self.ctx.processed, &ev.payload);
             self.ctx.processed += 1;
             handler(&mut self.ctx, ev.payload);
             if self.ctx.stopped {
@@ -270,6 +304,26 @@ mod tests {
         sim.run(|ctx, _| {
             ctx.schedule_at(SimTime::from_secs(1), ());
         });
+    }
+
+    #[test]
+    fn observer_sees_dispatch_order() {
+        let mut sim = Simulator::new();
+        sim.context().schedule_at(SimTime::from_secs(2), 20u32);
+        sim.context().schedule_at(SimTime::from_secs(1), 10u32);
+        let mut observed = Vec::new();
+        let mut handled = Vec::new();
+        sim.run_observed(
+            |ctx, e| {
+                handled.push(e);
+                if e == 10 {
+                    ctx.schedule_after(SimDuration::from_secs(5), 30u32);
+                }
+            },
+            |now, idx, e: &u32| observed.push((now.as_nanos() / 1_000_000_000, idx, *e)),
+        );
+        assert_eq!(handled, vec![10, 20, 30]);
+        assert_eq!(observed, vec![(1, 0, 10), (2, 1, 20), (6, 2, 30)]);
     }
 
     #[test]

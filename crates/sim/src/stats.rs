@@ -197,12 +197,13 @@ impl Histogram {
 }
 
 /// The `q`-quantile (0 ≤ q ≤ 1) of a slice by linear interpolation
-/// between order statistics.  Panics on empty input or NaN.
+/// between order statistics.  Panics on empty input; NaN values sort
+/// after +∞ under IEEE 754 total order rather than panicking.
 pub fn quantile(data: &[f64], q: f64) -> f64 {
     assert!(!data.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile out of range");
     let mut v = data.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile"));
+    v.sort_by(f64::total_cmp);
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -229,18 +230,18 @@ pub fn median_filter(data: &[f64], window: usize) -> Vec<f64> {
         let lo = i - radius;
         let hi = i + radius;
         let mut win: Vec<f64> = data[lo..=hi].to_vec();
-        win.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median_filter"));
+        win.sort_by(f64::total_cmp);
         out.push(win[win.len() / 2]);
     }
     out
 }
 
-/// Median of a slice (panics on empty or NaN).  Averages the two middle
-/// elements for even lengths.
+/// Median of a slice (panics on empty; NaN sorts last under IEEE 754
+/// total order).  Averages the two middle elements for even lengths.
 pub fn median(data: &[f64]) -> f64 {
     assert!(!data.is_empty(), "median of empty slice");
     let mut v = data.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median"));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]

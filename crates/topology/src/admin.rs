@@ -50,6 +50,8 @@ pub enum AdminError {
     RangeCollision(ZoneId),
     /// Empty member set or empty address range.
     Empty,
+    /// The zone count would overflow the `u32` id space.
+    TooManyZones,
 }
 
 impl std::fmt::Display for AdminError {
@@ -63,6 +65,7 @@ impl std::fmt::Display for AdminError {
                 write!(f, "address range collides with non-nested zone {}", z.0)
             }
             AdminError::Empty => write!(f, "zone has no members or no addresses"),
+            AdminError::TooManyZones => write!(f, "zone count overflows the u32 id space"),
         }
     }
 }
@@ -117,7 +120,10 @@ impl AdminScoping {
                 return Err(AdminError::RangeCollision(z.id));
             }
         }
-        let id = ZoneId(self.zones.len() as u32);
+        let Ok(raw) = u32::try_from(self.zones.len()) else {
+            return Err(AdminError::TooManyZones);
+        };
+        let id = ZoneId(raw);
         self.zones.push(AdminZone {
             id,
             name: name.to_string(),

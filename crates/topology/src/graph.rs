@@ -81,6 +81,13 @@ pub struct Topology {
     adjacency: Vec<Vec<(LinkId, NodeId)>>,
 }
 
+/// Convert a node/link index into the `u32` id space.  `add_node` /
+/// `add_link` cap the collections at `u32::MAX` entries, so the
+/// saturating fallback can never fire for an in-range index.
+fn id_u32(i: usize) -> u32 {
+    u32::try_from(i).unwrap_or(u32::MAX)
+}
+
 impl Topology {
     /// An empty topology.
     pub fn new() -> Self {
@@ -88,8 +95,13 @@ impl Topology {
     }
 
     /// Add a node, returning its id.
+    ///
+    /// Panics if the node count would overflow the `u32` id space —
+    /// a wrapping id would silently alias an existing node.
     pub fn add_node(&mut self, node: Node) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        let raw = u32::try_from(self.nodes.len());
+        assert!(raw.is_ok(), "node count overflows the u32 id space");
+        let id = NodeId(raw.unwrap_or(u32::MAX));
         self.nodes.push(node);
         self.adjacency.push(Vec::new());
         id
@@ -113,7 +125,9 @@ impl Topology {
         assert!(a != b, "self-loop on node {a:?}");
         assert!(a.index() < self.nodes.len(), "node {a:?} out of range");
         assert!(b.index() < self.nodes.len(), "node {b:?} out of range");
-        let id = LinkId(self.links.len() as u32);
+        let raw = u32::try_from(self.links.len());
+        assert!(raw.is_ok(), "link count overflows the u32 id space");
+        let id = LinkId(raw.unwrap_or(u32::MAX));
         self.links.push(Link {
             a,
             b,
@@ -138,7 +152,7 @@ impl Topology {
 
     /// All node ids, in index order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..id_u32(self.nodes.len())).map(NodeId)
     }
 
     /// Node metadata.
@@ -206,7 +220,7 @@ impl Topology {
             }
             let c = sizes.len();
             let mut size = 0usize;
-            let mut stack = vec![NodeId(start as u32)];
+            let mut stack = vec![NodeId(id_u32(start))];
             comp[start] = c;
             while let Some(v) = stack.pop() {
                 size += 1;
@@ -225,7 +239,7 @@ impl Topology {
             .max_by_key(|&(_, s)| *s)
             .map(|(c, _)| c)
             .unwrap_or(0);
-        (0..n as u32)
+        (0..id_u32(n))
             .map(NodeId)
             .filter(|v| comp[v.index()] == best)
             .collect()

@@ -289,10 +289,12 @@ fn build_country(
             );
             // Chain bias: usually extend the most recent router, giving
             // organisations some depth (paper: up to ~10 hops at TTL 16).
-            let parent = if rng.chance(0.7) {
-                *members.last().expect("non-empty")
-            } else {
-                *rng.choose(&members)
+            // `members` always holds at least the gateway, so the
+            // fallthrough arm only serves the chance(0.7)=false draw;
+            // `chance` is drawn first to keep the RNG stream unchanged.
+            let parent = match (rng.chance(0.7), members.last()) {
+                (true, Some(&last)) => last,
+                _ => *rng.choose(&members),
             };
             topo.add_link(v, parent, 1, 1, ms(1 + rng.below(3)));
             members.push(v);

@@ -116,7 +116,12 @@ impl SourceTree {
             if v == source {
                 continue;
             }
-            let (p, lid) = parent[v.index()].expect("reachable node has a parent");
+            // Every `done` node except the source was reached through a
+            // link, so a missing parent cannot occur; skipping it keeps
+            // the loop panic-free.
+            let Some((p, lid)) = parent[v.index()] else {
+                continue;
+            };
             let thr = topo.link(lid).threshold as u32;
             // Crossing the hops[v]-th link needs initial TTL ≥ hops + threshold.
             let need_here = hops[v.index()] + thr;
@@ -197,11 +202,9 @@ impl SptCache {
 
     /// The tree rooted at `source`, computing it on first use.
     pub fn tree(&mut self, source: NodeId) -> &SourceTree {
-        let slot = &mut self.trees[source.index()];
-        if slot.is_none() {
-            *slot = Some(Box::new(SourceTree::compute(&self.topo, source)));
-        }
-        slot.as_deref().expect("just inserted")
+        let topo = &self.topo;
+        self.trees[source.index()]
+            .get_or_insert_with(|| Box::new(SourceTree::compute(topo, source)))
     }
 
     /// Convenience: the reach set for `(source, ttl)`.
@@ -305,17 +308,21 @@ impl SharedTree {
         if self.tree.metric[a.index()] == u32::MAX || self.tree.metric[b.index()] == u32::MAX {
             return None;
         }
+        // A node with hops > 0 always has a parent on a well-formed
+        // tree; a missing link means the tree is corrupt, reported as
+        // "no ancestor" instead of panicking.
+        let step = |v: NodeId| self.tree.parent[v.index()].map(|(p, _)| p);
         let mut x = a;
         let mut y = b;
         while self.tree.hops[x.index()] > self.tree.hops[y.index()] {
-            x = self.tree.parent[x.index()].expect("non-root has parent").0;
+            x = step(x)?;
         }
         while self.tree.hops[y.index()] > self.tree.hops[x.index()] {
-            y = self.tree.parent[y.index()].expect("non-root has parent").0;
+            y = step(y)?;
         }
         while x != y {
-            x = self.tree.parent[x.index()].expect("non-root has parent").0;
-            y = self.tree.parent[y.index()].expect("non-root has parent").0;
+            x = step(x)?;
+            y = step(y)?;
         }
         Some(x)
     }

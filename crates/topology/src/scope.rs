@@ -69,11 +69,10 @@ impl ScopeCache {
 
     /// The scope's reach set (cached).
     pub fn reach_set(&mut self, scope: Scope) -> &NodeSet {
-        if !self.sets.contains_key(&scope) {
-            let set = self.spt.tree(scope.source).reach_set(scope.ttl);
-            self.sets.insert(scope, set);
-        }
-        self.sets.get(&scope).expect("just inserted")
+        let spt = &mut self.spt;
+        self.sets
+            .entry(scope)
+            .or_insert_with(|| spt.tree(scope.source).reach_set(scope.ttl))
     }
 
     /// Number of mrouters inside the scope zone.
@@ -89,12 +88,15 @@ impl ScopeCache {
         if self.sees(b.source, a) || self.sees(a.source, b) {
             return true;
         }
-        // Ensure both sets are cached, then intersect.
+        // Ensure both sets are cached, then intersect.  `reach_set`
+        // inserts any missing entry, so the fallthrough arm is dead; it
+        // reads as "no overlap" to keep this path panic-free.
         self.reach_set(a);
         self.reach_set(b);
-        let sa = self.sets.get(&a).expect("cached");
-        let sb = self.sets.get(&b).expect("cached");
-        sa.intersects(sb)
+        match (self.sets.get(&a), self.sets.get(&b)) {
+            (Some(sa), Some(sb)) => sa.intersects(sb),
+            _ => false,
+        }
     }
 
     /// Number of cached reach sets (for memory accounting in tests).

@@ -4,14 +4,18 @@
 //!   verifier; exit non-zero if either finds a violation.
 //! * `cargo xtask lint` — lint pass only.
 //! * `cargo xtask invariants` — invariant verifier only.
+//! * `cargo xtask model` — bounded explicit-state model checking of the
+//!   clash and request–response protocols (`--smoke` for the
+//!   depth-limited CI slice).
 //!
 //! No external dependencies: the lint pass is a lexical scanner over
-//! the workspace's own sources, and the verifier drives the real
-//! `sdalloc-core` artifacts.  See DESIGN.md "Static analysis and
-//! verification".
+//! the workspace's own sources, and the verifier and model checker
+//! drive the real `sdalloc-core` / `sdalloc-rr` artifacts.  See
+//! DESIGN.md "Static analysis and verification".
 
 mod invariants;
 mod lint;
+mod model;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,12 +37,22 @@ fn main() -> ExitCode {
         "check" => run(true, true),
         "lint" => run(true, false),
         "invariants" => run(false, true),
+        "model" => {
+            let smoke = std::env::args().nth(2).as_deref() == Some("--smoke");
+            if model::run(smoke) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         "help" | "--help" | "-h" => {
-            eprintln!("usage: cargo xtask [check|lint|invariants]");
+            eprintln!("usage: cargo xtask [check|lint|invariants|model [--smoke]]");
             ExitCode::SUCCESS
         }
         other => {
-            eprintln!("unknown command `{other}`; usage: cargo xtask [check|lint|invariants]");
+            eprintln!(
+                "unknown command `{other}`; usage: cargo xtask [check|lint|invariants|model [--smoke]]"
+            );
             ExitCode::FAILURE
         }
     }

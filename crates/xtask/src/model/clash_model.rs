@@ -1,0 +1,591 @@
+//! Bounded model of the Section 3 clash protocol.
+//!
+//! A small fixed set of allocator sites contend for one address under an
+//! adversarial network, driving the *real* transition function
+//! [`sdalloc_core::clash_step`] — the same code the SAP directory runs.
+//! The model owns everything the pure step function does not: the
+//! clock, the network and the delay sampling.
+//!
+//! **Finite-time abstraction.**  The step function takes real
+//! [`SimTime`]s, so the model pins them to constants: every delivery
+//! happens at `T_NOW`; a "recent" session was announced at `T_NOW`
+//! (zero age, inside the recency window) and a "long-standing" one at
+//! time zero (age `T_NOW`, far outside it); third-party delays are the
+//! policy's `D1`, and timers fire via `Poll` at `T_FIRE > T_NOW + D1`.
+//! Constant times keep [`ClashState`] finite without touching the
+//! protocol logic under test, which only compares ages and deadlines.
+//!
+//! **Adversary.**  In-flight announcements form a multiset; any copy
+//! may be delivered (in any order), dropped (bounded by `drop_budget`)
+//! or duplicated (bounded by `dup_budget`).  Each site with a live
+//! session re-announces spontaneously up to `announce_budget` times —
+//! the model's rendering of SAP's periodic re-announcement.  With
+//! `announce_budget > drop_budget` the adversary cannot starve a
+//! contender of the incumbent's claim, which is what makes the
+//! quiescence property a *bounded-liveness* result: with fewer losses
+//! than announcements, every clash is detected and resolved.
+//!
+//! **Properties.**
+//! * `no-duplicate-address` (terminal): live sessions hold pairwise
+//!   distinct addresses once the network is quiet.
+//! * `single-defense-timer` (every state): a site never holds two armed
+//!   third-party defences for the same `(session, addr)` — two timers
+//!   would fire two authoritative responses for one clash.
+//! * `protected-incumbent` (terminal): the long-standing tiebreak
+//!   winner never modified its session ("existing sessions will not be
+//!   disrupted by new sessions").
+//! * `move-bound` (every state): no site moved more often than the
+//!   scenario's fresh-address pool allows (a livelock canary).
+
+use sdalloc_core::Addr;
+use sdalloc_core::{ClashAction, ClashEvent, ClashPolicy, ClashState, Incumbent, SessionId};
+use sdalloc_sim::{SimDuration, SimTime};
+
+use super::driver::Model;
+
+/// The pinned "current time" of every delivery.
+fn t_now() -> SimTime {
+    SimTime::from_secs(1000)
+}
+
+/// When `Poll` runs: after any armed deadline.
+fn t_fire(policy: &ClashPolicy) -> SimTime {
+    t_now() + policy.d2 + SimDuration::from_secs(1)
+}
+
+/// A step-compatible transition function; tests swap in mutants.
+pub type ClashStepFn = fn(&ClashPolicy, &ClashState, &ClashEvent) -> (ClashState, Vec<ClashAction>);
+
+/// Whether a site's session predates the recency window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Age {
+    /// Announced just now — a clash looks like propagation delay.
+    Recent,
+    /// Long-standing — defends its address (subject to the tiebreak).
+    Old,
+}
+
+/// One contending or observing site in the scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteConfig {
+    /// `Some((addr, age))` for an allocator holding a live session;
+    /// `None` for a pure observer (third party).
+    pub session: Option<(u32, Age)>,
+    /// How many announcements the site may transmit in total
+    /// (spontaneous re-announcements, defences and moved re-announcements
+    /// all draw from this).
+    pub announce_budget: u8,
+    /// Sessions pre-seeded in the site's directory cache, as
+    /// `(origin site, addr)` — how a third party knows the incumbent.
+    pub cached: &'static [(u8, u32)],
+}
+
+/// A complete clash scenario.
+pub struct ClashScenario {
+    /// Scenario name for reports.
+    pub name: &'static str,
+    /// The sites, indexed by position.
+    pub sites: &'static [SiteConfig],
+    /// Total messages the adversary may drop.
+    pub drop_budget: u8,
+    /// Total messages the adversary may duplicate.
+    pub dup_budget: u8,
+    /// Fresh addresses available per site for `ModifyOwn` moves.
+    pub fresh_per_site: u8,
+}
+
+/// The model: a scenario plus the transition function under test.
+pub struct ClashModel {
+    /// The scenario to explore.
+    pub scenario: ClashScenario,
+    /// Normally [`sdalloc_core::clash_step`]; mutated in
+    /// seeded-violation tests.
+    pub step: ClashStepFn,
+}
+
+/// An in-flight announcement copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Message {
+    /// Receiving site.
+    dest: u8,
+    /// The announced session.
+    session: SessionId,
+    /// The address it claims.
+    addr: Addr,
+}
+
+/// One site's model-level state (wrapping the real `ClashState`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct SiteState {
+    /// Current address of our live session, if any.
+    own_addr: Option<Addr>,
+    /// Whether our session counts as recently announced.
+    recent: bool,
+    /// `ModifyOwn` moves taken so far (names the next fresh address).
+    moves: u8,
+    /// Announcements still permitted.
+    budget: u8,
+    /// Last-heard claim per foreign session, sorted by session.
+    cache: Vec<(SessionId, Addr)>,
+    /// The real protocol state under test.
+    clash: ClashState,
+}
+
+/// The global model state: all sites plus the adversarial network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClashModelState {
+    sites: Vec<SiteState>,
+    /// In-flight multiset, sorted by message (canonical form).
+    in_flight: Vec<(Message, u8)>,
+    drops_left: u8,
+    dups_left: u8,
+}
+
+/// The session originated by site `i` (one per site in every scenario).
+fn session_of(i: usize) -> SessionId {
+    SessionId {
+        site: i as u32,
+        seq: 0,
+    }
+}
+
+/// The `m`-th fresh address for site `i`: disjoint from every contended
+/// address (low numbers) and every other site's pool.
+fn fresh_addr(i: usize, m: u8) -> Addr {
+    Addr(1000 + (i as u32) * 100 + u32::from(m))
+}
+
+impl ClashModelState {
+    fn add_message(&mut self, msg: Message) {
+        match self.in_flight.iter_mut().find(|(m, _)| *m == msg) {
+            Some((_, n)) => *n += 1,
+            None => {
+                self.in_flight.push((msg, 1));
+                self.in_flight.sort_unstable();
+            }
+        }
+    }
+
+    fn remove_message(&mut self, msg: Message) {
+        if let Some(pos) = self.in_flight.iter().position(|(m, _)| *m == msg) {
+            if self.in_flight[pos].1 > 1 {
+                self.in_flight[pos].1 -= 1;
+            } else {
+                self.in_flight.remove(pos);
+            }
+        }
+    }
+}
+
+impl ClashModel {
+    fn policy(&self) -> ClashPolicy {
+        ClashPolicy::default()
+    }
+
+    /// Broadcast `session`'s claim of `addr` from site `from`, if the
+    /// site still has transmit budget (one unit per announcement, like
+    /// one SAP packet).  Without budget the announcement is silently
+    /// skipped — the address move itself, being local, still happens.
+    fn announce(&self, state: &mut ClashModelState, from: usize, session: SessionId, addr: Addr) {
+        if state.sites[from].budget == 0 {
+            return;
+        }
+        state.sites[from].budget -= 1;
+        for dest in 0..state.sites.len() {
+            if dest != from {
+                state.add_message(Message {
+                    dest: dest as u8,
+                    session,
+                    addr,
+                });
+            }
+        }
+    }
+
+    /// Apply the actions `clash_step` asked for at site `i`.
+    fn apply_actions(&self, state: &mut ClashModelState, i: usize, actions: &[ClashAction]) {
+        for action in actions {
+            match *action {
+                ClashAction::DefendOwn { session } => {
+                    if let Some(addr) = state.sites[i].own_addr {
+                        self.announce(state, i, session, addr);
+                    }
+                }
+                ClashAction::ModifyOwn { session, .. } => {
+                    let moves = state.sites[i].moves;
+                    let addr = fresh_addr(i, moves);
+                    state.sites[i].own_addr = Some(addr);
+                    state.sites[i].recent = true;
+                    state.sites[i].moves = moves.saturating_add(1);
+                    self.announce(state, i, session, addr);
+                }
+                ClashAction::ThirdPartyArmed { .. } => {
+                    // State change already applied by the step function.
+                }
+                ClashAction::DefendThirdParty { session } => {
+                    // Re-announce the cached session on its originator's
+                    // behalf, at the address our cache records for it.
+                    if let Some(&(_, addr)) =
+                        state.sites[i].cache.iter().find(|(s, _)| *s == session)
+                    {
+                        self.announce(state, i, session, addr);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run one step-function event at site `i` and apply its actions.
+    fn feed(&self, state: &mut ClashModelState, i: usize, event: &ClashEvent) {
+        let (next, actions) = (self.step)(&self.policy(), &state.sites[i].clash, event);
+        state.sites[i].clash = next;
+        self.apply_actions(state, i, &actions);
+    }
+
+    /// Deliver one copy of `msg` to its destination: the model-level
+    /// rendering of the SAP directory's announcement handler.
+    fn deliver(&self, state: &mut ClashModelState, msg: Message) {
+        state.remove_message(msg);
+        let i = msg.dest as usize;
+
+        // Hearing any announcement of a session suppresses our pending
+        // third-party defence of it (its originator is alive, or another
+        // third party beat us).
+        self.feed(
+            state,
+            i,
+            &ClashEvent::AnnouncementSeen {
+                session: msg.session,
+            },
+        );
+
+        // If the session moved off an address we recorded, the clash on
+        // that address is resolved.
+        let prior = state.sites[i]
+            .cache
+            .iter()
+            .find(|(s, _)| *s == msg.session)
+            .map(|&(_, a)| a);
+        if let Some(old) = prior {
+            if old != msg.addr {
+                self.feed(state, i, &ClashEvent::ClashResolved { addr: old });
+            }
+        }
+
+        // Update the cache (foreign sessions only — a defence of our own
+        // session is not cached back onto ourselves).
+        if msg.session != session_of(i) {
+            match state.sites[i]
+                .cache
+                .iter_mut()
+                .find(|(s, _)| *s == msg.session)
+            {
+                Some(entry) => entry.1 = msg.addr,
+                None => {
+                    state.sites[i].cache.push((msg.session, msg.addr));
+                    state.sites[i].cache.sort_unstable();
+                }
+            }
+        } else {
+            return; // our own session needs no clash check against itself
+        }
+
+        // Clash detection, mirroring the directory: our own live session
+        // first, then cached third-party sessions.
+        let own = state.sites[i].own_addr;
+        if own == Some(msg.addr) {
+            let recent = state.sites[i].recent;
+            let announced_at = if recent { t_now() } else { SimTime::ZERO };
+            self.feed(
+                state,
+                i,
+                &ClashEvent::Clash {
+                    now: t_now(),
+                    addr: msg.addr,
+                    incumbent_session: session_of(i),
+                    incumbent: Incumbent::Ours {
+                        announced_at,
+                        // Total order over session ids: lowest keeps the
+                        // address (same rule the responder documents).
+                        wins_tiebreak: session_of(i) < msg.session,
+                    },
+                    third_party_delay: SimDuration::ZERO,
+                },
+            );
+        } else if let Some(&(incumbent, _)) = state.sites[i]
+            .cache
+            .iter()
+            .find(|&&(s, a)| a == msg.addr && s != msg.session)
+        {
+            self.feed(
+                state,
+                i,
+                &ClashEvent::Clash {
+                    now: t_now(),
+                    addr: msg.addr,
+                    incumbent_session: incumbent,
+                    incumbent: Incumbent::Cached,
+                    third_party_delay: self.policy().d1,
+                },
+            );
+        }
+    }
+}
+
+impl Model for ClashModel {
+    type State = ClashModelState;
+
+    fn name(&self) -> String {
+        format!("clash/{}", self.scenario.name)
+    }
+
+    fn initial_states(&self) -> Vec<ClashModelState> {
+        let sites = self
+            .scenario
+            .sites
+            .iter()
+            .map(|cfg| {
+                let mut cache: Vec<(SessionId, Addr)> = cfg
+                    .cached
+                    .iter()
+                    .map(|&(origin, addr)| (session_of(origin as usize), Addr(addr)))
+                    .collect();
+                cache.sort_unstable();
+                SiteState {
+                    own_addr: cfg.session.map(|(a, _)| Addr(a)),
+                    recent: matches!(cfg.session, Some((_, Age::Recent))),
+                    moves: 0,
+                    budget: cfg.announce_budget,
+                    cache,
+                    clash: ClashState::new(),
+                }
+            })
+            .collect();
+        vec![ClashModelState {
+            sites,
+            in_flight: Vec::new(),
+            drops_left: self.scenario.drop_budget,
+            dups_left: self.scenario.dup_budget,
+        }]
+    }
+
+    fn successors(&self, state: &ClashModelState, out: &mut Vec<(String, ClashModelState)>) {
+        // Adversary moves on each distinct in-flight message.
+        for &(msg, _) in &state.in_flight {
+            let mut next = state.clone();
+            self.deliver(&mut next, msg);
+            out.push((
+                format!(
+                    "deliver s{}@{} to {}",
+                    msg.session.site, msg.addr.0, msg.dest
+                ),
+                next,
+            ));
+
+            if state.drops_left > 0 {
+                let mut next = state.clone();
+                next.remove_message(msg);
+                next.drops_left -= 1;
+                out.push((
+                    format!("drop s{}@{} to {}", msg.session.site, msg.addr.0, msg.dest),
+                    next,
+                ));
+            }
+            if state.dups_left > 0 {
+                let mut next = state.clone();
+                next.add_message(msg);
+                next.dups_left -= 1;
+                out.push((
+                    format!("dup s{}@{} to {}", msg.session.site, msg.addr.0, msg.dest),
+                    next,
+                ));
+            }
+        }
+
+        // Spontaneous periodic re-announcement by live-session sites.
+        for i in 0..state.sites.len() {
+            if state.sites[i].budget > 0 {
+                if let Some(addr) = state.sites[i].own_addr {
+                    let mut next = state.clone();
+                    self.announce(&mut next, i, session_of(i), addr);
+                    out.push((format!("announce by {i}"), next));
+                }
+            }
+        }
+
+        // Timer expiry: a site with armed defences polls past every
+        // deadline, firing them all (constant times make them equal).
+        for i in 0..state.sites.len() {
+            if state.sites[i].clash.pending_count() > 0 {
+                let mut next = state.clone();
+                self.feed(
+                    &mut next,
+                    i,
+                    &ClashEvent::Poll {
+                        now: t_fire(&self.policy()),
+                    },
+                );
+                out.push((format!("timer fires at {i}"), next));
+            }
+        }
+    }
+
+    fn violations(&self, state: &ClashModelState, terminal: bool, out: &mut Vec<(String, String)>) {
+        // single-defense-timer: no site may hold two armed defences for
+        // one (session, addr) — the double-arm bug the idempotence fix
+        // in `clash_step` closed.
+        for (i, site) in state.sites.iter().enumerate() {
+            let pending = site.clash.pending();
+            for (a, pa) in pending.iter().enumerate() {
+                for pb in &pending[a + 1..] {
+                    if pa.session == pb.session && pa.addr == pb.addr {
+                        out.push((
+                            "single-defense-timer".to_string(),
+                            format!(
+                                "site {i} armed two defences for s{}@{}",
+                                pa.session.site, pa.addr.0
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // move-bound: a site cycling through more fresh addresses than
+        // the pool allows indicates a modify livelock.
+        for (i, site) in state.sites.iter().enumerate() {
+            if site.moves > self.scenario.fresh_per_site {
+                out.push((
+                    "move-bound".to_string(),
+                    format!("site {i} moved {} times", site.moves),
+                ));
+            }
+        }
+
+        if !terminal {
+            return;
+        }
+
+        // no-duplicate-address: quiescent live sessions are distinct.
+        for i in 0..state.sites.len() {
+            for j in i + 1..state.sites.len() {
+                if let (Some(a), Some(b)) = (state.sites[i].own_addr, state.sites[j].own_addr) {
+                    if a == b {
+                        out.push((
+                            "no-duplicate-address".to_string(),
+                            format!("sites {i} and {j} both quiesced holding {}", a.0),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // protected-incumbent: the long-standing tiebreak winner (the
+        // lowest session id among Old sites) must never have moved.
+        let winner = self
+            .scenario
+            .sites
+            .iter()
+            .enumerate()
+            .filter(|(_, cfg)| matches!(cfg.session, Some((_, Age::Old))))
+            .map(|(i, _)| i)
+            .min();
+        if let Some(w) = winner {
+            if state.sites[w].moves > 0 {
+                out.push((
+                    "protected-incumbent".to_string(),
+                    format!("long-standing winner {w} was forced to move"),
+                ));
+            }
+        }
+    }
+}
+
+/// The scenarios the `cargo xtask model` command explores.  All use the
+/// real [`sdalloc_core::clash_step`]; the seeded-violation tests rebuild
+/// them around mutants.
+pub fn scenarios(smoke: bool) -> Vec<ClashScenario> {
+    // The acceptance configuration: two allocators, one contended
+    // address, the adversary may lose two messages and duplicate one.
+    // announce_budget = drop_budget + 1, the bounded-liveness threshold.
+    let two_site = |name: &'static str, sites: &'static [SiteConfig]| ClashScenario {
+        name,
+        sites,
+        drop_budget: 2,
+        dup_budget: 1,
+        fresh_per_site: 2,
+    };
+    const OLD_OLD: &[SiteConfig] = &[
+        SiteConfig {
+            session: Some((0, Age::Old)),
+            announce_budget: 3,
+            cached: &[],
+        },
+        SiteConfig {
+            session: Some((0, Age::Old)),
+            announce_budget: 3,
+            cached: &[],
+        },
+    ];
+    const OLD_RECENT: &[SiteConfig] = &[
+        SiteConfig {
+            session: Some((0, Age::Old)),
+            announce_budget: 3,
+            cached: &[],
+        },
+        SiteConfig {
+            session: Some((0, Age::Recent)),
+            announce_budget: 3,
+            cached: &[],
+        },
+    ];
+    const RECENT_RECENT: &[SiteConfig] = &[
+        SiteConfig {
+            session: Some((0, Age::Recent)),
+            announce_budget: 3,
+            cached: &[],
+        },
+        SiteConfig {
+            session: Some((0, Age::Recent)),
+            announce_budget: 3,
+            cached: &[],
+        },
+    ];
+    // Third-party coverage: an observer that knows the incumbent's
+    // session from its cache defends it if the incumbent stays silent.
+    const THIRD_PARTY: &[SiteConfig] = &[
+        SiteConfig {
+            session: Some((0, Age::Old)),
+            announce_budget: 2,
+            cached: &[],
+        },
+        SiteConfig {
+            session: Some((0, Age::Recent)),
+            announce_budget: 2,
+            cached: &[],
+        },
+        SiteConfig {
+            session: None,
+            announce_budget: 2,
+            cached: &[(0, 0)],
+        },
+    ];
+
+    if smoke {
+        // Depth-limited smoke slice: the post-partition heal scenario,
+        // exercising phases 1 and 2 plus the adversary.
+        return vec![two_site("2-site heal (smoke)", OLD_OLD)];
+    }
+    vec![
+        two_site("2-site partition heal (old vs old)", OLD_OLD),
+        two_site("2-site newcomer vs incumbent", OLD_RECENT),
+        two_site("2-site simultaneous allocation", RECENT_RECENT),
+        ClashScenario {
+            name: "3-site third-party defense",
+            sites: THIRD_PARTY,
+            drop_budget: 1,
+            dup_budget: 1,
+            fresh_per_site: 2,
+        },
+    ]
+}

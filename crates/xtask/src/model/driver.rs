@@ -1,0 +1,293 @@
+//! The bounded explicit-state search driver.
+//!
+//! Breadth-first exploration over a [`Model`]'s state graph with a
+//! visited-state hash set.  States must be *canonical by construction*
+//! (sorted collections, no incidental ordering) so that protocol-equal
+//! states collide in the set; every model in this module normalises its
+//! multisets before returning successors.
+//!
+//! The driver records each state's BFS parent and the label of the
+//! transition that produced it, so a property violation comes with a
+//! full counterexample trace from the initial state.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A finite-state protocol model the driver can explore.
+pub trait Model {
+    /// One global configuration of the protocol plus its network.
+    type State: Clone + Hash + Eq + Ord + Debug;
+
+    /// Short name for reports.
+    fn name(&self) -> String;
+
+    /// The initial states (usually one; several when the scenario itself
+    /// branches, e.g. over recency assignments).
+    fn initial_states(&self) -> Vec<Self::State>;
+
+    /// Append every `(label, successor)` of `state` to `out`.  An empty
+    /// set marks `state` as terminal (quiescent).
+    fn successors(&self, state: &Self::State, out: &mut Vec<(String, Self::State)>);
+
+    /// Append every property violated in `state` to `out` as
+    /// `(property, detail)`.  `terminal` is true when the state has no
+    /// successors — quiescence-only properties should check it.
+    fn violations(&self, state: &Self::State, terminal: bool, out: &mut Vec<(String, String)>);
+}
+
+/// Bounds on the search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchLimits {
+    /// Maximum BFS depth (transitions from an initial state); `None`
+    /// means unbounded (the model itself must be finite).
+    pub max_depth: Option<usize>,
+    /// Hard cap on stored states; exceeding it truncates the search.
+    pub max_states: usize,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits {
+            max_depth: None,
+            max_states: 20_000_000,
+        }
+    }
+}
+
+/// A property violation plus the transition labels leading to it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The property that failed.
+    pub property: String,
+    /// Human-readable details (which sites/addresses were involved).
+    pub detail: String,
+    /// Transition labels from the initial state to the violating state.
+    pub trace: Vec<String>,
+}
+
+/// The outcome of one exhaustive search.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// The model's name.
+    pub model: String,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions taken (including ones leading to known states).
+    pub transitions: u64,
+    /// Terminal (quiescent) states found.
+    pub terminal_states: usize,
+    /// Deepest BFS level reached.
+    pub max_depth_reached: usize,
+    /// Whether a limit cut the search short (a truncated search proves
+    /// nothing about unexplored states).
+    pub truncated: bool,
+    /// Violations found, first occurrence per property.
+    pub violations: Vec<Violation>,
+}
+
+impl SearchReport {
+    /// True when the search completed without violations.
+    pub fn clean(&self) -> bool {
+        !self.truncated && self.violations.is_empty()
+    }
+}
+
+/// Exhaustively explore `model` under `limits`.
+pub fn explore<M: Model>(model: &M, limits: &SearchLimits) -> SearchReport {
+    // Parallel arrays indexed by state id: the state itself, its BFS
+    // parent and incoming transition label, and its depth.
+    let mut states: Vec<M::State> = Vec::new();
+    let mut parent: Vec<Option<(usize, String)>> = Vec::new();
+    let mut depth: Vec<usize> = Vec::new();
+    let mut index: HashMap<M::State, usize> = HashMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    let mut report = SearchReport {
+        model: model.name(),
+        states: 0,
+        transitions: 0,
+        terminal_states: 0,
+        max_depth_reached: 0,
+        truncated: false,
+        violations: Vec::new(),
+    };
+    let mut seen_properties: Vec<String> = Vec::new();
+
+    for init in model.initial_states() {
+        if let Entry::Vacant(e) = index.entry(init.clone()) {
+            e.insert(states.len());
+            queue.push_back(states.len());
+            states.push(init);
+            parent.push(None);
+            depth.push(0);
+        }
+    }
+
+    let mut succ: Vec<(String, M::State)> = Vec::new();
+    let mut viols: Vec<(String, String)> = Vec::new();
+
+    while let Some(id) = queue.pop_front() {
+        let d = depth[id];
+        report.max_depth_reached = report.max_depth_reached.max(d);
+
+        succ.clear();
+        let expand = limits.max_depth.is_none_or(|m| d < m);
+        if expand {
+            model.successors(&states[id], &mut succ);
+        } else {
+            report.truncated = true;
+        }
+        let terminal = expand && succ.is_empty();
+        if terminal {
+            report.terminal_states += 1;
+        }
+
+        viols.clear();
+        model.violations(&states[id], terminal, &mut viols);
+        for (property, detail) in viols.drain(..) {
+            // Keep the first (shallowest) counterexample per property.
+            if seen_properties.contains(&property) {
+                continue;
+            }
+            seen_properties.push(property.clone());
+            report.violations.push(Violation {
+                property,
+                detail,
+                trace: trace_to(&parent, id),
+            });
+        }
+
+        for (label, next) in succ.drain(..) {
+            report.transitions += 1;
+            match index.entry(next.clone()) {
+                Entry::Occupied(_) => {}
+                Entry::Vacant(e) => {
+                    if states.len() >= limits.max_states {
+                        report.truncated = true;
+                        continue;
+                    }
+                    e.insert(states.len());
+                    queue.push_back(states.len());
+                    states.push(next);
+                    parent.push(Some((id, label)));
+                    depth.push(d + 1);
+                }
+            }
+        }
+    }
+
+    report.states = states.len();
+    report
+}
+
+/// Reconstruct the transition labels from the initial state to `id`.
+fn trace_to(parent: &[Option<(usize, String)>], mut id: usize) -> Vec<String> {
+    let mut labels = Vec::new();
+    while let Some((p, label)) = parent.get(id).and_then(|x| x.as_ref()) {
+        labels.push(label.clone());
+        id = *p;
+    }
+    labels.reverse();
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter that increments or doubles, capped at `max`; violation
+    /// when the value is exactly `bad`.
+    struct Counter {
+        max: u32,
+        bad: Option<u32>,
+    }
+
+    impl Model for Counter {
+        type State = u32;
+
+        fn name(&self) -> String {
+            "counter".to_string()
+        }
+
+        fn initial_states(&self) -> Vec<u32> {
+            vec![1]
+        }
+
+        fn successors(&self, s: &u32, out: &mut Vec<(String, u32)>) {
+            if *s < self.max {
+                out.push(("inc".to_string(), s + 1));
+            }
+            if s * 2 <= self.max {
+                out.push(("dbl".to_string(), s * 2));
+            }
+        }
+
+        fn violations(&self, s: &u32, _terminal: bool, out: &mut Vec<(String, String)>) {
+            if Some(*s) == self.bad {
+                out.push(("bad-value".to_string(), format!("reached {s}")));
+            }
+        }
+    }
+
+    #[test]
+    fn explores_all_reachable_states() {
+        let m = Counter { max: 10, bad: None };
+        let r = explore(&m, &SearchLimits::default());
+        assert_eq!(r.states, 10, "1..=10 all reachable");
+        assert!(r.clean());
+        assert_eq!(r.terminal_states, 1, "only 10 is terminal");
+    }
+
+    #[test]
+    fn violation_comes_with_shortest_trace() {
+        let m = Counter {
+            max: 10,
+            bad: Some(8),
+        };
+        let r = explore(&m, &SearchLimits::default());
+        assert_eq!(r.violations.len(), 1);
+        let v = &r.violations[0];
+        assert_eq!(v.property, "bad-value");
+        // BFS reaches 8 in three transitions: 1 -> 2 -> 4 -> 8, with the
+        // first edge labelled by whichever move was generated first.
+        assert_eq!(v.trace.len(), 3);
+        assert_eq!(v.trace[1..], ["dbl", "dbl"]);
+    }
+
+    #[test]
+    fn depth_limit_truncates() {
+        let m = Counter {
+            max: 100,
+            bad: None,
+        };
+        let r = explore(
+            &m,
+            &SearchLimits {
+                max_depth: Some(3),
+                max_states: 1_000_000,
+            },
+        );
+        assert!(r.truncated);
+        assert!(!r.clean());
+        assert!(r.states < 100);
+    }
+
+    #[test]
+    fn state_cap_truncates() {
+        let m = Counter {
+            max: 100,
+            bad: None,
+        };
+        let r = explore(
+            &m,
+            &SearchLimits {
+                max_depth: None,
+                max_states: 5,
+            },
+        );
+        assert!(r.truncated);
+        assert_eq!(r.states, 5);
+    }
+}

@@ -1,0 +1,346 @@
+//! Bounded model of the request–response suppression exchange.
+//!
+//! A requester multicasts a request to a small member set; each
+//! eligible member runs the *real* pure responder machine
+//! [`sdalloc_rr::responder_step`] — the same code the suppression sweep
+//! in `sdalloc-rr` drives.  The model supplies what the machine
+//! abstracts away: delay sampling (a nondeterministic choice from a
+//! finite set), message transport and event ordering.
+//!
+//! **Time abstraction.**  A member's response instant is its sampled
+//! delay (requests nominally arrive at t = 0).  A response transmitted
+//! at `s` can reach another member *before* that member's deadline only
+//! if `s ≤ send_at` — the adversary picks the arrival instant, and the
+//! earliest causally possible one (`s` itself) is also the most
+//! suppressive, so only that choice and "too late" (a free no-op) are
+//! modelled.  Deadlines fire in `send_at` order (earliest scheduled
+//! member first), matching real time.
+//!
+//! **Adversary.**  Request and response copies may be dropped (bounded)
+//! or duplicated (bounded) besides being delivered in any admissible
+//! order.
+//!
+//! **Properties.**
+//! * `some-response` (terminal): if any member ever scheduled a
+//!   response, at least one member transmits — suppression can never
+//!   silence every eligible responder (in particular not the *only*
+//!   one).
+//! * `single-response` (every state): no member transmits twice for one
+//!   request, however often the request is duplicated.
+//! * `valid-suppression` (every state): a suppressed member was beaten
+//!   strictly — `heard_at < scheduled_at`; ties must transmit.
+
+use sdalloc_rr::{ResponderState, RrEvent, RrOutput};
+use sdalloc_sim::SimDuration;
+
+use super::driver::Model;
+
+/// A step-compatible responder function; tests swap in mutants.
+pub type RrStepFn = fn(ResponderState, RrEvent) -> (ResponderState, Vec<RrOutput>);
+
+/// A complete request–response scenario.
+pub struct RrScenario {
+    /// Scenario name for reports.
+    pub name: &'static str,
+    /// Eligibility per member: ineligible members absorb the request
+    /// without scheduling (they have nothing to answer with).
+    pub eligible: &'static [bool],
+    /// The response-delay choices (milliseconds) the nondeterministic
+    /// sampler picks from when a request arrives.
+    pub delays_ms: &'static [u64],
+    /// Total messages the adversary may drop.
+    pub drop_budget: u8,
+    /// Total messages the adversary may duplicate.
+    pub dup_budget: u8,
+}
+
+/// The model: a scenario plus the responder function under test.
+pub struct RrModel {
+    /// The scenario to explore.
+    pub scenario: RrScenario,
+    /// Normally [`sdalloc_rr::responder_step`]; mutated in
+    /// seeded-violation tests.
+    pub step: RrStepFn,
+}
+
+/// An in-flight response copy: transmitted at `sent_at`, headed to
+/// member `dest`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct ResponseMsg {
+    sender: u8,
+    sent_at: SimDuration,
+    dest: u8,
+}
+
+/// One member's model-level state around the real machine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct MemberState {
+    /// The real responder machine state under test.
+    st: ResponderState,
+    /// Whether the member ever reached `Scheduled`.
+    was_scheduled: bool,
+    /// Responses transmitted (the `single-response` counter).
+    sent: u8,
+}
+
+/// The global model state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RrModelState {
+    members: Vec<MemberState>,
+    /// In-flight request copies per member (multicast fan-out).
+    requests: Vec<u8>,
+    /// In-flight response multiset, sorted (canonical form).
+    responses: Vec<(ResponseMsg, u8)>,
+    drops_left: u8,
+    dups_left: u8,
+}
+
+impl RrModelState {
+    fn add_response(&mut self, msg: ResponseMsg) {
+        match self.responses.iter_mut().find(|(m, _)| *m == msg) {
+            Some((_, n)) => *n += 1,
+            None => {
+                self.responses.push((msg, 1));
+                self.responses.sort_unstable();
+            }
+        }
+    }
+
+    fn remove_response(&mut self, msg: ResponseMsg) {
+        if let Some(pos) = self.responses.iter().position(|(m, _)| *m == msg) {
+            if self.responses[pos].1 > 1 {
+                self.responses[pos].1 -= 1;
+            } else {
+                self.responses.remove(pos);
+            }
+        }
+    }
+}
+
+impl RrModel {
+    /// Feed `event` to member `i`'s machine; transmitted responses fan
+    /// out to every other member (the requester's copy needs no model —
+    /// properties count transmissions, not receptions).
+    fn feed(&self, state: &mut RrModelState, i: usize, event: RrEvent) {
+        let (next, outputs) = (self.step)(state.members[i].st, event);
+        state.members[i].st = next;
+        if matches!(next, ResponderState::Scheduled { .. }) {
+            state.members[i].was_scheduled = true;
+        }
+        for out in outputs {
+            let RrOutput::SendResponse { at } = out;
+            state.members[i].sent = state.members[i].sent.saturating_add(1);
+            for dest in 0..state.members.len() {
+                if dest != i {
+                    state.add_response(ResponseMsg {
+                        sender: i as u8,
+                        sent_at: at,
+                        dest: dest as u8,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Model for RrModel {
+    type State = RrModelState;
+
+    fn name(&self) -> String {
+        format!("rr/{}", self.scenario.name)
+    }
+
+    fn initial_states(&self) -> Vec<RrModelState> {
+        let n = self.scenario.eligible.len();
+        vec![RrModelState {
+            members: vec![
+                MemberState {
+                    st: ResponderState::Idle,
+                    was_scheduled: false,
+                    sent: 0,
+                };
+                n
+            ],
+            // The requester's multicast puts one request copy in flight
+            // per member.
+            requests: vec![1; n],
+            responses: Vec::new(),
+            drops_left: self.scenario.drop_budget,
+            dups_left: self.scenario.dup_budget,
+        }]
+    }
+
+    fn successors(&self, state: &RrModelState, out: &mut Vec<(String, RrModelState)>) {
+        // Request copies: deliver (branching over the sampled delay for
+        // eligible idle members), drop, duplicate.
+        for i in 0..state.members.len() {
+            if state.requests[i] == 0 {
+                continue;
+            }
+            if self.scenario.eligible[i] && state.members[i].st == ResponderState::Idle {
+                for &ms in self.scenario.delays_ms {
+                    let mut next = state.clone();
+                    next.requests[i] -= 1;
+                    self.feed(
+                        &mut next,
+                        i,
+                        RrEvent::Request {
+                            send_at: SimDuration::from_millis(ms),
+                        },
+                    );
+                    out.push((format!("request to {i}, delay {ms}ms"), next));
+                }
+            } else {
+                // Ineligible, or already past Idle: the copy is absorbed
+                // (the machine decides what a duplicate means).
+                let mut next = state.clone();
+                next.requests[i] -= 1;
+                self.feed(
+                    &mut next,
+                    i,
+                    RrEvent::Request {
+                        send_at: SimDuration::ZERO,
+                    },
+                );
+                out.push((format!("request (dup/ineligible) to {i}"), next));
+            }
+            if state.drops_left > 0 {
+                let mut next = state.clone();
+                next.requests[i] -= 1;
+                next.drops_left -= 1;
+                out.push((format!("drop request to {i}"), next));
+            }
+            if state.dups_left > 0 {
+                let mut next = state.clone();
+                next.requests[i] += 1;
+                next.dups_left -= 1;
+                out.push((format!("dup request to {i}"), next));
+            }
+        }
+
+        // Response copies: an early arrival (at the causal minimum, the
+        // send instant itself) is only possible before the receiver's
+        // deadline, i.e. when `sent_at <= send_at`; otherwise delivery
+        // is a free no-op removal ("arrives too late to matter").
+        for &(msg, _) in &state.responses {
+            let dest = msg.dest as usize;
+            let early = match state.members[dest].st {
+                ResponderState::Scheduled { send_at, .. } => msg.sent_at <= send_at,
+                _ => false,
+            };
+            let mut next = state.clone();
+            next.remove_response(msg);
+            if early {
+                self.feed(&mut next, dest, RrEvent::HearResponse { at: msg.sent_at });
+                out.push((
+                    format!("deliver response {}→{} early", msg.sender, msg.dest),
+                    next,
+                ));
+            } else {
+                out.push((
+                    format!("deliver response {}→{} late", msg.sender, msg.dest),
+                    next,
+                ));
+            }
+            if state.drops_left > 0 {
+                let mut next = state.clone();
+                next.remove_response(msg);
+                next.drops_left -= 1;
+                out.push((format!("drop response {}→{}", msg.sender, msg.dest), next));
+            }
+            if state.dups_left > 0 {
+                let mut next = state.clone();
+                next.add_response(msg);
+                next.dups_left -= 1;
+                out.push((format!("dup response {}→{}", msg.sender, msg.dest), next));
+            }
+        }
+
+        // Deadlines fire in real-time order: only members holding the
+        // minimal scheduled send instant may fire next.
+        let min_send = state
+            .members
+            .iter()
+            .filter_map(|m| match m.st {
+                ResponderState::Scheduled { send_at, .. } => Some(send_at),
+                _ => None,
+            })
+            .min();
+        if let Some(min_send) = min_send {
+            for i in 0..state.members.len() {
+                if let ResponderState::Scheduled { send_at, .. } = state.members[i].st {
+                    if send_at == min_send {
+                        let mut next = state.clone();
+                        self.feed(&mut next, i, RrEvent::Deadline);
+                        out.push((format!("deadline at {i}"), next));
+                    }
+                }
+            }
+        }
+    }
+
+    fn violations(&self, state: &RrModelState, terminal: bool, out: &mut Vec<(String, String)>) {
+        for (i, m) in state.members.iter().enumerate() {
+            // single-response: at most one transmission per member.
+            if m.sent > 1 {
+                out.push((
+                    "single-response".to_string(),
+                    format!("member {i} transmitted {} responses", m.sent),
+                ));
+            }
+            // valid-suppression: ties and later arrivals must not
+            // suppress.
+            if let ResponderState::Suppressed {
+                scheduled_at,
+                heard_at,
+            } = m.st
+            {
+                if heard_at >= scheduled_at {
+                    out.push((
+                        "valid-suppression".to_string(),
+                        format!(
+                            "member {i} suppressed by an arrival at {heard_at} \
+                             not strictly before its send instant {scheduled_at}"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        if !terminal {
+            return;
+        }
+
+        // some-response: suppression never silences every responder.
+        let any_scheduled = state.members.iter().any(|m| m.was_scheduled);
+        let any_sent = state.members.iter().any(|m| m.sent > 0);
+        if any_scheduled && !any_sent {
+            out.push((
+                "some-response".to_string(),
+                "every scheduled responder was suppressed".to_string(),
+            ));
+        }
+    }
+}
+
+/// The scenarios the `cargo xtask model` command explores.
+pub fn scenarios(smoke: bool) -> Vec<RrScenario> {
+    const THREE_ELIGIBLE: RrScenario = RrScenario {
+        name: "3 eligible members, 2 delay slots",
+        eligible: &[true, true, true],
+        delays_ms: &[10, 20],
+        drop_budget: 1,
+        dup_budget: 1,
+    };
+    const SOLE_RESPONDER: RrScenario = RrScenario {
+        name: "sole eligible responder under duplication",
+        eligible: &[true, false, false],
+        delays_ms: &[10],
+        drop_budget: 1,
+        dup_budget: 2,
+    };
+    if smoke {
+        return vec![SOLE_RESPONDER];
+    }
+    vec![THREE_ELIGIBLE, SOLE_RESPONDER]
+}

@@ -14,6 +14,7 @@ run() {
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo xtask check
+run cargo xtask model --smoke
 run cargo test -q
 
 echo "All checks passed."
