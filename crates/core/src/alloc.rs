@@ -38,6 +38,44 @@ pub trait Allocator: Send {
         view: &View<'_>,
         rng: &mut SimRng,
     ) -> Option<Addr>;
+
+    /// Graceful-degradation allocation: try [`Self::allocate`] first,
+    /// and when the algorithm's own partition is exhausted fall back to
+    /// an informed-random pick over the *whole* space — trading the
+    /// partition discipline for availability.  The outcome records
+    /// whether widening happened so callers can log a degradation event
+    /// (a widened address may clash with sessions the partitioning was
+    /// protecting; the clash protocol remains the safety net).  Returns
+    /// `None` only when every address in the space is visibly in use.
+    fn allocate_or_widen(
+        &self,
+        space: &AddrSpace,
+        ttl: u8,
+        view: &View<'_>,
+        rng: &mut SimRng,
+    ) -> Option<AllocOutcome> {
+        if let Some(addr) = self.allocate(space, ttl, view, rng) {
+            return Some(AllocOutcome {
+                addr,
+                widened: false,
+            });
+        }
+        let used = view.occupied();
+        pick_free_in_range(0, space.size(), &used, rng).map(|addr| AllocOutcome {
+            addr,
+            widened: true,
+        })
+    }
+}
+
+/// Result of [`Allocator::allocate_or_widen`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocOutcome {
+    /// The allocated address.
+    pub addr: Addr,
+    /// Whether the allocator had to widen beyond its own partition —
+    /// the signal for a logged degradation event.
+    pub widened: bool,
 }
 
 /// Uniformly pick an address from `range` (lo..hi within `space`) that is
@@ -258,5 +296,51 @@ mod tests {
     fn names() {
         assert_eq!(RandomAllocator.name(), "R");
         assert_eq!(InformedRandomAllocator.name(), "IR");
+    }
+
+    #[test]
+    fn widen_not_needed_when_partition_has_room() {
+        let space = AddrSpace::abstract_space(16);
+        let sessions = view_of(&[(0, 127)]);
+        let view = View::new(&sessions);
+        let mut rng = SimRng::new(9);
+        let out = InformedRandomAllocator
+            .allocate_or_widen(&space, 127, &view, &mut rng)
+            .unwrap();
+        assert!(!out.widened);
+        assert_ne!(out.addr, Addr(0));
+    }
+
+    #[test]
+    fn widen_escapes_full_band() {
+        use crate::static_ipr::StaticIpr;
+        // Three equal bands over 12 addresses; fill the band for a
+        // low-TTL session so the banded allocator refuses, then check
+        // the fallback widens into the rest of the space.
+        let space = AddrSpace::abstract_space(12);
+        let alg = StaticIpr::three_band();
+        let (lo, hi) = alg.band_range(alg.band_of(15), space.size());
+        let sessions: Vec<VisibleSession> =
+            (lo..hi).map(|a| VisibleSession::new(Addr(a), 15)).collect();
+        let view = View::new(&sessions);
+        let mut rng = SimRng::new(10);
+        assert_eq!(alg.allocate(&space, 15, &view, &mut rng), None);
+        let out = alg
+            .allocate_or_widen(&space, 15, &view, &mut rng)
+            .expect("space has free addresses outside the band");
+        assert!(out.widened);
+        assert!(!(lo..hi).contains(&out.addr.0), "widened outside the band");
+        assert!(space.contains(out.addr));
+    }
+
+    #[test]
+    fn widen_refuses_only_when_space_truly_full() {
+        let space = AddrSpace::abstract_space(3);
+        let sessions = view_of(&[(0, 1), (1, 1), (2, 1)]);
+        let view = View::new(&sessions);
+        let mut rng = SimRng::new(11);
+        assert!(InformedRandomAllocator
+            .allocate_or_widen(&space, 15, &view, &mut rng)
+            .is_none());
     }
 }

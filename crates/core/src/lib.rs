@@ -52,7 +52,7 @@ pub mod view;
 
 pub use adaptive::{AdaptiveIpr, BandMap};
 pub use addr::{Addr, AddrSpace};
-pub use alloc::{Allocator, InformedRandomAllocator, RandomAllocator};
+pub use alloc::{AllocOutcome, Allocator, InformedRandomAllocator, RandomAllocator};
 pub use clash::{
     clash_step, ClashAction, ClashEvent, ClashPolicy, ClashResponder, ClashState, Incumbent,
     PendingDefense, SessionId,

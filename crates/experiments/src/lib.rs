@@ -11,6 +11,7 @@
 //! | [`rr_figs`] | 14, 15, 16, 18, 19 (request–response suppression) |
 //! | [`ext_hier`] | extension E1: §4.1 flat vs hierarchical allocation |
 //! | [`eq1_sim`] | Monte-Carlo validation of Equation 1 against the closed form |
+//! | [`chaos`] | fault-injection scenario matrix: partition/heal, crash/restart, burst loss, storms, allocator exhaustion |
 //!
 //! The `experiments` binary prints each figure's series as aligned
 //! tables and optionally CSV; `--quick` (default) uses reduced grids,
@@ -20,6 +21,7 @@
 
 pub mod alloc_figs;
 pub mod analytic_figs;
+pub mod chaos;
 pub mod eq1_sim;
 pub mod ext_hier;
 pub mod fill;

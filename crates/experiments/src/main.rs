@@ -4,7 +4,7 @@
 //! experiments <target> [--full] [--seed N] [--nodes N] [--out DIR]
 //!
 //! targets: fig4 fig5 fig6 sec23 fig10 fig11 fig12 fig13
-//!          fig14 fig15 fig16 fig18 fig19 all
+//!          fig14 fig15 fig16 fig18 fig19 chaos all
 //! ```
 //!
 //! `--quick` grids (the default) finish in a couple of minutes on a
@@ -28,6 +28,8 @@ struct Options {
     repeats: usize,
     /// Cap the largest simulated group size (0 = no cap).
     max_sites: u64,
+    /// Reduced chaos matrix for CI (`chaos --smoke`).
+    smoke: bool,
 }
 
 fn parse_args() -> Options {
@@ -39,6 +41,7 @@ fn parse_args() -> Options {
         out: None,
         repeats: 0,
         max_sites: 0,
+        smoke: false,
     };
     let mut args = std::env::args().skip(1);
     let mut positional = Vec::new();
@@ -46,6 +49,7 @@ fn parse_args() -> Options {
         match a.as_str() {
             "--full" => opts.full = true,
             "--quick" => opts.full = false,
+            "--smoke" => opts.smoke = true,
             "--seed" => {
                 opts.seed = args
                     .next()
@@ -94,7 +98,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments <fig4|fig5|fig6|sec23|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig18|fig19|ext1|ext2|clash|eq1sim|all> [--full] [--seed N] [--nodes N] [--repeats N] [--max-sites N] [--out DIR]"
+        "usage: experiments <fig4|fig5|fig6|sec23|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig18|fig19|ext1|ext2|clash|eq1sim|chaos|all> [--full] [--smoke] [--seed N] [--nodes N] [--repeats N] [--max-sites N] [--out DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -103,7 +107,7 @@ fn main() {
     let opts = parse_args();
     let known = [
         "fig4", "fig5", "fig6", "sec23", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-        "fig16", "fig18", "fig19", "ext1", "ext2", "clash", "eq1sim", "all",
+        "fig16", "fig18", "fig19", "ext1", "ext2", "clash", "eq1sim", "chaos", "all",
     ];
     if !known.contains(&opts.target.as_str()) {
         usage(&format!("unknown target {}", opts.target));
@@ -157,6 +161,33 @@ fn main() {
     }
     if run("eq1sim") {
         eq1sim(&opts);
+    }
+    if run("chaos") {
+        chaos(&opts);
+    }
+}
+
+/// Fault-injection scenario matrix; emits a deterministic JSON report
+/// (same seed ⇒ byte-identical file) under `results_full/` or `--out`.
+fn chaos(opts: &Options) {
+    let json = sdalloc_experiments::chaos::run(opts.seed, opts.smoke);
+    let dir = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results_full"));
+    let name = if opts.smoke {
+        "chaos_smoke.json"
+    } else {
+        "chaos.json"
+    };
+    let path = dir.join(name);
+    print!("{json}");
+    if let Err(e) =
+        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json.as_bytes()))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("# wrote {}", path.display());
     }
 }
 

@@ -51,6 +51,18 @@ pub struct DirectoryConfig {
     /// inter-announcement interval would become too long to give any
     /// kind of assurance of reliability").  `None` = unpaced.
     pub bandwidth_limit_bps: Option<f64>,
+    /// Graceful degradation: when the allocator's own partition is
+    /// exhausted, widen to the whole space (via
+    /// [`sdalloc_core::Allocator::allocate_or_widen`]) and log a
+    /// [`DirectoryEvent::Degraded`] instead of failing the create.
+    pub exhaustion_fallback: bool,
+    /// Staleness-aware cache expiry: when set to `Some(k)`, entries not
+    /// refreshed within `k` background announcement periods (the
+    /// schedule cap) are purged ahead of the hard cache timeout.  After
+    /// a partition heal or restart this sheds state from sessions that
+    /// moved or died unheard, at the cost of forgetting sessions whose
+    /// announcements were merely lost.  `None` = hard timeout only.
+    pub staleness_factor: Option<u32>,
 }
 
 impl DirectoryConfig {
@@ -64,6 +76,8 @@ impl DirectoryConfig {
             cache_timeout: SimDuration::from_hours(1),
             clash_policy: ClashPolicy::default(),
             bandwidth_limit_bps: None,
+            exhaustion_fallback: false,
+            staleness_factor: None,
         }
     }
 }
@@ -119,6 +133,16 @@ pub enum DirectoryEvent {
     },
     /// Cache update classification for an incoming announcement.
     Heard(CacheUpdate),
+    /// Graceful degradation: the allocator's partition was exhausted
+    /// and the address was taken from outside it (whole-space informed
+    /// random).  The session exists, but without the partition's
+    /// clash-avoidance guarantees — callers should surface this.
+    Degraded {
+        /// Our session id.
+        session_id: u64,
+        /// The out-of-partition group it landed on.
+        group: Ipv4Addr,
+    },
 }
 
 /// The session directory engine.
@@ -129,6 +153,11 @@ pub struct SessionDirectory {
     own: BTreeMap<u64, OwnSession>,
     responder: ClashResponder,
     next_session_id: u64,
+    /// Events produced outside [`Self::handle_packet`] (e.g. degraded
+    /// allocations during [`Self::create_session`]), drained by
+    /// [`Self::take_events`] or appended to the next `handle_packet`
+    /// result.
+    pending_events: Vec<DirectoryEvent>,
 }
 
 impl SessionDirectory {
@@ -143,6 +172,7 @@ impl SessionDirectory {
             own: BTreeMap::new(),
             responder,
             next_session_id: 1,
+            pending_events: Vec::new(),
         }
     }
 
@@ -197,12 +227,27 @@ impl SessionDirectory {
     ) -> Result<u64, CreateError> {
         let view_data = self.current_view();
         let view = View::new(&view_data);
-        let addr = self
-            .allocator
-            .allocate(&self.cfg.space, ttl, &view, rng)
-            .ok_or(CreateError::SpaceFull)?;
+        let (addr, widened) = if self.cfg.exhaustion_fallback {
+            let out = self
+                .allocator
+                .allocate_or_widen(&self.cfg.space, ttl, &view, rng)
+                .ok_or(CreateError::SpaceFull)?;
+            (out.addr, out.widened)
+        } else {
+            let addr = self
+                .allocator
+                .allocate(&self.cfg.space, ttl, &view, rng)
+                .ok_or(CreateError::SpaceFull)?;
+            (addr, false)
+        };
         let session_id = self.next_session_id;
         self.next_session_id += 1;
+        if widened {
+            self.pending_events.push(DirectoryEvent::Degraded {
+                session_id,
+                group: self.cfg.space.ip(addr),
+            });
+        }
         let desc = SessionDescription {
             origin: Origin {
                 username: "-".into(),
@@ -246,6 +291,12 @@ impl SessionDirectory {
     pub fn poll(&mut self, now: SimTime) -> Vec<SapPacket> {
         let mut out = Vec::new();
         self.cache.purge_expired(now);
+        if let Some(k) = self.cfg.staleness_factor {
+            // Entries missing for more than k background periods are
+            // presumed dead or moved; shed them early.
+            let horizon = self.cfg.schedule.cap.saturating_mul(k as u64);
+            self.cache.purge_stale(now, horizon);
+        }
 
         // Under a bandwidth budget, the steady repeat interval grows
         // with the number of sessions sharing the scope (ours plus
@@ -296,6 +347,28 @@ impl SessionDirectory {
         out
     }
 
+    /// Drain events produced outside [`Self::handle_packet`] (degraded
+    /// allocations, restart notices).  `handle_packet` drains these into
+    /// its own event list automatically; callers that only use
+    /// [`Self::create_session`]/[`Self::poll`] should collect them here.
+    pub fn take_events(&mut self) -> Vec<DirectoryEvent> {
+        std::mem::take(&mut self.pending_events)
+    }
+
+    /// Simulate a crash/restart with state loss: the announcement cache
+    /// and all pending clash-defence state are gone (they lived in
+    /// memory), while our own sessions survive (the application still
+    /// wants them announced) and re-enter the fast announcement phase so
+    /// the scope re-learns them quickly.
+    pub fn restart(&mut self, now: SimTime) {
+        self.cache = AnnouncementCache::new(self.cfg.cache_timeout);
+        self.responder = ClashResponder::new(self.cfg.clash_policy.clone());
+        for s in self.own.values_mut() {
+            s.sends = 0;
+            s.next_send = now;
+        }
+    }
+
     /// The next instant at which [`Self::poll`] has work to do.
     pub fn next_wakeup(&self) -> Option<SimTime> {
         let own = self.own.values().map(|s| s.next_send).min();
@@ -315,7 +388,9 @@ impl SessionDirectory {
         rng: &mut SimRng,
     ) -> (Vec<SapPacket>, Vec<DirectoryEvent>) {
         let mut out = Vec::new();
-        let mut events = Vec::new();
+        // Leftover out-of-band events (e.g. degraded allocations) ride
+        // along with whatever this packet produces.
+        let mut events = self.take_events();
 
         let Ok(desc) = SessionDescription::parse(&pkt.payload) else {
             return (out, events); // unparseable payloads are dropped
@@ -440,6 +515,8 @@ impl SessionDirectory {
             });
         }
 
+        // A mid-call move may have degraded; pick that up too.
+        events.append(&mut self.pending_events);
         (out, events)
     }
 
@@ -448,7 +525,20 @@ impl SessionDirectory {
         let view_data = self.current_view();
         let view = View::new(&view_data);
         let ttl = self.own.get(&session_id)?.desc.ttl;
-        let addr = self.allocator.allocate(&self.cfg.space, ttl, &view, rng)?;
+        let addr = if self.cfg.exhaustion_fallback {
+            let out = self
+                .allocator
+                .allocate_or_widen(&self.cfg.space, ttl, &view, rng)?;
+            if out.widened {
+                self.pending_events.push(DirectoryEvent::Degraded {
+                    session_id,
+                    group: self.cfg.space.ip(out.addr),
+                });
+            }
+            out.addr
+        } else {
+            self.allocator.allocate(&self.cfg.space, ttl, &view, rng)?
+        };
         let new_group = self.cfg.space.ip(addr);
         let s = self.own.get_mut(&session_id)?;
         let old_group = s.desc.group;
@@ -758,6 +848,132 @@ mod tests {
             d.create_session(t(0), "c", 63, media(), &mut rng),
             Err(CreateError::SpaceFull)
         );
+    }
+
+    #[test]
+    fn exhaustion_fallback_widens_instead_of_failing() {
+        use sdalloc_core::StaticIpr;
+        // A banded allocator whose band for TTL 15 holds 4 addresses.
+        let make = |fallback: bool| {
+            let mut cfg = DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1));
+            cfg.space = AddrSpace::abstract_space(12);
+            cfg.exhaustion_fallback = fallback;
+            SessionDirectory::new(cfg, Box::new(StaticIpr::three_band()))
+        };
+        let mut rng = SimRng::new(41);
+
+        // Degradation disabled: the fifth low-TTL create fails.
+        let mut strict = make(false);
+        let mut failed = false;
+        for k in 0..5 {
+            if strict
+                .create_session(t(k), "s", 15, media(), &mut rng)
+                .is_err()
+            {
+                failed = true;
+            }
+        }
+        assert!(failed, "band exhaustion must surface without the fallback");
+
+        // Degradation enabled: every create succeeds, and the widened
+        // ones are reported as Degraded events.
+        let mut graceful = make(true);
+        for k in 0..5 {
+            graceful
+                .create_session(t(k), "s", 15, media(), &mut rng)
+                .expect("fallback must absorb band exhaustion");
+        }
+        let events = graceful.take_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, DirectoryEvent::Degraded { .. })),
+            "widening must be logged: {events:?}"
+        );
+        assert!(graceful.take_events().is_empty(), "take_events drains");
+        // All five sessions hold distinct groups.
+        let groups: std::collections::HashSet<Ipv4Addr> =
+            graceful.own_sessions().map(|(_, s)| s.desc.group).collect();
+        assert_eq!(groups.len(), 5);
+    }
+
+    #[test]
+    fn staleness_factor_expires_ahead_of_hard_timeout() {
+        let mut cfg = DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1));
+        cfg.space = AddrSpace::abstract_space(64);
+        cfg.cache_timeout = SimDuration::from_hours(1);
+        cfg.staleness_factor = Some(2); // 2 × 600 s cap = 20 min
+        let mut d = SessionDirectory::new(cfg, Box::new(InformedRandomAllocator));
+        let mut rng = SimRng::new(42);
+        let remote = SessionDescription {
+            origin: Origin {
+                username: "-".into(),
+                session_id: 5,
+                version: 1,
+                address: Ipv4Addr::new(10, 0, 0, 9),
+            },
+            name: "r".into(),
+            info: None,
+            group: Ipv4Addr::new(224, 2, 128, 3),
+            ttl: 63,
+            start: 0,
+            stop: 0,
+            media: vec![],
+        };
+        let p = remote.format();
+        d.handle_packet(
+            t(0),
+            &SapPacket::announce(remote.origin.address, msg_id_hash(&p), p),
+            &mut rng,
+        );
+        assert_eq!(d.cached_sessions(), 1);
+        // 21 minutes of silence: stale horizon (20 min) passed, hard
+        // timeout (60 min) not yet.
+        d.poll(t(21 * 60));
+        assert_eq!(d.cached_sessions(), 0, "stale entry must be shed early");
+    }
+
+    #[test]
+    fn restart_loses_cache_but_reannounces_own_sessions() {
+        let mut d = directory([10, 0, 0, 1]);
+        let mut rng = SimRng::new(43);
+        d.create_session(t(0), "mine", 63, media(), &mut rng)
+            .unwrap();
+        // Walk past the fast phase.
+        for s in [0u64, 5, 15, 35, 75] {
+            d.poll(t(s));
+        }
+        // Hear a peer.
+        let remote = SessionDescription {
+            origin: Origin {
+                username: "-".into(),
+                session_id: 7,
+                version: 1,
+                address: Ipv4Addr::new(10, 0, 0, 2),
+            },
+            name: "peer".into(),
+            info: None,
+            group: Ipv4Addr::new(224, 2, 128, 9),
+            ttl: 63,
+            start: 0,
+            stop: 0,
+            media: vec![],
+        };
+        let p = remote.format();
+        d.handle_packet(
+            t(80),
+            &SapPacket::announce(remote.origin.address, msg_id_hash(&p), p),
+            &mut rng,
+        );
+        assert_eq!(d.cached_sessions(), 1);
+
+        d.restart(t(100));
+        assert_eq!(d.cached_sessions(), 0, "cache lost on restart");
+        // Own session survives and re-enters the fast phase at t=100.
+        assert_eq!(d.next_wakeup(), Some(t(100)));
+        let pkts = d.poll(t(100));
+        assert_eq!(pkts.len(), 1, "immediate re-announcement after restart");
+        assert_eq!(d.next_wakeup(), Some(t(105)), "fast-phase interval");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod wire;
 
 pub use cache::{AnnouncementCache, CacheEntry, CacheKey, CacheUpdate};
 pub use directory::{CreateError, DirectoryConfig, DirectoryEvent, SessionDirectory};
+pub use net::{AgentHandle, AgentStats, RetryPolicy, SapAgent, SapSocket, SapTransport};
 pub use schedule::BackoffSchedule;
 pub use sdp::{Media, Origin, SdpError, SessionDescription};
 pub use wire::{MessageType, SapPacket, WireError, SAP_GROUP, SAP_PORT};

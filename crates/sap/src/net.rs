@@ -11,6 +11,13 @@
 //! * [`SapAgent`] — glue mapping wall-clock time onto the engine's
 //!   [`SimTime`] and pumping packets both ways; step it from your own
 //!   loop, or run it on a background thread via [`SapAgent::spawn`].
+//!
+//! The agent is generic over [`SapTransport`] so its pump loop can be
+//! exercised against scripted fault-injecting fakes in tests.  Transient
+//! transport errors on the background thread are retried with jittered
+//! exponential backoff under a [`RetryPolicy`]; only persistent failure
+//! (or a disabled policy) terminates the pump, and then the error is
+//! surfaced through [`AgentHandle::terminal_error`] rather than lost.
 
 use std::io;
 use std::net::{Ipv4Addr, SocketAddrV4, UdpSocket};
@@ -28,6 +35,7 @@ use crate::sdp::Media;
 use crate::wire::{SapPacket, SAP_GROUP, SAP_PORT};
 
 /// A UDP socket joined to a SAP multicast group.
+#[derive(Debug)]
 pub struct SapSocket {
     sock: UdpSocket,
     dest: SocketAddrV4,
@@ -37,12 +45,23 @@ impl SapSocket {
     /// Join `group:port` on all interfaces with the given send TTL.
     /// Multicast loopback is enabled so co-located agents hear each
     /// other (and us), matching sdr's behaviour on a shared host.
+    ///
+    /// A TTL of 0 is rejected with [`io::ErrorKind::InvalidInput`]: a
+    /// zero-TTL announcement never leaves the host, and silently
+    /// promoting it to 1 (as an earlier version did) would widen the
+    /// session's scope beyond what the caller asked for.
     pub fn open(group: Ipv4Addr, port: u16, ttl: u8) -> io::Result<SapSocket> {
+        if ttl == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "SAP send TTL must be at least 1; 0 would never leave the host",
+            ));
+        }
         assert!(group.is_multicast(), "{group} is not a multicast group");
         let sock = UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, port))?;
         sock.join_multicast_v4(&group, &Ipv4Addr::UNSPECIFIED)?;
         sock.set_multicast_loop_v4(true)?;
-        sock.set_multicast_ttl_v4(ttl.max(1) as u32)?;
+        sock.set_multicast_ttl_v4(ttl as u32)?;
         Ok(SapSocket {
             sock,
             dest: SocketAddrV4::new(group, port),
@@ -60,7 +79,8 @@ impl SapSocket {
     }
 
     /// Receive one packet, waiting at most `timeout`.  Returns
-    /// `Ok(None)` on timeout or on an undecodable datagram.
+    /// `Ok(None)` on timeout, a signal interruption, or an undecodable
+    /// datagram — all benign conditions a pump loop should ride over.
     pub fn recv_timeout(&self, timeout: Duration) -> io::Result<Option<SapPacket>> {
         self.sock
             .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
@@ -68,7 +88,12 @@ impl SapSocket {
         match self.sock.recv_from(&mut buf) {
             Ok((len, _src)) => Ok(SapPacket::decode(&buf[..len]).ok()),
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
             {
                 Ok(None)
             }
@@ -82,6 +107,87 @@ impl SapSocket {
     }
 }
 
+/// Packet transport abstraction for [`SapAgent`].
+///
+/// [`SapSocket`] is the real implementation; tests substitute scripted
+/// fakes to inject transient and persistent I/O faults into the pump
+/// loop without touching the network.
+pub trait SapTransport: Send {
+    /// Send one packet toward the group.
+    fn send(&self, pkt: &SapPacket) -> io::Result<usize>;
+
+    /// Receive one packet, waiting at most `timeout`.  `Ok(None)` means
+    /// nothing arrived (timeout or undecodable datagram).
+    fn recv(&self, timeout: Duration) -> io::Result<Option<SapPacket>>;
+}
+
+impl SapTransport for SapSocket {
+    fn send(&self, pkt: &SapPacket) -> io::Result<usize> {
+        SapSocket::send(self, pkt)
+    }
+
+    fn recv(&self, timeout: Duration) -> io::Result<Option<SapPacket>> {
+        self.recv_timeout(timeout)
+    }
+}
+
+/// How the background pump reacts to transport errors.
+///
+/// Transient I/O errors (an interface flap, a full socket buffer) should
+/// not kill a long-lived announcer.  With retries enabled the pump backs
+/// off exponentially with full jitter and keeps going; only
+/// `max_consecutive` failures in a row are treated as persistent and
+/// terminate the thread, surfacing the error via
+/// [`AgentHandle::terminal_error`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// When false, any step error terminates the pump immediately (the
+    /// pre-degradation behaviour, kept for comparison experiments).
+    pub enabled: bool,
+    /// Consecutive failures tolerated before giving up.
+    pub max_consecutive: u32,
+    /// First backoff ceiling; doubles each consecutive failure.
+    pub base: Duration,
+    /// Upper bound on the backoff ceiling.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            enabled: true,
+            max_consecutive: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: the first error kills the pump.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            enabled: false,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `attempt` (0-based): uniform in
+    /// `[0, min(cap, base·2^attempt))` — "full jitter", so co-failing
+    /// agents do not retry in lockstep.
+    pub fn backoff(&self, attempt: u32, rng: &mut SimRng) -> Duration {
+        let ceiling = self
+            .base
+            .saturating_mul(2u32.saturating_pow(attempt.min(20)))
+            .min(self.cap);
+        let nanos = ceiling.as_nanos().min(u64::MAX as u128) as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(rng.below(nanos))
+    }
+}
+
 /// Statistics a running agent exposes.
 #[derive(Debug, Clone, Default)]
 pub struct AgentStats {
@@ -91,32 +197,42 @@ pub struct AgentStats {
     pub received: u64,
     /// Sessions currently in the listen cache.
     pub cached_sessions: usize,
+    /// Transient step failures absorbed by the retry policy.
+    pub retries: u64,
 }
 
-/// The session directory bound to a real socket and the wall clock.
-pub struct SapAgent {
+/// The session directory bound to a real transport and the wall clock.
+pub struct SapAgent<T: SapTransport = SapSocket> {
     directory: SessionDirectory,
-    socket: SapSocket,
+    transport: T,
     epoch: Instant,
     rng: SimRng,
     stats: AgentStats,
+    retry: RetryPolicy,
 }
 
-impl SapAgent {
-    /// Create an agent over an already-open socket.
+impl<T: SapTransport> SapAgent<T> {
+    /// Create an agent over an already-open transport.
     pub fn new(
         cfg: DirectoryConfig,
         allocator: Box<dyn Allocator>,
-        socket: SapSocket,
+        transport: T,
         seed: u64,
-    ) -> SapAgent {
+    ) -> SapAgent<T> {
         SapAgent {
             directory: SessionDirectory::new(cfg, allocator),
-            socket,
+            transport,
             epoch: Instant::now(),
             rng: SimRng::new(seed),
             stats: AgentStats::default(),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Replace the retry policy (builder style).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> SapAgent<T> {
+        self.retry = retry;
+        self
     }
 
     fn now(&self) -> SimTime {
@@ -153,15 +269,15 @@ impl SapAgent {
     pub fn step(&mut self, listen: Duration) -> io::Result<()> {
         let now = self.now();
         for pkt in self.directory.poll(now) {
-            self.socket.send(&pkt)?;
+            self.transport.send(&pkt)?;
             self.stats.sent += 1;
         }
-        if let Some(pkt) = self.socket.recv_timeout(listen)? {
+        if let Some(pkt) = self.transport.recv(listen)? {
             self.stats.received += 1;
             let now = self.now();
             let (replies, _events) = self.directory.handle_packet(now, &pkt, &mut self.rng);
             for reply in replies {
-                self.socket.send(&reply)?;
+                self.transport.send(&reply)?;
                 self.stats.sent += 1;
             }
         }
@@ -170,37 +286,59 @@ impl SapAgent {
 
     /// Run the agent on a background thread, returning a handle for
     /// issuing commands and reading state.  The thread exits when the
-    /// handle is dropped.
-    pub fn spawn(mut self) -> AgentHandle {
+    /// handle is dropped, or when a step error exhausts the retry
+    /// policy — in which case the error string is readable through
+    /// [`AgentHandle::terminal_error`] instead of vanishing with the
+    /// thread.
+    pub fn spawn(mut self) -> AgentHandle
+    where
+        T: 'static,
+    {
         let (cmd_tx, cmd_rx): (Sender<Command>, Receiver<Command>) = bounded(16);
         let stats = Arc::new(Mutex::new(AgentStats::default()));
         let stats_writer = Arc::clone(&stats);
-        let thread = std::thread::spawn(move || loop {
-            match cmd_rx.try_recv() {
-                Ok(Command::Create {
-                    name,
-                    ttl,
-                    media,
-                    reply,
-                }) => {
-                    let _ = reply.send(self.create_session(&name, ttl, media));
+        let error = Arc::new(Mutex::new(None));
+        let error_writer = Arc::clone(&error);
+        let thread = std::thread::spawn(move || {
+            let mut consecutive: u32 = 0;
+            loop {
+                match cmd_rx.try_recv() {
+                    Ok(Command::Create {
+                        name,
+                        ttl,
+                        media,
+                        reply,
+                    }) => {
+                        let _ = reply.send(self.create_session(&name, ttl, media));
+                    }
+                    Ok(Command::Withdraw { id }) => {
+                        if let Some(pkt) = self.directory.withdraw_session(id) {
+                            let _ = self.transport.send(&pkt);
+                        }
+                    }
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => break,
+                    Err(crossbeam::channel::TryRecvError::Empty) => {}
                 }
-                Ok(Command::Withdraw { id }) => {
-                    if let Some(pkt) = self.directory.withdraw_session(id) {
-                        let _ = self.socket.send(&pkt);
+                match self.step(Duration::from_millis(100)) {
+                    Ok(()) => consecutive = 0,
+                    Err(e) => {
+                        if !self.retry.enabled || consecutive >= self.retry.max_consecutive {
+                            *error_writer.lock() = Some(e.to_string());
+                            break;
+                        }
+                        let pause = self.retry.backoff(consecutive, &mut self.rng);
+                        consecutive += 1;
+                        self.stats.retries += 1;
+                        std::thread::sleep(pause);
                     }
                 }
-                Err(crossbeam::channel::TryRecvError::Disconnected) => break,
-                Err(crossbeam::channel::TryRecvError::Empty) => {}
+                *stats_writer.lock() = self.stats();
             }
-            if self.step(Duration::from_millis(100)).is_err() {
-                break;
-            }
-            *stats_writer.lock() = self.stats();
         });
         AgentHandle {
             cmd: cmd_tx,
             stats,
+            error,
             thread: Some(thread),
         }
     }
@@ -222,6 +360,7 @@ enum Command {
 pub struct AgentHandle {
     cmd: Sender<Command>,
     stats: Arc<Mutex<AgentStats>>,
+    error: Arc<Mutex<Option<String>>>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -253,6 +392,13 @@ impl AgentHandle {
     /// Stats snapshot.
     pub fn stats(&self) -> AgentStats {
         self.stats.lock().clone()
+    }
+
+    /// The error that terminated the pump thread, if it has died.
+    /// `None` means the pump is still running (or exited cleanly on
+    /// handle drop).
+    pub fn terminal_error(&self) -> Option<String> {
+        self.error.lock().clone()
     }
 }
 
@@ -370,5 +516,150 @@ mod tests {
     #[should_panic(expected = "not a multicast")]
     fn unicast_group_rejected() {
         let _ = SapSocket::open(Ipv4Addr::new(10, 0, 0, 1), 29878, 1);
+    }
+
+    #[test]
+    fn zero_ttl_rejected() {
+        let err = SapSocket::open(Ipv4Addr::new(239, 195, 255, 253), 29879, 0)
+            .expect_err("TTL 0 must not be silently promoted to 1");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A transport that fails its first `failures` operations with a
+    /// transient error, then behaves as an idle (packet-less) link.
+    struct FlakyTransport {
+        failures: AtomicUsize,
+    }
+
+    impl FlakyTransport {
+        fn new(failures: usize) -> Self {
+            FlakyTransport {
+                failures: AtomicUsize::new(failures),
+            }
+        }
+
+        fn trip(&self) -> io::Result<()> {
+            let mut cur = self.failures.load(Ordering::SeqCst);
+            loop {
+                if cur == 0 {
+                    return Ok(());
+                }
+                match self.failures.compare_exchange(
+                    cur,
+                    cur - 1,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => return Err(io::Error::other("injected transport fault")),
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+
+    impl SapTransport for FlakyTransport {
+        fn send(&self, _pkt: &SapPacket) -> io::Result<usize> {
+            self.trip()?;
+            Ok(0)
+        }
+
+        fn recv(&self, timeout: Duration) -> io::Result<Option<SapPacket>> {
+            self.trip()?;
+            std::thread::sleep(timeout.min(Duration::from_millis(2)));
+            Ok(None)
+        }
+    }
+
+    fn flaky_agent(failures: usize, seed: u64) -> SapAgent<FlakyTransport> {
+        let mut cfg = DirectoryConfig::new(Ipv4Addr::new(127, 0, 0, 8));
+        cfg.space = AddrSpace::abstract_space(64);
+        SapAgent::new(
+            cfg,
+            Box::new(InformedRandomAllocator),
+            FlakyTransport::new(failures),
+            seed,
+        )
+    }
+
+    #[test]
+    fn pump_dies_on_first_fault_without_retry() {
+        let handle = flaky_agent(usize::MAX, 7)
+            .with_retry_policy(RetryPolicy::disabled())
+            .spawn();
+        let mut died = false;
+        for _ in 0..500 {
+            if handle.terminal_error().is_some() {
+                died = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(died, "disabled retry policy must kill the pump on error");
+        let msg = handle.terminal_error().unwrap();
+        assert!(msg.contains("injected"), "error surfaced verbatim: {msg}");
+    }
+
+    #[test]
+    fn pump_survives_transient_faults_with_retry() {
+        // Five consecutive failures, then a healthy link: well inside the
+        // default policy's tolerance of eight.
+        let handle = flaky_agent(5, 8).spawn();
+        let id = handle
+            .create_session("resilient", 1, media())
+            .expect("agent still serving commands after transient faults");
+        assert!(id >= 1);
+        // The pump must have absorbed the faults, not died.
+        let mut retried = false;
+        for _ in 0..500 {
+            if handle.stats().retries >= 1 {
+                retried = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(retried, "faults should be visible as retries in stats");
+        assert_eq!(handle.terminal_error(), None, "pump must not have died");
+    }
+
+    #[test]
+    fn pump_gives_up_after_persistent_faults() {
+        // An always-failing link exhausts max_consecutive and surfaces
+        // the terminal error even with retries enabled.
+        let policy = RetryPolicy {
+            base: Duration::from_micros(100),
+            max_consecutive: 3,
+            ..RetryPolicy::default()
+        };
+        let handle = flaky_agent(usize::MAX, 9).with_retry_policy(policy).spawn();
+        let mut died = false;
+        for _ in 0..500 {
+            if handle.terminal_error().is_some() {
+                died = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(died, "persistent failure must eventually terminate");
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_jittered() {
+        let policy = RetryPolicy::default();
+        let mut rng = SimRng::new(10);
+        for attempt in 0..64 {
+            let d = policy.backoff(attempt, &mut rng);
+            let ceiling = policy
+                .base
+                .saturating_mul(2u32.saturating_pow(attempt.min(20)))
+                .min(policy.cap);
+            assert!(d < ceiling.max(Duration::from_nanos(1)));
+        }
+        // Jitter: two agents with different seeds diverge.
+        let mut a = SimRng::new(11);
+        let mut b = SimRng::new(12);
+        let diverged = (0..8).any(|n| policy.backoff(n, &mut a) != policy.backoff(n, &mut b));
+        assert!(diverged, "backoff must be jittered per-agent");
     }
 }

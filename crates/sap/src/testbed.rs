@@ -9,14 +9,28 @@
 //! to reproduce the Section 3 scenarios ("existing sessions can only be
 //! disrupted by other existing sessions that had not been known due to
 //! network partitioning").
+//!
+//! Beyond hand-driven `partition`/`heal` calls, a seeded
+//! [`FaultPlan`] can be installed with [`Testbed::with_faults`] to
+//! replay timed fault scenarios — burst-loss windows, zone partitions
+//! that heal on schedule, node crashes with cache-losing restarts,
+//! per-node clock skew, forged announcement storms, and packet
+//! corruption (truncation/bit-flips/garbage) that must pass back
+//! through the real [`SapPacket::decode`] to be delivered at all.
 
 use std::collections::HashSet;
+use std::net::Ipv4Addr;
 
 use sdalloc_core::Allocator;
-use sdalloc_sim::{Channel, SimContext, SimRng, SimTime, Simulator, Transmission};
+use sdalloc_sim::{Channel, FaultPlan, SimContext, SimRng, SimTime, Simulator, Transmission};
 
 use crate::directory::{DirectoryConfig, DirectoryEvent, SessionDirectory};
-use crate::wire::SapPacket;
+use crate::sdp::{Origin, SessionDescription};
+use crate::wire::{msg_id_hash, SapPacket};
+
+/// Sender index used for forged storm packets: matches no real node, so
+/// it is never partitioned away and never equals a recipient.
+const PHANTOM_SENDER: usize = usize::MAX;
 
 /// Events flowing through the testbed simulator.
 #[derive(Debug, Clone)]
@@ -25,6 +39,10 @@ enum Event {
     Deliver { to: usize, pkt: SapPacket },
     /// Give directory `node` a chance to run its timers.
     Wakeup { node: usize },
+    /// Bring a crashed directory back with an empty cache.
+    Restart { node: usize },
+    /// Inject a burst of forged third-party announcements.
+    Storm { index: usize, packets: u32 },
 }
 
 /// A record of something that happened, for assertions and demos.
@@ -46,8 +64,13 @@ pub struct Testbed {
     rng: SimRng,
     /// Directed pairs (from, to) whose packets are currently dropped.
     blocked: HashSet<(usize, usize)>,
+    /// Timed fault scenario composed on top of `channel` and `blocked`.
+    faults: FaultPlan,
     /// Everything the directories reported.
     pub log: Vec<LoggedEvent>,
+    /// Restarts that have fired, as `(at, node)` — for measuring cache
+    /// rebuild times in chaos experiments.
+    pub restarts: Vec<(SimTime, usize)>,
 }
 
 impl Testbed {
@@ -69,8 +92,34 @@ impl Testbed {
             channel,
             rng: SimRng::new(seed),
             blocked: HashSet::new(),
+            faults: FaultPlan::new(),
             log: Vec::new(),
+            restarts: Vec::new(),
         }
+    }
+
+    /// Install a fault plan, scheduling its timed events (restarts,
+    /// storms).  Call before the first [`Self::run_until`]; the plan's
+    /// windows (loss, partitions, corruption, crashes) are consulted
+    /// continuously as the simulation runs.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        let ctx = self.sim.context();
+        for crash in &plan.crashes {
+            if let Some(at) = crash.restart_at {
+                ctx.schedule_at(at, Event::Restart { node: crash.node });
+            }
+        }
+        for (index, storm) in plan.storms.iter().enumerate() {
+            ctx.schedule_at(
+                storm.at,
+                Event::Storm {
+                    index,
+                    packets: storm.packets,
+                },
+            );
+        }
+        self.faults = plan;
+        self
     }
 
     /// Number of directories.
@@ -141,21 +190,43 @@ impl Testbed {
         let channel = &self.channel;
         let rng = &mut self.rng;
         let blocked = &self.blocked;
+        let faults = &self.faults;
         let log = &mut self.log;
+        let restarts = &mut self.restarts;
         self.sim.run_until(horizon, &mut |ctx, event| match event {
             Event::Wakeup { node } => {
                 let now = ctx.now();
-                let pkts = directories[node].poll(now);
+                if !faults.node_up(now, node) {
+                    // Crashed: timers stop; the Restart event (if any)
+                    // re-primes the wakeup chain.
+                    return;
+                }
+                let lnow = faults.local_time(node, now);
+                let pkts = directories[node].poll(lnow);
                 for pkt in pkts {
-                    fan_out(ctx, channel, rng, blocked, directories.len(), node, pkt);
+                    fan_out(
+                        ctx,
+                        channel,
+                        faults,
+                        rng,
+                        blocked,
+                        directories.len(),
+                        node,
+                        pkt,
+                    );
                 }
                 if let Some(at) = directories[node].next_wakeup() {
-                    ctx.schedule_at(at.max(now), Event::Wakeup { node });
+                    let at = faults.global_time(node, at).max(now);
+                    ctx.schedule_at(at, Event::Wakeup { node });
                 }
             }
             Event::Deliver { to, pkt } => {
                 let now = ctx.now();
-                let (replies, events) = directories[to].handle_packet(now, &pkt, rng);
+                if !faults.node_up(now, to) {
+                    return; // packets to a crashed node vanish
+                }
+                let lnow = faults.local_time(to, now);
+                let (replies, events) = directories[to].handle_packet(lnow, &pkt, rng);
                 for e in events {
                     log.push(LoggedEvent {
                         at: now,
@@ -164,26 +235,95 @@ impl Testbed {
                     });
                 }
                 for reply in replies {
-                    fan_out(ctx, channel, rng, blocked, directories.len(), to, reply);
+                    fan_out(
+                        ctx,
+                        channel,
+                        faults,
+                        rng,
+                        blocked,
+                        directories.len(),
+                        to,
+                        reply,
+                    );
                 }
                 if let Some(at) = directories[to].next_wakeup() {
-                    ctx.schedule_at(at.max(now), Event::Wakeup { node: to });
+                    let at = faults.global_time(to, at).max(now);
+                    ctx.schedule_at(at, Event::Wakeup { node: to });
+                }
+            }
+            Event::Restart { node } => {
+                let now = ctx.now();
+                restarts.push((now, node));
+                let lnow = faults.local_time(node, now);
+                directories[node].restart(lnow);
+                if let Some(at) = directories[node].next_wakeup() {
+                    let at = faults.global_time(node, at).max(now);
+                    ctx.schedule_at(at, Event::Wakeup { node });
+                }
+            }
+            Event::Storm { index, packets } => {
+                for i in 0..packets {
+                    let pkt = forge_storm_packet(index, i, rng);
+                    fan_out(
+                        ctx,
+                        channel,
+                        faults,
+                        rng,
+                        blocked,
+                        directories.len(),
+                        PHANTOM_SENDER,
+                        pkt,
+                    );
                 }
             }
         });
     }
 }
 
-/// Fan a packet out to every other node through the channel.
+/// Forge one storm announcement from a phantom site (TEST-NET-2
+/// addresses), with a random group — the kind of traffic a buggy or
+/// hostile announcer would flood the SAP group with.
+fn forge_storm_packet(storm: usize, i: u32, rng: &mut SimRng) -> SapPacket {
+    let origin = Ipv4Addr::new(198, 51, 100, 1 + ((storm as u32 * 17 + i) % 250) as u8);
+    let group = Ipv4Addr::new(224, 2, rng.below(128) as u8, rng.below(256) as u8);
+    let desc = SessionDescription {
+        origin: Origin {
+            username: "-".into(),
+            // Distinct per (storm, packet) so each forgery is a fresh
+            // cache entry, maximising cache pressure.
+            session_id: 0x5701_0000 + (storm as u64) * 0x1_0000 + i as u64,
+            version: 1,
+            address: origin,
+        },
+        name: format!("storm-{storm}-{i}"),
+        info: None,
+        group,
+        ttl: 127,
+        start: 0,
+        stop: 0,
+        media: vec![],
+    };
+    let payload = desc.format();
+    SapPacket::announce(origin, msg_id_hash(&payload), payload)
+}
+
+/// Fan a packet out to every other node through the channel, under the
+/// fault plan: partition cuts, crashed recipients, burst loss, and
+/// corruption all apply per (link, packet).  Corrupted bytes must
+/// survive a real [`SapPacket::decode`] round-trip to be delivered —
+/// most mangled packets die right there, like on a real socket.
+#[allow(clippy::too_many_arguments)]
 fn fan_out(
     ctx: &mut SimContext<Event>,
     channel: &Channel,
+    faults: &FaultPlan,
     rng: &mut SimRng,
     blocked: &HashSet<(usize, usize)>,
     n: usize,
     from: usize,
     pkt: SapPacket,
 ) {
+    let now = ctx.now();
     for to in 0..n {
         if to == from {
             continue;
@@ -191,16 +331,28 @@ fn fan_out(
         if blocked.contains(&(from, to)) {
             continue;
         }
+        if !faults.delivers(now, from, to) || !faults.node_up(now, to) {
+            continue;
+        }
+        let extra = faults.extra_drop(now);
+        if extra > 0.0 && rng.chance(extra) {
+            continue;
+        }
         match channel.transmit(rng) {
             Transmission::Lost => {}
             Transmission::Delivered(delay) => {
-                ctx.schedule_after(
-                    delay,
-                    Event::Deliver {
-                        to,
-                        pkt: pkt.clone(),
-                    },
-                );
+                let mut delivered = pkt.clone();
+                if let Some((p, mode)) = faults.corruption_at(now) {
+                    if rng.chance(p) {
+                        let mut bytes = delivered.encode().to_vec();
+                        mode.apply(&mut bytes, rng);
+                        match SapPacket::decode(&bytes) {
+                            Ok(reparsed) => delivered = reparsed,
+                            Err(_) => continue, // mangled beyond recognition
+                        }
+                    }
+                }
+                ctx.schedule_after(delay, Event::Deliver { to, pkt: delivered });
             }
         }
     }
@@ -427,6 +579,114 @@ mod tests {
         let gb = tb.directory(1).own_sessions().next().unwrap().1.desc.group;
         assert_ne!(ga, gb, "asymmetric clash unresolved");
         assert_eq!(ga, group_a, "the incumbent should keep its address");
+    }
+
+    #[test]
+    fn fault_plan_partition_cuts_and_heals_on_schedule() {
+        let mut tb = testbed(2, 11).with_faults(FaultPlan::new().with_partition(
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            vec![0],
+            vec![1],
+        ));
+        let now = tb.now();
+        let mut rng = SimRng::new(12);
+        tb.directory_mut(0)
+            .create_session(now, "s", 127, media(), &mut rng)
+            .unwrap();
+        tb.kick(0);
+        tb.run_until(SimTime::from_secs(59));
+        assert_eq!(tb.directory(1).cached_sessions(), 0, "partition holds");
+        tb.run_until(SimTime::from_secs(120));
+        assert_eq!(tb.directory(1).cached_sessions(), 1, "heal lets it through");
+    }
+
+    #[test]
+    fn crash_loses_cache_and_restart_reannounces() {
+        let mut tb = testbed(2, 13).with_faults(FaultPlan::new().with_crash(
+            1,
+            SimTime::from_secs(30),
+            Some(SimTime::from_secs(60)),
+        ));
+        let now = tb.now();
+        let mut rng = SimRng::new(14);
+        // Node 1 announces; node 0 hears it.  Node 1 then crashes and
+        // restarts with an empty cache but keeps announcing its session.
+        tb.directory_mut(1)
+            .create_session(now, "survivor", 127, media(), &mut rng)
+            .unwrap();
+        tb.kick(1);
+        tb.run_until(SimTime::from_secs(29));
+        assert_eq!(tb.directory(0).cached_sessions(), 1);
+        tb.run_until(SimTime::from_secs(120));
+        assert_eq!(tb.restarts, vec![(SimTime::from_secs(60), 1)]);
+        // Re-announcement after restart refreshed node 0's entry.
+        let heard_after_restart = tb.log.iter().any(|e| {
+            e.node == 0
+                && e.at > SimTime::from_secs(60)
+                && matches!(e.event, DirectoryEvent::Heard(_))
+        });
+        assert!(heard_after_restart, "restarted node must re-announce");
+    }
+
+    #[test]
+    fn storm_fills_caches_without_breaking_real_traffic() {
+        let mut tb =
+            testbed(2, 15).with_faults(FaultPlan::new().with_storm(SimTime::from_secs(5), 40));
+        let now = tb.now();
+        let mut rng = SimRng::new(16);
+        tb.directory_mut(0)
+            .create_session(now, "real", 127, media(), &mut rng)
+            .unwrap();
+        tb.kick(0);
+        tb.run_until(SimTime::from_secs(30));
+        // The forged sessions landed in the caches …
+        assert!(tb.directory(1).cached_sessions() > 30, "storm cached");
+        // … and the real announcement still made it through.
+        assert!(
+            tb.log
+                .iter()
+                .any(|e| e.node == 1 && matches!(e.event, DirectoryEvent::Heard(_))),
+            "real traffic survives the storm"
+        );
+    }
+
+    #[test]
+    fn corruption_window_thins_but_does_not_stop_traffic() {
+        // Garbage corruption with p=1 kills every packet in the window;
+        // after it closes announcements flow again.
+        let mut tb = testbed(2, 17).with_faults(FaultPlan::new().with_corruption(
+            SimTime::ZERO,
+            SimTime::from_secs(40),
+            1.0,
+            sdalloc_sim::CorruptionMode::Garbage,
+        ));
+        let now = tb.now();
+        let mut rng = SimRng::new(18);
+        tb.directory_mut(0)
+            .create_session(now, "s", 127, media(), &mut rng)
+            .unwrap();
+        tb.kick(0);
+        tb.run_until(SimTime::from_secs(39));
+        assert_eq!(tb.directory(1).cached_sessions(), 0, "garbage never parses");
+        tb.run_until(SimTime::from_secs(120));
+        assert_eq!(tb.directory(1).cached_sessions(), 1, "window closed");
+    }
+
+    #[test]
+    fn skewed_clock_still_converges() {
+        // Node 1's clock runs 30 s ahead; announcements still propagate
+        // and cache (the cache keys on local arrival time only).
+        let mut tb =
+            testbed(2, 19).with_faults(FaultPlan::new().with_clock_skew(1, 30_000_000_000));
+        let now = tb.now();
+        let mut rng = SimRng::new(20);
+        tb.directory_mut(0)
+            .create_session(now, "s", 127, media(), &mut rng)
+            .unwrap();
+        tb.kick(0);
+        tb.run_until(SimTime::from_secs(10));
+        assert_eq!(tb.directory(1).cached_sessions(), 1);
     }
 
     #[test]

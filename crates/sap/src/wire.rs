@@ -336,3 +336,74 @@ mod tests {
         assert_eq!(SAP_PORT, 9875);
     }
 }
+
+/// Fuzz-style robustness properties: the decoder is the first thing an
+/// attacker-controlled datagram touches, so it must never panic — not
+/// on arbitrary bytes, not on truncations of valid packets, not on
+/// single bit-flips in flight.  Valid packets must survive a full
+/// encode/decode round trip.
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A valid packet built from generator inputs (payload avoids NUL,
+    /// which the wire format uses as the payload-type terminator).
+    fn arb_packet() -> impl Strategy<Value = SapPacket> {
+        (
+            any::<bool>(),
+            any::<u16>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..24),
+            "[ -~]{0,64}",
+        )
+            .prop_map(|(delete, hash, src, auth, payload)| {
+                let source = Ipv4Addr::from(src);
+                let mut pkt = if delete {
+                    SapPacket::delete(source, hash, payload)
+                } else {
+                    SapPacket::announce(source, hash, payload)
+                };
+                pkt.auth = auth;
+                pkt
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn decode_never_panics_on_arbitrary_bytes(
+            bytes in proptest::collection::vec(any::<u8>(), 0..300),
+        ) {
+            let _ = SapPacket::decode(&bytes);
+        }
+
+        #[test]
+        fn decode_never_panics_on_truncation(pkt in arb_packet(), cut in any::<u16>()) {
+            let full = pkt.encode().to_vec();
+            let keep = cut as usize % (full.len() + 1);
+            // Every prefix either decodes or errors — never panics.
+            let _ = SapPacket::decode(&full[..keep]);
+        }
+
+        #[test]
+        fn decode_never_panics_on_bit_flip(pkt in arb_packet(), pos in any::<u32>()) {
+            let mut bytes = pkt.encode().to_vec();
+            let bit = pos as usize % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            let _ = SapPacket::decode(&bytes);
+        }
+
+        #[test]
+        fn valid_packets_roundtrip(pkt in arb_packet()) {
+            let decoded = SapPacket::decode(&pkt.encode());
+            // Auth padding may grow to a word boundary; all other
+            // fields must survive unchanged.
+            let decoded = decoded.expect("own encoding must decode");
+            prop_assert_eq!(decoded.message_type, pkt.message_type);
+            prop_assert_eq!(decoded.msg_id_hash, pkt.msg_id_hash);
+            prop_assert_eq!(decoded.source, pkt.source);
+            prop_assert_eq!(&decoded.auth[..pkt.auth.len()], &pkt.auth[..]);
+            prop_assert_eq!(decoded.payload, pkt.payload);
+        }
+    }
+}

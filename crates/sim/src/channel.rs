@@ -241,4 +241,60 @@ mod tests {
         let mean = total / n as f64;
         assert!((mean - 0.1).abs() < 0.005, "mean {mean}");
     }
+
+    /// Sample mean and (population) variance of `n` draws.
+    fn mean_var(n: usize, mut draw: impl FnMut() -> f64) -> (f64, f64) {
+        let samples: Vec<f64> = (0..n).map(|_| draw()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn exponential_delay_variance() {
+        // Exp(mean) has variance = mean²; with mean 100 ms that is 0.01 s².
+        let mut rng = SimRng::new(60);
+        let m = DelayModel::Exponential(SimDuration::from_millis(100));
+        let (mean, var) = mean_var(200_000, || m.sample(&mut rng).as_secs_f64());
+        assert!((mean - 0.1).abs() < 0.005, "mean {mean}");
+        assert!((var - 0.01).abs() < 0.001, "variance {var}");
+    }
+
+    #[test]
+    fn jittered_delay_variance() {
+        // Uniform jitter in [0, j) has variance j²/12; base adds none.
+        let mut rng = SimRng::new(61);
+        let jitter = 0.120; // 120 ms
+        let m = DelayModel::Jittered {
+            base: SimDuration::from_millis(80),
+            jitter: SimDuration::from_millis(120),
+        };
+        let (mean, var) = mean_var(200_000, || m.sample(&mut rng).as_secs_f64());
+        assert!((mean - 0.140).abs() < 0.002, "mean {mean}");
+        let expected = jitter * jitter / 12.0;
+        assert!((var - expected).abs() < expected * 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn loss_indicator_variance() {
+        // A Bernoulli(p) indicator has variance p(1-p).
+        let mut rng = SimRng::new(62);
+        let loss = LossModel::new(0.02);
+        let (mean, var) = mean_var(200_000, || if loss.drops(&mut rng) { 1.0 } else { 0.0 });
+        assert!((mean - 0.02).abs() < 0.002, "rate {mean}");
+        let expected = 0.02 * 0.98;
+        assert!((var - expected).abs() < 0.002, "variance {var}");
+    }
+
+    #[test]
+    fn exponential_seeded_reproducibility() {
+        // Identical seeds reproduce the identical sample series — the
+        // property every chaos-report determinism guarantee rests on.
+        let m = DelayModel::Exponential(SimDuration::from_millis(200));
+        let mut a = SimRng::new(63);
+        let mut b = SimRng::new(63);
+        for _ in 0..1_000 {
+            assert_eq!(m.sample(&mut a), m.sample(&mut b));
+        }
+    }
 }

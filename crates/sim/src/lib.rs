@@ -30,6 +30,7 @@
 
 pub mod channel;
 pub mod engine;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod suppression;
@@ -37,6 +38,9 @@ pub mod time;
 
 pub use channel::{Channel, DelayModel, LossModel, Transmission};
 pub use engine::{SimContext, Simulator};
+pub use faults::{
+    CorruptWindow, CorruptionMode, CrashEvent, FaultPlan, LossWindow, PartitionWindow, Storm,
+};
 pub use rng::SimRng;
 pub use stats::{first_crossing, median, median_filter, quantile, Histogram, Summary};
 pub use time::{SimDuration, SimTime};

@@ -106,6 +106,13 @@ fn main() {
                     e.node
                 );
             }
+            DirectoryEvent::Degraded { session_id, group } => {
+                println!(
+                    "  [{:>7.1}s] node {} DEGRADED allocation for session {session_id} on {group}",
+                    e.at.as_secs_f64(),
+                    e.node
+                );
+            }
             DirectoryEvent::Heard(_) => {}
         }
     }

@@ -15,6 +15,7 @@ run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo xtask check
 run cargo xtask model --smoke
+run cargo run -q -p sdalloc-experiments -- chaos --smoke
 run cargo test -q
 
 echo "All checks passed."
