@@ -1,0 +1,411 @@
+//! `directory_scale` — cache scaling benchmark for the event-driven
+//! refactor.
+//!
+//! Measures the three hot cache operations at directory scale (10k and
+//! 100k cached sessions) twice: once against `LegacyCache`, an in-bin
+//! replica of the pre-refactor full-scan implementation, and once
+//! against the indexed [`AnnouncementCache`] (expiry min-heap, group
+//! index, visible multiset).  Workloads:
+//!
+//! * **announce_churn** — steady-state refresh traffic with a purge
+//!   check per round (the directory's cache-expiry timer path).  The
+//!   legacy purge is a full `retain` scan even when nothing expires.
+//! * **allocation_probe** — `users_of` on random groups (the clash
+//!   probe run on every received announcement) plus a periodic
+//!   `visible_sessions` projection (the allocator view).
+//! * **expiry** — age a fully-populated cache out in steps; legacy
+//!   rescans every surviving entry per step.
+//!
+//! Run modes:
+//! * `--smoke` — 10k sessions, reduced iterations; prints the table and
+//!   exits non-zero if any workload regresses below 1× (used by
+//!   `scripts/check.sh`).
+//! * full (no flag) — 10k and 100k sessions; also writes
+//!   `results_full/BENCH_scale.json`.  The acceptance bar is a >=5x
+//!   speedup at 100k for announce_churn and expiry.
+//!
+//! Everything is driven from a fixed-seed [`SimRng`], so the work done
+//! (not the wall time) is identical across runs.
+
+use std::collections::HashMap;
+use std::fs;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use sdalloc_core::{AddrSpace, VisibleSession};
+use sdalloc_sap::cache::{AnnouncementCache, CacheEntry, CacheKey};
+use sdalloc_sap::sdp::{Media, Origin, SessionDescription};
+use sdalloc_sim::{SimDuration, SimRng, SimTime};
+
+/// Hard cache timeout used by every scenario.
+const TIMEOUT: SimDuration = SimDuration::from_secs(3600);
+
+/// The pre-refactor cache: a bare `HashMap` where every hot operation
+/// is a full scan.  Kept verbatim-in-spirit so the benchmark compares
+/// algorithms, not incidental code differences — observation and
+/// removal bookkeeping match the indexed cache; only the lookups scan.
+struct LegacyCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    timeout: SimDuration,
+}
+
+impl LegacyCache {
+    fn new(timeout: SimDuration) -> Self {
+        LegacyCache {
+            entries: HashMap::new(),
+            timeout,
+        }
+    }
+
+    fn observe_announce(&mut self, now: SimTime, desc: SessionDescription) {
+        let key = CacheKey {
+            origin: desc.origin.address,
+            session_id: desc.origin.session_id,
+        };
+        match self.entries.get_mut(&key) {
+            None => {
+                self.entries.insert(
+                    key,
+                    CacheEntry {
+                        desc,
+                        first_heard: now,
+                        last_heard: now,
+                        announcements: 1,
+                    },
+                );
+            }
+            Some(entry) => {
+                entry.desc = desc;
+                entry.last_heard = now;
+                entry.announcements += 1;
+            }
+        }
+    }
+
+    fn purge_expired(&mut self, now: SimTime) -> usize {
+        let timeout = self.timeout;
+        let mut purged = Vec::new();
+        self.entries.retain(|key, entry| {
+            if now.saturating_since(entry.last_heard) > timeout {
+                purged.push(*key);
+                false
+            } else {
+                true
+            }
+        });
+        purged.sort_unstable();
+        purged.len()
+    }
+
+    fn users_of(&self, group: Ipv4Addr) -> usize {
+        let mut users: Vec<&CacheKey> = self
+            .entries
+            .iter()
+            .filter(|(_, entry)| entry.desc.group == group)
+            .map(|(key, _)| key)
+            .collect();
+        users.sort_unstable();
+        users.len()
+    }
+
+    fn visible_sessions(&self, space: &AddrSpace) -> Vec<VisibleSession> {
+        let mut view: Vec<VisibleSession> = self
+            .entries
+            .values()
+            .filter_map(|entry| {
+                space
+                    .index_of(entry.desc.group)
+                    .map(|addr| VisibleSession::new(addr, entry.desc.ttl))
+            })
+            .collect();
+        view.sort_unstable_by_key(|s| (s.addr.0, s.ttl));
+        view
+    }
+}
+
+/// The operations both implementations expose, so each workload is
+/// written once and timed against either side.
+trait CacheOps {
+    fn observe(&mut self, now: SimTime, desc: SessionDescription);
+    fn purge(&mut self, now: SimTime) -> usize;
+    fn probe(&self, group: Ipv4Addr) -> usize;
+    fn view_len(&self, space: &AddrSpace) -> usize;
+}
+
+impl CacheOps for LegacyCache {
+    fn observe(&mut self, now: SimTime, desc: SessionDescription) {
+        self.observe_announce(now, desc);
+    }
+    fn purge(&mut self, now: SimTime) -> usize {
+        self.purge_expired(now)
+    }
+    fn probe(&self, group: Ipv4Addr) -> usize {
+        self.users_of(group)
+    }
+    fn view_len(&self, space: &AddrSpace) -> usize {
+        self.visible_sessions(space).len()
+    }
+}
+
+impl CacheOps for AnnouncementCache {
+    fn observe(&mut self, now: SimTime, desc: SessionDescription) {
+        self.observe_announce(now, desc);
+    }
+    fn purge(&mut self, now: SimTime) -> usize {
+        self.purge_expired(now).len()
+    }
+    fn probe(&self, group: Ipv4Addr) -> usize {
+        self.users_of(group).count()
+    }
+    fn view_len(&self, space: &AddrSpace) -> usize {
+        self.visible_sessions(space).len()
+    }
+}
+
+/// Benchmark knobs for one run mode.
+struct Knobs {
+    sizes: Vec<usize>,
+    churn_rounds: u64,
+    churn_per_round: usize,
+    probes: usize,
+    expiry_steps: u64,
+}
+
+fn media() -> Vec<Media> {
+    vec![Media {
+        kind: "audio".into(),
+        port: 5004,
+        proto: "RTP/AVP".into(),
+        format: 0,
+    }]
+}
+
+/// Session `i`'s description: distinct origin per session, group drawn
+/// from the space round-robin.
+fn session(i: usize, space: &AddrSpace) -> SessionDescription {
+    let group = u32::from(space.base()) + (i as u32 % space.size());
+    SessionDescription {
+        origin: Origin {
+            username: "-".into(),
+            session_id: i as u64,
+            version: 1,
+            address: Ipv4Addr::from(0x0a00_0000 + i as u32),
+        },
+        name: format!("s{i}"),
+        info: None,
+        group: Ipv4Addr::from(group),
+        ttl: 63,
+        start: 0,
+        stop: 0,
+        media: media(),
+    }
+}
+
+/// Populate with `last_heard` staggered 10 ms apart, so expiry is
+/// spread rather than simultaneous.
+fn populate<C: CacheOps>(cache: &mut C, descs: &[SessionDescription]) {
+    for (i, d) in descs.iter().enumerate() {
+        cache.observe(SimTime::from_nanos(i as u64 * 10_000_000), d.clone());
+    }
+}
+
+/// Steady-state churn: refresh a random subset each round, then run the
+/// purge check the cache-expiry timer performs.  Nothing expires — the
+/// cost under test is the no-op purge plus refresh bookkeeping.
+fn announce_churn<C: CacheOps>(
+    cache: &mut C,
+    descs: &[SessionDescription],
+    knobs: &Knobs,
+) -> usize {
+    let mut rng = SimRng::new(11);
+    let mut purged = 0;
+    for round in 0..knobs.churn_rounds {
+        let now = SimTime::from_secs(100 + round);
+        for _ in 0..knobs.churn_per_round {
+            let d = &descs[rng.index(descs.len())];
+            cache.observe(now, d.clone());
+        }
+        purged += cache.purge(now);
+    }
+    purged
+}
+
+/// The clash probe: `users_of` on random groups, with the allocator
+/// view rebuilt every 64 probes.
+fn allocation_probe<C: CacheOps>(cache: &C, space: &AddrSpace, knobs: &Knobs) -> usize {
+    let mut rng = SimRng::new(13);
+    let mut hits = 0;
+    for i in 0..knobs.probes {
+        let group =
+            Ipv4Addr::from(u32::from(space.base()) + rng.below(u64::from(space.size())) as u32);
+        hits += cache.probe(group);
+        if i % 64 == 0 {
+            hits += cache.view_len(space);
+        }
+    }
+    hits
+}
+
+/// Age the whole cache out in steps; each step expires roughly
+/// `n / expiry_steps` entries.  A step models one poll tick during the
+/// drain window — the pre-refactor directory ran the purge scan on
+/// every poll, so the tick count is deliberately high.
+fn expiry<C: CacheOps>(cache: &mut C, n: usize, knobs: &Knobs) -> usize {
+    // Population spans [0, n * 10ms); step the clock so the horizon
+    // sweeps that span in `expiry_steps` slices.
+    let span_ns = n as u64 * 10_000_000;
+    let mut purged = 0;
+    for step in 1..=knobs.expiry_steps {
+        let now = SimTime::from_nanos(TIMEOUT.as_nanos() + span_ns * step / knobs.expiry_steps + 1);
+        purged += cache.purge(now);
+    }
+    purged
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_nanos())
+}
+
+struct Row {
+    size: usize,
+    workload: &'static str,
+    legacy_ns: u128,
+    indexed_ns: u128,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.legacy_ns as f64 / self.indexed_ns.max(1) as f64
+    }
+}
+
+fn run_size(n: usize, knobs: &Knobs, rows: &mut Vec<Row>) {
+    let space = AddrSpace::new(Ipv4Addr::new(224, 2, 0, 0), n as u32);
+    let descs: Vec<SessionDescription> = (0..n).map(|i| session(i, &space)).collect();
+
+    // announce_churn
+    let mut legacy = LegacyCache::new(TIMEOUT);
+    populate(&mut legacy, &descs);
+    let (l_out, legacy_ns) = timed(|| announce_churn(&mut legacy, &descs, knobs));
+    let mut indexed = AnnouncementCache::new(TIMEOUT);
+    populate(&mut indexed, &descs);
+    let (i_out, indexed_ns) = timed(|| announce_churn(&mut indexed, &descs, knobs));
+    assert_eq!(l_out, i_out, "churn purge counts diverge");
+    black_box(i_out);
+    rows.push(Row {
+        size: n,
+        workload: "announce_churn",
+        legacy_ns,
+        indexed_ns,
+    });
+
+    // allocation_probe (on the churned caches — both hold all n entries)
+    let (l_out, legacy_ns) = timed(|| allocation_probe(&legacy, &space, knobs));
+    let (i_out, indexed_ns) = timed(|| allocation_probe(&indexed, &space, knobs));
+    assert_eq!(l_out, i_out, "probe hit counts diverge");
+    black_box(i_out);
+    rows.push(Row {
+        size: n,
+        workload: "allocation_probe",
+        legacy_ns,
+        indexed_ns,
+    });
+
+    // expiry (fresh caches: the churned ones have bunched last_heard)
+    let mut legacy = LegacyCache::new(TIMEOUT);
+    populate(&mut legacy, &descs);
+    let (l_out, legacy_ns) = timed(|| expiry(&mut legacy, n, knobs));
+    let mut indexed = AnnouncementCache::new(TIMEOUT);
+    populate(&mut indexed, &descs);
+    let (i_out, indexed_ns) = timed(|| expiry(&mut indexed, n, knobs));
+    assert_eq!(l_out, i_out, "expiry purge counts diverge");
+    assert_eq!(l_out, n, "expiry must drain the whole cache");
+    black_box(i_out);
+    rows.push(Row {
+        size: n,
+        workload: "expiry",
+        legacy_ns,
+        indexed_ns,
+    });
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"directory_scale\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"size\": {}, \"workload\": \"{}\", \"legacy_ns\": {}, \"indexed_ns\": {}, \"speedup\": {:.2}}}{}\n",
+            r.size,
+            r.workload,
+            r.legacy_ns,
+            r.indexed_ns,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let knobs = if smoke {
+        Knobs {
+            sizes: vec![10_000],
+            churn_rounds: 32,
+            churn_per_round: 64,
+            probes: 512,
+            expiry_steps: 512,
+        }
+    } else {
+        Knobs {
+            sizes: vec![10_000, 100_000],
+            churn_rounds: 256,
+            churn_per_round: 64,
+            probes: 2048,
+            expiry_steps: 2048,
+        }
+    };
+
+    let mut rows = Vec::new();
+    for &n in &knobs.sizes {
+        run_size(n, &knobs, &mut rows);
+    }
+
+    println!(
+        "{:>8}  {:>17}  {:>12}  {:>12}  {:>8}",
+        "size", "workload", "legacy_ms", "indexed_ms", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>8}  {:>17}  {:>12.3}  {:>12.3}  {:>7.1}x",
+            r.size,
+            r.workload,
+            r.legacy_ns as f64 / 1e6,
+            r.indexed_ns as f64 / 1e6,
+            r.speedup(),
+        );
+    }
+
+    if !smoke {
+        let json = render_json(&rows);
+        fs::create_dir_all("results_full").expect("create results_full/");
+        fs::write("results_full/BENCH_scale.json", &json).expect("write BENCH_scale.json");
+        println!("wrote results_full/BENCH_scale.json");
+    }
+
+    // Regression gate: the indexed cache must never be slower than the
+    // legacy scan on these workloads.
+    let regressed: Vec<&Row> = rows.iter().filter(|r| r.speedup() < 1.0).collect();
+    if !regressed.is_empty() {
+        for r in regressed {
+            eprintln!(
+                "REGRESSION: {} @ {} — indexed {}ns vs legacy {}ns",
+                r.workload, r.size, r.indexed_ns, r.legacy_ns
+            );
+        }
+        std::process::exit(1);
+    }
+}

@@ -7,8 +7,32 @@
 //! id)`, ages entries out when announcements stop, honours explicit
 //! deletions, and — crucially for allocation — projects itself onto the
 //! allocator's [`sdalloc_core::View`] as `(address, TTL)` pairs.
+//!
+//! ## Indexing
+//!
+//! A production-scale scope caches tens of thousands of sessions, and
+//! the first reproduction paid O(cache) on every hot operation: expiry
+//! was a full `retain` scan, the clash-detection probe filtered every
+//! entry, and the allocator view was rebuilt by scanning the table.
+//! Three incrementally-maintained indices remove those scans:
+//!
+//! * **expiry heap** — a min-heap ordered by `last_heard` (with a fixed
+//!   timeout, `last_heard` order *is* expiry order).  Entries are
+//!   inserted once when first heard; a refresh just bumps the entry's
+//!   `last_heard`, and the stale heap slot is lazily re-pushed when it
+//!   surfaces.  [`Self::purge_expired`] therefore costs O(expired ·
+//!   log n), not O(n), and [`Self::earliest_last_heard`] exposes the
+//!   next expiry deadline for wake-on-deadline callers.
+//! * **group index** — `group → sorted set of keys`, so
+//!   [`Self::users_of`] (the clash probe, run on *every* received
+//!   announcement) is O(candidates) instead of O(cache).
+//! * **visible multiset** — `(group, ttl) → count`, kept sorted, so
+//!   [`Self::visible_sessions`] walks only distinct occupied
+//!   `(group, ttl)` pairs in deterministic order instead of scanning
+//!   and sorting the whole table per allocation.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
 
 use sdalloc_core::{AddrSpace, VisibleSession};
@@ -17,7 +41,7 @@ use sdalloc_sim::{SimDuration, SimTime};
 use crate::sdp::SessionDescription;
 
 /// Cache key: who announced, which of their sessions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CacheKey {
     /// Originating host (from the SDP `o=` line).
     pub origin: Ipv4Addr,
@@ -58,6 +82,19 @@ pub struct AnnouncementCache {
     entries: HashMap<CacheKey, CacheEntry>,
     /// Entries not refreshed within this span are purged.
     timeout: SimDuration,
+    /// Min-heap of `(last_heard-at-push, key)`.  A slot whose pushed
+    /// `last_heard` no longer matches the entry's is stale (the entry
+    /// was refreshed) and is re-pushed with the current value when it
+    /// surfaces; a slot whose key is gone is discarded.
+    expiry: BinaryHeap<Reverse<(SimTime, CacheKey)>>,
+    /// `group → keys using it`, sorted — the clash-detection probe.
+    by_group: HashMap<Ipv4Addr, BTreeSet<CacheKey>>,
+    /// `(group, ttl) → entry count`, sorted by group then TTL — the
+    /// allocator-view projection.
+    visible: BTreeMap<(Ipv4Addr, u8), u32>,
+    /// Reused output buffer for the purge methods: no allocation on the
+    /// (overwhelmingly common) calls where nothing expires.
+    scratch: Vec<CacheKey>,
 }
 
 impl AnnouncementCache {
@@ -70,6 +107,35 @@ impl AnnouncementCache {
         AnnouncementCache {
             entries: HashMap::new(),
             timeout,
+            expiry: BinaryHeap::new(),
+            by_group: HashMap::new(),
+            visible: BTreeMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The configured expiry timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+
+    fn index_insert(&mut self, key: CacheKey, group: Ipv4Addr, ttl: u8) {
+        self.by_group.entry(group).or_default().insert(key);
+        *self.visible.entry((group, ttl)).or_insert(0) += 1;
+    }
+
+    fn index_remove(&mut self, key: CacheKey, group: Ipv4Addr, ttl: u8) {
+        if let Some(set) = self.by_group.get_mut(&group) {
+            set.remove(&key);
+            if set.is_empty() {
+                self.by_group.remove(&group);
+            }
+        }
+        if let Some(count) = self.visible.get_mut(&(group, ttl)) {
+            *count -= 1;
+            if *count == 0 {
+                self.visible.remove(&(group, ttl));
+            }
         }
     }
 
@@ -81,6 +147,7 @@ impl AnnouncementCache {
         };
         match self.entries.get_mut(&key) {
             None => {
+                let (group, ttl) = (desc.group, desc.ttl);
                 self.entries.insert(
                     key,
                     CacheEntry {
@@ -90,6 +157,8 @@ impl AnnouncementCache {
                         announcements: 1,
                     },
                 );
+                self.expiry.push(Reverse((now, key)));
+                self.index_insert(key, group, ttl);
                 CacheUpdate::New
             }
             Some(entry) => {
@@ -98,9 +167,17 @@ impl AnnouncementCache {
                 }
                 let modified =
                     desc.origin.version > entry.desc.origin.version || desc != entry.desc;
+                let (old_group, old_ttl) = (entry.desc.group, entry.desc.ttl);
+                let (new_group, new_ttl) = (desc.group, desc.ttl);
                 entry.desc = desc;
                 entry.last_heard = now;
                 entry.announcements += 1;
+                // The refresh only bumps `last_heard`; the stale expiry
+                // slot is lazily re-pushed when it surfaces.
+                if (old_group, old_ttl) != (new_group, new_ttl) {
+                    self.index_remove(key, old_group, old_ttl);
+                    self.index_insert(key, new_group, new_ttl);
+                }
                 if modified {
                     CacheUpdate::Modified
                 } else {
@@ -113,25 +190,93 @@ impl AnnouncementCache {
     /// Feed a deletion for `(origin, session_id)`; returns whether an
     /// entry was removed.
     pub fn observe_delete(&mut self, origin: Ipv4Addr, session_id: u64) -> bool {
-        self.entries
-            .remove(&CacheKey { origin, session_id })
-            .is_some()
+        let key = CacheKey { origin, session_id };
+        match self.entries.remove(&key) {
+            Some(entry) => {
+                self.index_remove(key, entry.desc.group, entry.desc.ttl);
+                // The expiry slot is discarded lazily.
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pop every entry whose `last_heard` is more than `horizon` before
+    /// `now` into `self.scratch`, maintaining all indices.  Shared core
+    /// of [`Self::purge_expired`] and [`Self::purge_stale`]; both orders
+    /// agree because the horizon is constant within one call.
+    fn purge_older_than(&mut self, now: SimTime, horizon: SimDuration) {
+        self.scratch.clear();
+        while let Some(&Reverse((pushed, key))) = self.expiry.peek() {
+            // The oldest possibly-dead slot is still within the horizon:
+            // every live entry is newer, so we are done.  (A stale slot
+            // is always older than its entry's true `last_heard`, so
+            // this early-out never misses an expired entry.)
+            if now.saturating_since(pushed) <= horizon {
+                break;
+            }
+            self.expiry.pop();
+            let Some(entry) = self.entries.get(&key) else {
+                continue; // deleted since the push: discard the slot
+            };
+            if entry.last_heard != pushed {
+                // Refreshed since the push: re-file under the current
+                // refresh time and keep looking.
+                self.expiry.push(Reverse((entry.last_heard, key)));
+                continue;
+            }
+            if now.saturating_since(entry.last_heard) > horizon {
+                let (group, ttl) = (entry.desc.group, entry.desc.ttl);
+                self.entries.remove(&key);
+                self.index_remove(key, group, ttl);
+                self.scratch.push(key);
+            } else {
+                // Unreachable in practice (pushed == last_heard and the
+                // horizon check above already passed), kept for safety.
+                self.expiry.push(Reverse((pushed, key)));
+                break;
+            }
+        }
+        self.scratch.sort_unstable();
     }
 
     /// Remove entries that have not been refreshed within the timeout;
-    /// returns the purged keys.
-    pub fn purge_expired(&mut self, now: SimTime) -> Vec<CacheKey> {
-        let timeout = self.timeout;
-        let mut purged = Vec::new();
-        self.entries.retain(|key, entry| {
-            let alive = now.saturating_since(entry.last_heard) <= timeout;
-            if !alive {
-                purged.push(*key);
+    /// returns the purged keys, sorted.  The returned slice borrows an
+    /// internal scratch buffer: when nothing expired (the common case)
+    /// this allocates nothing.
+    pub fn purge_expired(&mut self, now: SimTime) -> &[CacheKey] {
+        self.purge_older_than(now, self.timeout);
+        &self.scratch
+    }
+
+    /// Staleness-aware early shedding: remove entries not refreshed
+    /// within `horizon` (typically a few background announcement
+    /// periods, shorter than the hard timeout).  Returns the purged
+    /// keys, sorted, borrowing the same scratch buffer as
+    /// [`Self::purge_expired`].
+    pub fn purge_stale(&mut self, now: SimTime, horizon: SimDuration) -> &[CacheKey] {
+        self.purge_older_than(now, horizon.min(self.timeout));
+        &self.scratch
+    }
+
+    /// The `last_heard` of the least-recently-refreshed entry — the
+    /// basis of the next expiry deadline (`earliest_last_heard +
+    /// effective timeout`).  Lazily compacts stale heap slots, so the
+    /// answer is exact.
+    pub fn earliest_last_heard(&mut self) -> Option<SimTime> {
+        loop {
+            let &Reverse((pushed, key)) = self.expiry.peek()?;
+            let Some(entry) = self.entries.get(&key) else {
+                self.expiry.pop();
+                continue;
+            };
+            if entry.last_heard != pushed {
+                self.expiry.pop();
+                self.expiry.push(Reverse((entry.last_heard, key)));
+                continue;
             }
-            alive
-        });
-        purged.sort_by_key(|k| (k.origin, k.session_id));
-        purged
+            return Some(pushed);
+        }
     }
 
     /// Number of cached sessions.
@@ -150,30 +295,39 @@ impl AnnouncementCache {
     }
 
     /// All entries using the given multicast group — the clash-detection
-    /// probe.
-    pub fn users_of(&self, group: Ipv4Addr) -> Vec<(&CacheKey, &CacheEntry)> {
-        let mut v: Vec<_> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.desc.group == group)
-            .collect();
-        v.sort_by_key(|(k, _)| (k.origin, k.session_id));
-        v
+    /// probe.  O(users of `group`), in `(origin, session_id)` order,
+    /// allocation-free.
+    pub fn users_of(&self, group: Ipv4Addr) -> impl Iterator<Item = (&CacheKey, &CacheEntry)> + '_ {
+        self.by_group
+            .get(&group)
+            .into_iter()
+            .flatten()
+            .filter_map(move |key| self.entries.get_key_value(key))
+    }
+
+    /// Whether any cached session currently uses `group`.  O(1).
+    pub fn group_in_use(&self, group: Ipv4Addr) -> bool {
+        self.by_group.contains_key(&group)
     }
 
     /// Project the cache onto an allocator view: `(address index, TTL)`
-    /// for every cached session whose group lies in `space`.
+    /// for every cached session whose group lies in `space`, sorted by
+    /// `(address, TTL)`.  Walks the sorted `(group, ttl)` multiset, so
+    /// the cost is O(result), not O(cache) + sort.  Multiplicity is
+    /// preserved (two clashing sessions on one group project twice),
+    /// matching the per-entry projection the allocators were built
+    /// against.
     pub fn visible_sessions(&self, space: &AddrSpace) -> Vec<VisibleSession> {
-        let mut v: Vec<VisibleSession> = self
-            .entries
-            .values()
-            .filter_map(|e| {
-                space
-                    .index_of(e.desc.group)
-                    .map(|addr| VisibleSession::new(addr, e.desc.ttl))
-            })
-            .collect();
-        v.sort_by_key(|s| (s.addr, s.ttl));
+        let mut v = Vec::new();
+        for (&(group, ttl), &count) in &self.visible {
+            if let Some(addr) = space.index_of(group) {
+                for _ in 0..count {
+                    v.push(VisibleSession::new(addr, ttl));
+                }
+            }
+        }
+        // `visible` iterates in (group IP, ttl) order and the space is a
+        // contiguous range, so `v` is already (addr, ttl)-sorted.
         v
     }
 
@@ -240,6 +394,9 @@ mod tests {
         let e = c.get(Ipv4Addr::new(10, 0, 0, 1), 7).unwrap();
         assert_eq!(e.desc.group, Ipv4Addr::new(224, 2, 128, 9));
         assert_eq!(e.announcements, 3); // stale one not counted
+                                        // The group index tracked the move.
+        assert!(!c.group_in_use(Ipv4Addr::new(224, 2, 128, 5)));
+        assert!(c.group_in_use(Ipv4Addr::new(224, 2, 128, 9)));
     }
 
     #[test]
@@ -259,6 +416,8 @@ mod tests {
         assert!(c.observe_delete(Ipv4Addr::new(10, 0, 0, 1), 7));
         assert!(!c.observe_delete(Ipv4Addr::new(10, 0, 0, 1), 7));
         assert!(c.is_empty());
+        assert!(!c.group_in_use(Ipv4Addr::new(224, 2, 128, 5)));
+        assert_eq!(c.earliest_last_heard(), None, "expiry slot compacted");
     }
 
     #[test]
@@ -273,6 +432,37 @@ mod tests {
         // Refreshing resets the clock.
         c.observe_announce(t(140), desc([10, 0, 0, 2], 2, 1, [224, 2, 128, 2], 63));
         assert!(c.purge_expired(t(240)).is_empty());
+        assert_eq!(c.earliest_last_heard(), Some(t(140)));
+    }
+
+    #[test]
+    fn purge_returns_sorted_keys() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(10));
+        // Insert out of key order with distinct refresh times.
+        c.observe_announce(t(2), desc([10, 0, 0, 9], 3, 1, [224, 2, 128, 1], 63));
+        c.observe_announce(t(0), desc([10, 0, 0, 1], 7, 1, [224, 2, 128, 2], 63));
+        c.observe_announce(t(1), desc([10, 0, 0, 5], 1, 1, [224, 2, 128, 3], 63));
+        let purged: Vec<CacheKey> = c.purge_expired(t(100)).to_vec();
+        assert_eq!(purged.len(), 3);
+        let mut sorted = purged.clone();
+        sorted.sort();
+        assert_eq!(purged, sorted);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn purge_stale_sheds_ahead_of_timeout() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(3600));
+        c.observe_announce(t(0), desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 1], 63));
+        c.observe_announce(t(1000), desc([10, 0, 0, 2], 2, 1, [224, 2, 128, 2], 63));
+        // Hard timeout not reached, but entry 1 is past the 20-minute
+        // staleness horizon.
+        let purged: Vec<CacheKey> = c
+            .purge_stale(t(1300), SimDuration::from_secs(1200))
+            .to_vec();
+        assert_eq!(purged.len(), 1);
+        assert_eq!(purged[0].session_id, 1);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]
@@ -281,9 +471,10 @@ mod tests {
         c.observe_announce(t(0), desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 5], 63));
         c.observe_announce(t(0), desc([10, 0, 0, 2], 9, 1, [224, 2, 128, 5], 15));
         c.observe_announce(t(0), desc([10, 0, 0, 3], 3, 1, [224, 2, 128, 6], 63));
-        let users = c.users_of(Ipv4Addr::new(224, 2, 128, 5));
+        let users: Vec<_> = c.users_of(Ipv4Addr::new(224, 2, 128, 5)).collect();
         assert_eq!(users.len(), 2);
         assert_eq!(users[0].0.origin, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(c.users_of(Ipv4Addr::new(224, 9, 9, 9)).count(), 0);
     }
 
     #[test]
@@ -303,11 +494,66 @@ mod tests {
     }
 
     #[test]
+    fn visible_sessions_preserve_multiplicity_and_order() {
+        let space = AddrSpace::sdr_dynamic();
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(3600));
+        // Two different origins clash on one group with the same TTL —
+        // the projection must still list both (the allocators weigh
+        // occupancy per session, not per group).
+        c.observe_announce(t(0), desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 5], 63));
+        c.observe_announce(t(0), desc([10, 0, 0, 2], 2, 1, [224, 2, 128, 5], 63));
+        c.observe_announce(t(0), desc([10, 0, 0, 3], 3, 1, [224, 2, 128, 4], 15));
+        let view = c.visible_sessions(&space);
+        assert_eq!(view.len(), 3);
+        assert_eq!((view[0].addr.0, view[0].ttl), (4, 15));
+        assert_eq!((view[1].addr.0, view[1].ttl), (5, 63));
+        assert_eq!((view[2].addr.0, view[2].ttl), (5, 63));
+        // Deleting one of the clashing pair leaves the other visible.
+        c.observe_delete(Ipv4Addr::new(10, 0, 0, 1), 1);
+        assert_eq!(c.visible_sessions(&space).len(), 2);
+        assert!(c.group_in_use(Ipv4Addr::new(224, 2, 128, 5)));
+    }
+
+    #[test]
     fn distinct_origins_distinct_entries() {
         let mut c = AnnouncementCache::new(SimDuration::from_secs(3600));
         // Same session id from two hosts: two sessions.
         c.observe_announce(t(0), desc([10, 0, 0, 1], 7, 1, [224, 2, 128, 1], 63));
         c.observe_announce(t(0), desc([10, 0, 0, 2], 7, 1, [224, 2, 128, 2], 63));
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn earliest_last_heard_tracks_refreshes() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(100));
+        assert_eq!(c.earliest_last_heard(), None);
+        c.observe_announce(t(0), desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 1], 63));
+        c.observe_announce(t(5), desc([10, 0, 0, 2], 2, 1, [224, 2, 128, 2], 63));
+        assert_eq!(c.earliest_last_heard(), Some(t(0)));
+        // Refreshing the oldest entry moves the horizon to the next one.
+        c.observe_announce(t(50), desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 1], 63));
+        assert_eq!(c.earliest_last_heard(), Some(t(5)));
+        c.purge_expired(t(200));
+        assert_eq!(c.earliest_last_heard(), None);
+    }
+
+    #[test]
+    fn heap_stays_compact_under_refresh_churn() {
+        // Refreshing an entry must not grow the heap: slots are only
+        // re-filed when they surface, so the heap stays O(entries).
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(1000));
+        for k in 0..50u64 {
+            c.observe_announce(t(0), desc([10, 0, 0, 1], k, 1, [224, 2, 128, k as u8], 63));
+        }
+        for round in 1..100u64 {
+            for k in 0..50u64 {
+                c.observe_announce(
+                    t(round),
+                    desc([10, 0, 0, 1], k, 1, [224, 2, 128, k as u8], 63),
+                );
+            }
+        }
+        assert_eq!(c.len(), 50);
+        assert_eq!(c.expiry.len(), 50, "refresh churn must not grow the heap");
     }
 }

@@ -24,7 +24,7 @@ use sdalloc_core::{
     Addr, AddrSpace, Allocator, ClashAction, ClashPolicy, ClashResponder, Incumbent, SessionId,
     View, VisibleSession,
 };
-use sdalloc_sim::{SimDuration, SimRng, SimTime};
+use sdalloc_sim::{SimDuration, SimRng, SimTime, TimerQueue, TimerToken};
 
 use crate::cache::{AnnouncementCache, CacheUpdate};
 use crate::schedule::BackoffSchedule;
@@ -145,6 +145,25 @@ pub enum DirectoryEvent {
     },
 }
 
+/// The kinds of deadline the directory schedules in its timer queue.
+/// Exposed so event-driven callers ([`crate::testbed`], the
+/// differential trace tests) can drive [`SessionDirectory::on_timer`]
+/// directly instead of going through the [`SessionDirectory::poll`]
+/// compat wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// The next scheduled announcement of one of our own sessions.
+    Announce(u64),
+    /// The earliest cache entry may have aged out (expiry or staleness
+    /// horizon).  Conservative: a refresh after arming makes the wake a
+    /// no-op purge, never a missed one.
+    CacheExpiry,
+    /// The earliest pending third-party clash defence is due.
+    /// Conservative in the same way: a suppressed defence leaves the
+    /// wake a no-op.
+    Defence,
+}
+
 /// The session directory engine.
 pub struct SessionDirectory {
     cfg: DirectoryConfig,
@@ -153,11 +172,25 @@ pub struct SessionDirectory {
     own: BTreeMap<u64, OwnSession>,
     responder: ClashResponder,
     next_session_id: u64,
-    /// Events produced outside [`Self::handle_packet`] (e.g. degraded
+    /// Events produced outside [`Self::on_packet`] (e.g. degraded
     /// allocations during [`Self::create_session`]), drained by
-    /// [`Self::take_events`] or appended to the next `handle_packet`
+    /// [`Self::take_events`] or appended to the next `on_packet`
     /// result.
     pending_events: Vec<DirectoryEvent>,
+    /// One queue for every deadline: per-session announces, cache
+    /// expiry, clash defences.
+    timers: TimerQueue<TimerKind>,
+    /// Live announce-timer token per own session (cancelled on
+    /// withdraw).
+    announce_timers: BTreeMap<u64, TimerToken>,
+    /// The single outstanding cache-expiry timer, with the deadline it
+    /// was armed for.  Armed deadlines are never later than required
+    /// (the earliest `last_heard` can only move forward), so the timer
+    /// is left alone until it fires and re-arms.
+    cache_timer: Option<(TimerToken, SimTime)>,
+    /// The single outstanding clash-defence timer, with its deadline.
+    /// Re-armed earlier when a new clash undercuts it.
+    defence_timer: Option<(TimerToken, SimTime)>,
 }
 
 impl SessionDirectory {
@@ -173,6 +206,10 @@ impl SessionDirectory {
             responder,
             next_session_id: 1,
             pending_events: Vec::new(),
+            timers: TimerQueue::new(),
+            announce_timers: BTreeMap::new(),
+            cache_timer: None,
+            defence_timer: None,
         }
     }
 
@@ -200,6 +237,7 @@ impl SessionDirectory {
     #[doc(hidden)]
     pub fn cache_observe_for_test(&mut self, now: SimTime, desc: SessionDescription) {
         self.cache.observe_announce(now, desc);
+        self.arm_cache_timer();
     }
 
     /// The allocator's current view: everything cached plus our own
@@ -272,12 +310,17 @@ impl SessionDirectory {
                 next_send: now,
             },
         );
+        let token = self.timers.schedule(now, TimerKind::Announce(session_id));
+        self.announce_timers.insert(session_id, token);
         Ok(session_id)
     }
 
     /// Stop announcing a session; returns the deletion packet to send.
     pub fn withdraw_session(&mut self, session_id: u64) -> Option<SapPacket> {
         let s = self.own.remove(&session_id)?;
+        if let Some(token) = self.announce_timers.remove(&session_id) {
+            self.timers.cancel(token);
+        }
         let payload = s.desc.format();
         Some(SapPacket::delete(
             self.cfg.host,
@@ -286,23 +329,71 @@ impl SessionDirectory {
         ))
     }
 
-    /// Advance time: emit due announcements, fire expired third-party
-    /// defences, purge the cache.
-    pub fn poll(&mut self, now: SimTime) -> Vec<SapPacket> {
-        let mut out = Vec::new();
-        self.cache.purge_expired(now);
+    /// The cache purge horizon: the hard timeout, tightened by the
+    /// staleness factor when configured.
+    fn cache_horizon(&self) -> SimDuration {
+        let mut horizon = self.cfg.cache_timeout;
         if let Some(k) = self.cfg.staleness_factor {
+            horizon = horizon.min(self.cfg.schedule.cap.saturating_mul(k as u64));
+        }
+        horizon
+    }
+
+    /// Arm (or keep) the cache-expiry timer for the oldest entry.  The
+    /// purge condition is strict (`elapsed > horizon`), so the deadline
+    /// is one nanosecond past the horizon.  An already-armed timer is
+    /// never later than required — the earliest `last_heard` only moves
+    /// forward — so it is left in place; an early fire is a no-op purge.
+    fn arm_cache_timer(&mut self) {
+        if self.cache_timer.is_some() {
+            return;
+        }
+        if let Some(oldest) = self.cache.earliest_last_heard() {
+            let deadline = oldest + self.cache_horizon() + SimDuration::from_nanos(1);
+            let token = self.timers.schedule(deadline, TimerKind::CacheExpiry);
+            self.cache_timer = Some((token, deadline));
+        }
+    }
+
+    /// Arm or tighten the clash-defence timer to the responder's next
+    /// deadline.  A new clash can undercut the armed deadline, so this
+    /// reschedules earlier when needed; suppression (the originator
+    /// defended itself) just leaves a no-op early fire behind.
+    fn arm_defence_timer(&mut self) {
+        let Some(deadline) = self.responder.next_deadline() else {
+            return;
+        };
+        match self.defence_timer {
+            Some((_, armed)) if armed <= deadline => {}
+            current => {
+                if let Some((token, _)) = current {
+                    self.timers.cancel(token);
+                }
+                let token = self.timers.schedule(deadline, TimerKind::Defence);
+                self.defence_timer = Some((token, deadline));
+            }
+        }
+    }
+
+    /// Run the cache purges (hard expiry plus the staleness horizon)
+    /// and re-arm the expiry timer for whatever remains.
+    fn purge_cache(&mut self, now: SimTime) {
+        self.cache.purge_expired(now);
+        if self.cfg.staleness_factor.is_some() {
             // Entries missing for more than k background periods are
             // presumed dead or moved; shed them early.
-            let horizon = self.cfg.schedule.cap.saturating_mul(k as u64);
+            let horizon = self.cache_horizon();
             self.cache.purge_stale(now, horizon);
         }
+    }
 
-        // Under a bandwidth budget, the steady repeat interval grows
-        // with the number of sessions sharing the scope (ours plus
-        // everything cached), so the scope's total announcement traffic
-        // stays within the budget.
-        let paced_floor = self.cfg.bandwidth_limit_bps.map(|bps| {
+    /// The bandwidth-pacing floor for background repeats, if a budget is
+    /// configured.  Under a budget, the steady repeat interval grows
+    /// with the number of sessions sharing the scope (ours plus
+    /// everything cached), so the scope's total announcement traffic
+    /// stays within the budget.
+    fn paced_floor(&self) -> Option<SimDuration> {
+        self.cfg.bandwidth_limit_bps.map(|bps| {
             let population = self.cache.len() + self.own.len();
             let bytes = self
                 .own
@@ -316,9 +407,26 @@ impl SessionDirectory {
                 bps,
                 self.cfg.schedule.cap,
             )
-        });
-        for s in self.own.values_mut() {
-            while s.next_send <= now {
+        })
+    }
+
+    /// Handle one due timer.  This is the event-driven core: callers
+    /// obtain due timers from [`Self::pop_due_timer`] (or equivalently
+    /// let [`Self::poll`] drain them) and feed them here with the
+    /// current time.
+    pub fn on_timer(&mut self, now: SimTime, kind: TimerKind) -> Vec<SapPacket> {
+        let mut out = Vec::new();
+        match kind {
+            TimerKind::Announce(session_id) => {
+                // Direct (non-popped) invocation: retire the queued
+                // timer so it cannot fire twice.
+                if let Some(token) = self.announce_timers.remove(&session_id) {
+                    self.timers.cancel(token);
+                }
+                let paced_floor = self.paced_floor();
+                let Some(s) = self.own.get_mut(&session_id) else {
+                    return out; // withdrawn between scheduling and firing
+                };
                 out.push(Self::announcement_packet(self.cfg.host, &s.desc));
                 let mut interval = self.cfg.schedule.interval_after(s.sends);
                 if let Some(floor) = paced_floor {
@@ -330,19 +438,69 @@ impl SessionDirectory {
                     }
                 }
                 s.sends += 1;
-                s.next_send += interval;
+                // Catch-up clamp: the schedule is wall-clock anchored,
+                // but after a restart or a clock jump we emit ONE
+                // announcement and re-anchor, instead of a back-to-back
+                // burst for every missed period.
+                let mut next = s.next_send + interval;
+                if next <= now {
+                    next = now + interval;
+                }
+                s.next_send = next;
+                let token = self.timers.schedule(next, TimerKind::Announce(session_id));
+                self.announce_timers.insert(session_id, token);
+            }
+            TimerKind::CacheExpiry => {
+                if let Some((token, _)) = self.cache_timer.take() {
+                    self.timers.cancel(token);
+                }
+                self.purge_cache(now);
+                self.arm_cache_timer();
+            }
+            TimerKind::Defence => {
+                if let Some((token, _)) = self.defence_timer.take() {
+                    self.timers.cancel(token);
+                }
+                for action in self.responder.poll(now) {
+                    if let ClashAction::DefendThirdParty { session } = action {
+                        // Re-announce the cached session on the
+                        // originator's behalf, if we still hold it.
+                        let origin = Ipv4Addr::from(session.site);
+                        if let Some(entry) = self.cache.get(origin, session.seq as u64) {
+                            out.push(Self::announcement_packet(origin, &entry.desc));
+                        }
+                    }
+                }
+                self.arm_defence_timer();
             }
         }
+        out
+    }
 
-        for action in self.responder.poll(now) {
-            if let ClashAction::DefendThirdParty { session } = action {
-                // Re-announce the cached session on the originator's
-                // behalf, if we still hold it.
-                let origin = Ipv4Addr::from(session.site);
-                if let Some(entry) = self.cache.get(origin, session.seq as u64) {
-                    out.push(Self::announcement_packet(origin, &entry.desc));
-                }
+    /// Pop the earliest due timer, if any.  Event-driven callers loop
+    /// `pop_due_timer` + [`Self::on_timer`]; FIFO order at equal
+    /// deadlines is guaranteed by the queue.
+    pub fn pop_due_timer(&mut self, now: SimTime) -> Option<TimerKind> {
+        let (_, kind) = self.timers.pop_due(now)?;
+        // The popped token is consumed; clear the matching bookkeeping
+        // so `on_timer` doesn't cancel a successor it didn't schedule.
+        match kind {
+            TimerKind::Announce(id) => {
+                self.announce_timers.remove(&id);
             }
+            TimerKind::CacheExpiry => self.cache_timer = None,
+            TimerKind::Defence => self.defence_timer = None,
+        }
+        Some(kind)
+    }
+
+    /// Advance time: emit due announcements, fire expired third-party
+    /// defences, purge the cache.  Thin compat wrapper over the event
+    /// API — drains every due timer in deadline order.
+    pub fn poll(&mut self, now: SimTime) -> Vec<SapPacket> {
+        let mut out = Vec::new();
+        while let Some(kind) = self.pop_due_timer(now) {
+            out.append(&mut self.on_timer(now, kind));
         }
         out
     }
@@ -363,25 +521,43 @@ impl SessionDirectory {
     pub fn restart(&mut self, now: SimTime) {
         self.cache = AnnouncementCache::new(self.cfg.cache_timeout);
         self.responder = ClashResponder::new(self.cfg.clash_policy.clone());
+        self.timers.clear();
+        self.announce_timers.clear();
+        self.cache_timer = None;
+        self.defence_timer = None;
         for s in self.own.values_mut() {
             s.sends = 0;
             s.next_send = now;
+            // (The map is keyed identically to `own`; rebuilt below.)
+        }
+        let ids: Vec<u64> = self.own.keys().copied().collect();
+        for id in ids {
+            let token = self.timers.schedule(now, TimerKind::Announce(id));
+            self.announce_timers.insert(id, token);
         }
     }
 
-    /// The next instant at which [`Self::poll`] has work to do.
+    /// The exact next instant at which a timer fires (announce, cache
+    /// expiry or clash defence), compacting any lazily-cancelled queue
+    /// entries on the way.
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        self.timers.next_deadline()
+    }
+
+    /// The next instant at which [`Self::poll`] has work to do.  Compat
+    /// accessor taking `&self`: may be conservatively early when a
+    /// cancelled timer (e.g. a withdrawn session's announce) has not yet
+    /// surfaced in the queue — an early poll finds nothing due and is a
+    /// no-op.  Prefer [`Self::next_deadline`] where `&mut self` is
+    /// available.
     pub fn next_wakeup(&self) -> Option<SimTime> {
-        let own = self.own.values().map(|s| s.next_send).min();
-        match (own, self.responder.next_deadline()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        self.timers.peek_deadline()
     }
 
     /// Process one received SAP packet.  Returns packets to send in
     /// response (defences, modified announcements) plus events for the
     /// caller's logs.
-    pub fn handle_packet(
+    pub fn on_packet(
         &mut self,
         now: SimTime,
         pkt: &SapPacket,
@@ -417,6 +593,7 @@ impl SessionDirectory {
         self.responder.on_announcement_seen(their_sid);
 
         let update = self.cache.observe_announce(now, desc.clone());
+        self.arm_cache_timer();
         events.push(DirectoryEvent::Heard(update));
         if update == CacheUpdate::Stale {
             return (out, events);
@@ -490,7 +667,6 @@ impl SessionDirectory {
         let incumbents: Vec<(Ipv4Addr, u64)> = self
             .cache
             .users_of(desc.group)
-            .into_iter()
             .filter(|(k, e)| {
                 !(k.origin == desc.origin.address && k.session_id == desc.origin.session_id)
                     && e.first_heard < now
@@ -515,9 +691,24 @@ impl SessionDirectory {
             });
         }
 
+        // Any newly-armed third-party defence needs a deadline in the
+        // timer queue.
+        self.arm_defence_timer();
+
         // A mid-call move may have degraded; pick that up too.
         events.append(&mut self.pending_events);
         (out, events)
+    }
+
+    /// Compat alias for [`Self::on_packet`], kept so pre-refactor
+    /// callers and tests read unchanged.
+    pub fn handle_packet(
+        &mut self,
+        now: SimTime,
+        pkt: &SapPacket,
+        rng: &mut SimRng,
+    ) -> (Vec<SapPacket>, Vec<DirectoryEvent>) {
+        self.on_packet(now, pkt, rng)
     }
 
     /// Reallocate a clashing own session; returns (old group, new group).
@@ -802,13 +993,21 @@ mod tests {
         c.handle_packet(t(100), &make([10, 0, 0, 2], 2, "b"), &mut rng);
         // Originator A defends itself before our timer fires.
         c.handle_packet(t(101), &make([10, 0, 0, 1], 1, "a"), &mut rng);
-        // Our pending defence is suppressed; polling far in the future
-        // yields nothing for session A.
+        // Our pending defence of A is suppressed: nothing we ever emit
+        // re-announces A's session on its behalf.  (A's own t=101
+        // re-announcement clashed against cached incumbent B, so a
+        // defence of *B* legitimately fires at its deadline — under the
+        // old coarse poll it was skipped only because the whole cache
+        // had expired by the time anyone polled.)
         let fired = c.poll(t(10_000));
-        assert!(
-            fired.is_empty(),
-            "suppressed defence still fired: {fired:?}"
-        );
+        for pkt in &fired {
+            let desc = SessionDescription::parse(&pkt.payload).unwrap();
+            assert_ne!(
+                (desc.origin.address, desc.origin.session_id),
+                (Ipv4Addr::new(10, 0, 0, 1), 1),
+                "suppressed defence of A still fired: {fired:?}"
+            );
+        }
     }
 
     #[test]
@@ -1111,15 +1310,44 @@ mod tests {
     }
 
     #[test]
-    fn poll_emits_missed_announcements_in_batch() {
-        // A directory that slept through several scheduled sends catches
-        // up on the next poll (the schedule is wall-clock anchored).
+    fn missed_announcements_clamp_to_single_send() {
+        // A directory that slept through several scheduled sends does
+        // NOT burst-replay every missed period: it emits one
+        // announcement and re-anchors the schedule from `now`.
         let mut d = directory([10, 0, 0, 1]);
         let mut rng = SimRng::new(23);
         d.create_session(t(0), "s", 63, media(), &mut rng).unwrap();
-        // Sends due at t = 0, 5, 15, 35: polling at 35 emits all four.
+        // Sends were due at t = 0, 5, 15, 35; polling at 35 emits one.
         let pkts = d.poll(t(35));
-        assert_eq!(pkts.len(), 4);
+        assert_eq!(pkts.len(), 1);
+        // Re-anchored: the send consumed interval_after(0) = 5 s, so the
+        // next deadline is now + 5 rather than the stale t = 5 slot.
+        assert_eq!(d.next_wakeup(), Some(t(40)));
+        assert_eq!(d.poll(t(39)).len(), 0);
+        assert_eq!(d.poll(t(40)).len(), 1);
+    }
+
+    #[test]
+    fn event_api_matches_poll() {
+        // Driving pop_due_timer/on_timer by hand is equivalent to the
+        // poll compat wrapper.
+        let mut d = directory([10, 0, 0, 1]);
+        let mut rng = SimRng::new(24);
+        d.create_session(t(0), "s", 63, media(), &mut rng).unwrap();
+        let mut sent = Vec::new();
+        let mut now = t(0);
+        for _ in 0..5 {
+            let deadline = d.next_deadline().unwrap();
+            assert!(deadline >= now, "deadlines move forward");
+            now = deadline;
+            while let Some(kind) = d.pop_due_timer(now) {
+                sent.extend(d.on_timer(now, kind));
+            }
+        }
+        // Fast-phase schedule: 0, 5, 15, 35, 75.
+        assert_eq!(sent.len(), 5);
+        assert_eq!(now, t(75));
+        assert_eq!(d.next_deadline(), Some(t(155)));
     }
 
     #[test]

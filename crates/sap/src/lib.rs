@@ -45,7 +45,7 @@ pub mod testbed;
 pub mod wire;
 
 pub use cache::{AnnouncementCache, CacheEntry, CacheKey, CacheUpdate};
-pub use directory::{CreateError, DirectoryConfig, DirectoryEvent, SessionDirectory};
+pub use directory::{CreateError, DirectoryConfig, DirectoryEvent, SessionDirectory, TimerKind};
 pub use net::{AgentHandle, AgentStats, RetryPolicy, SapAgent, SapSocket, SapTransport};
 pub use schedule::BackoffSchedule;
 pub use sdp::{Media, Origin, SdpError, SessionDescription};

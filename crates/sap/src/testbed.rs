@@ -39,6 +39,9 @@ enum Event {
     Deliver { to: usize, pkt: SapPacket },
     /// Give directory `node` a chance to run its timers.
     Wakeup { node: usize },
+    /// Take a directory down: it neither sends nor receives until its
+    /// Restart (if any) fires.
+    Crash { node: usize },
     /// Bring a crashed directory back with an empty cache.
     Restart { node: usize },
     /// Inject a burst of forged third-party announcements.
@@ -71,6 +74,32 @@ pub struct Testbed {
     /// Restarts that have fired, as `(at, node)` — for measuring cache
     /// rebuild times in chaos experiments.
     pub restarts: Vec<(SimTime, usize)>,
+    /// Per-node down flag, flipped by Crash/Restart events (replacing
+    /// per-packet scans over the fault plan's crash windows).
+    down: Vec<bool>,
+    /// The earliest pending Wakeup per node (global time), so a node
+    /// whose deadline is already covered is not flooded with redundant
+    /// wakeups — the core of wake-on-deadline: a node only enters the
+    /// event queue when something of its is actually due.
+    wake_at: Vec<Option<SimTime>>,
+}
+
+/// Schedule a wakeup for `node` at global time `at` unless an earlier or
+/// equal one is already pending.  Superseded later wakeups are not
+/// cancelled; firing one finds nothing due and is a no-op.
+fn schedule_wake(
+    ctx: &mut SimContext<Event>,
+    wake_at: &mut [Option<SimTime>],
+    node: usize,
+    at: SimTime,
+) {
+    if let Some(pending) = wake_at[node] {
+        if pending <= at {
+            return;
+        }
+    }
+    wake_at[node] = Some(at);
+    ctx.schedule_at(at, Event::Wakeup { node });
 }
 
 impl Testbed {
@@ -82,10 +111,11 @@ impl Testbed {
         channel: Channel,
         seed: u64,
     ) -> Self {
-        let directories = configs
+        let directories: Vec<SessionDirectory> = configs
             .into_iter()
             .map(|cfg| SessionDirectory::new(cfg, make_allocator()))
             .collect();
+        let n = directories.len();
         Testbed {
             sim: Simulator::new(),
             directories,
@@ -95,16 +125,21 @@ impl Testbed {
             faults: FaultPlan::new(),
             log: Vec::new(),
             restarts: Vec::new(),
+            down: vec![false; n],
+            wake_at: vec![None; n],
         }
     }
 
-    /// Install a fault plan, scheduling its timed events (restarts,
-    /// storms).  Call before the first [`Self::run_until`]; the plan's
-    /// windows (loss, partitions, corruption, crashes) are consulted
-    /// continuously as the simulation runs.
+    /// Install a fault plan, scheduling its timed events (crashes,
+    /// restarts, storms).  Call before the first [`Self::run_until`];
+    /// the plan's *windows* (loss, partitions, corruption) are consulted
+    /// per packet as the simulation runs, while crashes and restarts are
+    /// ordinary simulator events that flip the node's up/down flag and
+    /// reschedule its timers.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         let ctx = self.sim.context();
         for crash in &plan.crashes {
+            ctx.schedule_at(crash.at, Event::Crash { node: crash.node });
             if let Some(at) = crash.restart_at {
                 ctx.schedule_at(at, Event::Restart { node: crash.node });
             }
@@ -177,13 +212,19 @@ impl Testbed {
     /// Schedule a wakeup for `node` at its next deadline (call after
     /// creating sessions or any out-of-band mutation).
     pub fn kick(&mut self, node: usize) {
-        if let Some(at) = self.directories[node].next_wakeup() {
-            let at = at.max(self.sim.now());
-            self.sim.context().schedule_at(at, Event::Wakeup { node });
+        if let Some(at) = self.directories[node].next_deadline() {
+            let at = self.faults.global_time(node, at).max(self.sim.now());
+            schedule_wake(self.sim.context(), &mut self.wake_at, node, at);
         }
     }
 
     /// Run the testbed until `horizon`.
+    ///
+    /// Wake-on-deadline: a node enters the event queue only when its
+    /// directory reports a due deadline ([`SessionDirectory::next_deadline`])
+    /// or a packet arrives for it; nothing polls idle nodes.  Crashes
+    /// and restarts are events that stop and re-prime a node's timer
+    /// chain rather than per-packet window checks.
     pub fn run_until(&mut self, horizon: SimTime) {
         // Split borrows for the closure.
         let directories = &mut self.directories;
@@ -193,10 +234,17 @@ impl Testbed {
         let faults = &self.faults;
         let log = &mut self.log;
         let restarts = &mut self.restarts;
+        let down = &mut self.down;
+        let wake_at = &mut self.wake_at;
         self.sim.run_until(horizon, &mut |ctx, event| match event {
             Event::Wakeup { node } => {
                 let now = ctx.now();
-                if !faults.node_up(now, node) {
+                // Clear the pending marker first: even a wake that finds
+                // the node down must not block later reschedules.
+                if wake_at[node] == Some(now) {
+                    wake_at[node] = None;
+                }
+                if down[node] {
                     // Crashed: timers stop; the Restart event (if any)
                     // re-primes the wakeup chain.
                     return;
@@ -204,29 +252,20 @@ impl Testbed {
                 let lnow = faults.local_time(node, now);
                 let pkts = directories[node].poll(lnow);
                 for pkt in pkts {
-                    fan_out(
-                        ctx,
-                        channel,
-                        faults,
-                        rng,
-                        blocked,
-                        directories.len(),
-                        node,
-                        pkt,
-                    );
+                    fan_out(ctx, channel, faults, rng, blocked, down, node, pkt);
                 }
-                if let Some(at) = directories[node].next_wakeup() {
+                if let Some(at) = directories[node].next_deadline() {
                     let at = faults.global_time(node, at).max(now);
-                    ctx.schedule_at(at, Event::Wakeup { node });
+                    schedule_wake(ctx, wake_at, node, at);
                 }
             }
             Event::Deliver { to, pkt } => {
                 let now = ctx.now();
-                if !faults.node_up(now, to) {
+                if down[to] {
                     return; // packets to a crashed node vanish
                 }
                 let lnow = faults.local_time(to, now);
-                let (replies, events) = directories[to].handle_packet(lnow, &pkt, rng);
+                let (replies, events) = directories[to].on_packet(lnow, &pkt, rng);
                 for e in events {
                     log.push(LoggedEvent {
                         at: now,
@@ -235,30 +274,25 @@ impl Testbed {
                     });
                 }
                 for reply in replies {
-                    fan_out(
-                        ctx,
-                        channel,
-                        faults,
-                        rng,
-                        blocked,
-                        directories.len(),
-                        to,
-                        reply,
-                    );
+                    fan_out(ctx, channel, faults, rng, blocked, down, to, reply);
                 }
-                if let Some(at) = directories[to].next_wakeup() {
+                if let Some(at) = directories[to].next_deadline() {
                     let at = faults.global_time(to, at).max(now);
-                    ctx.schedule_at(at, Event::Wakeup { node: to });
+                    schedule_wake(ctx, wake_at, to, at);
                 }
+            }
+            Event::Crash { node } => {
+                down[node] = true;
             }
             Event::Restart { node } => {
                 let now = ctx.now();
+                down[node] = false;
                 restarts.push((now, node));
                 let lnow = faults.local_time(node, now);
                 directories[node].restart(lnow);
-                if let Some(at) = directories[node].next_wakeup() {
+                if let Some(at) = directories[node].next_deadline() {
                     let at = faults.global_time(node, at).max(now);
-                    ctx.schedule_at(at, Event::Wakeup { node });
+                    schedule_wake(ctx, wake_at, node, at);
                 }
             }
             Event::Storm { index, packets } => {
@@ -270,7 +304,7 @@ impl Testbed {
                         faults,
                         rng,
                         blocked,
-                        directories.len(),
+                        down,
                         PHANTOM_SENDER,
                         pkt,
                     );
@@ -319,19 +353,19 @@ fn fan_out(
     faults: &FaultPlan,
     rng: &mut SimRng,
     blocked: &HashSet<(usize, usize)>,
-    n: usize,
+    down: &[bool],
     from: usize,
     pkt: SapPacket,
 ) {
     let now = ctx.now();
-    for to in 0..n {
+    for (to, &to_down) in down.iter().enumerate() {
         if to == from {
             continue;
         }
         if blocked.contains(&(from, to)) {
             continue;
         }
-        if !faults.delivers(now, from, to) || !faults.node_up(now, to) {
+        if !faults.delivers(now, from, to) || to_down {
             continue;
         }
         let extra = faults.extra_drop(now);
@@ -687,6 +721,45 @@ mod tests {
         tb.kick(0);
         tb.run_until(SimTime::from_secs(10));
         assert_eq!(tb.directory(1).cached_sessions(), 1);
+    }
+
+    #[test]
+    fn skewed_clock_does_not_burst_catchup_announcements() {
+        // Regression for the unbounded catch-up loop: node 1's clock
+        // runs 35 s ahead, so its first wakeup lands at local t ≈ 35 s
+        // while its announce schedule was anchored at local-session
+        // creation.  The old `while next_send <= now` loop replayed
+        // every missed period (t = 0, 5, 15, 35) back-to-back; the clamp
+        // emits exactly one announcement and re-anchors.
+        let mut tb =
+            testbed(2, 25).with_faults(FaultPlan::new().with_clock_skew(1, 35_000_000_000));
+        let now = tb.now();
+        let mut rng = SimRng::new(26);
+        tb.directory_mut(1)
+            .create_session(now, "s", 127, media(), &mut rng)
+            .unwrap();
+        tb.kick(1);
+        // One hop of delay (50 ms) is well inside the first second.
+        tb.run_until(SimTime::from_secs(1));
+        let heard: Vec<_> = tb
+            .log
+            .iter()
+            .filter(|e| e.node == 0 && matches!(e.event, DirectoryEvent::Heard(_)))
+            .collect();
+        assert_eq!(
+            heard.len(),
+            1,
+            "skewed node must emit exactly one catch-up announcement: {heard:?}"
+        );
+        // The schedule re-anchored instead of replaying the backlog:
+        // nothing else is due within the next couple of seconds.
+        tb.run_until(SimTime::from_secs(3));
+        let heard = tb
+            .log
+            .iter()
+            .filter(|e| e.node == 0 && matches!(e.event, DirectoryEvent::Heard(_)))
+            .count();
+        assert_eq!(heard, 1, "no burst replay of missed periods");
     }
 
     #[test]

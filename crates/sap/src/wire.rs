@@ -221,6 +221,19 @@ pub fn msg_id_hash(payload: &str) -> u16 {
     ((h >> 16) ^ (h & 0xffff)) as u16
 }
 
+/// 64-bit FNV-1a over raw bytes — the trace fingerprint used by the
+/// differential and determinism regression tests.  Feed it the exact
+/// wire bytes (plus any framing the test adds): two traces fingerprint
+/// equal iff they are byte-identical.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,6 +35,7 @@ pub mod rng;
 pub mod stats;
 pub mod suppression;
 pub mod time;
+pub mod timer;
 
 pub use channel::{Channel, DelayModel, LossModel, Transmission};
 pub use engine::{SimContext, Simulator};
@@ -44,3 +45,4 @@ pub use faults::{
 pub use rng::SimRng;
 pub use stats::{first_crossing, median, median_filter, quantile, Histogram, Summary};
 pub use time::{SimDuration, SimTime};
+pub use timer::{TimerQueue, TimerToken};

@@ -1,0 +1,260 @@
+//! A deadline timer queue — the wake-on-deadline substrate.
+//!
+//! The protocol engines (announce schedules, cache expiry, clash
+//! defences) are inherently event-driven: each piece of state has a
+//! single next deadline, and nothing at all needs to happen between
+//! deadlines.  [`TimerQueue`] gives them an O(log n) schedule /
+//! O(1) next-deadline / amortised-O(log n) fire structure with
+//! cancellation tokens, replacing the O(n) walk-every-object-per-poll
+//! pattern the first reproduction used.
+//!
+//! Determinism rules (the event-trace regression tests depend on them):
+//!
+//! * timers fire strictly in deadline order;
+//! * two timers at the *same* deadline fire in schedule order (FIFO) —
+//!   the token counter doubles as the tie-break sequence;
+//! * cancellation is lazy: a cancelled entry stays in the heap until it
+//!   reaches the top, where it is discarded silently.  Lazy entries can
+//!   make [`TimerQueue::peek_deadline`] conservative (early), never
+//!   late — an early wake finds nothing due and is a no-op, so traces
+//!   are unaffected.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled timer, used to cancel it.  Tokens are unique
+/// for the lifetime of the queue (a `u64` counter; it does not wrap in
+/// any feasible run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(u64);
+
+struct TimerEntry<K> {
+    due: SimTime,
+    token: u64,
+    key: K,
+}
+
+impl<K> PartialEq for TimerEntry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.token == other.token
+    }
+}
+impl<K> Eq for TimerEntry<K> {}
+impl<K> PartialOrd for TimerEntry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K> Ord for TimerEntry<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest deadline pops
+        // first, FIFO (lowest token) among equals.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.token.cmp(&self.token))
+    }
+}
+
+/// A cancellable deadline queue over keys of type `K`.
+pub struct TimerQueue<K> {
+    heap: BinaryHeap<TimerEntry<K>>,
+    live: HashSet<u64>,
+    next_token: u64,
+}
+
+impl<K> std::fmt::Debug for TimerQueue<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerQueue")
+            .field("len", &self.live.len())
+            .field("heap", &self.heap.len())
+            .finish()
+    }
+}
+
+impl<K> Default for TimerQueue<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> TimerQueue<K> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        TimerQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_token: 0,
+        }
+    }
+
+    /// Number of live (scheduled, not cancelled, not fired) timers.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no live timers remain.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Schedule `key` to fire at `due`.  O(log n).
+    pub fn schedule(&mut self, due: SimTime, key: K) -> TimerToken {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.live.insert(token);
+        self.heap.push(TimerEntry { due, token, key });
+        TimerToken(token)
+    }
+
+    /// Cancel a scheduled timer.  Returns whether it was still pending
+    /// (false if it already fired or was already cancelled).  O(1); the
+    /// heap entry is discarded lazily when it surfaces.
+    pub fn cancel(&mut self, token: TimerToken) -> bool {
+        self.live.remove(&token.0)
+    }
+
+    /// The earliest live deadline, pruning any cancelled entries that
+    /// have surfaced at the top.  Exact, needs `&mut self`.
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        loop {
+            let head = self.heap.peek()?;
+            if self.live.contains(&head.token) {
+                return Some(head.due);
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// The earliest heap deadline *without* pruning.  May be earlier
+    /// than the true next deadline when a cancelled entry still sits at
+    /// the top (never later); use where only `&self` is available and a
+    /// conservative wake is acceptable.
+    pub fn peek_deadline(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.due)
+    }
+
+    /// Pop the earliest live timer with `due <= now`, if any, skipping
+    /// cancelled entries.  Returns the deadline it was scheduled for and
+    /// its key.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, K)> {
+        loop {
+            let head = self.heap.peek()?;
+            if head.due > now {
+                return None;
+            }
+            // `peek` above guarantees the pop succeeds; `?` keeps this
+            // loop panic-free without an `expect`.
+            let entry = self.heap.pop()?;
+            if self.live.remove(&entry.token) {
+                return Some((entry.due, entry.key));
+            }
+        }
+    }
+
+    /// Drop every timer (live and cancelled).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.live.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut q = TimerQueue::new();
+        q.schedule(t(3), "c");
+        q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert_eq!(q.next_deadline(), Some(t(1)));
+        let mut fired = Vec::new();
+        while let Some((_, k)) = q.pop_due(t(10)) {
+            fired.push(k);
+        }
+        assert_eq!(fired, vec!["a", "b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_deadlines_fire_fifo() {
+        let mut q = TimerQueue::new();
+        for i in 0..100u32 {
+            q.schedule(t(5), i);
+        }
+        let mut fired = Vec::new();
+        while let Some((_, k)) = q.pop_due(t(5)) {
+            fired.push(k);
+        }
+        assert_eq!(fired, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = TimerQueue::new();
+        q.schedule(t(5), ());
+        assert_eq!(q.pop_due(t(4)), None);
+        assert_eq!(q.pop_due(t(5)), Some((t(5), ())));
+        assert_eq!(q.pop_due(t(100)), None);
+    }
+
+    #[test]
+    fn cancel_prevents_fire() {
+        let mut q = TimerQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        // The cancelled entry still distorts the unpruned peek...
+        assert_eq!(q.peek_deadline(), Some(t(1)));
+        // ...but the pruning accessor and pop skip it.
+        assert_eq!(q.next_deadline(), Some(t(2)));
+        assert_eq!(q.pop_due(t(10)), Some((t(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut q = TimerQueue::new();
+        let tok = q.schedule(t(1), ());
+        assert_eq!(q.pop_due(t(1)), Some((t(1), ())));
+        assert!(!q.cancel(tok));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut q = TimerQueue::new();
+        q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.next_deadline(), None);
+        assert_eq!(q.pop_due(t(100)), None);
+        // The token counter keeps advancing across clears, so FIFO order
+        // stays globally consistent.
+        q.schedule(t(3), 3);
+        assert_eq!(q.pop_due(t(3)), Some((t(3), 3)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_fire() {
+        let mut q = TimerQueue::new();
+        q.schedule(t(10), "late");
+        q.schedule(t(1), "early");
+        assert_eq!(q.pop_due(t(1)).map(|(_, k)| k), Some("early"));
+        q.schedule(t(5), "mid");
+        assert_eq!(q.next_deadline(), Some(t(5)));
+        assert_eq!(q.pop_due(t(20)).map(|(_, k)| k), Some("mid"));
+        assert_eq!(q.pop_due(t(20)).map(|(_, k)| k), Some("late"));
+    }
+}

@@ -1,6 +1,6 @@
 //! The custom source lint pass.
 //!
-//! Three rules, all scoped to where their failure mode actually bites:
+//! Four rules, all scoped to where their failure mode actually bites:
 //!
 //! * **panic-path** — `.unwrap()`, `.expect(`, `panic!`, `todo!` and
 //!   `unimplemented!` are banned in the non-test code of the protocol
@@ -16,6 +16,11 @@
 //! * **truncating-cast** — `as u8` / `as u16` / `as u32` are banned in
 //!   the address-arithmetic files (`addr.rs`, `partition_map.rs`), where
 //!   a silent truncation corrupts an address instead of crashing.
+//! * **wall-clock** — `Instant::now` / `SystemTime::now` are banned
+//!   everywhere except the real UDP transport (`crates/sap/src/net.rs`)
+//!   and the benchmark harness (`crates/bench/`).  The protocol engines
+//!   are wake-on-deadline state machines over [`SimTime`]; a stray wall
+//!   clock reading silently breaks seed-replayable traces.
 //!
 //! The scanner is deliberately lexical: it masks comments, string and
 //! character literals (preserving line structure), skips `#[cfg(test)]`
@@ -56,6 +61,11 @@ const CAST_CHECKED: &[&str] = &[
 /// The one file allowed to construct RNG state from the environment.
 const RNG_EXEMPT: &[&str] = &["crates/sim/src/rng.rs"];
 
+/// Paths (file or directory prefixes) allowed to read the wall clock:
+/// the real UDP transport needs packet timestamps, and the benchmark
+/// harness measures elapsed wall time by definition.
+const WALL_CLOCK_EXEMPT: &[&str] = &["crates/sap/src/net.rs", "crates/bench/"];
+
 /// A lint rule identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
@@ -65,6 +75,8 @@ pub enum Rule {
     RngDiscipline,
     /// Truncating `as` casts in address arithmetic.
     TruncatingCast,
+    /// Wall-clock reads outside the real transport and bench harness.
+    WallClock,
 }
 
 impl Rule {
@@ -74,6 +86,7 @@ impl Rule {
             Rule::PanicPath => "panic-path",
             Rule::RngDiscipline => "rng-discipline",
             Rule::TruncatingCast => "truncating-cast",
+            Rule::WallClock => "wall-clock",
         }
     }
 }
@@ -153,6 +166,7 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
     let panic_scoped = PANIC_FREE.iter().any(|p| rel.starts_with(p));
     let cast_scoped = CAST_CHECKED.contains(&rel);
     let rng_scoped = !RNG_EXEMPT.contains(&rel);
+    let clock_scoped = !WALL_CLOCK_EXEMPT.iter().any(|p| rel.starts_with(p));
 
     let mut findings = Vec::new();
     for (i, line) in masked.lines().enumerate() {
@@ -188,6 +202,16 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
                     push(
                         Rule::RngDiscipline,
                         format!("`{pat}` constructs a non-deterministic RNG; seed a SimRng instead (only crates/sim/src/rng.rs may touch entropy)"),
+                    );
+                }
+            }
+        }
+        if clock_scoped {
+            for pat in ["Instant::now", "SystemTime::now"] {
+                if line.contains(pat) {
+                    push(
+                        Rule::WallClock,
+                        format!("`{pat}` reads the wall clock; protocol code runs on SimTime so traces stay seed-replayable (only the net transport and bench harness may)"),
                     );
                 }
             }
@@ -573,6 +597,28 @@ mod tests {
             "fn f(x: u64) -> u32 { x as u32 }\n",
         );
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_in_protocol_code() {
+        for pat in ["Instant::now()", "SystemTime::now()"] {
+            let src = format!("fn f() {{ let t = {pat}; }}\n");
+            let f = find("crates/sim/src/engine.rs", &src);
+            assert_eq!(f.len(), 1, "{pat}");
+            assert_eq!(f[0].rule, Rule::WallClock);
+        }
+    }
+
+    #[test]
+    fn wall_clock_exempt_paths_ignored() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        for rel in [
+            "crates/sap/src/net.rs",
+            "crates/bench/src/bin/directory_scale.rs",
+        ] {
+            let f = find(rel, src);
+            assert!(f.is_empty(), "{rel}: {f:?}");
+        }
     }
 
     #[test]

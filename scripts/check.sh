@@ -16,6 +16,7 @@ run cargo clippy --workspace --all-targets -- -D warnings
 run cargo xtask check
 run cargo xtask model --smoke
 run cargo run -q -p sdalloc-experiments -- chaos --smoke
+run cargo run -q -p sdalloc-bench --bin directory_scale -- --smoke
 run cargo test -q
 
 echo "All checks passed."
