@@ -24,6 +24,14 @@
 //!   `results_full/BENCH_scale.json`.  The acceptance bar is a >=5x
 //!   speedup at 100k for announce_churn and expiry.
 //!
+//! Both modes finish with the **telemetry overhead gate**: the full
+//! directory receive path (`on_packet` announcement traffic + announce
+//! and cache-expiry timers) is driven with telemetry enabled and
+//! disabled, interleaved best-of-N, and the enabled run must stay
+//! within 5% of the disabled one (`--smoke` exits non-zero past the
+//! bar; the full run reports without gating, since it follows the long
+//! cache benchmark and inherits its thermal noise).
+//!
 //! Everything is driven from a fixed-seed [`SimRng`], so the work done
 //! (not the wall time) is identical across runs.
 
@@ -33,9 +41,11 @@ use std::hint::black_box;
 use std::net::Ipv4Addr;
 use std::time::Instant;
 
-use sdalloc_core::{AddrSpace, VisibleSession};
+use sdalloc_core::{AddrSpace, InformedRandomAllocator, VisibleSession};
 use sdalloc_sap::cache::{AnnouncementCache, CacheEntry, CacheKey};
+use sdalloc_sap::directory::{DirectoryConfig, SessionDirectory, TimerKind};
 use sdalloc_sap::sdp::{Media, Origin, SessionDescription};
+use sdalloc_sap::wire::SapPacket;
 use sdalloc_sim::{SimDuration, SimRng, SimTime};
 
 /// Hard cache timeout used by every scenario.
@@ -332,6 +342,72 @@ fn run_size(n: usize, knobs: &Knobs, rows: &mut Vec<Row>) {
     });
 }
 
+/// One pass over the directory's hot receive path: a round of remote
+/// announcement traffic through `on_packet`, the node's own announce
+/// timers, and the cache-expiry timer — i.e. every code path the
+/// telemetry instrumentation touches.  Returns total packets emitted,
+/// as a black-box anchor.
+fn drive_directory(telemetry_on: bool, packets: &[SapPacket], rounds: u64) -> usize {
+    let mut cfg = DirectoryConfig::new(Ipv4Addr::new(10, 9, 9, 9));
+    cfg.space = AddrSpace::new(Ipv4Addr::new(224, 9, 0, 0), 4096);
+    let mut dir = SessionDirectory::new(cfg, Box::new(InformedRandomAllocator));
+    dir.set_telemetry_enabled(telemetry_on);
+    let mut rng = SimRng::new(17);
+    let mut own = Vec::new();
+    for i in 0..8 {
+        let id = dir
+            .create_session(SimTime::ZERO, &format!("own{i}"), 63, media(), &mut rng)
+            .expect("allocate own session");
+        own.push(id);
+    }
+    let mut emitted = 0;
+    for round in 0..rounds {
+        let now = SimTime::from_secs(1 + round);
+        for pkt in packets {
+            let (out, _) = dir.on_packet(now, pkt, &mut rng);
+            emitted += out.len();
+        }
+        for &id in &own {
+            emitted += dir.on_timer(now, TimerKind::Announce(id)).len();
+        }
+        emitted += dir.on_timer(now, TimerKind::CacheExpiry).len();
+    }
+    emitted
+}
+
+/// Best-of-N interleaved comparison of the directory hot path with
+/// telemetry enabled vs disabled.  Interleaving (off, on, off, on, ...)
+/// cancels frequency-scaling drift; best-of-N discards scheduler noise.
+fn telemetry_overhead(smoke: bool) -> (u128, u128) {
+    let (n_remote, rounds, trials) = if smoke { (512, 24, 5) } else { (1024, 48, 7) };
+    let space = AddrSpace::new(Ipv4Addr::new(224, 9, 0, 0), 4096);
+    let packets: Vec<SapPacket> = (0..n_remote)
+        .map(|i| {
+            let d = session(i, &space);
+            SapPacket::announce(d.origin.address, d.origin.session_id as u16, d.format())
+        })
+        .collect();
+
+    // Warm-up pass (page in code and allocator state on both sides).
+    let expect = drive_directory(false, &packets, rounds);
+    assert_eq!(
+        drive_directory(true, &packets, rounds),
+        expect,
+        "telemetry must not change directory behaviour"
+    );
+
+    let (mut best_off, mut best_on) = (u128::MAX, u128::MAX);
+    for _ in 0..trials {
+        let (out, off_ns) = timed(|| drive_directory(false, &packets, rounds));
+        black_box(out);
+        best_off = best_off.min(off_ns);
+        let (out, on_ns) = timed(|| drive_directory(true, &packets, rounds));
+        black_box(out);
+        best_on = best_on.min(on_ns);
+    }
+    (best_off, best_on)
+}
+
 fn render_json(rows: &[Row]) -> String {
     let mut out = String::from("{\n  \"bench\": \"directory_scale\",\n  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -406,6 +482,21 @@ fn main() {
                 r.workload, r.size, r.indexed_ns, r.legacy_ns
             );
         }
+        std::process::exit(1);
+    }
+
+    // Telemetry overhead gate: the instrumented directory hot path must
+    // stay within 5% of the uninstrumented one.
+    let (off_ns, on_ns) = telemetry_overhead(smoke);
+    let ratio = on_ns as f64 / off_ns.max(1) as f64;
+    println!(
+        "\ntelemetry overhead: off {:.3}ms, on {:.3}ms — ratio {:.3} (bar 1.05)",
+        off_ns as f64 / 1e6,
+        on_ns as f64 / 1e6,
+        ratio,
+    );
+    if smoke && ratio > 1.05 {
+        eprintln!("REGRESSION: telemetry-enabled directory exceeds the 5% overhead bar");
         std::process::exit(1);
     }
 }

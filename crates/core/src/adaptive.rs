@@ -297,6 +297,13 @@ impl Allocator for AdaptiveIpr {
         }
         None
     }
+
+    fn partition_range(&self, space: &AddrSpace, ttl: u8, view: &View<'_>) -> (u32, u32) {
+        // A stack that ran off the bottom has no band to report; the
+        // degradation event then labels the whole space as exhausted.
+        self.band_range(space, ttl, view)
+            .unwrap_or((0, space.size()))
+    }
 }
 
 #[cfg(test)]

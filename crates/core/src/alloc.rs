@@ -39,6 +39,15 @@ pub trait Allocator: Send {
         rng: &mut SimRng,
     ) -> Option<Addr>;
 
+    /// The `[lo, hi)` address range this algorithm would draw from for
+    /// a session of the given TTL — the diagnostic counterpart of
+    /// [`Self::allocate`], used to label degradation events with the
+    /// band that was exhausted.  Unpartitioned algorithms (and the
+    /// default) report the whole space.
+    fn partition_range(&self, space: &AddrSpace, _ttl: u8, _view: &View<'_>) -> (u32, u32) {
+        (0, space.size())
+    }
+
     /// Graceful-degradation allocation: try [`Self::allocate`] first,
     /// and when the algorithm's own partition is exhausted fall back to
     /// an informed-random pick over the *whole* space — trading the
@@ -54,16 +63,19 @@ pub trait Allocator: Send {
         view: &View<'_>,
         rng: &mut SimRng,
     ) -> Option<AllocOutcome> {
+        let band = self.partition_range(space, ttl, view);
         if let Some(addr) = self.allocate(space, ttl, view, rng) {
             return Some(AllocOutcome {
                 addr,
                 widened: false,
+                band,
             });
         }
         let used = view.occupied();
         pick_free_in_range(0, space.size(), &used, rng).map(|addr| AllocOutcome {
             addr,
             widened: true,
+            band,
         })
     }
 }
@@ -76,6 +88,10 @@ pub struct AllocOutcome {
     /// Whether the allocator had to widen beyond its own partition —
     /// the signal for a logged degradation event.
     pub widened: bool,
+    /// The `[lo, hi)` range the algorithm's partition discipline would
+    /// have drawn from ([`Allocator::partition_range`]).  When
+    /// `widened` is set this is the band that was exhausted.
+    pub band: (u32, u32),
 }
 
 /// Uniformly pick an address from `range` (lo..hi within `space`) that is
@@ -331,6 +347,21 @@ mod tests {
         assert!(out.widened);
         assert!(!(lo..hi).contains(&out.addr.0), "widened outside the band");
         assert!(space.contains(out.addr));
+        assert_eq!(out.band, (lo, hi), "outcome labels the exhausted band");
+    }
+
+    #[test]
+    fn default_partition_range_is_whole_space() {
+        let space = AddrSpace::abstract_space(16);
+        assert_eq!(
+            InformedRandomAllocator.partition_range(&space, 127, &View::empty()),
+            (0, 16)
+        );
+        let mut rng = SimRng::new(12);
+        let out = InformedRandomAllocator
+            .allocate_or_widen(&space, 127, &View::empty(), &mut rng)
+            .unwrap();
+        assert_eq!(out.band, (0, 16));
     }
 
     #[test]

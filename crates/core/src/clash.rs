@@ -26,6 +26,7 @@
 
 use sdalloc_sim::suppression::exponential_delay;
 use sdalloc_sim::{SimDuration, SimRng, SimTime};
+use sdalloc_telemetry::{CounterId, HistogramId, Severity, Telemetry, NO_ARG};
 
 use crate::addr::Addr;
 
@@ -312,21 +313,83 @@ pub fn clash_step(
     (next, actions)
 }
 
+/// Pre-registered metric ids for the clash responder (registration is
+/// idempotent, so rebuilding them against a preserved [`Telemetry`]
+/// after a restart reuses the existing slots).
+#[derive(Debug, Clone, Copy)]
+struct ClashMetrics {
+    defend_own: CounterId,
+    modify_own: CounterId,
+    armed: CounterId,
+    fired: CounterId,
+    /// Sampled third-party defence delay, milliseconds.
+    delay_ms: HistogramId,
+}
+
+impl ClashMetrics {
+    /// Bucket bounds for the defence-delay histogram (ms): the paper's
+    /// `[D1, D2]` window is 0.5–8 s, so the buckets straddle it.
+    const DELAY_BOUNDS_MS: [u64; 6] = [250, 500, 1_000, 2_000, 4_000, 8_000];
+
+    fn register(t: &mut Telemetry) -> Self {
+        ClashMetrics {
+            defend_own: t.counter("clash.defend_own"),
+            modify_own: t.counter("clash.modify_own"),
+            armed: t.counter("clash.third_party_armed"),
+            fired: t.counter("clash.third_party_fired"),
+            delay_ms: t.histogram("clash.defence_delay_ms", &Self::DELAY_BOUNDS_MS),
+        }
+    }
+}
+
 /// The per-site clash responder: a thin driver over [`clash_step`] that
-/// owns the policy and samples the third-party delay.
+/// owns the policy, samples the third-party delay, and records its
+/// decisions into a [`Telemetry`] bundle (the pure [`clash_step`]
+/// itself stays uninstrumented so the model checker drives it
+/// unchanged).
 #[derive(Debug, Clone)]
 pub struct ClashResponder {
     policy: ClashPolicy,
     state: ClashState,
+    telemetry: Telemetry,
+    metrics: ClashMetrics,
 }
 
 impl ClashResponder {
-    /// Create a responder with the given policy.
+    /// Create a responder with the given policy and a disabled
+    /// telemetry bundle (drivers that want traces swap one in with
+    /// [`ClashResponder::set_telemetry`]).
     pub fn new(policy: ClashPolicy) -> Self {
+        Self::with_telemetry(policy, Telemetry::disabled())
+    }
+
+    /// Create a responder recording into `telemetry`.
+    pub fn with_telemetry(policy: ClashPolicy, mut telemetry: Telemetry) -> Self {
+        let metrics = ClashMetrics::register(&mut telemetry);
         ClashResponder {
             policy,
             state: ClashState::new(),
+            telemetry,
+            metrics,
         }
+    }
+
+    /// The responder's telemetry bundle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Replace the telemetry bundle (counters re-register
+    /// idempotently) — used to carry accumulated metrics across a
+    /// directory restart, which rebuilds the responder.
+    pub fn set_telemetry(&mut self, mut telemetry: Telemetry) {
+        self.metrics = ClashMetrics::register(&mut telemetry);
+        self.telemetry = telemetry;
+    }
+
+    /// Move the telemetry bundle out (leaving a disabled one behind).
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        std::mem::replace(&mut self.telemetry, Telemetry::disabled())
     }
 
     /// Handle a detected clash: a new announcement arrived using `addr`,
@@ -355,6 +418,7 @@ impl ClashResponder {
             }
             Incumbent::Ours { .. } => SimDuration::ZERO,
         };
+        let armed_before = self.state.pending_count();
         let (next, mut actions) = clash_step(
             &self.policy,
             &self.state,
@@ -368,9 +432,49 @@ impl ClashResponder {
         );
         self.state = next;
         debug_assert_eq!(actions.len(), 1, "a clash maps to exactly one action");
-        actions.pop().unwrap_or(ClashAction::DefendOwn {
+        let action = actions.pop().unwrap_or(ClashAction::DefendOwn {
             session: incumbent_session,
-        })
+        });
+        match &action {
+            ClashAction::DefendOwn { .. } => {
+                self.telemetry.inc(self.metrics.defend_own);
+                self.telemetry.record(
+                    now.as_nanos(),
+                    Severity::Info,
+                    "clash",
+                    "defend_own",
+                    [("addr", u64::from(addr.0)), NO_ARG, NO_ARG],
+                );
+            }
+            ClashAction::ModifyOwn { .. } => {
+                self.telemetry.inc(self.metrics.modify_own);
+                self.telemetry.record(
+                    now.as_nanos(),
+                    Severity::Warn,
+                    "clash",
+                    "modify_own",
+                    [("addr", u64::from(addr.0)), NO_ARG, NO_ARG],
+                );
+            }
+            ClashAction::ThirdPartyArmed { fire_at, .. } => {
+                // Count (and sample the delay of) only fresh arms: a
+                // duplicated clash re-reports the existing timer.
+                if self.state.pending_count() > armed_before {
+                    self.telemetry.inc(self.metrics.armed);
+                    let delay_ms = fire_at.saturating_since(now).as_nanos() / 1_000_000;
+                    self.telemetry.observe(self.metrics.delay_ms, delay_ms);
+                    self.telemetry.record(
+                        now.as_nanos(),
+                        Severity::Info,
+                        "defend",
+                        "third_party_armed",
+                        [("addr", u64::from(addr.0)), ("delay_ms", delay_ms), NO_ARG],
+                    );
+                }
+            }
+            ClashAction::DefendThirdParty { .. } => {}
+        }
+        action
     }
 
     /// Note that an announcement for `session` was heard (the originator
@@ -400,6 +504,22 @@ impl ClashResponder {
     pub fn poll(&mut self, now: SimTime) -> Vec<ClashAction> {
         let (next, actions) = clash_step(&self.policy, &self.state, &ClashEvent::Poll { now });
         self.state = next;
+        for action in &actions {
+            if let ClashAction::DefendThirdParty { session } = action {
+                self.telemetry.inc(self.metrics.fired);
+                self.telemetry.record(
+                    now.as_nanos(),
+                    Severity::Info,
+                    "defend",
+                    "third_party_fired",
+                    [
+                        ("site", u64::from(session.site)),
+                        ("seq", u64::from(session.seq)),
+                        NO_ARG,
+                    ],
+                );
+            }
+        }
         actions
     }
 
@@ -644,6 +764,53 @@ mod tests {
             })
             .collect();
         assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn responder_telemetry_counts_decisions() {
+        let mut r = ClashResponder::with_telemetry(ClashPolicy::default(), Telemetry::new(3, 99));
+        let mut rng = SimRng::new(22);
+        r.on_clash(
+            t(1000),
+            Addr(7),
+            sid(1, 1),
+            Incumbent::Ours {
+                announced_at: t(0),
+                wins_tiebreak: true,
+            },
+            &mut rng,
+        );
+        r.on_clash(t(1000), Addr(8), sid(2, 1), Incumbent::Cached, &mut rng);
+        // Duplicate clash: re-reports the timer, must not double count.
+        r.on_clash(t(1001), Addr(8), sid(2, 1), Incumbent::Cached, &mut rng);
+        let fired = r.poll(t(2000));
+        assert_eq!(fired.len(), 1);
+        let m = &r.telemetry().metrics;
+        assert_eq!(m.counter_by_name("clash.defend_own"), 1);
+        assert_eq!(m.counter_by_name("clash.third_party_armed"), 1);
+        assert_eq!(m.counter_by_name("clash.third_party_fired"), 1);
+        let snap = r.telemetry().snapshot_json();
+        assert!(snap.contains("clash.defence_delay_ms"), "{snap}");
+        assert!(r.telemetry().recorder().len() >= 3, "trace events recorded");
+    }
+
+    #[test]
+    fn responder_telemetry_survives_swap() {
+        // set_telemetry re-registers idempotently: counts accumulated
+        // before a restart keep counting after.
+        let mut r = ClashResponder::with_telemetry(ClashPolicy::default(), Telemetry::new(0, 1));
+        let mut rng = SimRng::new(23);
+        r.on_clash(t(0), Addr(9), sid(3, 2), Incumbent::Cached, &mut rng);
+        let carried = r.take_telemetry();
+        let mut r2 = ClashResponder::new(ClashPolicy::default());
+        r2.set_telemetry(carried);
+        r2.on_clash(t(5), Addr(4), sid(4, 1), Incumbent::Cached, &mut rng);
+        assert_eq!(
+            r2.telemetry()
+                .metrics
+                .counter_by_name("clash.third_party_armed"),
+            2
+        );
     }
 
     #[test]

@@ -113,6 +113,10 @@ impl Allocator for StaticIpr {
         let used = view.occupied();
         pick_free_in_range(lo, hi, &used, rng)
     }
+
+    fn partition_range(&self, space: &AddrSpace, ttl: u8, _view: &View<'_>) -> (u32, u32) {
+        self.band_range(self.band_of(ttl), space.size())
+    }
 }
 
 #[cfg(test)]

@@ -88,6 +88,71 @@ pub struct PartitionHeal {
     pub defences: usize,
 }
 
+/// One partition-heal instance: isolate node 1 (node 2 sits on node
+/// 0's side, so no third party can resolve the clash early), force the
+/// two sides onto the same address, and run to the horizon.  `heal_at:
+/// None` leaves the partition up past the horizon — the reconvergence
+/// property then fails *by construction*, which is what the
+/// flight-recorder dump path is exercised against.  Returns `None`
+/// when no duplicate could be forced.
+fn heal_instance(seed: u64, k: u64, heal_at: Option<SimTime>) -> Option<Testbed> {
+    let heal = heal_at.unwrap_or(SimTime::from_secs(1_000_000));
+    let mut tb = Testbed::new(
+        configs(3, 2),
+        || Box::new(InformedRandomAllocator),
+        Channel::mbone_default(),
+        seed ^ k << 16,
+    )
+    .with_faults(FaultPlan::new().with_partition(SimTime::ZERO, heal, vec![0, 2], vec![1]));
+    let mut rng0 = SimRng::new(seed ^ (k << 8));
+    let mut rng1 = SimRng::new(seed ^ (k << 8) ^ 1);
+    // Force the partitioned sides onto the same address (space of 2:
+    // a few tries always suffice).
+    let mut forced = false;
+    for _ in 0..64 {
+        let now = tb.now();
+        let (Ok(id0), Ok(id1)) = (
+            tb.directory_mut(0)
+                .create_session(now, "a", 127, media(), &mut rng0),
+            tb.directory_mut(1)
+                .create_session(now, "b", 127, media(), &mut rng1),
+        ) else {
+            break;
+        };
+        let g0 = tb
+            .directory(0)
+            .own_sessions()
+            .next()
+            .map(|(_, s)| s.desc.group);
+        let g1 = tb
+            .directory(1)
+            .own_sessions()
+            .next()
+            .map(|(_, s)| s.desc.group);
+        if g0.is_some() && g0 == g1 {
+            forced = true;
+            break;
+        }
+        tb.directory_mut(0).withdraw_session(id0);
+        tb.directory_mut(1).withdraw_session(id1);
+    }
+    if !forced {
+        return None;
+    }
+    tb.kick(0);
+    tb.kick(1);
+    tb.run_until(SimTime::from_secs(1_340));
+    Some(tb)
+}
+
+/// The group each node's (single) own session currently sits on.
+fn own_group(tb: &Testbed, node: usize) -> Option<std::net::Ipv4Addr> {
+    tb.directory(node)
+        .own_sessions()
+        .next()
+        .map(|(_, s)| s.desc.group)
+}
+
 /// Partition → duplicate allocation → heal → measure the duplicate
 /// exposure window and reconvergence, all under a [`FaultPlan`]
 /// partition window rather than hand-driven blocking.
@@ -103,60 +168,10 @@ pub fn partition_heal(seed: u64, smoke: bool) -> PartitionHeal {
         defences: 0,
     };
     for k in 0..runs {
-        let mut tb = Testbed::new(
-            configs(3, 2),
-            || Box::new(InformedRandomAllocator),
-            Channel::mbone_default(),
-            seed ^ (k as u64) << 16,
-        )
-        // Node 1 is fully isolated (node 2 sits on node 0's side), so no
-        // third party can resolve the clash early: the exposure window
-        // genuinely starts at the heal.
-        .with_faults(FaultPlan::new().with_partition(
-            SimTime::ZERO,
-            heal_at,
-            vec![0, 2],
-            vec![1],
-        ));
-        let mut rng0 = SimRng::new(seed ^ ((k as u64) << 8));
-        let mut rng1 = SimRng::new(seed ^ ((k as u64) << 8) ^ 1);
-        // Force the partitioned sides onto the same address (space of 2:
-        // a few tries always suffice).
-        let mut forced = false;
-        for _ in 0..64 {
-            let now = tb.now();
-            let (Ok(id0), Ok(id1)) = (
-                tb.directory_mut(0)
-                    .create_session(now, "a", 127, media(), &mut rng0),
-                tb.directory_mut(1)
-                    .create_session(now, "b", 127, media(), &mut rng1),
-            ) else {
-                break;
-            };
-            let g0 = tb
-                .directory(0)
-                .own_sessions()
-                .next()
-                .map(|(_, s)| s.desc.group);
-            let g1 = tb
-                .directory(1)
-                .own_sessions()
-                .next()
-                .map(|(_, s)| s.desc.group);
-            if g0.is_some() && g0 == g1 {
-                forced = true;
-                break;
-            }
-            tb.directory_mut(0).withdraw_session(id0);
-            tb.directory_mut(1).withdraw_session(id1);
-        }
-        if !forced {
+        let Some(tb) = heal_instance(seed, k as u64, Some(heal_at)) else {
             continue;
-        }
+        };
         out.duplicated += 1;
-        tb.kick(0);
-        tb.kick(1);
-        tb.run_until(SimTime::from_secs(1_340));
         let g0 = tb
             .directory(0)
             .own_sessions()
@@ -543,6 +558,55 @@ pub fn run(seed: u64, smoke: bool) -> String {
     s
 }
 
+/// Everything [`run`] produces plus the telemetry sidecars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRun {
+    /// The scenario-matrix report (exactly [`run`]'s output).
+    pub report: String,
+    /// Per-node telemetry snapshots from a representative instrumented
+    /// partition-heal instance (a JSON array, one object per node);
+    /// `None` when no duplicate could be forced at this seed.
+    pub telemetry_json: Option<String>,
+    /// Flight-recorder dumps, one `(label, json)` per node, captured
+    /// from the forced-failure instance (a partition that never heals,
+    /// so the reconvergence property is violated at the horizon).
+    pub dumps: Vec<(String, String)>,
+}
+
+/// [`run`] plus telemetry capture and the forced-failure post-mortem.
+///
+/// The report string is byte-identical to [`run`]'s (the instrumented
+/// companion runs use their own testbeds and RNG streams), so existing
+/// consumers of `chaos.json` see no change.
+pub fn run_full(seed: u64, smoke: bool) -> ChaosRun {
+    let report = run(seed, smoke);
+    // Representative instrumented run: the per-node metric snapshots of
+    // a healed partition instance (telemetry is on by default in the
+    // testbed, so this is the same protocol execution the matrix saw).
+    let telemetry_json = heal_instance(seed, 0, Some(SimTime::from_secs(40))).map(|tb| {
+        debug_assert_ne!(own_group(&tb, 0), own_group(&tb, 1));
+        tb.telemetry_json()
+    });
+    // Forced property violation: the partition never heals, so the two
+    // sides still hold the same group at the horizon.  That violated
+    // invariant is the flight recorder's trigger: dump every node's
+    // ring for the post-mortem.
+    let mut dumps = Vec::new();
+    if let Some(tb) = heal_instance(seed, 0, None) {
+        if own_group(&tb, 0) == own_group(&tb, 1) {
+            let reason = "chaos: partition never healed; duplicate address survived to horizon";
+            for (i, d) in tb.flight_dump(reason).into_iter().enumerate() {
+                dumps.push((format!("partition_no_heal_node{i}"), d));
+            }
+        }
+    }
+    ChaosRun {
+        report,
+        telemetry_json,
+        dumps,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +616,29 @@ mod tests {
         // The acceptance bar: same seed, same plan, byte-identical JSON.
         let a = run(1998, true);
         let b = run(1998, true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forced_failure_produces_flight_dumps() {
+        let out = run_full(1998, true);
+        assert_eq!(out.dumps.len(), 3, "one dump per node");
+        for (label, d) in &out.dumps {
+            assert!(d.contains("\"flight_recorder\": true"), "{label}: {d}");
+            assert!(d.contains("partition never healed"), "{label}");
+        }
+        // The clashing announcers' rings retain their allocate spans.
+        assert!(out.dumps[0].1.contains("\"span\": \"allocate\""));
+        // The representative healed run produced per-node telemetry.
+        let t = out.telemetry_json.as_deref().unwrap_or("");
+        assert!(t.contains("\"announce.sent\""), "{t}");
+        assert!(t.contains("\"node\": 2"), "all three nodes present: {t}");
+    }
+
+    #[test]
+    fn run_full_is_deterministic() {
+        let a = run_full(7, true);
+        let b = run_full(7, true);
         assert_eq!(a, b);
     }
 

@@ -12,6 +12,7 @@
 //! | [`ext_hier`] | extension E1: §4.1 flat vs hierarchical allocation |
 //! | [`eq1_sim`] | Monte-Carlo validation of Equation 1 against the closed form |
 //! | [`chaos`] | fault-injection scenario matrix: partition/heal, crash/restart, burst loss, storms, allocator exhaustion |
+//! | [`telemetry_report`] | `experiments report`: folds the `TELEMETRY_*.json` / `BENCH_scale.json` sidecars into `REPORT.md` |
 //!
 //! The `experiments` binary prints each figure's series as aligned
 //! tables and optionally CSV; `--quick` (default) uses reduced grids,
@@ -28,4 +29,5 @@ pub mod fill;
 pub mod report;
 pub mod rr_figs;
 pub mod steady;
+pub mod telemetry_report;
 pub mod world;

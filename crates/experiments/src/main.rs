@@ -98,7 +98,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments <fig4|fig5|fig6|sec23|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig18|fig19|ext1|ext2|clash|eq1sim|chaos|all> [--full] [--smoke] [--seed N] [--nodes N] [--repeats N] [--max-sites N] [--out DIR]"
+        "usage: experiments <fig4|fig5|fig6|sec23|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig18|fig19|ext1|ext2|clash|eq1sim|chaos|report|all> [--full] [--smoke] [--seed N] [--nodes N] [--repeats N] [--max-sites N] [--out DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -107,7 +107,7 @@ fn main() {
     let opts = parse_args();
     let known = [
         "fig4", "fig5", "fig6", "sec23", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-        "fig16", "fig18", "fig19", "ext1", "ext2", "clash", "eq1sim", "chaos", "all",
+        "fig16", "fig18", "fig19", "ext1", "ext2", "clash", "eq1sim", "chaos", "report", "all",
     ];
     if !known.contains(&opts.target.as_str()) {
         usage(&format!("unknown target {}", opts.target));
@@ -165,30 +165,60 @@ fn main() {
     if run("chaos") {
         chaos(&opts);
     }
+    // Last: the report folds in sidecars the targets above wrote.
+    if run("report") {
+        report_target(&opts);
+    }
 }
 
-/// Fault-injection scenario matrix; emits a deterministic JSON report
-/// (same seed ⇒ byte-identical file) under `results_full/` or `--out`.
-fn chaos(opts: &Options) {
-    let json = sdalloc_experiments::chaos::run(opts.seed, opts.smoke);
-    let dir = opts
-        .out
+/// Where result sidecars live: `--out` or the default `results_full/`.
+fn out_dir(opts: &Options) -> PathBuf {
+    opts.out
         .clone()
-        .unwrap_or_else(|| PathBuf::from("results_full"));
-    let name = if opts.smoke {
-        "chaos_smoke.json"
-    } else {
-        "chaos.json"
-    };
+        .unwrap_or_else(|| PathBuf::from("results_full"))
+}
+
+/// Write one sidecar, warning (not failing) on IO errors.
+fn write_sidecar(dir: &PathBuf, name: &str, contents: &str) {
     let path = dir.join(name);
-    print!("{json}");
     if let Err(e) =
-        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json.as_bytes()))
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, contents.as_bytes()))
     {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
         eprintln!("# wrote {}", path.display());
     }
+}
+
+/// Fault-injection scenario matrix; emits a deterministic JSON report
+/// (same seed ⇒ byte-identical file) under `results_full/` or `--out`,
+/// plus the telemetry sidecar and the forced-failure flight-recorder
+/// dumps.
+fn chaos(opts: &Options) {
+    let out = sdalloc_experiments::chaos::run_full(opts.seed, opts.smoke);
+    let dir = out_dir(opts);
+    let name = if opts.smoke {
+        "chaos_smoke.json"
+    } else {
+        "chaos.json"
+    };
+    print!("{}", out.report);
+    write_sidecar(&dir, name, &out.report);
+    if let Some(telemetry) = &out.telemetry_json {
+        write_sidecar(&dir, "TELEMETRY_chaos.json", telemetry);
+    }
+    for (label, dump) in &out.dumps {
+        write_sidecar(&dir, &format!("DUMP_chaos_{label}.json"), dump);
+    }
+}
+
+/// Fold the `TELEMETRY_*.json` / `BENCH_scale.json` sidecars into
+/// `REPORT.md` (regenerating the RR sidecar if absent).
+fn report_target(opts: &Options) {
+    let dir = out_dir(opts);
+    let md = sdalloc_experiments::telemetry_report::generate(&dir, opts.seed);
+    print!("{md}");
+    write_sidecar(&dir, "REPORT.md", &md);
 }
 
 fn eq1sim(opts: &Options) {
@@ -230,6 +260,7 @@ fn clash_demo(opts: &Options) {
     let mut moves = 0usize;
     let mut defences = 0usize;
     let mut resolve_secs = Vec::new();
+    let mut telemetry = None;
     for k in 0..scenarios {
         let configs: Vec<DirectoryConfig> = (0..3)
             .map(|i| {
@@ -279,6 +310,10 @@ fn clash_demo(opts: &Options) {
         let heal_at = tb.now();
         let horizon = tb.now() + SimDuration::from_secs(1_300);
         tb.run_until(horizon);
+        if k == 0 {
+            // Representative per-node telemetry for the sidecar.
+            telemetry = Some(tb.telemetry_json());
+        }
         let g0 = tb.directory(0).own_sessions().next().unwrap().1.desc.group;
         let g1 = tb.directory(1).own_sessions().next().unwrap().1.desc.group;
         if g0 != g1 {
@@ -322,6 +357,9 @@ fn clash_demo(opts: &Options) {
         println!("via a third party that could hear both sides of the partition)");
     }
     println!();
+    if let Some(t) = &telemetry {
+        write_sidecar(&out_dir(opts), "TELEMETRY_clash.json", t);
+    }
 }
 
 fn ext2(opts: &Options) {

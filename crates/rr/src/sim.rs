@@ -17,6 +17,7 @@
 
 use sdalloc_sim::suppression::{exponential_delay, uniform_delay};
 use sdalloc_sim::{SimDuration, SimRng};
+use sdalloc_telemetry::{CounterId, HistogramId, Severity, Telemetry, NO_ARG};
 use sdalloc_topology::routing::{SharedTree, SourceTree};
 use sdalloc_topology::{NodeId, Topology};
 
@@ -180,16 +181,69 @@ pub fn trace_fingerprint(trace: &[TraceEvent]) -> u64 {
     h
 }
 
+/// Pre-registered metric ids for the request–response driver.
+#[derive(Debug, Clone, Copy)]
+struct RrMetrics {
+    requests: CounterId,
+    responses_sent: CounterId,
+    suppressed: CounterId,
+    at_requester: CounterId,
+    first_response_ms: HistogramId,
+}
+
+impl RrMetrics {
+    /// Bucket bounds for the first-response latency histogram, ms.
+    const FIRST_BOUNDS_MS: [u64; 6] = [50, 100, 250, 500, 1_000, 5_000];
+
+    fn register(t: &mut Telemetry) -> RrMetrics {
+        RrMetrics {
+            requests: t.counter("rr.requests"),
+            responses_sent: t.counter("rr.responses_sent"),
+            suppressed: t.counter("rr.suppressed"),
+            at_requester: t.counter("rr.responses_at_requester"),
+            first_response_ms: t.histogram("rr.first_response_ms", &Self::FIRST_BOUNDS_MS),
+        }
+    }
+}
+
 /// A reusable harness over one topology: caches the shared tree.
 pub struct RrSim<'a> {
     topo: &'a Topology,
     shared: Option<SharedTree>,
+    /// Suppression-decision telemetry.  Pure bookkeeping on the driver
+    /// side: recording never draws from the run's RNG, so the golden
+    /// trace fingerprints are unaffected.
+    telemetry: Telemetry,
+    metrics: RrMetrics,
 }
 
 impl<'a> RrSim<'a> {
     /// Wrap a topology.
     pub fn new(topo: &'a Topology) -> Self {
-        RrSim { topo, shared: None }
+        let mut telemetry = Telemetry::new(0, 0);
+        let metrics = RrMetrics::register(&mut telemetry);
+        RrSim {
+            topo,
+            shared: None,
+            telemetry,
+            metrics,
+        }
+    }
+
+    /// The harness's telemetry bundle (suppression decisions, response
+    /// counts, first-response latency histogram).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access, e.g. to stamp an identity or adjust the filter.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Turn recording on or off.
+    pub fn set_telemetry_enabled(&mut self, on: bool) {
+        self.telemetry.set_enabled(on);
     }
 
     fn shared_tree(&mut self) -> &SharedTree {
@@ -231,6 +285,7 @@ impl<'a> RrSim<'a> {
     ) -> RrOutcome {
         let n = self.topo.node_count();
         assert!(requester.index() < n, "requester out of range");
+        self.telemetry.inc(self.metrics.requests);
 
         // -- request delivery: arrival time of the request at each node.
         let (arrival, _hops) = self.delays_from(params, requester, rng);
@@ -309,6 +364,18 @@ impl<'a> RrSim<'a> {
                 heard_at,
             } = next
             {
+                self.telemetry.inc(self.metrics.suppressed);
+                self.telemetry.record(
+                    scheduled_at.as_nanos(),
+                    Severity::Debug,
+                    "rr",
+                    "suppressed",
+                    [
+                        ("node", u64::from(c.node.0)),
+                        ("heard_ns", heard_at.as_nanos()),
+                        NO_ARG,
+                    ],
+                );
                 if let Some(tr) = trace.as_deref_mut() {
                     tr.push(TraceEvent::Suppressed {
                         node: c.node.0,
@@ -321,6 +388,14 @@ impl<'a> RrSim<'a> {
             for out in outputs {
                 let RrOutput::SendResponse { at: sent_at } = out;
                 responses += 1;
+                self.telemetry.inc(self.metrics.responses_sent);
+                self.telemetry.record(
+                    sent_at.as_nanos(),
+                    Severity::Debug,
+                    "rr",
+                    "response_sent",
+                    [("node", u64::from(c.node.0)), NO_ARG, NO_ARG],
+                );
                 if let Some(tr) = trace.as_deref_mut() {
                     tr.push(TraceEvent::ResponseSent {
                         node: c.node.0,
@@ -331,6 +406,7 @@ impl<'a> RrSim<'a> {
                 // Arrival at the requester.
                 if let Some(d) = resp_delay[requester.index()] {
                     let at = sent_at + d;
+                    self.telemetry.inc(self.metrics.at_requester);
                     if let Some(tr) = trace.as_deref_mut() {
                         tr.push(TraceEvent::ResponseAtRequester { from: c.node.0, at });
                     }
@@ -350,6 +426,11 @@ impl<'a> RrSim<'a> {
                 }
                 let _ = resp_hops; // hop counts reserved for stats
             }
+        }
+
+        if let Some(first) = first_at_requester {
+            self.telemetry
+                .observe(self.metrics.first_response_ms, first.as_nanos() / 1_000_000);
         }
 
         RrOutcome {
@@ -724,6 +805,34 @@ mod tests {
                 "seed ({topo_seed},{rng_seed}): trace diverged from pre-refactor history"
             );
         }
+    }
+
+    #[test]
+    fn telemetry_counts_match_outcome() {
+        let t = topo(150, 41);
+        let params = RrParams::figure15a(s(2.0));
+        let mut sim = RrSim::new(&t);
+        sim.telemetry_mut().set_identity(0, 7);
+        let mut rng = SimRng::new(7);
+        let out = sim.run_once(&params, NodeId(5), &mut rng);
+        let m = &sim.telemetry().metrics;
+        assert_eq!(m.counter_by_name("rr.requests"), 1);
+        assert_eq!(m.counter_by_name("rr.responses_sent"), out.responses as u64);
+        // Every member either responded or was suppressed.
+        assert_eq!(
+            m.counter_by_name("rr.responses_sent") + m.counter_by_name("rr.suppressed"),
+            (t.node_count() - 1) as u64
+        );
+        let snap = sim.telemetry().snapshot_json();
+        assert!(snap.contains("\"rr.first_response_ms\""), "{snap}");
+        // Telemetry is pure bookkeeping: a telemetry-off run consumes
+        // the RNG identically and yields the same outcome.
+        let mut quiet = RrSim::new(&t);
+        quiet.set_telemetry_enabled(false);
+        let mut rng2 = SimRng::new(7);
+        let out2 = quiet.run_once(&params, NodeId(5), &mut rng2);
+        assert_eq!(out, out2);
+        assert_eq!(quiet.telemetry().metrics.counter_by_name("rr.requests"), 0);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use sdalloc_core::{
     View, VisibleSession,
 };
 use sdalloc_sim::{SimDuration, SimRng, SimTime, TimerQueue, TimerToken};
+use sdalloc_telemetry::{CounterId, GaugeId, Severity, Telemetry, NO_ARG};
 
 use crate::cache::{AnnouncementCache, CacheUpdate};
 use crate::schedule::BackoffSchedule;
@@ -142,6 +143,14 @@ pub enum DirectoryEvent {
         session_id: u64,
         /// The out-of-partition group it landed on.
         group: Ipv4Addr,
+        /// The session's scope (TTL) whose partition was exhausted.
+        ttl: u8,
+        /// The exhausted partition band, as `[lo, hi)` address indexes
+        /// into the configured space.
+        exhausted_band: (u32, u32),
+        /// The fallback range the address was actually drawn from
+        /// (whole-space informed random), as `[lo, hi)` indexes.
+        fallback_range: (u32, u32),
     },
 }
 
@@ -162,6 +171,54 @@ pub enum TimerKind {
     /// Conservative in the same way: a suppressed defence leaves the
     /// wake a no-op.
     Defence,
+}
+
+/// Pre-registered metric ids for the directory's hot paths.  Built
+/// once per [`SessionDirectory`]; every update afterwards is a branch
+/// plus a `Vec` index (see `sdalloc_telemetry`).
+#[derive(Debug, Clone, Copy)]
+struct DirMetrics {
+    sessions_created: CounterId,
+    sessions_withdrawn: CounterId,
+    degraded: CounterId,
+    moved: CounterId,
+    restarts: CounterId,
+    announce_sent: CounterId,
+    defence_sent: CounterId,
+    rx_packets: CounterId,
+    rx_deletes: CounterId,
+    rx_unparseable: CounterId,
+    heard_new: CounterId,
+    heard_refreshed: CounterId,
+    heard_modified: CounterId,
+    heard_stale: CounterId,
+    purged_expired: CounterId,
+    purged_stale: CounterId,
+    cache_size: GaugeId,
+}
+
+impl DirMetrics {
+    fn register(t: &mut Telemetry) -> DirMetrics {
+        DirMetrics {
+            sessions_created: t.counter("dir.sessions_created"),
+            sessions_withdrawn: t.counter("dir.sessions_withdrawn"),
+            degraded: t.counter("dir.degraded"),
+            moved: t.counter("dir.moved"),
+            restarts: t.counter("dir.restarts"),
+            announce_sent: t.counter("announce.sent"),
+            defence_sent: t.counter("announce.defence_sent"),
+            rx_packets: t.counter("net.rx_packets"),
+            rx_deletes: t.counter("net.rx_deletes"),
+            rx_unparseable: t.counter("net.rx_unparseable"),
+            heard_new: t.counter("cache.heard_new"),
+            heard_refreshed: t.counter("cache.heard_refreshed"),
+            heard_modified: t.counter("cache.heard_modified"),
+            heard_stale: t.counter("cache.heard_stale"),
+            purged_expired: t.counter("cache.purged_expired"),
+            purged_stale: t.counter("cache.purged_stale"),
+            cache_size: t.gauge("cache.size"),
+        }
+    }
 }
 
 /// The session directory engine.
@@ -191,13 +248,21 @@ pub struct SessionDirectory {
     /// The single outstanding clash-defence timer, with its deadline.
     /// Re-armed earlier when a new clash undercuts it.
     defence_timer: Option<(TimerToken, SimTime)>,
+    /// Per-node telemetry: counters/gauges for the directory paths plus
+    /// the flight recorder.  Clash-decision metrics live in the
+    /// responder's own bundle and are folded in on snapshot/dump.
+    telemetry: Telemetry,
+    metrics: DirMetrics,
 }
 
 impl SessionDirectory {
     /// Create a directory with the given allocator.
     pub fn new(cfg: DirectoryConfig, allocator: Box<dyn Allocator>) -> Self {
         let cache = AnnouncementCache::new(cfg.cache_timeout);
-        let responder = ClashResponder::new(cfg.clash_policy.clone());
+        let responder =
+            ClashResponder::with_telemetry(cfg.clash_policy.clone(), Telemetry::new(0, 0));
+        let mut telemetry = Telemetry::new(0, 0);
+        let metrics = DirMetrics::register(&mut telemetry);
         SessionDirectory {
             cfg,
             allocator,
@@ -210,7 +275,56 @@ impl SessionDirectory {
             announce_timers: BTreeMap::new(),
             cache_timer: None,
             defence_timer: None,
+            telemetry,
+            metrics,
         }
+    }
+
+    /// The directory's own telemetry bundle.  Clash-decision metrics
+    /// live in the responder's bundle; use
+    /// [`Self::telemetry_snapshot_json`] for the merged view.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access to the telemetry bundle, e.g. so transports
+    /// ([`crate::net`]) can register and record their own events.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Turn all recording (directory + clash responder) on or off.
+    /// Disabled recording costs a single branch per instrumented site;
+    /// registered ids stay valid.
+    pub fn set_telemetry_enabled(&mut self, on: bool) {
+        self.telemetry.set_enabled(on);
+        let mut t = self.responder.take_telemetry();
+        t.set_enabled(on);
+        self.responder.set_telemetry(t);
+    }
+
+    /// Stamp the node id and seed rendered into snapshots and dumps.
+    pub fn set_telemetry_identity(&mut self, node: u32, seed: u64) {
+        self.telemetry.set_identity(node, seed);
+        let mut t = self.responder.take_telemetry();
+        t.set_identity(node, seed);
+        self.responder.set_telemetry(t);
+    }
+
+    /// Deterministic per-node metrics snapshot as JSON: the directory's
+    /// bundle with the clash responder's metrics folded in.
+    pub fn telemetry_snapshot_json(&self) -> String {
+        let mut merged = self.telemetry.clone();
+        merged.merge_metrics_from(self.responder.telemetry());
+        merged.snapshot_json()
+    }
+
+    /// Post-mortem flight-recorder dump (merged metrics + the retained
+    /// trace events) as JSON, stamped with `reason`.
+    pub fn flight_dump_json(&self, reason: &str) -> String {
+        let mut merged = self.telemetry.clone();
+        merged.merge_metrics_from(self.responder.telemetry());
+        merged.dump_json(reason)
     }
 
     /// The configuration.
@@ -265,25 +379,52 @@ impl SessionDirectory {
     ) -> Result<u64, CreateError> {
         let view_data = self.current_view();
         let view = View::new(&view_data);
-        let (addr, widened) = if self.cfg.exhaustion_fallback {
+        let (addr, widened, band) = if self.cfg.exhaustion_fallback {
             let out = self
                 .allocator
                 .allocate_or_widen(&self.cfg.space, ttl, &view, rng)
                 .ok_or(CreateError::SpaceFull)?;
-            (out.addr, out.widened)
+            (out.addr, out.widened, out.band)
         } else {
             let addr = self
                 .allocator
                 .allocate(&self.cfg.space, ttl, &view, rng)
                 .ok_or(CreateError::SpaceFull)?;
-            (addr, false)
+            (addr, false, (0, self.cfg.space.size()))
         };
         let session_id = self.next_session_id;
         self.next_session_id += 1;
+        self.telemetry.inc(self.metrics.sessions_created);
+        self.telemetry.record(
+            now.as_nanos(),
+            Severity::Info,
+            "allocate",
+            "created",
+            [
+                ("session", session_id),
+                ("addr", u64::from(addr.0)),
+                ("ttl", u64::from(ttl)),
+            ],
+        );
         if widened {
+            self.telemetry.inc(self.metrics.degraded);
+            self.telemetry.record(
+                now.as_nanos(),
+                Severity::Warn,
+                "allocate",
+                "widened",
+                [
+                    ("session", session_id),
+                    ("band_lo", u64::from(band.0)),
+                    ("band_hi", u64::from(band.1)),
+                ],
+            );
             self.pending_events.push(DirectoryEvent::Degraded {
                 session_id,
                 group: self.cfg.space.ip(addr),
+                ttl,
+                exhausted_band: band,
+                fallback_range: (0, self.cfg.space.size()),
             });
         }
         let desc = SessionDescription {
@@ -318,6 +459,7 @@ impl SessionDirectory {
     /// Stop announcing a session; returns the deletion packet to send.
     pub fn withdraw_session(&mut self, session_id: u64) -> Option<SapPacket> {
         let s = self.own.remove(&session_id)?;
+        self.telemetry.inc(self.metrics.sessions_withdrawn);
         if let Some(token) = self.announce_timers.remove(&session_id) {
             self.timers.cancel(token);
         }
@@ -376,15 +518,18 @@ impl SessionDirectory {
     }
 
     /// Run the cache purges (hard expiry plus the staleness horizon)
-    /// and re-arm the expiry timer for whatever remains.
-    fn purge_cache(&mut self, now: SimTime) {
-        self.cache.purge_expired(now);
+    /// and re-arm the expiry timer for whatever remains.  Returns
+    /// (expired, stale) purge counts.
+    fn purge_cache(&mut self, now: SimTime) -> (usize, usize) {
+        let expired = self.cache.purge_expired(now).len();
+        let mut stale = 0;
         if self.cfg.staleness_factor.is_some() {
             // Entries missing for more than k background periods are
             // presumed dead or moved; shed them early.
             let horizon = self.cache_horizon();
-            self.cache.purge_stale(now, horizon);
+            stale = self.cache.purge_stale(now, horizon).len();
         }
+        (expired, stale)
     }
 
     /// The bandwidth-pacing floor for background repeats, if a budget is
@@ -428,6 +573,7 @@ impl SessionDirectory {
                     return out; // withdrawn between scheduling and firing
                 };
                 out.push(Self::announcement_packet(self.cfg.host, &s.desc));
+                let sends_before = s.sends;
                 let mut interval = self.cfg.schedule.interval_after(s.sends);
                 if let Some(floor) = paced_floor {
                     // Pacing only stretches the background rate; the
@@ -447,6 +593,18 @@ impl SessionDirectory {
                     next = now + interval;
                 }
                 s.next_send = next;
+                self.telemetry.inc(self.metrics.announce_sent);
+                self.telemetry.record(
+                    now.as_nanos(),
+                    Severity::Debug,
+                    "announce",
+                    "sent",
+                    [
+                        ("session", session_id),
+                        ("sends", u64::from(sends_before)),
+                        NO_ARG,
+                    ],
+                );
                 let token = self.timers.schedule(next, TimerKind::Announce(session_id));
                 self.announce_timers.insert(session_id, token);
             }
@@ -454,7 +612,26 @@ impl SessionDirectory {
                 if let Some((token, _)) = self.cache_timer.take() {
                     self.timers.cancel(token);
                 }
-                self.purge_cache(now);
+                let (expired, stale) = self.purge_cache(now);
+                self.telemetry
+                    .inc_by(self.metrics.purged_expired, expired as u64);
+                self.telemetry
+                    .inc_by(self.metrics.purged_stale, stale as u64);
+                self.telemetry
+                    .set(self.metrics.cache_size, self.cache.len() as i64);
+                if expired + stale > 0 {
+                    self.telemetry.record(
+                        now.as_nanos(),
+                        Severity::Debug,
+                        "cache",
+                        "purge",
+                        [
+                            ("expired", expired as u64),
+                            ("stale", stale as u64),
+                            ("remaining", self.cache.len() as u64),
+                        ],
+                    );
+                }
                 self.arm_cache_timer();
             }
             TimerKind::Defence => {
@@ -468,6 +645,18 @@ impl SessionDirectory {
                         let origin = Ipv4Addr::from(session.site);
                         if let Some(entry) = self.cache.get(origin, session.seq as u64) {
                             out.push(Self::announcement_packet(origin, &entry.desc));
+                            self.telemetry.inc(self.metrics.defence_sent);
+                            self.telemetry.record(
+                                now.as_nanos(),
+                                Severity::Info,
+                                "defend",
+                                "reannounce",
+                                [
+                                    ("site", u64::from(session.site)),
+                                    ("seq", u64::from(session.seq)),
+                                    NO_ARG,
+                                ],
+                            );
                         }
                     }
                 }
@@ -519,8 +708,20 @@ impl SessionDirectory {
     /// wants them announced) and re-enter the fast announcement phase so
     /// the scope re-learns them quickly.
     pub fn restart(&mut self, now: SimTime) {
+        self.telemetry.inc(self.metrics.restarts);
+        self.telemetry.record(
+            now.as_nanos(),
+            Severity::Warn,
+            "dir",
+            "restart",
+            [("own_sessions", self.own.len() as u64), NO_ARG, NO_ARG],
+        );
         self.cache = AnnouncementCache::new(self.cfg.cache_timeout);
+        // The responder's pending defences die with the process, but
+        // its telemetry (counters, flight ring) survives the rebuild.
+        let responder_telemetry = self.responder.take_telemetry();
         self.responder = ClashResponder::new(self.cfg.clash_policy.clone());
+        self.responder.set_telemetry(responder_telemetry);
         self.timers.clear();
         self.announce_timers.clear();
         self.cache_timer = None;
@@ -567,14 +768,19 @@ impl SessionDirectory {
         // Leftover out-of-band events (e.g. degraded allocations) ride
         // along with whatever this packet produces.
         let mut events = self.take_events();
+        self.telemetry.inc(self.metrics.rx_packets);
 
         let Ok(desc) = SessionDescription::parse(&pkt.payload) else {
+            self.telemetry.inc(self.metrics.rx_unparseable);
             return (out, events); // unparseable payloads are dropped
         };
 
         if pkt.message_type == MessageType::Delete {
             self.cache
                 .observe_delete(desc.origin.address, desc.origin.session_id);
+            self.telemetry.inc(self.metrics.rx_deletes);
+            self.telemetry
+                .set(self.metrics.cache_size, self.cache.len() as i64);
             return (out, events);
         }
 
@@ -594,6 +800,15 @@ impl SessionDirectory {
 
         let update = self.cache.observe_announce(now, desc.clone());
         self.arm_cache_timer();
+        let heard_counter = match update {
+            CacheUpdate::New => self.metrics.heard_new,
+            CacheUpdate::Refreshed => self.metrics.heard_refreshed,
+            CacheUpdate::Modified => self.metrics.heard_modified,
+            CacheUpdate::Stale => self.metrics.heard_stale,
+        };
+        self.telemetry.inc(heard_counter);
+        self.telemetry
+            .set(self.metrics.cache_size, self.cache.len() as i64);
         events.push(DirectoryEvent::Heard(update));
         if update == CacheUpdate::Stale {
             return (out, events);
@@ -639,6 +854,13 @@ impl SessionDirectory {
             match action {
                 ClashAction::DefendOwn { .. } => {
                     // Phase 1: re-send immediately.
+                    self.telemetry.record(
+                        now.as_nanos(),
+                        Severity::Info,
+                        "clash",
+                        "defend_own",
+                        [("session", id), NO_ARG, NO_ARG],
+                    );
                     out.push(Self::announcement_packet(
                         self.cfg.host,
                         &self.own[&id].desc,
@@ -646,7 +868,26 @@ impl SessionDirectory {
                 }
                 ClashAction::ModifyOwn { .. } => {
                     // Phase 2: move to a fresh address and re-announce.
+                    self.telemetry.record(
+                        now.as_nanos(),
+                        Severity::Warn,
+                        "clash",
+                        "modify_own",
+                        [("session", id), NO_ARG, NO_ARG],
+                    );
                     if let Some((from, to)) = self.move_session(id, rng) {
+                        self.telemetry.inc(self.metrics.moved);
+                        self.telemetry.record(
+                            now.as_nanos(),
+                            Severity::Warn,
+                            "clash",
+                            "moved",
+                            [
+                                ("session", id),
+                                ("from", u64::from(u32::from(from))),
+                                ("to", u64::from(u32::from(to))),
+                            ],
+                        );
                         events.push(DirectoryEvent::Moved {
                             session_id: id,
                             from,
@@ -721,9 +962,13 @@ impl SessionDirectory {
                 .allocator
                 .allocate_or_widen(&self.cfg.space, ttl, &view, rng)?;
             if out.widened {
+                self.telemetry.inc(self.metrics.degraded);
                 self.pending_events.push(DirectoryEvent::Degraded {
                     session_id,
                     group: self.cfg.space.ip(out.addr),
+                    ttl,
+                    exhausted_band: out.band,
+                    fallback_range: (0, self.cfg.space.size()),
                 });
             }
             out.addr
@@ -1348,6 +1593,135 @@ mod tests {
         assert_eq!(sent.len(), 5);
         assert_eq!(now, t(75));
         assert_eq!(d.next_deadline(), Some(t(155)));
+    }
+
+    #[test]
+    fn degraded_event_carries_band_context() {
+        use sdalloc_core::StaticIpr;
+        let mut cfg = DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1));
+        cfg.space = AddrSpace::abstract_space(12);
+        cfg.exhaustion_fallback = true;
+        let mut d = SessionDirectory::new(cfg, Box::new(StaticIpr::three_band()));
+        let mut rng = SimRng::new(44);
+        for k in 0..5 {
+            d.create_session(t(k), "s", 15, media(), &mut rng).unwrap();
+        }
+        let degraded: Vec<DirectoryEvent> = d
+            .take_events()
+            .into_iter()
+            .filter(|e| matches!(e, DirectoryEvent::Degraded { .. }))
+            .collect();
+        assert!(!degraded.is_empty());
+        for e in &degraded {
+            let DirectoryEvent::Degraded {
+                ttl,
+                exhausted_band,
+                fallback_range,
+                ..
+            } = e
+            else {
+                unreachable!()
+            };
+            assert_eq!(*ttl, 15);
+            // TTL 15 is band 0 of the 3-band split over 12 addresses.
+            assert_eq!(*exhausted_band, (0, 4));
+            assert_eq!(*fallback_range, (0, 12));
+        }
+        assert_eq!(d.telemetry().metrics.counter_by_name("dir.degraded"), 1);
+    }
+
+    #[test]
+    fn telemetry_counts_directory_activity() {
+        let mut d = directory([10, 0, 0, 1]);
+        let mut rng = SimRng::new(45);
+        let id = d.create_session(t(0), "s", 63, media(), &mut rng).unwrap();
+        d.poll(t(0));
+        d.poll(t(5));
+        // Hear a peer announcement twice (new, then refresh).
+        let remote = SessionDescription {
+            origin: Origin {
+                username: "-".into(),
+                session_id: 7,
+                version: 1,
+                address: Ipv4Addr::new(10, 0, 0, 2),
+            },
+            name: "peer".into(),
+            info: None,
+            group: Ipv4Addr::new(224, 2, 128, 9),
+            ttl: 63,
+            start: 0,
+            stop: 0,
+            media: vec![],
+        };
+        let p = remote.format();
+        let pkt = SapPacket::announce(remote.origin.address, msg_id_hash(&p), p);
+        d.handle_packet(t(6), &pkt, &mut rng);
+        d.handle_packet(t(7), &pkt, &mut rng);
+        d.withdraw_session(id);
+        let snap = d.telemetry_snapshot_json();
+        let m = &d.telemetry().metrics;
+        assert_eq!(m.counter_by_name("dir.sessions_created"), 1);
+        assert_eq!(m.counter_by_name("dir.sessions_withdrawn"), 1);
+        assert_eq!(m.counter_by_name("announce.sent"), 2);
+        assert_eq!(m.counter_by_name("net.rx_packets"), 2);
+        assert_eq!(m.counter_by_name("cache.heard_new"), 1);
+        assert_eq!(m.counter_by_name("cache.heard_refreshed"), 1);
+        assert!(snap.contains("\"announce.sent\": 2"), "{snap}");
+        // The merged snapshot includes the responder's clash metrics.
+        assert!(snap.contains("\"clash.defend_own\": 0"), "{snap}");
+        assert!(!d.telemetry().recorder().is_empty());
+    }
+
+    #[test]
+    fn telemetry_disabled_is_inert_and_snapshot_identical_across_runs() {
+        let run = |enabled: bool| {
+            let mut d = directory([10, 0, 0, 1]);
+            d.set_telemetry_identity(1, 46);
+            d.set_telemetry_enabled(enabled);
+            let mut rng = SimRng::new(46);
+            d.create_session(t(0), "s", 63, media(), &mut rng).unwrap();
+            d.poll(t(0));
+            d.telemetry_snapshot_json()
+        };
+        assert_eq!(run(true), run(true), "per-seed snapshot must be stable");
+        let off = run(false);
+        assert!(off.contains("\"dir.sessions_created\": 0"), "{off}");
+    }
+
+    #[test]
+    fn responder_telemetry_survives_directory_restart() {
+        let mut a = directory([10, 0, 0, 1]);
+        let mut rng = SimRng::new(47);
+        a.create_session(t(0), "a", 63, media(), &mut rng).unwrap();
+        let group = a.own_sessions().next().unwrap().1.desc.group;
+        a.poll(t(0));
+        let competing = SessionDescription {
+            origin: Origin {
+                username: "-".into(),
+                session_id: 9,
+                version: 1,
+                address: Ipv4Addr::new(10, 0, 0, 2),
+            },
+            name: "b".into(),
+            info: None,
+            group,
+            ttl: 63,
+            start: 0,
+            stop: 0,
+            media: media(),
+        };
+        let payload = competing.format();
+        let pkt = SapPacket::announce(competing.origin.address, msg_id_hash(&payload), payload);
+        a.handle_packet(t(5_000), &pkt, &mut rng); // phase-1 defence
+        a.restart(t(6_000));
+        let snap = a.telemetry_snapshot_json();
+        assert!(
+            snap.contains("\"clash.defend_own\": 1"),
+            "responder metrics lost across restart: {snap}"
+        );
+        assert!(snap.contains("\"dir.restarts\": 1"), "{snap}");
+        let dump = a.flight_dump_json("test");
+        assert!(dump.contains("\"name\": \"restart\""), "{dump}");
     }
 
     #[test]

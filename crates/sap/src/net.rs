@@ -29,6 +29,7 @@ use std::sync::Arc;
 
 use sdalloc_core::Allocator;
 use sdalloc_sim::{SimRng, SimTime};
+use sdalloc_telemetry::{CounterId, Severity, NO_ARG};
 
 use crate::directory::{CreateError, DirectoryConfig, SessionDirectory};
 use crate::sdp::Media;
@@ -209,6 +210,8 @@ pub struct SapAgent<T: SapTransport = SapSocket> {
     rng: SimRng,
     stats: AgentStats,
     retry: RetryPolicy,
+    retry_counter: CounterId,
+    terminal_counter: CounterId,
 }
 
 impl<T: SapTransport> SapAgent<T> {
@@ -219,13 +222,19 @@ impl<T: SapTransport> SapAgent<T> {
         transport: T,
         seed: u64,
     ) -> SapAgent<T> {
+        let mut directory = SessionDirectory::new(cfg, allocator);
+        directory.set_telemetry_identity(0, seed);
+        let retry_counter = directory.telemetry_mut().counter("agent.retries");
+        let terminal_counter = directory.telemetry_mut().counter("agent.terminal_failures");
         SapAgent {
-            directory: SessionDirectory::new(cfg, allocator),
+            directory,
             transport,
             epoch: Instant::now(),
             rng: SimRng::new(seed),
             stats: AgentStats::default(),
             retry: RetryPolicy::default(),
+            retry_counter,
+            terminal_counter,
         }
     }
 
@@ -299,6 +308,8 @@ impl<T: SapTransport> SapAgent<T> {
         let stats_writer = Arc::clone(&stats);
         let error = Arc::new(Mutex::new(None));
         let error_writer = Arc::clone(&error);
+        let dump = Arc::new(Mutex::new(None));
+        let dump_writer = Arc::clone(&dump);
         let thread = std::thread::spawn(move || {
             let mut consecutive: u32 = 0;
             loop {
@@ -322,10 +333,33 @@ impl<T: SapTransport> SapAgent<T> {
                 match self.step(Duration::from_millis(100)) {
                     Ok(()) => consecutive = 0,
                     Err(e) => {
+                        let t_nanos = self.now().as_nanos();
                         if !self.retry.enabled || consecutive >= self.retry.max_consecutive {
+                            let telemetry = self.directory.telemetry_mut();
+                            telemetry.inc(self.terminal_counter);
+                            telemetry.record(
+                                t_nanos,
+                                Severity::Error,
+                                "net",
+                                "terminal_failure",
+                                [("attempts", u64::from(consecutive)), NO_ARG, NO_ARG],
+                            );
+                            *dump_writer.lock() = Some(
+                                self.directory
+                                    .flight_dump_json(&format!("agent pump terminated: {e}")),
+                            );
                             *error_writer.lock() = Some(e.to_string());
                             break;
                         }
+                        let telemetry = self.directory.telemetry_mut();
+                        telemetry.inc(self.retry_counter);
+                        telemetry.record(
+                            t_nanos,
+                            Severity::Warn,
+                            "net",
+                            "retry",
+                            [("attempt", u64::from(consecutive)), NO_ARG, NO_ARG],
+                        );
                         let pause = self.retry.backoff(consecutive, &mut self.rng);
                         consecutive += 1;
                         self.stats.retries += 1;
@@ -339,6 +373,7 @@ impl<T: SapTransport> SapAgent<T> {
             cmd: cmd_tx,
             stats,
             error,
+            dump,
             thread: Some(thread),
         }
     }
@@ -361,6 +396,7 @@ pub struct AgentHandle {
     cmd: Sender<Command>,
     stats: Arc<Mutex<AgentStats>>,
     error: Arc<Mutex<Option<String>>>,
+    dump: Arc<Mutex<Option<String>>>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -399,6 +435,13 @@ impl AgentHandle {
     /// handle drop).
     pub fn terminal_error(&self) -> Option<String> {
         self.error.lock().clone()
+    }
+
+    /// The flight-recorder dump written when the pump died, if any —
+    /// the agent's post-mortem: directory metrics, retry/terminal
+    /// telemetry events, and the last protocol activity before death.
+    pub fn terminal_dump(&self) -> Option<String> {
+        self.dump.lock().clone()
     }
 }
 
@@ -642,6 +685,17 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         }
         assert!(died, "persistent failure must eventually terminate");
+        // The post-mortem flight dump surfaces the retries and the
+        // terminal failure as telemetry events.
+        let dump = handle
+            .terminal_dump()
+            .expect("terminal failure must leave a flight-recorder dump");
+        assert!(dump.contains("\"flight_recorder\": true"), "{dump}");
+        assert!(dump.contains("agent pump terminated"), "{dump}");
+        assert!(dump.contains("\"agent.retries\": 3"), "{dump}");
+        assert!(dump.contains("\"agent.terminal_failures\": 1"), "{dump}");
+        assert!(dump.contains("\"name\": \"terminal_failure\""), "{dump}");
+        assert!(dump.contains("\"name\": \"retry\""), "{dump}");
     }
 
     #[test]

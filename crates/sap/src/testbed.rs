@@ -113,7 +113,12 @@ impl Testbed {
     ) -> Self {
         let directories: Vec<SessionDirectory> = configs
             .into_iter()
-            .map(|cfg| SessionDirectory::new(cfg, make_allocator()))
+            .enumerate()
+            .map(|(i, cfg)| {
+                let mut d = SessionDirectory::new(cfg, make_allocator());
+                d.set_telemetry_identity(i as u32, seed);
+                d
+            })
             .collect();
         let n = directories.len();
         Testbed {
@@ -187,6 +192,38 @@ impl Testbed {
     /// The shared RNG (for creating sessions deterministically).
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
+    }
+
+    /// Enable or disable telemetry recording on every node.
+    pub fn set_telemetry_enabled(&mut self, on: bool) {
+        for d in &mut self.directories {
+            d.set_telemetry_enabled(on);
+        }
+    }
+
+    /// Deterministic per-node telemetry snapshots as one JSON array,
+    /// node order.  Byte-identical across runs for a fixed seed and
+    /// schedule (pinned by `tests/event_driven.rs`).
+    pub fn telemetry_json(&self) -> String {
+        let mut s = String::from("[\n");
+        let n = self.directories.len();
+        for (i, d) in self.directories.iter().enumerate() {
+            let snap = d.telemetry_snapshot_json();
+            s.push_str(snap.trim_end());
+            s.push_str(if i + 1 < n { ",\n" } else { "\n" });
+        }
+        s.push_str("]\n");
+        s
+    }
+
+    /// Post-mortem flight-recorder dumps, one JSON document per node,
+    /// stamped with `reason`.  Call when a chaos scenario or property
+    /// check fails.
+    pub fn flight_dump(&self, reason: &str) -> Vec<String> {
+        self.directories
+            .iter()
+            .map(|d| d.flight_dump_json(reason))
+            .collect()
     }
 
     /// Partition two nodes from each other (both directions).
@@ -760,6 +797,47 @@ mod tests {
             .filter(|e| e.node == 0 && matches!(e.event, DirectoryEvent::Heard(_)))
             .count();
         assert_eq!(heard, 1, "no burst replay of missed periods");
+    }
+
+    #[test]
+    fn telemetry_json_is_byte_identical_per_seed() {
+        let run = || {
+            let mut tb = testbed(3, 21);
+            let now = tb.now();
+            let mut rng = SimRng::new(22);
+            tb.directory_mut(0)
+                .create_session(now, "s", 127, media(), &mut rng)
+                .unwrap();
+            tb.kick(0);
+            tb.run_until(SimTime::from_secs(60));
+            tb.telemetry_json()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "telemetry must be deterministic per seed");
+        assert!(a.contains("\"announce.sent\""), "{a}");
+        assert!(a.contains("\"cache.heard_new\": 1"), "{a}");
+    }
+
+    #[test]
+    fn flight_dump_covers_every_node() {
+        let mut tb = testbed(2, 23);
+        let now = tb.now();
+        let mut rng = SimRng::new(24);
+        tb.directory_mut(0)
+            .create_session(now, "s", 127, media(), &mut rng)
+            .unwrap();
+        tb.kick(0);
+        tb.run_until(SimTime::from_secs(10));
+        let dumps = tb.flight_dump("unit-test dump");
+        assert_eq!(dumps.len(), 2);
+        for (i, d) in dumps.iter().enumerate() {
+            assert!(d.contains("\"flight_recorder\": true"), "{d}");
+            assert!(d.contains(&format!("\"node\": {i}")), "{d}");
+            assert!(d.contains("\"reason\": \"unit-test dump\""), "{d}");
+        }
+        // The announcing node recorded its create in the ring.
+        assert!(dumps[0].contains("\"name\": \"created\""), "{}", dumps[0]);
     }
 
     #[test]

@@ -247,6 +247,76 @@ mod tests {
     }
 
     #[test]
+    fn stale_token_after_clear_cannot_cancel_successor() {
+        // A token captured before `clear` must not cancel a timer
+        // scheduled afterwards, even though both sat at heap position 0.
+        let mut q = TimerQueue::new();
+        let stale = q.schedule(t(1), "old");
+        q.clear();
+        let fresh = q.schedule(t(1), "new");
+        assert_ne!(stale, fresh, "tokens must stay unique across clear");
+        assert!(!q.cancel(stale), "stale token must be inert");
+        assert_eq!(q.len(), 1, "successor survives the stale cancel");
+        assert_eq!(q.pop_due(t(1)), Some((t(1), "new")));
+    }
+
+    #[test]
+    fn reschedule_then_cancel_stale_token_keeps_replacement() {
+        // The engine pattern: cancel + reschedule, then a late cancel
+        // arrives bearing the ORIGINAL token (e.g. bookkeeping raced a
+        // fire).  The replacement must be unaffected.
+        let mut q = TimerQueue::new();
+        let first = q.schedule(t(5), "announce");
+        assert!(q.cancel(first));
+        let second = q.schedule(t(3), "announce");
+        assert!(!q.cancel(first), "already-cancelled token is spent");
+        assert_eq!(q.next_deadline(), Some(t(3)));
+        assert_eq!(q.pop_due(t(3)), Some((t(3), "announce")));
+        assert!(!q.cancel(second), "cancel-after-fire reports false");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn all_pending_cancelled_drains_heap_lazily() {
+        // With every entry cancelled, the lazy heap still holds them —
+        // the pruning accessor must drain it to emptiness, the
+        // conservative peek may still report a (stale) early deadline,
+        // and pop_due must find nothing at any horizon.
+        let mut q = TimerQueue::new();
+        let tokens: Vec<TimerToken> = (0..10u32)
+            .map(|i| q.schedule(t(1 + u64::from(i)), i))
+            .collect();
+        for tok in tokens {
+            assert!(q.cancel(tok));
+        }
+        assert!(q.is_empty(), "no live timers remain");
+        // peek is conservative: it may surface a cancelled deadline...
+        assert_eq!(q.peek_deadline(), Some(t(1)));
+        // ...pop_due skips every cancelled entry without firing any.
+        assert_eq!(q.pop_due(t(100)), None);
+        // next_deadline prunes to the true answer: nothing.
+        assert_eq!(q.next_deadline(), None);
+        assert_eq!(q.peek_deadline(), None, "prune emptied the heap");
+        // The queue remains usable afterwards.
+        q.schedule(t(50), 99);
+        assert_eq!(q.next_deadline(), Some(t(50)));
+        assert_eq!(q.pop_due(t(50)), Some((t(50), 99)));
+    }
+
+    #[test]
+    fn cancelled_head_does_not_block_later_live_timer() {
+        // pop_due at a horizon covering only the cancelled head must
+        // not fire the later live timer, and must not lose it either.
+        let mut q = TimerQueue::new();
+        let head = q.schedule(t(1), "dead");
+        q.schedule(t(10), "live");
+        q.cancel(head);
+        assert_eq!(q.pop_due(t(5)), None, "only the cancelled head is due");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(t(10)), Some((t(10), "live")));
+    }
+
+    #[test]
     fn interleaved_schedule_and_fire() {
         let mut q = TimerQueue::new();
         q.schedule(t(10), "late");

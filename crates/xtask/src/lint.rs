@@ -21,6 +21,12 @@
 //!   and the benchmark harness (`crates/bench/`).  The protocol engines
 //!   are wake-on-deadline state machines over [`SimTime`]; a stray wall
 //!   clock reading silently breaks seed-replayable traces.
+//! * **print-ban** — `println!` / `eprintln!` are banned in the library
+//!   crates (`crates/core`, `crates/sap`, `crates/rr`, `crates/sim`).
+//!   Observability goes through the telemetry subsystem (metrics +
+//!   trace events + flight recorder), which is deterministic and
+//!   machine-readable; ad-hoc prints from a library are neither, and
+//!   they corrupt the stdout of any binary embedding it.
 //!
 //! The scanner is deliberately lexical: it masks comments, string and
 //! character literals (preserving line structure), skips `#[cfg(test)]`
@@ -66,6 +72,15 @@ const RNG_EXEMPT: &[&str] = &["crates/sim/src/rng.rs"];
 /// harness measures elapsed wall time by definition.
 const WALL_CLOCK_EXEMPT: &[&str] = &["crates/sap/src/net.rs", "crates/bench/"];
 
+/// Library crates whose non-test source must not print: observability
+/// goes through `sdalloc_telemetry`, not stdout/stderr.
+const PRINT_BANNED: &[&str] = &[
+    "crates/core/src/",
+    "crates/sap/src/",
+    "crates/rr/src/",
+    "crates/sim/src/",
+];
+
 /// A lint rule identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
@@ -77,6 +92,8 @@ pub enum Rule {
     TruncatingCast,
     /// Wall-clock reads outside the real transport and bench harness.
     WallClock,
+    /// `println!`/`eprintln!` in library crates.
+    PrintBan,
 }
 
 impl Rule {
@@ -87,6 +104,7 @@ impl Rule {
             Rule::RngDiscipline => "rng-discipline",
             Rule::TruncatingCast => "truncating-cast",
             Rule::WallClock => "wall-clock",
+            Rule::PrintBan => "print-ban",
         }
     }
 }
@@ -167,6 +185,7 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
     let cast_scoped = CAST_CHECKED.contains(&rel);
     let rng_scoped = !RNG_EXEMPT.contains(&rel);
     let clock_scoped = !WALL_CLOCK_EXEMPT.iter().any(|p| rel.starts_with(p));
+    let print_scoped = PRINT_BANNED.iter().any(|p| rel.starts_with(p));
 
     let mut findings = Vec::new();
     for (i, line) in masked.lines().enumerate() {
@@ -216,6 +235,19 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
                 }
             }
         }
+        if print_scoped {
+            // Whole-token match: `eprintln!` contains `println!` as a
+            // substring, so `println!` only counts when not preceded by
+            // an identifier character.
+            for pat in ["println!", "eprintln!"] {
+                if contains_cast(line, pat) {
+                    push(
+                        Rule::PrintBan,
+                        format!("`{pat}` in a library crate; record through sdalloc_telemetry (metrics/trace events) instead of printing"),
+                    );
+                }
+            }
+        }
         if cast_scoped {
             for pat in ["as u8", "as u16", "as u32"] {
                 if contains_cast(line, pat) {
@@ -230,7 +262,9 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
-/// Whether `line` contains `pat` ("as uN") as a whole-token cast.
+/// Whether `line` contains `pat` as a whole token (not embedded in a
+/// longer identifier on either side) — used for `as uN` casts and for
+/// the print macros, where `eprintln!` contains `println!`.
 fn contains_cast(line: &str, pat: &str) -> bool {
     let bytes = line.as_bytes();
     let mut start = 0;
@@ -647,6 +681,57 @@ mod tests {
     fn raw_strings_masked() {
         let src = "fn f() { let s = r#\".unwrap() panic!\"#; }\n";
         let f = find("crates/core/src/view.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn print_macros_flagged_in_library_crates() {
+        for rel in [
+            "crates/core/src/clash.rs",
+            "crates/sap/src/directory.rs",
+            "crates/rr/src/sim.rs",
+            "crates/sim/src/engine.rs",
+        ] {
+            let f = find(rel, "fn f() { println!(\"x\"); }\n");
+            assert_eq!(f.len(), 1, "{rel}: {f:?}");
+            assert_eq!(f[0].rule, Rule::PrintBan);
+        }
+    }
+
+    #[test]
+    fn eprintln_reported_once_not_twice() {
+        // `eprintln!` contains `println!` as a substring; the
+        // whole-token matcher must not double-count it.
+        let f = find("crates/sap/src/net.rs", "fn f() { eprintln!(\"x\"); }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::PrintBan);
+    }
+
+    #[test]
+    fn prints_allowed_outside_library_crates() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); }\n";
+        for rel in [
+            "crates/experiments/src/main.rs",
+            "crates/bench/src/bin/directory_scale.rs",
+            "crates/xtask/src/main.rs",
+        ] {
+            let f = find(rel, src);
+            assert!(f.is_empty(), "{rel}: {f:?}");
+        }
+    }
+
+    #[test]
+    fn prints_in_tests_and_strings_ignored() {
+        let src = "fn doc() { log(\"println! is banned\"); }\n#[cfg(test)]\nmod tests {\n    fn f() { println!(\"dbg\"); }\n}\n";
+        let f = find("crates/core/src/alloc.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn print_allow_marker_suppresses() {
+        let src =
+            "fn f() { eprintln!(\"fatal\"); } // lint:allow(print-ban): pre-abort diagnostics\n";
+        let f = find("crates/sim/src/engine.rs", src);
         assert!(f.is_empty(), "{f:?}");
     }
 

@@ -106,9 +106,17 @@ fn main() {
                     e.node
                 );
             }
-            DirectoryEvent::Degraded { session_id, group } => {
+            DirectoryEvent::Degraded {
+                session_id,
+                group,
+                ttl,
+                exhausted_band,
+                fallback_range,
+            } => {
                 println!(
-                    "  [{:>7.1}s] node {} DEGRADED allocation for session {session_id} on {group}",
+                    "  [{:>7.1}s] node {} DEGRADED allocation for session {session_id} on \
+                     {group} (ttl {ttl}: band {exhausted_band:?} exhausted, fell back to \
+                     {fallback_range:?})",
                     e.at.as_secs_f64(),
                     e.node
                 );

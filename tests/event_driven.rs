@@ -45,18 +45,22 @@ fn media() -> Vec<Media> {
 }
 
 /// Run a fixed three-node scenario under the given drive mode and
-/// return the FNV-1a fingerprint of the emission trace.  The tiny
-/// two-address space forces clashes, so the trace exercises announce
-/// timers, cache expiry, phase-1/2 recovery and third-party defences —
-/// every `TimerKind`.
-fn run_scenario(seed: u64, drive: Drive) -> u64 {
+/// return the FNV-1a fingerprints of (emission trace, per-node
+/// telemetry snapshots).  The tiny two-address space forces clashes, so
+/// the trace exercises announce timers, cache expiry, phase-1/2
+/// recovery and third-party defences — every `TimerKind` — and the
+/// telemetry fingerprint covers every counter/gauge/histogram those
+/// paths touch.
+fn run_scenario(seed: u64, drive: Drive) -> (u64, u64) {
     const N: usize = 3;
     let mut dirs: Vec<SessionDirectory> = (0..N)
         .map(|i| {
             let mut cfg = DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1 + i as u8));
             cfg.space = AddrSpace::abstract_space(2);
             cfg.cache_timeout = SimDuration::from_secs(120);
-            SessionDirectory::new(cfg, Box::new(InformedRandomAllocator))
+            let mut d = SessionDirectory::new(cfg, Box::new(InformedRandomAllocator));
+            d.set_telemetry_identity(i as u32, seed);
+            d
         })
         .collect();
     let mut rngs: Vec<SimRng> = (0..N)
@@ -144,17 +148,27 @@ fn run_scenario(seed: u64, drive: Drive) -> u64 {
         !ev.trace.is_empty(),
         "scenario produced no traffic (seed {seed})"
     );
-    fnv1a_64(&ev.trace)
+    let mut tele = Vec::new();
+    for d in &dirs {
+        tele.extend_from_slice(d.telemetry_snapshot_json().as_bytes());
+    }
+    (fnv1a_64(&ev.trace), fnv1a_64(&tele))
 }
 
 #[test]
 fn poll_loop_and_event_drive_produce_identical_traces() {
     for seed in [1u64, 2, 3, 7, 11, 42] {
-        let poll_fp = run_scenario(seed, Drive::PollLoop);
-        let event_fp = run_scenario(seed, Drive::EventDriven);
+        let (poll_fp, poll_tele) = run_scenario(seed, Drive::PollLoop);
+        let (event_fp, event_tele) = run_scenario(seed, Drive::EventDriven);
         assert_eq!(
             poll_fp, event_fp,
             "poll-loop and event-driven traces diverge for seed {seed}"
+        );
+        // The wrapper must also leave identical telemetry: counters and
+        // histograms are part of the observable protocol execution.
+        assert_eq!(
+            poll_tele, event_tele,
+            "poll-loop and event-driven telemetry diverge for seed {seed}"
         );
     }
 }
@@ -167,6 +181,48 @@ fn same_seed_same_trace_across_runs() {
             run_scenario(seed, Drive::EventDriven),
             "event drive is not deterministic for seed {seed}"
         );
+    }
+}
+
+#[test]
+fn testbed_telemetry_is_byte_identical_per_seed() {
+    // Full byte equality (not just fingerprints) of the per-node
+    // telemetry snapshots AND flight-recorder dumps across two runs of
+    // the same seeded testbed scenario.
+    use sdalloc_sap::testbed::Testbed;
+    use sdalloc_sim::Channel;
+    let run = |seed: u64| {
+        let configs: Vec<DirectoryConfig> = (0..3)
+            .map(|i| {
+                let mut cfg = DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1 + i as u8));
+                cfg.space = AddrSpace::abstract_space(4);
+                cfg
+            })
+            .collect();
+        let mut tb = Testbed::new(
+            configs,
+            || Box::new(InformedRandomAllocator),
+            Channel::perfect(DELAY),
+            seed,
+        );
+        let mut rng = SimRng::new(seed ^ 0xABCD);
+        let now = tb.now();
+        tb.directory_mut(0)
+            .create_session(now, "tele", 63, media(), &mut rng)
+            .expect("space has room");
+        tb.kick(0);
+        tb.run_until(SimTime::from_secs(120));
+        (
+            tb.telemetry_json(),
+            tb.flight_dump("event_driven determinism probe"),
+        )
+    };
+    for seed in [31u64, 99] {
+        let (tele_a, dumps_a) = run(seed);
+        let (tele_b, dumps_b) = run(seed);
+        assert_eq!(tele_a, tele_b, "telemetry JSON diverges for seed {seed}");
+        assert_eq!(dumps_a, dumps_b, "flight dumps diverge for seed {seed}");
+        assert!(tele_a.contains("\"announce.sent\""), "{tele_a}");
     }
 }
 
