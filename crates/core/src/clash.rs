@@ -137,6 +137,7 @@ pub enum Incumbent {
 /// states have equal representations (the model checker hashes them).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClashState {
+    // lint:allow(unbounded-growth): drained by clash_step via a worked copy (next.pending.retain), which the per-struct scan cannot attribute
     pending: Vec<PendingDefense>,
 }
 
@@ -226,6 +227,7 @@ pub enum ClashEvent {
 /// the double-arm: under message duplication a site with two timers for
 /// one session fires two third-party defences — two authoritative
 /// responses to one clash.)
+// lint:allow(hot-alloc): pure-functional protocol step: returns the successor state and its actions by value
 pub fn clash_step(
     policy: &ClashPolicy,
     state: &ClashState,

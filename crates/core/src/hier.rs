@@ -113,6 +113,7 @@ impl PrefixRegistry {
     }
 
     /// The prefixes currently held by `domain`.
+    // lint:allow(hot-alloc): returns the domain's claimed-prefix snapshot; a domain holds a handful of prefixes
     pub fn prefixes_of(&self, domain: u32) -> Vec<Prefix> {
         self.claims
             .iter()
@@ -160,6 +161,7 @@ impl PrefixRegistry {
     }
 
     /// Sanity: no two claims overlap.
+    // lint:allow(panic-reach): windows(2) chunks have exactly two elements
     pub fn is_consistent(&self) -> bool {
         self.claims.windows(2).all(|w| w[0].1.hi <= w[1].1.lo)
     }
@@ -210,16 +212,19 @@ impl HierarchicalAllocator {
     }
 
     /// Allocate inside the given domain's prefixes, growing on demand.
+    // lint:allow(hot-alloc): the shuffle needs an owned order over the domain's few prefixes
     fn allocate_in_domain(&self, level: u32, view: &View<'_>, rng: &mut SimRng) -> Option<Addr> {
         let mut registry = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
         let used = view.occupied();
         loop {
             let prefixes = registry.prefixes_of(level);
             let capacity: u32 = prefixes.iter().map(Prefix::len).sum();
-            let used_here = used
-                .iter()
-                .filter(|a| prefixes.iter().any(|p| p.contains(**a)))
-                .count() as u32;
+            let used_here = u32::try_from(
+                used.iter()
+                    .filter(|a| prefixes.iter().any(|p| p.contains(**a)))
+                    .count(),
+            )
+            .unwrap_or(u32::MAX);
             let free = capacity.saturating_sub(used_here);
             if capacity == 0 || (free as f64) < self.grow_at * capacity as f64 {
                 // Claim more space (doubling), then retry once more.

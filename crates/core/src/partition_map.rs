@@ -48,6 +48,7 @@ pub struct PartitionMap {
 
 impl PartitionMap {
     /// Build the map for margin-of-safety `margin` (the paper uses 2).
+    // lint:allow(panic-reach): by_ttl is a [_; 256] table indexed by a TTL clamped to 0..=255; windows(2) chunks have exactly two elements
     pub fn new(margin: u32) -> PartitionMap {
         assert!(margin >= 1, "margin must be at least 1");
         let mut partitions = Vec::new();
@@ -108,11 +109,13 @@ impl PartitionMap {
     }
 
     /// Index of the partition covering `ttl`.
+    // lint:allow(panic-reach): by_ttl is a [_; 256] table and the index is a u8
     pub fn partition_of(&self, ttl: u8) -> usize {
         self.by_ttl[ttl as usize] as usize
     }
 
     /// The partition covering `ttl`.
+    // lint:allow(panic-reach): by_ttl entries are valid partition indices by construction in new()
     pub fn partition(&self, ttl: u8) -> TtlPartition {
         self.partitions[self.partition_of(ttl)]
     }

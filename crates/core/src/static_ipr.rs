@@ -42,6 +42,7 @@ pub struct StaticIpr {
 
 impl StaticIpr {
     /// Build from ascending TTL separators; 255 is appended if missing.
+    // lint:allow(panic-reach): windows(2) chunks have exactly two elements
     pub fn new(mut separators: Vec<u8>) -> StaticIpr {
         assert!(!separators.is_empty(), "need at least one band");
         assert!(

@@ -85,6 +85,7 @@ pub fn buckets(window: f64, rtt: f64) -> u64 {
 /// Naive O(n·d) evaluation of Equation 2/4, for cross-checking the
 /// closed forms on small inputs.  `bucket_mass[b]` is the (unnormalised)
 /// probability mass of bucket `b`.
+// lint:allow(panic-reach): suffix has d+1 elements and b stays below d
 pub fn expected_responses_naive(n: u64, bucket_mass: &[f64]) -> f64 {
     let s: f64 = bucket_mass.iter().sum();
     let nf = n as f64;

@@ -276,6 +276,7 @@ impl<'a> RrSim<'a> {
         (outcome, trace)
     }
 
+    // lint:allow(panic-reach): i indexes parallel n-element arrays built in this fn
     fn run_once_impl(
         &mut self,
         params: &RrParams,
@@ -442,6 +443,7 @@ impl<'a> RrSim<'a> {
     /// One-to-all delivery delays from `src` under the params' routing
     /// mode, with optional per-hop jitter resampled per packet.
     /// Returns `(delay per node, hops per node)`; `None` = unreachable.
+    // lint:allow(panic-reach): every array is sized to node_count, i ranges below n, and src is a node of the same topology
     fn delays_from(
         &mut self,
         params: &RrParams,

@@ -317,6 +317,7 @@ impl AnnouncementCache {
     /// preserved (two clashing sessions on one group project twice),
     /// matching the per-entry projection the allocators were built
     /// against.
+    // lint:allow(hot-alloc): returns the projected per-session view the allocators consume
     pub fn visible_sessions(&self, space: &AddrSpace) -> Vec<VisibleSession> {
         let mut v = Vec::new();
         for (&(group, ttl), &count) in &self.visible {

@@ -82,6 +82,7 @@ impl CategoryAnnouncement {
 #[derive(Debug, Default)]
 pub struct CategoryRegistry {
     /// Known categories by name.
+    // lint:allow(unbounded-growth): keyed by category name: re-announcements overwrite in place, and the vocabulary is operator-curated
     known: BTreeMap<String, CategoryAnnouncement>,
     /// Categories this receiver wants.
     subscriptions: BTreeSet<String>,
@@ -94,6 +95,7 @@ impl CategoryRegistry {
     }
 
     /// Feed a category announcement heard on the base channel.
+    // lint:allow(hot-alloc): the registry stores the announcement under its own name key
     pub fn observe(&mut self, ann: CategoryAnnouncement) {
         self.known.insert(ann.name.clone(), ann);
     }

@@ -560,7 +560,7 @@ impl SessionDirectory {
     /// let [`Self::poll`] drain them) and feed them here with the
     /// current time.
     pub fn on_timer(&mut self, now: SimTime, kind: TimerKind) -> Vec<SapPacket> {
-        let mut out = Vec::new();
+        let mut out = Vec::new(); // lint:allow(hot-alloc): out-buffer for the packets this call returns; empty when nothing is due
         match kind {
             TimerKind::Announce(session_id) => {
                 // Direct (non-popped) invocation: retire the queued
@@ -687,7 +687,7 @@ impl SessionDirectory {
     /// defences, purge the cache.  Thin compat wrapper over the event
     /// API — drains every due timer in deadline order.
     pub fn poll(&mut self, now: SimTime) -> Vec<SapPacket> {
-        let mut out = Vec::new();
+        let mut out = Vec::new(); // lint:allow(hot-alloc): out-buffer for the packets this call returns; empty when nothing is due
         while let Some(kind) = self.pop_due_timer(now) {
             out.append(&mut self.on_timer(now, kind));
         }
@@ -764,9 +764,9 @@ impl SessionDirectory {
         pkt: &SapPacket,
         rng: &mut SimRng,
     ) -> (Vec<SapPacket>, Vec<DirectoryEvent>) {
-        let mut out = Vec::new();
-        // Leftover out-of-band events (e.g. degraded allocations) ride
-        // along with whatever this packet produces.
+        let mut out = Vec::new(); // lint:allow(hot-alloc): out-buffer for the packets this call returns; empty when nothing is due
+                                  // Leftover out-of-band events (e.g. degraded allocations) ride
+                                  // along with whatever this packet produces.
         let mut events = self.take_events();
         self.telemetry.inc(self.metrics.rx_packets);
 
@@ -798,7 +798,13 @@ impl SessionDirectory {
         // Any pending third-party defence for this session is now moot.
         self.responder.on_announcement_seen(their_sid);
 
-        let update = self.cache.observe_announce(now, desc.clone());
+        // Hoist the Copy fields we still need, then hand the parsed
+        // description to the cache by value: no per-packet deep clone of
+        // the media/string payload.
+        let group = desc.group;
+        let their_origin = desc.origin.address;
+        let their_session_id = desc.origin.session_id;
+        let update = self.cache.observe_announce(now, desc);
         self.arm_cache_timer();
         let heard_counter = match update {
             CacheUpdate::New => self.metrics.heard_new,
@@ -824,11 +830,14 @@ impl SessionDirectory {
         let own_clashes: Vec<u64> = self
             .own
             .iter()
-            .filter(|(_, s)| s.desc.group == desc.group)
+            .filter(|(_, s)| s.desc.group == group)
             .map(|(&id, _)| id)
-            .collect();
+            .collect(); // lint:allow(hot-alloc): own-clash id snapshot decouples the defence loop from the session-map borrow
         for id in own_clashes {
-            let s = &self.own[&id];
+            // Keys come from the iteration above; nothing removes from
+            // `own` in this loop, but stay total anyway.
+            let Some(s) = self.own.get(&id) else { continue };
+            let first_announced = s.first_announced;
             let our_sid = SessionId {
                 site: u32::from(self.cfg.host),
                 seq: id as u32,
@@ -836,20 +845,20 @@ impl SessionDirectory {
             // Total order for the post-partition mutual-clash tiebreak:
             // lowest (origin address, session id) keeps the address.
             let ours_key = (u32::from(self.cfg.host), id);
-            let theirs_key = (u32::from(desc.origin.address), desc.origin.session_id);
+            let theirs_key = (u32::from(their_origin), their_session_id);
             let action = self.responder.on_clash(
                 now,
-                self.cfg.space.index_of(desc.group).unwrap_or(Addr(0)),
+                self.cfg.space.index_of(group).unwrap_or(Addr(0)),
                 our_sid,
                 Incumbent::Ours {
-                    announced_at: s.first_announced,
+                    announced_at: first_announced,
                     wins_tiebreak: ours_key < theirs_key,
                 },
                 rng,
             );
             events.push(DirectoryEvent::Clash {
-                group: desc.group,
-                action: action.clone(),
+                group,
+                action: action.clone(), // lint:allow(hot-alloc): the clash action is reported in the event stream as well as acted on
             });
             match action {
                 ClashAction::DefendOwn { .. } => {
@@ -861,10 +870,9 @@ impl SessionDirectory {
                         "defend_own",
                         [("session", id), NO_ARG, NO_ARG],
                     );
-                    out.push(Self::announcement_packet(
-                        self.cfg.host,
-                        &self.own[&id].desc,
-                    ));
+                    if let Some(s) = self.own.get(&id) {
+                        out.push(Self::announcement_packet(self.cfg.host, &s.desc));
+                    }
                 }
                 ClashAction::ModifyOwn { .. } => {
                     // Phase 2: move to a fresh address and re-announce.
@@ -893,10 +901,9 @@ impl SessionDirectory {
                             from,
                             to,
                         });
-                        out.push(Self::announcement_packet(
-                            self.cfg.host,
-                            &self.own[&id].desc,
-                        ));
+                        if let Some(s) = self.own.get(&id) {
+                            out.push(Self::announcement_packet(self.cfg.host, &s.desc));
+                        }
                     }
                 }
                 _ => {}
@@ -907,13 +914,13 @@ impl SessionDirectory {
         // *older* session (the incumbent).
         let incumbents: Vec<(Ipv4Addr, u64)> = self
             .cache
-            .users_of(desc.group)
+            .users_of(group)
             .filter(|(k, e)| {
-                !(k.origin == desc.origin.address && k.session_id == desc.origin.session_id)
+                !(k.origin == their_origin && k.session_id == their_session_id)
                     && e.first_heard < now
             })
             .map(|(k, _)| (k.origin, k.session_id))
-            .collect();
+            .collect(); // lint:allow(hot-alloc): incumbent-id snapshot decouples the defence loop from the cache borrow
         for (origin, session_id) in incumbents {
             let sid = SessionId {
                 site: u32::from(origin),
@@ -921,15 +928,12 @@ impl SessionDirectory {
             };
             let action = self.responder.on_clash(
                 now,
-                self.cfg.space.index_of(desc.group).unwrap_or(Addr(0)),
+                self.cfg.space.index_of(group).unwrap_or(Addr(0)),
                 sid,
                 Incumbent::Cached,
                 rng,
             );
-            events.push(DirectoryEvent::Clash {
-                group: desc.group,
-                action,
-            });
+            events.push(DirectoryEvent::Clash { group, action });
         }
 
         // Any newly-armed third-party defence needs a deadline in the

@@ -82,6 +82,7 @@ impl SapSocket {
     /// Receive one packet, waiting at most `timeout`.  Returns
     /// `Ok(None)` on timeout, a signal interruption, or an undecodable
     /// datagram — all benign conditions a pump loop should ride over.
+    // lint:allow(panic-reach): recv_from returns a length bounded by the 2048-byte buffer it filled
     pub fn recv_timeout(&self, timeout: Duration) -> io::Result<Option<SapPacket>> {
         self.sock
             .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;

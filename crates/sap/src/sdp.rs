@@ -88,6 +88,7 @@ impl std::error::Error for SdpError {}
 
 impl SessionDescription {
     /// Render to SDP text (lines terminated with `\r\n`).
+    // lint:allow(hot-alloc): rendering produces the owned SDP text this fn exists to build
     pub fn format(&self) -> String {
         let mut out = String::new();
         out.push_str("v=0\r\n");
@@ -117,6 +118,7 @@ impl SessionDescription {
     }
 
     /// Parse SDP text (accepts `\n` or `\r\n` line endings).
+    // lint:allow(hot-alloc): parsing builds the owned description; per-field copies are its contents
     pub fn parse(text: &str) -> Result<SessionDescription, SdpError> {
         // Only the CR of a CRLF ending is stripped: other trailing
         // whitespace is significant field content.
@@ -167,47 +169,61 @@ impl SessionDescription {
 }
 
 /// Strip CR/LF from user-supplied fields so they cannot forge lines.
+// lint:allow(hot-alloc): returns the sanitized copy of a caller-owned field
 fn escape(s: &str) -> String {
     s.replace(['\r', '\n'], " ")
 }
 
 /// If the next line is `<key>=<value>`, consume and return the value.
+// lint:allow(hot-alloc): the consumed value is owned by the returned description
 fn take<'a, I>(lines: &mut std::iter::Peekable<I>, key: char) -> Option<String>
 where
     I: Iterator<Item = &'a str>,
 {
     let line = lines.peek()?;
-    let mut chars = line.chars();
-    if chars.next() == Some(key) && chars.next() == Some('=') {
-        let value = line[2..].to_string();
-        lines.next();
-        Some(value)
-    } else {
-        None
-    }
+    let value = line.strip_prefix(key)?.strip_prefix('=')?.to_string();
+    lines.next();
+    Some(value)
 }
 
+// The field helpers below destructure each line with iterator/tuple
+// matching: no intermediate Vec, no index expressions, total on any
+// input.  Error-path `format!` captures the offending line.
+
+// lint:allow(hot-alloc): owned field copies + error-path message formatting only
 fn parse_origin(s: &str) -> Result<Origin, SdpError> {
     let err = || SdpError::Malformed(format!("o={s}"));
-    let parts: Vec<&str> = s.split_whitespace().collect();
-    if parts.len() != 6 || parts[3] != "IN" || parts[4] != "IP4" {
-        return Err(err());
+    let mut f = s.split_whitespace();
+    match (
+        f.next(),
+        f.next(),
+        f.next(),
+        f.next(),
+        f.next(),
+        f.next(),
+        f.next(),
+    ) {
+        (Some(user), Some(sid), Some(ver), Some("IN"), Some("IP4"), Some(addr), None) => {
+            Ok(Origin {
+                username: user.to_string(),
+                session_id: sid.parse().map_err(|_| err())?,
+                version: ver.parse().map_err(|_| err())?,
+                address: addr.parse().map_err(|_| err())?,
+            })
+        }
+        _ => Err(err()),
     }
-    Ok(Origin {
-        username: parts[0].to_string(),
-        session_id: parts[1].parse().map_err(|_| err())?,
-        version: parts[2].parse().map_err(|_| err())?,
-        address: parts[5].parse().map_err(|_| err())?,
-    })
 }
 
+// lint:allow(hot-alloc): error-path message formatting only
 fn parse_connection(s: &str) -> Result<(Ipv4Addr, u8), SdpError> {
     let err = || SdpError::Malformed(format!("c={s}"));
-    let parts: Vec<&str> = s.split_whitespace().collect();
-    if parts.len() != 3 || parts[0] != "IN" || parts[1] != "IP4" {
+    let mut f = s.split_whitespace();
+    let (Some("IN"), Some("IP4"), Some(conn), None) = (f.next(), f.next(), f.next(), f.next())
+    else {
         return Err(err());
-    }
-    let (addr_str, ttl_str) = parts[2].split_once('/').ok_or_else(err)?;
+    };
+    let (addr_str, ttl_str) = conn.split_once('/').ok_or_else(err)?;
     let addr: Ipv4Addr = addr_str.parse().map_err(|_| err())?;
     if !addr.is_multicast() {
         return Err(SdpError::NotMulticast);
@@ -216,29 +232,33 @@ fn parse_connection(s: &str) -> Result<(Ipv4Addr, u8), SdpError> {
     Ok((addr, ttl))
 }
 
+// lint:allow(hot-alloc): error-path message formatting only
 fn parse_times(s: &str) -> Result<(u64, u64), SdpError> {
     let err = || SdpError::Malformed(format!("t={s}"));
-    let parts: Vec<&str> = s.split_whitespace().collect();
-    if parts.len() != 2 {
+    let mut f = s.split_whitespace();
+    let (Some(start), Some(stop), None) = (f.next(), f.next(), f.next()) else {
         return Err(err());
-    }
+    };
     Ok((
-        parts[0].parse().map_err(|_| err())?,
-        parts[1].parse().map_err(|_| err())?,
+        start.parse().map_err(|_| err())?,
+        stop.parse().map_err(|_| err())?,
     ))
 }
 
+// lint:allow(hot-alloc): owned field copies + error-path message formatting only
 fn parse_media(s: &str) -> Result<Media, SdpError> {
     let err = || SdpError::Malformed(format!("m={s}"));
-    let parts: Vec<&str> = s.split_whitespace().collect();
-    if parts.len() != 4 {
+    let mut f = s.split_whitespace();
+    let (Some(kind), Some(port), Some(proto), Some(format), None) =
+        (f.next(), f.next(), f.next(), f.next(), f.next())
+    else {
         return Err(err());
-    }
+    };
     Ok(Media {
-        kind: parts[0].to_string(),
-        port: parts[1].parse().map_err(|_| err())?,
-        proto: parts[2].to_string(),
-        format: parts[3].parse().map_err(|_| err())?,
+        kind: kind.to_string(),
+        port: port.parse().map_err(|_| err())?,
+        proto: proto.to_string(),
+        format: format.parse().map_err(|_| err())?,
     })
 }
 

@@ -87,6 +87,7 @@ pub struct Testbed {
 /// Schedule a wakeup for `node` at global time `at` unless an earlier or
 /// equal one is already pending.  Superseded later wakeups are not
 /// cancelled; firing one finds nothing due and is a no-op.
+// lint:allow(panic-reach): test harness: instance ids are dense indices issued by this testbed
 fn schedule_wake(
     ctx: &mut SimContext<Event>,
     wake_at: &mut [Option<SimTime>],
@@ -173,6 +174,7 @@ impl Testbed {
     }
 
     /// Access a directory.
+    // lint:allow(panic-reach): test harness: panicking on a bad instance id is the desired failure mode
     pub fn directory(&self, node: usize) -> &SessionDirectory {
         &self.directories[node]
     }
@@ -180,6 +182,7 @@ impl Testbed {
     /// Mutable access (e.g. to create sessions).  Remember to call
     /// [`Self::kick`] afterwards so the new session's announcements get
     /// scheduled.
+    // lint:allow(panic-reach): test harness: panicking on a bad instance id is the desired failure mode
     pub fn directory_mut(&mut self, node: usize) -> &mut SessionDirectory {
         &mut self.directories[node]
     }
@@ -248,6 +251,7 @@ impl Testbed {
 
     /// Schedule a wakeup for `node` at its next deadline (call after
     /// creating sessions or any out-of-band mutation).
+    // lint:allow(panic-reach): test harness: panicking on a bad instance id is the desired failure mode
     pub fn kick(&mut self, node: usize) {
         if let Some(at) = self.directories[node].next_deadline() {
             let at = self.faults.global_time(node, at).max(self.sim.now());
@@ -262,6 +266,7 @@ impl Testbed {
     /// or a packet arrives for it; nothing polls idle nodes.  Crashes
     /// and restarts are events that stop and re-prime a node's timer
     /// chain rather than per-packet window checks.
+    // lint:allow(panic-reach): test harness: instance ids are dense indices issued by this testbed
     pub fn run_until(&mut self, horizon: SimTime) {
         // Split borrows for the closure.
         let directories = &mut self.directories;

@@ -102,7 +102,7 @@ impl SapPacket {
             message_type: MessageType::Announce,
             msg_id_hash,
             source,
-            auth: Vec::new(),
+            auth: Vec::new(), // lint:allow(hot-alloc): capacity-zero placeholder for the optional auth block
             payload,
         }
     }
@@ -124,10 +124,12 @@ impl SapPacket {
         let mut buf = BytesMut::with_capacity(
             8 + self.auth.len() + PAYLOAD_TYPE_SDP.len() + 1 + self.payload.len(),
         );
-        // Auth data must be padded to a multiple of 4 (length field is in
-        // 32-bit words).
-        let auth_words = self.auth.len().div_ceil(4);
-        debug_assert!(auth_words <= 255, "auth data too long");
+        // Auth data must be padded to a multiple of 4 (length field is
+        // in 32-bit words, and only 8 bits wide): clamp to what the
+        // field can express rather than wrapping the length byte.
+        const MAX_AUTH_BYTES: usize = 255 * 4;
+        let auth = self.auth.get(..MAX_AUTH_BYTES).unwrap_or(&self.auth);
+        let auth_words = auth.len().div_ceil(4);
         let mut b0: u8 = (SAP_VERSION & 0x07) << 5;
         // A (address type) = 0 → IPv4.  R = 0.
         if self.message_type == MessageType::Delete {
@@ -135,11 +137,11 @@ impl SapPacket {
         }
         // E = 0, C = 0.
         buf.put_u8(b0);
-        buf.put_u8(auth_words as u8);
+        buf.put_u8(u8::try_from(auth_words).unwrap_or(u8::MAX));
         buf.put_u16(self.msg_id_hash);
         buf.put_slice(&self.source.octets());
-        buf.put_slice(&self.auth);
-        for _ in self.auth.len()..auth_words * 4 {
+        buf.put_slice(auth);
+        for _ in auth.len()..auth_words * 4 {
             buf.put_u8(0);
         }
         buf.put_slice(PAYLOAD_TYPE_SDP.as_bytes());
@@ -179,10 +181,10 @@ impl SapPacket {
         data.copy_to_slice(&mut src);
         let source = Ipv4Addr::from(src);
         let auth_len = auth_words * 4;
-        if data.len() < auth_len {
-            return Err(WireError::BadAuthLength);
-        }
-        let auth = data[..auth_len].to_vec();
+        let auth = data
+            .get(..auth_len)
+            .ok_or(WireError::BadAuthLength)?
+            .to_vec(); // lint:allow(hot-alloc): decode returns an owned packet; one auth copy per datagram is intrinsic
         data.advance(auth_len);
 
         // Optional payload type: text up to a NUL, unless the payload
@@ -191,13 +193,13 @@ impl SapPacket {
         let payload_bytes = if rest.starts_with(b"v=") {
             rest
         } else if let Some(nul) = rest.iter().position(|&b| b == 0) {
-            &rest[nul + 1..]
+            rest.get(nul + 1..).unwrap_or(&[])
         } else {
             rest
         };
         let payload = std::str::from_utf8(payload_bytes)
             .map_err(|_| WireError::BadPayload)?
-            .to_string();
+            .to_string(); // lint:allow(hot-alloc): decode returns an owned packet; the payload copy is the packet's contents
         Ok(SapPacket {
             message_type,
             msg_id_hash,
@@ -215,10 +217,11 @@ impl SapPacket {
 pub fn msg_id_hash(payload: &str) -> u16 {
     let mut h: u32 = 0x811c9dc5;
     for &b in payload.as_bytes() {
-        h ^= b as u32;
+        h ^= u32::from(b);
         h = h.wrapping_mul(0x01000193);
     }
-    ((h >> 16) ^ (h & 0xffff)) as u16
+    // Both operands are masked below 2^16, so the fold always fits.
+    u16::try_from((h >> 16) ^ (h & 0xffff)).unwrap_or(u16::MAX)
 }
 
 /// 64-bit FNV-1a over raw bytes — the trace fingerprint used by the

@@ -75,6 +75,7 @@ impl std::error::Error for AdminError {}
 /// The set of administrative zones configured on a topology.
 #[derive(Debug, Clone, Default)]
 pub struct AdminScoping {
+    // lint:allow(unbounded-growth): admin zones are operator configuration loaded at startup
     zones: Vec<AdminZone>,
 }
 

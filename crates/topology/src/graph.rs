@@ -75,9 +75,12 @@ pub struct Node {
 /// An immutable multicast topology: nodes plus undirected links.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
+    // lint:allow(unbounded-growth): a topology is built once by a generator and immutable afterwards
     nodes: Vec<Node>,
+    // lint:allow(unbounded-growth): a topology is built once by a generator and immutable afterwards
     links: Vec<Link>,
     /// adjacency[v] = list of (link id, neighbour) pairs.
+    // lint:allow(unbounded-growth): a topology is built once by a generator and immutable afterwards
     adjacency: Vec<Vec<(LinkId, NodeId)>>,
 }
 

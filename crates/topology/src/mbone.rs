@@ -163,7 +163,7 @@ impl MboneMap {
                     ((budget as f64 * weights[i]).round() as usize).min(remaining)
                 };
                 let take = want.max(6).min(remaining.max(6));
-                let country_idx = countries.len() as u16;
+                let country_idx = u16::try_from(countries.len()).unwrap_or(u16::MAX);
                 let country = build_country(
                     &mut topo,
                     &mut node_country,

@@ -42,6 +42,7 @@ impl NodeSet {
 
     /// Insert a node id.  Panics if out of capacity.
     #[inline]
+    // lint:allow(panic-reach): i / 64 is below words.len() whenever i < capacity, which is checked first
     pub fn insert(&mut self, id: NodeId) {
         let i = id.index();
         assert!(
@@ -54,6 +55,7 @@ impl NodeSet {
 
     /// Remove a node id (no-op when absent).
     #[inline]
+    // lint:allow(panic-reach): i / 64 is below words.len() whenever i < capacity, which is checked first
     pub fn remove(&mut self, id: NodeId) {
         let i = id.index();
         if i < self.capacity {
@@ -63,6 +65,7 @@ impl NodeSet {
 
     /// Membership test.
     #[inline]
+    // lint:allow(panic-reach): i / 64 is below words.len() whenever i < capacity, which is checked first
     pub fn contains(&self, id: NodeId) -> bool {
         let i = id.index();
         i < self.capacity && (self.words[i / 64] >> (i % 64)) & 1 == 1

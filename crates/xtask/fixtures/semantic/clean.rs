@@ -1,0 +1,29 @@
+//! Clean control for the seeded-mutant corpus: checked access
+//! everywhere (`first()/get()` + `unwrap_or`), a bounded collection
+//! with an explicit evict side, and no allocation below any hot root.
+//! All three analyses must report nothing here.
+//!
+//! Not compiled into any crate — analyzed as text by the self-tests in
+//! `crates/xtask/src/semantic.rs`.
+
+pub struct Window {
+    seen: Vec<u64>,
+    cap: usize,
+}
+
+impl Window {
+    pub fn observe(&mut self, v: u64) {
+        self.seen.push(v);
+        if self.seen.len() > self.cap {
+            self.seen.remove(0);
+        }
+    }
+
+    pub fn head(&self) -> Option<u64> {
+        self.seen.first().copied()
+    }
+}
+
+pub fn pick(v: &[u8], i: usize) -> u8 {
+    v.get(i).copied().unwrap_or(0)
+}

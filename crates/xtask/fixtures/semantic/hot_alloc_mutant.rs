@@ -1,0 +1,59 @@
+//! Seeded mutant: an allocation (`format!`) hidden one call below
+//! `SessionDirectory::on_packet`.  The `hot-alloc` analysis must walk
+//! the call graph from the hot-path roots and flag
+//! `SessionDirectory::record` with the `on_packet -> record` chain.
+//!
+//! All six hot-path roots are present so the self-test also proves the
+//! root-discovery logic finds them (a missing root is a gate failure).
+//!
+//! Not compiled into any crate — analyzed as text by the self-tests in
+//! `crates/xtask/src/semantic.rs`.
+
+pub struct SessionDirectory {
+    last: u64,
+}
+
+impl SessionDirectory {
+    pub fn on_packet(&mut self, now: u64) {
+        self.record(now);
+    }
+
+    pub fn on_timer(&mut self, now: u64) {
+        self.last = now;
+    }
+
+    pub fn next_deadline(&self) -> u64 {
+        self.last
+    }
+
+    fn record(&mut self, now: u64) {
+        let tag = format!("pkt@{now}");
+        let _ = tag;
+        self.last = now;
+    }
+}
+
+pub struct AnnouncementCache {
+    high_water: u64,
+}
+
+impl AnnouncementCache {
+    pub fn purge_expired(&mut self, now: u64) {
+        self.high_water = now;
+    }
+
+    pub fn purge_stale(&mut self, now: u64) {
+        self.high_water = now;
+    }
+}
+
+pub struct SapPacket;
+
+impl SapPacket {
+    pub fn decode(data: &[u8]) -> Option<SapPacket> {
+        if data.is_empty() {
+            return None;
+        }
+        Some(SapPacket)
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded mutant: a public API function that reaches a panic only
+//! through a private helper.  The old lexical `panic-path` rule would
+//! flag the helper's `.unwrap()` token; the semantic `panic-reach`
+//! analysis must ALSO classify `acquire` as transitively panicking and
+//! report the `acquire -> resolve_slot` chain.
+//!
+//! Not compiled into any crate — analyzed as text by the self-tests in
+//! `crates/xtask/src/semantic.rs`.
+
+pub struct Lease {
+    slot: Option<u32>,
+}
+
+pub fn acquire(l: &Lease) -> u32 {
+    resolve_slot(l)
+}
+
+fn resolve_slot(l: &Lease) -> u32 {
+    l.slot.unwrap()
+}

@@ -1,0 +1,13 @@
+//! Seeded mutant with a JUSTIFIED suppression: the planted `.unwrap()`
+//! carries a `lint:allow(panic-reach): <reason>` marker, so both the
+//! direct finding and the transitive classification of `bootstrap`
+//! must stay quiet.  (A bare marker without the reason would NOT
+//! suppress — see `bare_allow_does_not_suppress` in semantic.rs.)
+//!
+//! Not compiled into any crate — analyzed as text by the self-tests in
+//! `crates/xtask/src/semantic.rs`.
+
+pub fn bootstrap(config: Option<u32>) -> u32 {
+    // A missing config here is a deployment error, not runtime input.
+    config.unwrap() // lint:allow(panic-reach): startup-only config load, validated before the daemon serves
+}

@@ -1,0 +1,24 @@
+//! Seeded mutant: `pending` is pushed to but never popped, drained or
+//! reassigned anywhere on its owner — an unbounded leak in a
+//! long-running daemon.  `done` has a `retain` evict side and must NOT
+//! be flagged; the pair proves the `unbounded-growth` analysis
+//! distinguishes insert-only fields from properly bounded ones.
+//!
+//! Not compiled into any crate — analyzed as text by the self-tests in
+//! `crates/xtask/src/semantic.rs`.
+
+pub struct PendingTable {
+    pending: Vec<u64>,
+    done: Vec<u64>,
+}
+
+impl PendingTable {
+    pub fn note(&mut self, id: u64) {
+        self.pending.push(id);
+    }
+
+    pub fn finish(&mut self, id: u64) {
+        self.done.push(id);
+        self.done.retain(|&d| d != id);
+    }
+}

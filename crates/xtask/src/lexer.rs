@@ -1,0 +1,567 @@
+//! A hand-rolled Rust lexer for the semantic lint tier.
+//!
+//! The workspace is offline/vendored, so we cannot pull in `syn`; the
+//! semantic analyses ([`crate::callgraph`], [`crate::semantic`]) instead
+//! run over this token stream.  The lexer is deliberately simple — it
+//! produces a flat stream of identifiers, literals and single-character
+//! punctuation with byte spans and 1-based line numbers — but it is
+//! exact about the things a lexical scanner gets wrong: comments
+//! (including nested block comments), string/char/byte literals, raw
+//! strings with hash fences, and the `'a` lifetime vs `'a'` char-literal
+//! ambiguity.
+//!
+//! Robustness contract: `tokenize` never panics, on any byte sequence
+//! (enforced by a proptest).  Unlexable bytes are emitted as one-byte
+//! `Punct` tokens and the lexer moves on — the parser downstream treats
+//! unknown punctuation as inert.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `self`, `Vec`, `r#type`, …).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (int or float, suffixes included).
+    Num,
+    /// String, raw-string, byte-string or char literal (contents
+    /// dropped; only the span is kept).
+    Lit,
+    /// One ASCII punctuation character.
+    Punct(u8),
+}
+
+/// One token: kind plus byte span and 1-based line number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// What kind of token.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of the first byte.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's source text.  Returns `""` if the span is somehow
+    /// out of bounds or splits a UTF-8 sequence (cannot happen for
+    /// spans produced by [`tokenize`] on the same source, but the
+    /// accessor stays total rather than panicking).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Tokenize Rust source.  Comments and whitespace are dropped; every
+/// other byte lands in exactly one token, in source order.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Count newlines in b[from..to] into `line`.
+    macro_rules! advance_lines {
+        ($from:expr, $to:expr) => {
+            for k in $from..$to.min(b.len()) {
+                if b[k] == b'\n' {
+                    line = line.saturating_add(1);
+                }
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line = line.saturating_add(1);
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments `///`, `//!`).
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let start = i;
+            let mut depth = 1u32;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            advance_lines!(start, i);
+            continue;
+        }
+        // Identifier / keyword (incl. raw identifiers `r#type`).
+        if c.is_ascii_alphabetic() || c == b'_' || c >= 0x80 {
+            let start = i;
+            // `r"`, `r#"`, `br"`, `b"`, `b'` prefixes are literals, not
+            // identifiers; check before consuming an ident.
+            if let Some(end) = raw_or_byte_literal_end(b, i) {
+                advance_lines!(start, end);
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    start,
+                    end,
+                    line: line_of(start, b, line, i),
+                });
+                i = end;
+                continue;
+            }
+            i += 1;
+            // Raw identifier fence.
+            if c == b'r' && b.get(i) == Some(&b'#') && is_ident_byte(b.get(i + 1)) {
+                i += 1;
+            }
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] >= 0x80) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                start,
+                end: i,
+                line,
+            });
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            // Fractional part — but not `1..x` (range) or `1.method()`.
+            if b.get(i) == Some(&b'.')
+                && b.get(i + 1).is_some_and(u8::is_ascii_digit)
+                && b.get(i + 1) != Some(&b'.')
+            {
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+            }
+            // Exponent sign: `1e-3` stops the alnum scan at `-`.
+            if (b.get(i) == Some(&b'-') || b.get(i) == Some(&b'+'))
+                && i > start
+                && matches!(b.get(i - 1), Some(&b'e') | Some(&b'E'))
+                && b.get(i + 1).is_some_and(u8::is_ascii_digit)
+            {
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                start,
+                end: i,
+                line,
+            });
+            continue;
+        }
+        // String literal.
+        if c == b'"' {
+            let start = i;
+            i += 1;
+            while i < b.len() {
+                match b[i] {
+                    b'\\' => i = (i + 2).min(b.len()),
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            advance_lines!(start, i);
+            toks.push(Tok {
+                kind: TokKind::Lit,
+                start,
+                end: i,
+                line: line_of(start, b, line, i),
+            });
+            continue;
+        }
+        // `'`: lifetime or char literal.
+        if c == b'\'' {
+            let start = i;
+            if is_char_literal(b, i) {
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i = (i + 2).min(b.len()),
+                        b'\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                advance_lines!(start, i);
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    start,
+                    end: i,
+                    line: line_of(start, b, line, i),
+                });
+            } else {
+                // Lifetime: `'` + ident.
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    start,
+                    end: i,
+                    line,
+                });
+            }
+            continue;
+        }
+        // Anything else: one punctuation byte.
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            start: i,
+            end: i + 1,
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// The line of `start`, given that `line` is the line of byte `upto`
+/// (used when a multi-line literal has already been scanned: the
+/// token's line is the line *before* the newlines inside it — since we
+/// only ever call this with `start <= upto` and `line` already counts
+/// the newlines in `start..upto`, subtract them back out).
+fn line_of(start: usize, b: &[u8], line_at_end: u32, upto: usize) -> u32 {
+    let n = b[start..upto.min(b.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count() as u32;
+    line_at_end.saturating_sub(n)
+}
+
+fn is_ident_byte(b: Option<&u8>) -> bool {
+    b.is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80)
+}
+
+/// If the bytes at `i` start a raw string (`r"`, `r#"…`), byte string
+/// (`b"`), raw byte string (`br#"…`) or byte char (`b'x'`), return the
+/// end offset of the whole literal.
+fn raw_or_byte_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let c = b[i];
+    // b'x' byte char.
+    if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+        let mut j = i + 2;
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j = (j + 2).min(b.len()),
+                b'\'' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return Some(b.len());
+    }
+    // b"..." byte string.
+    if c == b'b' && b.get(i + 1) == Some(&b'"') {
+        let mut j = i + 2;
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j = (j + 2).min(b.len()),
+                b'"' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return Some(b.len());
+    }
+    // r"..." / r#"..."# / br"..." / br#"..."#.
+    let hash_scan_from = if c == b'r' {
+        i + 1
+    } else if c == b'b' && b.get(i + 1) == Some(&b'r') {
+        i + 2
+    } else {
+        return None;
+    };
+    let mut j = hash_scan_from;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some(k);
+            }
+        }
+        j += 1;
+    }
+    Some(b.len())
+}
+
+/// Whether the `'` at `b[i]` starts a char literal rather than a
+/// lifetime: `'\…'` always, otherwise a closing quote within the next
+/// few bytes (`'x'`, `'é'`) that is not `'a'`-as-two-lifetimes (`<'a,
+/// 'b>` never has a closing quote that soon after an ident char run).
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => {
+            // 'x' / multibyte 'é': a quote closes within 5 bytes and
+            // the run up to it contains no ident-boundary punctuation.
+            let mut j = i + 1;
+            let limit = (i + 6).min(b.len());
+            // A lifetime's ident run is followed by non-quote; a char
+            // literal closes with a quote immediately after one char.
+            if b.get(i + 1)
+                .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+                && b.get(i + 2)
+                    .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                // Two ident chars in a row: lifetime like 'ab (chars
+                // are single-codepoint; multibyte handled below by the
+                // >=0x80 scan).
+                if b.get(i + 1).is_some_and(|&c| c < 0x80) {
+                    return false;
+                }
+            }
+            while j < limit {
+                if b[j] == b'\'' {
+                    return j > i + 1;
+                }
+                j += 1;
+            }
+            false
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ks = kinds("fn foo(x: u32) -> u32 { x + 1 }");
+        assert_eq!(ks[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(ks[1], (TokKind::Ident, "foo".into()));
+        assert!(ks.contains(&(TokKind::Num, "1".into())));
+        assert!(ks.contains(&(TokKind::Punct(b'{'), "{".into())));
+    }
+
+    #[test]
+    fn comments_dropped_lines_counted() {
+        let src = "// line one\n/* block\nspanning */ fn f() {}\n";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].text(src), "fn");
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* nested */ still comment */ x";
+        assert_eq!(idents(src), vec!["x"]);
+    }
+
+    #[test]
+    fn strings_are_single_tokens() {
+        let src = r#"let s = "has .unwrap() and // inside";"#;
+        let toks = tokenize(src);
+        let lits: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Lit).collect();
+        assert_eq!(lits.len(), 1);
+        assert!(!idents(src).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let s = r#\"quote \" inside\"#; done";
+        assert!(idents(src).contains(&"done".to_string()));
+        assert!(!idents(src).contains(&"quote".to_string()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = "let a = b\"v=\"; let b2 = br#\"x\"#; let c = b'x'; end";
+        assert!(idents(src).contains(&"end".to_string()));
+        let lits = tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .count();
+        assert_eq!(lits, 3);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let toks = tokenize(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let src = "let r#type = 1;";
+        assert!(idents(src).contains(&"r#type".to_string()));
+    }
+
+    #[test]
+    fn range_vs_float() {
+        let src = "for i in 0..10 { let f = 1.5; let e = 2e-3; }";
+        let nums: Vec<_> = tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5", "2e-3"]);
+    }
+
+    #[test]
+    fn tuple_field_access_not_float() {
+        let src = "let x = pair.0; let y = pair.1.len();";
+        let nums: Vec<_> = tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(nums, vec!["0", "1"]);
+    }
+
+    #[test]
+    fn spans_roundtrip_in_order() {
+        // Tokens are in order, non-overlapping, in bounds; re-slicing by
+        // span reproduces each token's text.
+        let src = "fn f(v: &[u8]) -> Option<u8> { v.get(0).copied() } // tail\n";
+        let toks = tokenize(src);
+        let mut prev_end = 0;
+        for t in &toks {
+            assert!(t.start >= prev_end, "overlap at {t:?}");
+            assert!(t.end <= src.len());
+            assert!(t.end > t.start);
+            assert!(!t.text(src).is_empty());
+            prev_end = t.end;
+        }
+    }
+
+    #[test]
+    fn unterminated_string_consumes_rest() {
+        let toks = tokenize("let s = \"never closed");
+        assert_eq!(toks.last().map(|t| t.kind), Some(TokKind::Lit));
+    }
+
+    #[test]
+    fn non_utf8ish_punct_survives() {
+        let toks = tokenize("@#$%^&~?;");
+        assert!(toks.iter().all(|t| matches!(t.kind, TokKind::Punct(_))));
+    }
+
+    #[test]
+    fn line_numbers_exact_across_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nfn f() {}\n";
+        let toks = tokenize(src);
+        let f = toks.iter().find(|t| t.text(src) == "fn");
+        assert_eq!(f.map(|t| t.line), Some(3));
+        let lit = toks.iter().find(|t| t.kind == TokKind::Lit);
+        assert_eq!(lit.map(|t| t.line), Some(1));
+    }
+}
+
+/// The lexer is the root of the semantic tier's trust chain: it must be
+/// total on arbitrary input (attacker-controlled content never reaches
+/// it, but corrupted or exotic source must not take `cargo xtask check`
+/// down).  Property: tokenizing any byte soup (lossy-decoded) never
+/// panics, and always yields in-order, in-bounds, non-empty spans.
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tokenize_never_panics_on_arbitrary_bytes(
+            bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let src = String::from_utf8_lossy(&bytes).into_owned();
+            let toks = tokenize(&src);
+            let mut prev_end = 0usize;
+            for t in &toks {
+                prop_assert!(t.start >= prev_end);
+                prop_assert!(t.end > t.start);
+                prop_assert!(t.end <= src.len());
+                prev_end = t.end;
+            }
+        }
+
+        #[test]
+        fn tokenize_never_panics_on_rusty_soup(
+            picks in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            // Byte soup biased toward the constructs the lexer special-
+            // cases: fences, quotes, comment markers, lifetimes.
+            const FRAGMENTS: &[&str] = &[
+                "fn", "impl", "struct", "{", "}", "(", ")", "[", "]",
+                "\"str", "'a", "'x'", "r#\"", "//", "/*", "*/", "b\"",
+                "br#\"", "b'q'", "ident", "0.5", "..", "::", "#", "!",
+                "self", ".", "\"", "\\", "\n", "e-", "r#type",
+            ];
+            let src: String = picks
+                .iter()
+                .map(|&p| FRAGMENTS[p as usize % FRAGMENTS.len()])
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = tokenize(&src);
+        }
+    }
+}

@@ -1,21 +1,19 @@
-//! The custom source lint pass.
+//! The custom source lint pass (the *lexical* tier — the semantic,
+//! call-graph-based tier lives in `semantic.rs`).
 //!
-//! Four rules, all scoped to where their failure mode actually bites:
+//! Five rules, all scoped to where their failure mode actually bites:
 //!
-//! * **panic-path** — `.unwrap()`, `.expect(`, `panic!`, `todo!` and
-//!   `unimplemented!` are banned in the non-test code of the protocol
-//!   and allocator crates (`crates/core`, `crates/sap`, `crates/rr`).
-//!   A session directory is a long-running daemon; an allocator that
-//!   panics on a malformed announcement takes the whole agent down.
-//!   `unreachable!` stays legal: it documents a statically impossible
-//!   branch rather than an unhandled input.
 //! * **rng-discipline** — non-deterministic RNG construction
 //!   (`thread_rng`, `OsRng`, `from_entropy`, `rand::random`) is banned
 //!   everywhere except `crates/sim/src/rng.rs`.  Every simulation result
 //!   in the paper reproduction must be replayable from a seed.
 //! * **truncating-cast** — `as u8` / `as u16` / `as u32` are banned in
-//!   the address-arithmetic files (`addr.rs`, `partition_map.rs`), where
-//!   a silent truncation corrupts an address instead of crashing.
+//!   the address-arithmetic and wire/schedule files, where a silent
+//!   truncation corrupts an address (or a packet field) instead of
+//!   crashing; additionally, narrowing a usize-valued length
+//!   (`.len()`/`.count()`/`.capacity()` `as u8/u16/u32`) is banned
+//!   across all library crates — a collection size silently wrapped is
+//!   the classic million-session bug.
 //! * **wall-clock** — `Instant::now` / `SystemTime::now` are banned
 //!   everywhere except the real UDP transport (`crates/sap/src/net.rs`)
 //!   and the benchmark harness (`crates/bench/`).  The protocol engines
@@ -27,50 +25,62 @@
 //!   trace events + flight recorder), which is deterministic and
 //!   machine-readable; ad-hoc prints from a library are neither, and
 //!   they corrupt the stdout of any binary embedding it.
+//! * **allow-justification** — every suppression marker must carry a
+//!   reason: `lint:allow(<rule>): <why>`.  A bare marker does not
+//!   suppress anything and is itself a finding, as is a marker naming
+//!   a rule that does not exist (typo protection).
+//!
+//! The old **panic-path** rule was superseded in PR 6 by the semantic
+//! `panic-reach` analysis (`semantic.rs`), which catches the same
+//! tokens plus slice/array indexing and panics reached transitively
+//! through helpers.
 //!
 //! The scanner is deliberately lexical: it masks comments, string and
 //! character literals (preserving line structure), skips `#[cfg(test)]`
 //! regions by brace matching, and then applies substring rules per
-//! line.  A `lint:allow(<rule>)` marker in a comment on the offending
-//! line suppresses a finding — grep-able, and loud in review.
+//! line.  A justified `lint:allow(<rule>): <reason>` marker in a
+//! comment on the offending line suppresses a finding — grep-able, and
+//! loud in review.
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Crates whose non-test source must be panic-free (directory prefixes,
-/// workspace-relative).  `sim` and `topology` joined the original
-/// protocol/allocator trio once the model-checking tier started driving
-/// them as libraries: a panic in a substrate crate takes the checker —
-/// and any long-running agent built on it — down with it.
-const PANIC_FREE: &[&str] = &[
-    "crates/core/src/",
-    "crates/sap/src/",
-    "crates/rr/src/",
-    "crates/sim/src/",
-    "crates/topology/src/",
-    // The chaos harness drives fault scenarios for hours at a time; a
-    // panic mid-matrix loses the whole report.
-    "crates/experiments/src/chaos.rs",
-];
-
 /// Files where truncating `as` casts are banned: address arithmetic,
-/// plus the topology id constructors (a node/link/zone count silently
-/// wrapped to 32 bits aliases two different graph elements).
+/// the topology id constructors (a node/link/zone count silently
+/// wrapped to 32 bits aliases two different graph elements), and since
+/// PR 6 the SAP wire codec and announce scheduler (a packet length or
+/// interval wrapped on encode corrupts the datagram instead of
+/// failing).
 const CAST_CHECKED: &[&str] = &[
     "crates/core/src/addr.rs",
     "crates/core/src/partition_map.rs",
     "crates/topology/src/graph.rs",
     "crates/topology/src/admin.rs",
+    "crates/sap/src/wire.rs",
+    "crates/sap/src/schedule.rs",
+];
+
+/// Library crates where narrowing a usize-valued size expression
+/// (`.len()`/`.count()`/`.capacity()` followed by `as u8/u16/u32`) is
+/// banned even outside the CAST_CHECKED files.
+const NARROW_CHECKED: &[&str] = &[
+    "crates/core/src/",
+    "crates/sap/src/",
+    "crates/rr/src/",
+    "crates/sim/src/",
+    "crates/topology/src/",
+    "crates/telemetry/src/",
 ];
 
 /// The one file allowed to construct RNG state from the environment.
 const RNG_EXEMPT: &[&str] = &["crates/sim/src/rng.rs"];
 
 /// Paths (file or directory prefixes) allowed to read the wall clock:
-/// the real UDP transport needs packet timestamps, and the benchmark
-/// harness measures elapsed wall time by definition.
-const WALL_CLOCK_EXEMPT: &[&str] = &["crates/sap/src/net.rs", "crates/bench/"];
+/// the real UDP transport needs packet timestamps, the benchmark
+/// harness measures elapsed wall time by definition, and the xtask
+/// checker times its own CI budget (semantic tier: <10s).
+const WALL_CLOCK_EXEMPT: &[&str] = &["crates/sap/src/net.rs", "crates/bench/", "crates/xtask/"];
 
 /// Library crates whose non-test source must not print: observability
 /// goes through `sdalloc_telemetry`, not stdout/stderr.
@@ -84,29 +94,56 @@ const PRINT_BANNED: &[&str] = &[
 /// A lint rule identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
-    /// Panicking calls in protocol/allocator code paths.
-    PanicPath,
     /// Unseeded / non-deterministic RNG construction.
     RngDiscipline,
-    /// Truncating `as` casts in address arithmetic.
+    /// Truncating `as` casts in address arithmetic / wire codecs.
     TruncatingCast,
     /// Wall-clock reads outside the real transport and bench harness.
     WallClock,
     /// `println!`/`eprintln!` in library crates.
     PrintBan,
+    /// `lint:allow` markers without a justification (or naming an
+    /// unknown rule).
+    AllowJustification,
 }
 
 impl Rule {
     /// The name used in reports and in `lint:allow(...)` markers.
     pub fn name(self) -> &'static str {
         match self {
-            Rule::PanicPath => "panic-path",
             Rule::RngDiscipline => "rng-discipline",
             Rule::TruncatingCast => "truncating-cast",
             Rule::WallClock => "wall-clock",
             Rule::PrintBan => "print-ban",
+            Rule::AllowJustification => "allow-justification",
         }
     }
+}
+
+/// Every rule name a `lint:allow(...)` marker may legally reference —
+/// the lexical rules above plus the semantic tier's rules.
+const KNOWN_RULES: &[&str] = &[
+    "rng-discipline",
+    "truncating-cast",
+    "wall-clock",
+    "print-ban",
+    "allow-justification",
+    "panic-reach",
+    "hot-alloc",
+    "unbounded-growth",
+];
+
+/// Whether `line` carries a *justified* suppression for `rule_name`:
+/// `lint:allow(<rule>): <non-empty reason>`.  Shared with the semantic
+/// tier, which uses the same marker syntax.
+pub fn allow_marker(line: &str, rule_name: &str) -> bool {
+    let pat = format!("lint:allow({rule_name})");
+    let Some(pos) = line.find(&pat) else {
+        return false;
+    };
+    let rest = &line[pos + pat.len()..];
+    // Mandatory `: reason` with visible text after the colon.
+    rest.strip_prefix(':').is_some_and(|r| !r.trim().is_empty())
 }
 
 /// One lint violation.
@@ -181,8 +218,8 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
     let in_test = test_region_lines(&masked);
     let raw_lines: Vec<&str> = source.lines().collect();
 
-    let panic_scoped = PANIC_FREE.iter().any(|p| rel.starts_with(p));
     let cast_scoped = CAST_CHECKED.contains(&rel);
+    let narrow_scoped = NARROW_CHECKED.iter().any(|p| rel.starts_with(p));
     let rng_scoped = !RNG_EXEMPT.contains(&rel);
     let clock_scoped = !WALL_CLOCK_EXEMPT.iter().any(|p| rel.starts_with(p));
     let print_scoped = PRINT_BANNED.iter().any(|p| rel.starts_with(p));
@@ -193,7 +230,7 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
             continue;
         }
         let raw = raw_lines.get(i).copied().unwrap_or("");
-        let allowed = |rule: Rule| raw.contains(&format!("lint:allow({})", rule.name()));
+        let allowed = |rule: Rule| allow_marker(raw, rule.name());
         let mut push = |rule: Rule, message: String| {
             if !allowed(rule) {
                 findings.push(Finding {
@@ -205,16 +242,42 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
             }
         };
 
-        if panic_scoped {
-            for pat in [".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"] {
-                if line.contains(pat) {
-                    push(
-                        Rule::PanicPath,
-                        format!("`{pat}` in protocol/allocator code (use Option/Result; `unreachable!` is allowed for impossible branches)"),
-                    );
-                }
+        // Audit every suppression marker on the raw line: a bare
+        // marker suppresses nothing and is itself a finding; so is a
+        // marker naming a rule that does not exist.  Placeholder text
+        // like `lint:allow(<rule>)` in docs is skipped because `<` is
+        // not a legal rule-name character.
+        let mut from = 0;
+        while let Some(p) = raw[from..].find("lint:allow(") {
+            let at = from + p + "lint:allow(".len();
+            from = at;
+            let Some(close) = raw[at..].find(')') else {
+                break;
+            };
+            let name = &raw[at..at + close];
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+            {
+                continue; // doc placeholder, not a marker
+            }
+            if !KNOWN_RULES.contains(&name) {
+                push(
+                    Rule::AllowJustification,
+                    format!(
+                        "`lint:allow({name})` names an unknown rule (known: {})",
+                        KNOWN_RULES.join(", ")
+                    ),
+                );
+            } else if !allow_marker(raw, name) {
+                push(
+                    Rule::AllowJustification,
+                    format!("bare `lint:allow({name})` — suppressions must carry a reason: `lint:allow({name}): <why>`"),
+                );
             }
         }
+
         if rng_scoped {
             for pat in ["thread_rng", "OsRng", "from_entropy", "rand::random"] {
                 if line.contains(pat) {
@@ -253,8 +316,24 @@ pub fn scan_source(rel: &str, source: &str) -> Vec<Finding> {
                 if contains_cast(line, pat) {
                     push(
                         Rule::TruncatingCast,
-                        format!("truncating `{pat}` in address arithmetic; use `try_from` or restructure to the narrow type"),
+                        format!("truncating `{pat}` in address/wire arithmetic; use `try_from` or restructure to the narrow type"),
                     );
+                }
+            }
+        }
+        if narrow_scoped && !cast_scoped {
+            // Narrowing a usize-valued size expression: the classic
+            // million-session wraparound.  (CAST_CHECKED files are
+            // covered by the blanket rule above.)
+            for src in [".len()", ".count()", ".capacity()"] {
+                for target in ["u8", "u16", "u32"] {
+                    let pat = format!("{src} as {target}");
+                    if line.contains(&pat) {
+                        push(
+                            Rule::TruncatingCast,
+                            format!("narrowing `{pat}` silently wraps a collection size; use `{target}::try_from` with an explicit saturation/error policy"),
+                        );
+                    }
                 }
             }
         }
@@ -511,53 +590,8 @@ mod tests {
     }
 
     #[test]
-    fn unwrap_in_core_flagged() {
-        let f = find(
-            "crates/core/src/alloc.rs",
-            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
-        );
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, Rule::PanicPath);
-        assert_eq!(f[0].line, 1);
-    }
-
-    #[test]
-    fn expect_and_panic_flagged() {
-        let src = "fn f() { g().expect(\"boom\"); }\nfn h() { panic!(\"no\"); }\n";
-        let f = find("crates/sap/src/directory.rs", src);
-        assert_eq!(f.len(), 2);
-        assert_eq!((f[0].line, f[1].line), (1, 2));
-    }
-
-    #[test]
-    fn unwrap_outside_scoped_crates_ignored() {
-        // The experiment harness is the one crate allowed to panic
-        // freely (it is a batch driver, not library/protocol code).
-        let f = find(
-            "crates/experiments/src/harness.rs",
-            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
-        );
-        assert!(f.is_empty());
-    }
-
-    #[test]
-    fn unwrap_or_else_not_flagged() {
-        let f = find(
-            "crates/core/src/hier.rs",
-            "fn f() { lock().unwrap_or_else(PoisonError::into_inner); }\n",
-        );
-        assert!(f.is_empty());
-    }
-
-    #[test]
-    fn unreachable_allowed() {
-        let f = find("crates/core/src/adaptive.rs", "fn f() { unreachable!() }\n");
-        assert!(f.is_empty());
-    }
-
-    #[test]
     fn test_module_skipped() {
-        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap() }\n}\n";
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn f() { println!(\"dbg\") }\n}\n";
         let f = find("crates/core/src/alloc.rs", src);
         assert!(f.is_empty(), "{f:?}");
     }
@@ -565,7 +599,7 @@ mod tests {
     #[test]
     fn code_after_test_module_still_scanned() {
         let src =
-            "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap() }\n}\nfn g() { y.unwrap(); }\n";
+            "#[cfg(test)]\nmod tests {\n    fn f() { println!(\"a\") }\n}\nfn g() { println!(\"b\"); }\n";
         let f = find("crates/core/src/alloc.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].line, 5);
@@ -573,16 +607,49 @@ mod tests {
 
     #[test]
     fn comments_and_strings_masked() {
-        let src = "// calls .unwrap() freely\nfn f() { log(\"never .unwrap() here\"); }\n";
+        let src = "// calls println! freely\nfn f() { log(\"never println! here\"); }\n";
         let f = find("crates/core/src/alloc.rs", src);
         assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
-    fn allow_marker_suppresses() {
-        let src = "fn f() { x.unwrap() } // lint:allow(panic-path): startup only\n";
+    fn justified_allow_marker_suppresses() {
+        let src = "fn f() { let t = Instant::now(); } // lint:allow(wall-clock): boot banner only, never in protocol state\n";
         let f = find("crates/core/src/alloc.rs", src);
-        assert!(f.is_empty());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn bare_allow_marker_is_a_finding_and_does_not_suppress() {
+        let src = "fn f() { let t = Instant::now(); } // lint:allow(wall-clock)\n";
+        let f = find("crates/core/src/alloc.rs", src);
+        // The wall-clock finding survives AND the bare marker is flagged.
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.rule == Rule::WallClock));
+        assert!(f.iter().any(|x| x.rule == Rule::AllowJustification));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_marker_flagged() {
+        let src = "fn f() {} // lint:allow(panic-pathz): typo'd rule name\n";
+        let f = find("crates/core/src/alloc.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::AllowJustification);
+        assert!(f[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn doc_placeholder_marker_not_flagged() {
+        let src = "//! Suppress with a `lint:allow(<rule>): <reason>` comment.\nfn f() {}\n";
+        let f = find("crates/core/src/alloc.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn semantic_rule_names_are_legal_in_markers() {
+        let src = "fn f() {} // lint:allow(panic-reach): fixture for the semantic tier\n";
+        let f = find("crates/core/src/alloc.rs", src);
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
@@ -664,7 +731,7 @@ mod tests {
 
     #[test]
     fn lifetimes_do_not_confuse_masking() {
-        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g() { y.unwrap(); }\n";
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g() { println!(\"x\"); }\n";
         let f = find("crates/core/src/view.rs", src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 2);
@@ -672,14 +739,14 @@ mod tests {
 
     #[test]
     fn char_literals_masked() {
-        let src = "fn f() { let q = '\"'; let n = '\\n'; x.unwrap(); }\n";
+        let src = "fn f() { let q = '\"'; let n = '\\n'; println!(\"x\"); }\n";
         let f = find("crates/core/src/view.rs", src);
         assert_eq!(f.len(), 1);
     }
 
     #[test]
     fn raw_strings_masked() {
-        let src = "fn f() { let s = r#\".unwrap() panic!\"#; }\n";
+        let src = "fn f() { let s = r#\"println! Instant::now()\"#; }\n";
         let f = find("crates/core/src/view.rs", src);
         assert!(f.is_empty(), "{f:?}");
     }
@@ -736,15 +803,49 @@ mod tests {
     }
 
     #[test]
-    fn chaos_module_is_panic_scoped() {
-        // The chaos harness is linted file-by-file; its siblings in the
-        // experiments crate are not.
+    fn wire_and_schedule_files_are_cast_scoped() {
+        let src = "fn f(x: usize) -> u8 { x as u8 }\n";
+        for rel in ["crates/sap/src/wire.rs", "crates/sap/src/schedule.rs"] {
+            let f = find(rel, src);
+            assert_eq!(f.len(), 1, "{rel}: {f:?}");
+            assert_eq!(f[0].rule, Rule::TruncatingCast);
+        }
+    }
+
+    #[test]
+    fn narrowing_len_cast_flagged_in_library_crates() {
+        let src = "fn f(v: &[u8]) -> u32 { v.len() as u32 }\n";
+        let f = find("crates/core/src/hier.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::TruncatingCast);
+        assert!(f[0].message.contains("narrowing"));
+        // Counting iterators narrows the same way.
         let f = find(
-            "crates/experiments/src/chaos.rs",
-            "fn f() { x.unwrap(); }\n",
+            "crates/topology/src/mbone.rs",
+            "fn g(it: impl Iterator<Item = u8>) -> u16 { it.count() as u16 }\n",
         );
         assert_eq!(f.len(), 1, "{f:?}");
-        let f = find("crates/experiments/src/main.rs", "fn f() { x.unwrap(); }\n");
+    }
+
+    #[test]
+    fn narrowing_len_cast_ignored_outside_library_crates() {
+        let src = "fn f(v: &[u8]) -> u32 { v.len() as u32 }\n";
+        for rel in [
+            "crates/experiments/src/main.rs",
+            "crates/bench/src/bin/directory_scale.rs",
+            "crates/xtask/src/model.rs",
+        ] {
+            let f = find(rel, src);
+            assert!(f.is_empty(), "{rel}: {f:?}");
+        }
+    }
+
+    #[test]
+    fn widening_len_cast_not_flagged() {
+        let f = find(
+            "crates/core/src/hier.rs",
+            "fn f(v: &[u8]) -> u64 { v.len() as u64 }\n",
+        );
         assert!(f.is_empty(), "{f:?}");
     }
 }

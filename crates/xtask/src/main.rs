@@ -1,24 +1,40 @@
 //! `cargo xtask` — the workspace's own static-analysis tool.
 //!
-//! * `cargo xtask check` — run the custom lint pass and the invariant
-//!   verifier; exit non-zero if either finds a violation.
-//! * `cargo xtask lint` — lint pass only.
+//! * `cargo xtask check` — run the lexical lint pass, the invariant
+//!   verifier and the semantic lint tier; exit non-zero if any finds a
+//!   violation.
+//! * `cargo xtask check --semantic` — semantic tier only (call graph +
+//!   panic-reach / hot-alloc / unbounded-growth).
+//!   * `--json` — emit the SARIF-lite report on stdout instead of text.
+//!   * `--update-baseline` — rewrite `crates/xtask/semantic-baseline.txt`
+//!     from the current findings and exit successfully.
+//! * `cargo xtask lint` — lexical lint pass only.
 //! * `cargo xtask invariants` — invariant verifier only.
 //! * `cargo xtask model` — bounded explicit-state model checking of the
 //!   clash and request–response protocols (`--smoke` for the
 //!   depth-limited CI slice).
 //!
-//! No external dependencies: the lint pass is a lexical scanner over
-//! the workspace's own sources, and the verifier and model checker
-//! drive the real `sdalloc-core` / `sdalloc-rr` artifacts.  See
-//! DESIGN.md "Static analysis and verification".
+//! No external dependencies: the lexical pass is a line scanner, the
+//! semantic tier is a hand-rolled lexer + item parser + call graph over
+//! the workspace's own sources (see `lexer.rs`, `callgraph.rs`,
+//! `semantic.rs`), and the verifier and model checker drive the real
+//! `sdalloc-core` / `sdalloc-rr` artifacts.  See DESIGN.md "Static
+//! analysis and verification".
 
+mod callgraph;
 mod invariants;
+mod lexer;
 mod lint;
 mod model;
+mod semantic;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
+
+/// CI wall-time budget for the semantic tier (ISSUE 6: the gate must
+/// stay under 10 seconds so it can run on every push).
+const SEMANTIC_BUDGET_MS: u128 = 10_000;
 
 fn workspace_root() -> PathBuf {
     // crates/xtask -> crates -> workspace root.
@@ -30,15 +46,26 @@ fn workspace_root() -> PathBuf {
 }
 
 fn main() -> ExitCode {
-    let mode = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "check".to_string());
-    match mode.as_str() {
-        "check" => run(true, true),
-        "lint" => run(true, false),
-        "invariants" => run(false, true),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map_or("check", String::as_str);
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    match mode {
+        "check" => {
+            let semantic_only = flag("--semantic");
+            run(
+                !semantic_only,
+                !semantic_only,
+                SemanticMode {
+                    enabled: true,
+                    json: flag("--json"),
+                    update_baseline: flag("--update-baseline"),
+                },
+            )
+        }
+        "lint" => run(true, false, SemanticMode::off()),
+        "invariants" => run(false, true, SemanticMode::off()),
         "model" => {
-            let smoke = std::env::args().nth(2).as_deref() == Some("--smoke");
+            let smoke = flag("--smoke");
             if model::run(smoke) {
                 ExitCode::SUCCESS
             } else {
@@ -46,19 +73,37 @@ fn main() -> ExitCode {
             }
         }
         "help" | "--help" | "-h" => {
-            eprintln!("usage: cargo xtask [check|lint|invariants|model [--smoke]]");
+            eprintln!(
+                "usage: cargo xtask [check [--semantic] [--json] [--update-baseline]|lint|invariants|model [--smoke]]"
+            );
             ExitCode::SUCCESS
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; usage: cargo xtask [check|lint|invariants|model [--smoke]]"
+                "unknown command `{other}`; usage: cargo xtask [check [--semantic] [--json] [--update-baseline]|lint|invariants|model [--smoke]]"
             );
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(do_lint: bool, do_invariants: bool) -> ExitCode {
+struct SemanticMode {
+    enabled: bool,
+    json: bool,
+    update_baseline: bool,
+}
+
+impl SemanticMode {
+    fn off() -> Self {
+        SemanticMode {
+            enabled: false,
+            json: false,
+            update_baseline: false,
+        }
+    }
+}
+
+fn run(do_lint: bool, do_invariants: bool, sem: SemanticMode) -> ExitCode {
     let mut failed = false;
 
     if do_lint {
@@ -91,9 +136,82 @@ fn run(do_lint: bool, do_invariants: bool) -> ExitCode {
         }
     }
 
+    if sem.enabled && !run_semantic(&sem) {
+        failed = true;
+    }
+
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Run the semantic tier; returns `true` on a passing gate.
+fn run_semantic(sem: &SemanticMode) -> bool {
+    let root = workspace_root();
+    // Wall clock is legal here (see WALL_CLOCK_EXEMPT): this measures
+    // the checker's own CI budget, not protocol time.
+    let t0 = Instant::now();
+    let files = semantic::load_workspace_files(&root);
+    let baseline_path = root.join("crates/xtask/semantic-baseline.txt");
+    let baseline = std::fs::read_to_string(&baseline_path).ok();
+    let report = semantic::analyze(&files, baseline.as_deref());
+    let elapsed_ms = t0.elapsed().as_millis();
+
+    if sem.update_baseline {
+        let text = report.baseline_text();
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("semantic: cannot write {}: {e}", baseline_path.display());
+            return false;
+        }
+        println!(
+            "semantic: baseline updated ({} finding(s) recorded, {} stale entr{} dropped)",
+            report.findings.len(),
+            report.stale.len(),
+            if report.stale.len() == 1 { "y" } else { "ies" }
+        );
+        return true;
+    }
+
+    let gate = report.gate_failures(elapsed_ms, SEMANTIC_BUDGET_MS);
+
+    if sem.json {
+        println!("{}", report.to_json(elapsed_ms));
+    } else {
+        println!(
+            "semantic: {} files, {} fns, {} call sites — {:.1}% classified ({} workspace, {} external, {} unresolved) in {elapsed_ms}ms",
+            report.files_scanned,
+            report.fn_count,
+            report.stats.total,
+            report.stats.classified_pct(),
+            report.stats.workspace,
+            report.stats.external,
+            report.stats.unresolved,
+        );
+        let new: Vec<_> = report.new_findings().collect();
+        println!(
+            "semantic: {} finding(s) — {} baselined, {} new",
+            report.findings.len(),
+            report.findings.len() - new.len(),
+            new.len()
+        );
+        for f in &new {
+            println!("  NEW {}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        for k in &report.stale {
+            println!("  stale baseline entry (fixed? run --update-baseline): {k}");
+        }
+    }
+    if gate.is_empty() {
+        if !sem.json {
+            println!("semantic: OK");
+        }
+        true
+    } else {
+        for g in &gate {
+            eprintln!("semantic: FAIL: {g}");
+        }
+        false
     }
 }

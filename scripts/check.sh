@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The full local quality gate: formatting, clippy (deny warnings), the
-# workspace's own lint pass + invariant verifier, then the test suite.
-# Run from anywhere inside the repository.
+# workspace's own lint pass + invariant verifier + semantic lint tier,
+# then the test suite.  Run from anywhere inside the repository.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,6 +14,13 @@ run() {
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo xtask check
+# Semantic tier again in machine-readable form: emits the SARIF-lite
+# artifact and enforces the baseline diff and the <10s wall-time budget
+# (both are gate failures inside xtask — new findings or a budget
+# overrun exit non-zero).
+echo "==> cargo xtask check --semantic --json  (artifact: target/semantic.json)"
+mkdir -p target
+cargo xtask check --semantic --json > target/semantic.json
 run cargo xtask model --smoke
 run cargo run -q -p sdalloc-experiments -- chaos --smoke
 run cargo run -q -p sdalloc-bench --bin directory_scale -- --smoke
