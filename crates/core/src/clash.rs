@@ -138,6 +138,7 @@ pub enum Incumbent {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClashState {
     // lint:allow(unbounded-growth): drained by clash_step via a worked copy (next.pending.retain), which the per-struct scan cannot attribute
+    // lint:bounded: one entry per armed defence, removed when it fires or is suppressed — length tracks concurrent clashes, not cache size
     pending: Vec<PendingDefense>,
 }
 

@@ -89,6 +89,7 @@ pub const GLOBAL_DOMAIN: u32 = u32::MAX;
 pub struct PrefixRegistry {
     space: u32,
     /// (domain, prefix), sorted by prefix.lo.
+    // lint:bounded: disjoint power-of-two blocks of a fixed address space — at most space/min_claim entries, prefix-level churn is the paper's slow path
     claims: Vec<(u32, Prefix)>,
 }
 

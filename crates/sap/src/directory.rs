@@ -226,6 +226,7 @@ pub struct SessionDirectory {
     cfg: DirectoryConfig,
     allocator: Box<dyn Allocator>,
     cache: AnnouncementCache,
+    // lint:bounded: this host's own sessions, created by the local application — wire traffic cannot grow it, and a site announces a handful of sessions
     own: BTreeMap<u64, OwnSession>,
     responder: ClashResponder,
     next_session_id: u64,
@@ -492,7 +493,7 @@ impl SessionDirectory {
         }
         if let Some(oldest) = self.cache.earliest_last_heard() {
             let deadline = oldest + self.cache_horizon() + SimDuration::from_nanos(1);
-            let token = self.timers.schedule(deadline, TimerKind::CacheExpiry);
+            let token = self.timers.schedule(deadline, TimerKind::CacheExpiry); // lint:allow(wire-taint): the deadline is the locally-stamped receipt time of the oldest entry plus the configured horizon; no wire field reaches it
             self.cache_timer = Some((token, deadline));
         }
     }
@@ -827,12 +828,7 @@ impl SessionDirectory {
         }
 
         // Clash detection against our own sessions.
-        let own_clashes: Vec<u64> = self
-            .own
-            .iter()
-            .filter(|(_, s)| s.desc.group == group)
-            .map(|(&id, _)| id)
-            .collect(); // lint:allow(hot-alloc): own-clash id snapshot decouples the defence loop from the session-map borrow
+        let own_clashes = self.clashing_own_ids(group);
         for id in own_clashes {
             // Keys come from the iteration above; nothing removes from
             // `own` in this loop, but stay total anyway.
@@ -954,6 +950,20 @@ impl SessionDirectory {
         rng: &mut SimRng,
     ) -> (Vec<SapPacket>, Vec<DirectoryEvent>) {
         self.on_packet(now, pkt, rng)
+    }
+
+    /// The ids of our own sessions announcing on `group` — the
+    /// candidates a clashing announcement forces us to defend or move.
+    /// The snapshot decouples the defence loop from the session-map
+    /// borrow.
+    // lint:sanitizer(wire-taint): returns locally-minted session ids; the wire group only selects among them — the id values are host-assigned, never wire data
+    // lint:allow(hot-alloc): own-clash id snapshot decouples the defence loop from the session-map borrow
+    fn clashing_own_ids(&self, group: Ipv4Addr) -> Vec<u64> {
+        self.own
+            .iter()
+            .filter(|(_, s)| s.desc.group == group)
+            .map(|(&id, _)| id)
+            .collect()
     }
 
     /// Reallocate a clashing own session; returns (old group, new group).

@@ -57,6 +57,7 @@ pub struct SessionDescription {
     /// Stop time (`t=`), 0 = unbounded.
     pub stop: u64,
     /// Media streams (`m=`), at least one for a useful session.
+    // lint:bounded: the m= lines of one session description — a session carries a handful of streams, not daemon state
     pub media: Vec<Media>,
 }
 

@@ -61,6 +61,7 @@ impl SimRng {
     /// Uniform integer in `[0, bound)`.  `bound` must be non-zero.
     ///
     /// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+    // lint:sanitizer(wire-taint): returns a fresh pseudo-random draw in [0, bound); a wire-influenced bound caps the range but cannot choose the value
     #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");

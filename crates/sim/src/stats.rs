@@ -101,6 +101,7 @@ impl Summary {
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     // lint:allow(unbounded-growth): run-scoped accumulator sized by the largest observed sample, not daemon state
+    // lint:bounded: one slot per integer bucket up to the largest observed sample (hop counts, TTLs) — a few hundred entries, not per-session state
     counts: Vec<u64>,
     total: u64,
 }

@@ -306,6 +306,7 @@ impl FlightRecorder {
     }
 
     /// Append an event, evicting the oldest if full.
+    // lint:allow(wire-taint): fixed-capacity ring — the oldest event is evicted at cap before the push, so wire-paced events cannot grow it
     pub fn push(&mut self, ev: TraceEvent) {
         if self.ring.len() == self.cap {
             self.ring.pop_front();

@@ -21,6 +21,7 @@ use crate::graph::NodeId;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NodeSet {
+    // lint:bounded: fixed at construction — capacity.div_ceil(64) words for the topology's node count; never grows afterwards
     words: Vec<u64>,
     /// Number of node ids the set was sized for.
     capacity: usize,

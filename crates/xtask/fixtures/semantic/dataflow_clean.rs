@@ -1,0 +1,49 @@
+//! Clean twin of the dataflow mutants: the same shapes, made
+//! legitimate — a registered sanitizer between wire and sink, bound
+//! evidence on the iterated field, and a genuinely write-free query.
+//! All three dataflow analyses must stay silent here.
+
+pub struct SapPacket {
+    pub interval: u64,
+}
+
+pub struct TimerQueue;
+
+impl TimerQueue {
+    pub fn schedule(&mut self, due: u64, key: u32) {}
+}
+
+pub struct SessionDirectory {
+    timers: TimerQueue,
+    // lint:bounded: one slot per scope tier; the tier set is a compile-time constant
+    tiers: Vec<u64>,
+}
+
+impl SessionDirectory {
+    /// The wire interval passes through the registered sanitizer
+    /// before it becomes a deadline: no taint reaches the sink.
+    pub fn on_packet(&mut self, pkt: &SapPacket) {
+        let due = clamp_interval(pkt.interval);
+        self.timers.schedule(due, 1);
+    }
+
+    /// Iterating a bounded field on the hot path is fine.
+    pub fn on_timer(&mut self) -> u64 {
+        let mut sum = 0;
+        for t in &self.tiers {
+            sum += t;
+        }
+        sum
+    }
+
+    /// Pure query root: reads only.
+    pub fn next_deadline(&self) -> u64 {
+        self.tiers.len() as u64
+    }
+}
+
+/// Clamps a wire-derived announce interval into the protocol band.
+// lint:sanitizer(wire-taint): caps the wire interval into [5, 600] before it can drive the timer wheel
+fn clamp_interval(raw: u64) -> u64 {
+    raw.clamp(5, 600)
+}

@@ -1,0 +1,27 @@
+//! Seeded mutant for the hot-path-scan analysis: a full `.values()`
+//! scan of an unbounded session map inside a hot root.  The identical
+//! scan in a cold reporting function must stay unflagged.
+use std::collections::HashMap;
+
+pub struct SessionDirectory {
+    sessions: HashMap<u64, u64>,
+}
+
+impl SessionDirectory {
+    /// Hot root: O(n) over every cached session per timer tick — the
+    /// exact pattern the 1M-session arc forbids.
+    pub fn on_timer(&mut self) -> usize {
+        self.sessions.values().count()
+    }
+
+    pub fn on_packet(&mut self) {}
+
+    pub fn next_deadline(&self) -> u64 {
+        0
+    }
+
+    /// Cold: the same scan off the hot path is acceptable.
+    pub fn cold_report(&self) -> usize {
+        self.sessions.values().count()
+    }
+}

@@ -1,0 +1,41 @@
+//! Seeded mutant for the read-path-purity analysis: three `&self` pub
+//! query roots on `AnnouncementCache`, each impure a different way —
+//! interior mutability, a reachable `&mut self` method, and a field
+//! write through a self-rooted helper.  (The helper shapes are what the
+//! analysis must catch *statically*; rustc would reject some of them,
+//! which is exactly why the lint exists to keep them out.)
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct AnnouncementCache {
+    hits: AtomicU64,
+    order: Vec<u64>,
+    entries: Vec<u64>,
+}
+
+impl AnnouncementCache {
+    /// Impure query 1: interior mutation hidden behind `&self`.
+    pub fn users_of(&self) -> usize {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.entries.len()
+    }
+
+    /// Impure query 2: reaches a `&mut self` method.
+    pub fn visible_sessions(&self) -> usize {
+        self.refresh();
+        self.entries.len()
+    }
+
+    fn refresh(&mut self) {
+        self.order.push(1);
+    }
+
+    /// Impure query 3: a self-rooted helper writes a field.
+    pub fn group_in_use(&self) -> bool {
+        self.reorder();
+        true
+    }
+
+    fn reorder(&self) {
+        self.order.sort();
+    }
+}

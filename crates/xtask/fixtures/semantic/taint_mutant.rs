@@ -1,0 +1,51 @@
+//! Seeded mutant for the wire-taint analysis: wire-derived values
+//! reach all three sink kinds (timer deadline, allocation-range
+//! arithmetic, cache-growth insert) without passing a sanitizer.
+//! `cargo xtask check --semantic` must flag every one.
+use std::collections::HashMap;
+
+pub struct SapPacket {
+    pub interval: u64,
+}
+
+pub struct TimerQueue;
+
+impl TimerQueue {
+    pub fn schedule(&mut self, due: u64, key: u32) {}
+}
+
+pub struct StaticIpr;
+
+pub struct SessionDirectory {
+    timers: TimerQueue,
+    seen: HashMap<u64, u32>,
+}
+
+impl SessionDirectory {
+    /// Sink 1: the deadline fed to `TimerQueue::schedule` is raw wire
+    /// data — an attacker-chosen interval drives the event loop.
+    pub fn on_packet(&mut self, pkt: &SapPacket) {
+        let due = pkt.interval + 5;
+        self.timers.schedule(due, 1);
+        let h = pkt.interval;
+        self.arm_timer(h);
+    }
+
+    /// Interprocedural leg: the tainted argument flows in from
+    /// `on_packet`, and the sink fires *here* with the full chain.
+    fn arm_timer(&mut self, due_raw: u64) {
+        self.timers.schedule(due_raw, 2);
+    }
+
+    /// Sink 2: allocation-range arithmetic sized by a wire value.
+    pub fn pick_range(&mut self, pkt: &SapPacket, ipr: &StaticIpr) -> u32 {
+        let want = pkt.interval as u32;
+        ipr.band_range(0, want)
+    }
+
+    /// Sink 3: cache growth keyed by an unvalidated wire value.
+    pub fn remember(&mut self, pkt: &SapPacket) {
+        let key = pkt.interval;
+        self.seen.insert(key, 1);
+    }
+}

@@ -1,0 +1,901 @@
+//! The dataflow tier: three interprocedural analyses over the
+//! per-function dataflow summaries that [`crate::callgraph`] extracts
+//! (params, binds, call arguments, return expressions, iteration sites,
+//! interior-mutability ops).
+//!
+//! * **wire-taint** — values derived from the wire (a `SapPacket` /
+//!   `SessionDescription` typed parameter, or the return of a wire
+//!   source: `SapPacket::decode`, the `sdp.rs` parsers, `net.rs`
+//!   receive paths) must pass a registered sanitizer before reaching a
+//!   sink: allocation-range arithmetic in `core`
+//!   (hier/static_ipr/partition_map), a `TimerQueue::schedule`
+//!   deadline, or a cache-growth insert on a `self` collection.
+//!   Sanitizers are declared with a `lint:sanitizer(wire-taint):
+//!   <reason>` marker on (or in the comment block above) the function
+//!   signature; a call to one cleanses the value it produces.
+//! * **hot-path-scan** — an iteration site (`for` over `self.<field>`,
+//!   or `.iter()/.values()/.keys()/.retain()/.drain()` on one) over a
+//!   collection-typed field, inside a function reachable from the
+//!   event-core hot roots, is an O(n) full scan on a per-packet path.
+//!   It is tolerated only with bound evidence: a `lint:bounded:
+//!   <reason>` marker on the field declaration (or the comment block
+//!   above it) stating why the collection's size is a constant, or a
+//!   `lint:allow(hot-path-scan): <reason>` at the site.
+//! * **read-path-purity** — every `&self` pub fn on `SessionDirectory`
+//!   / `AnnouncementCache` is a query root certified write-free: the
+//!   analysis walks self-rooted calls (`self.x.m(…)`, `Self::m(…)`)
+//!   from each root and flags any reachable `&mut self` callee, any
+//!   mutating `self.<field>` operation, and any interior-mutability op
+//!   (`borrow_mut`, `lock`, `store`, `fetch_*`, `compare_exchange`).
+//!
+//! ## Soundness caveats (documented in DESIGN.md §4g)
+//!
+//! The taint engine is **flow-insensitive** (a bind taints its name for
+//! the whole function body, even before the bind executes — the
+//! conservative direction) and has **no alias analysis** (taint through
+//! `&mut` out-params, struct-field stores and reborrows is lost: a
+//! value stored into `self.<field>` and read back later is clean).
+//! Closure bodies are scanned inline as part of the enclosing function,
+//! but a closure *called elsewhere* carries no taint edge.  Call
+//! resolution is name-based, so a tainted return of `parse` taints
+//! every same-named call in functions that also call a wire parser —
+//! over-approximation, again the conservative direction.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{Graph, SelfParam, SourceFile};
+use crate::semantic::Finding;
+
+/// Type names whose parameters carry wire taint.
+const WIRE_TYPES: &[&str] = &["SapPacket", "SessionDescription"];
+
+/// Wire-source functions by location/name: their returns are tainted.
+fn is_wire_source(file: &str, name: &str) -> bool {
+    (file.ends_with("/wire.rs") && name == "decode")
+        || (file.ends_with("/sdp.rs") && name.starts_with("parse"))
+        || (file.ends_with("/net.rs") && name.contains("recv"))
+}
+
+/// Files whose functions are allocation-range sinks.
+const ALLOC_RANGE_FILES: &[&str] = &[
+    "crates/core/src/hier.rs",
+    "crates/core/src/static_ipr.rs",
+    "crates/core/src/partition_map.rs",
+];
+
+/// Collection methods that grow the receiver (cache-growth sink and
+/// purity-relevant mutation).
+const INSERT_OPS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "entry",
+    "resize",
+    "get_or_insert_with",
+];
+
+/// Field operations that mutate state (read-path purity).
+const MUTATING_OPS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "entry",
+    "resize",
+    "get_or_insert_with",
+    "pop",
+    "pop_back",
+    "pop_front",
+    "remove",
+    "remove_entry",
+    "swap_remove",
+    "clear",
+    "retain",
+    "retain_mut",
+    "drain",
+    "truncate",
+    "split_off",
+    "dedup",
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+    "fill",
+    "take-arg",
+    "append-arg",
+    "replace-arg",
+    "=",
+];
+
+/// Query-root types for read-path purity.
+const QUERY_TYPES: &[&str] = &["SessionDirectory", "AnnouncementCache"];
+
+/// Marker scan: `pat: <non-empty reason>` anywhere in `line`.
+fn reason_marker(line: &str, pat: &str) -> bool {
+    let Some(pos) = line.find(pat) else {
+        return false;
+    };
+    let rest = &line[pos + pat.len()..];
+    rest.strip_prefix(':').is_some_and(|r| !r.trim().is_empty())
+}
+
+/// Everything the three analyses need besides the graph itself.
+pub struct Ctx<'a> {
+    lines: BTreeMap<&'a str, Vec<&'a str>>,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn new(files: &'a [SourceFile]) -> Self {
+        Ctx {
+            lines: files
+                .iter()
+                .map(|f| (f.rel.as_str(), f.source.lines().collect()))
+                .collect(),
+        }
+    }
+
+    fn line_has(&self, file: &str, line: u32, pat: &str) -> bool {
+        line != 0
+            && self
+                .lines
+                .get(file)
+                .and_then(|ls| ls.get(line as usize - 1))
+                .is_some_and(|l| reason_marker(l, pat))
+    }
+
+    /// Declaration-level marker: on the line itself or on the
+    /// contiguous comment/attribute block directly above (same search
+    /// the `lint:allow` suppression uses).
+    fn decl_has(&self, file: &str, line: u32, pat: &str) -> bool {
+        if self.line_has(file, line, pat) {
+            return true;
+        }
+        let Some(ls) = self.lines.get(file) else {
+            return false;
+        };
+        if line == 0 {
+            return false;
+        }
+        let mut i = line as usize - 1;
+        while i > 0 {
+            i -= 1;
+            let Some(l) = ls.get(i).map(|l| l.trim_start()) else {
+                break;
+            };
+            if l.starts_with("//") || l.starts_with("#[") {
+                if reason_marker(l, pat) {
+                    return true;
+                }
+            } else {
+                break;
+            }
+        }
+        false
+    }
+
+    fn allowed(&self, file: &str, line: u32, rule: &str) -> bool {
+        self.line_has(file, line, &format!("lint:allow({rule})"))
+    }
+
+    fn sig_allowed(&self, file: &str, line: u32, rule: &str) -> bool {
+        self.decl_has(file, line, &format!("lint:allow({rule})"))
+    }
+}
+
+/// Run all three dataflow analyses; findings come back unsorted and
+/// with `is_new` unset (the caller merges them into the semantic
+/// report, which owns ordering and the baseline diff).
+pub fn run(graph: &Graph, ctx: &Ctx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    wire_taint(graph, ctx, &mut out);
+    hot_path_scan(graph, ctx, &mut out);
+    read_path_purity(graph, ctx, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// wire-taint
+// ---------------------------------------------------------------------
+
+/// Per-function taint state used during the interprocedural fixpoint.
+struct TaintState {
+    /// `(fn, param index)` → provenance chain for params tainted by a
+    /// caller passing a tainted argument.
+    param: BTreeMap<(usize, usize), String>,
+    /// fn → provenance for functions whose return value is tainted.
+    ret: BTreeMap<usize, String>,
+}
+
+fn wire_taint(graph: &Graph, ctx: &Ctx, out: &mut Vec<Finding>) {
+    // Sanitizer registry: functions carrying the declaration marker.
+    let mut sanitizers: BTreeSet<&str> = BTreeSet::new();
+    for f in &graph.fns {
+        if ctx.decl_has(&f.file, f.line, "lint:sanitizer(wire-taint)") {
+            sanitizers.insert(f.name.as_str());
+        }
+    }
+    let clean = |calls: &[String]| calls.iter().any(|c| sanitizers.contains(c.as_str()));
+
+    let mut st = TaintState {
+        param: BTreeMap::new(),
+        ret: BTreeMap::new(),
+    };
+    // Seed: wire-source returns.
+    for (i, f) in graph.fns.iter().enumerate() {
+        if !f.is_test && is_wire_source(&f.file, &f.name) && !sanitizers.contains(f.name.as_str()) {
+            st.ret.insert(i, format!("wire source `{}`", f.qual_name()));
+        }
+    }
+
+    // Interprocedural fixpoint: local propagation feeds tainted returns
+    // and tainted call arguments back into the global state.  The
+    // lattice is finite ((fns × params) + fns bits, taint only ever
+    // added), so this terminates.
+    loop {
+        let mut changed = false;
+        for (i, f) in graph.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let local = local_taint(graph, i, &st, &sanitizers);
+            // Return taint.
+            if !st.ret.contains_key(&i) && !f.ret_ty.is_empty() && !clean(&f.ret_calls) {
+                let via_ident = f
+                    .ret_idents
+                    .iter()
+                    .find_map(|n| local.get(n.as_str()).cloned());
+                let via_call = f.ret_calls.iter().find_map(|c| {
+                    ret_tainted_call(graph, i, c, &st).map(|p| format!("{p} via `{c}(…)`"))
+                });
+                if let Some(p) = via_ident.or(via_call) {
+                    st.ret.insert(i, p);
+                    changed = true;
+                }
+            }
+            // Tainted arguments flow into callee parameters — along
+            // type-anchored edges only (see [`trusted_targets`]).
+            for (c_idx, call) in f.calls.iter().enumerate() {
+                let targets = trusted_targets(graph, i, c_idx);
+                if targets.is_empty() {
+                    continue;
+                }
+                for (a_idx, arg) in call.args.iter().enumerate() {
+                    let Some(p) = arg_taint(graph, i, arg, &local, &st, &sanitizers) else {
+                        continue;
+                    };
+                    for &t in &targets {
+                        if graph.fns[t].is_test
+                            || a_idx >= graph.fns[t].params.len()
+                            || st.param.contains_key(&(t, a_idx))
+                            || sanitizers.contains(graph.fns[t].name.as_str())
+                        {
+                            continue;
+                        }
+                        st.param.insert(
+                            (t, a_idx),
+                            format!(
+                                "{p} -> `{}` (arg `{}`)",
+                                graph.fns[t].qual_name(),
+                                graph.fns[t].params[a_idx].name
+                            ),
+                        );
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Sink pass.
+    let schedule_sinks: BTreeSet<usize> = graph
+        .find_methods("TimerQueue", "schedule")
+        .into_iter()
+        .collect();
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.is_test || ctx.sig_allowed(&f.file, f.line, "wire-taint") {
+            continue;
+        }
+        let local = local_taint(graph, i, &st, &sanitizers);
+        if local.is_empty() {
+            continue;
+        }
+        for (c_idx, call) in f.calls.iter().enumerate() {
+            if ctx.allowed(&f.file, call.line, "wire-taint") {
+                continue;
+            }
+            let targets = &graph.call_targets[i][c_idx];
+            let is_schedule = targets.iter().any(|t| schedule_sinks.contains(t));
+            let alloc_range_target = targets
+                .iter()
+                .copied()
+                .find(|&t| ALLOC_RANGE_FILES.contains(&graph.fns[t].file.as_str()));
+            let is_self_insert = call.is_method
+                && call.recv_root.as_deref() == Some("self")
+                && INSERT_OPS.contains(&call.name.as_str());
+            if !is_schedule && alloc_range_target.is_none() && !is_self_insert {
+                continue;
+            }
+            for (a_idx, arg) in call.args.iter().enumerate() {
+                if is_schedule && a_idx != 0 {
+                    continue; // only the `due` deadline is the sink
+                }
+                let Some((name, prov)) = arg_taint_named(graph, i, arg, &local, &st, &sanitizers)
+                else {
+                    continue;
+                };
+                let (kind, sink_desc) = if is_schedule {
+                    (
+                        format!("schedule deadline <- `{name}`"),
+                        "TimerQueue::schedule deadline".to_string(),
+                    )
+                } else if let Some(t) = alloc_range_target {
+                    let callee = graph.fns[t].qual_name();
+                    (
+                        format!("alloc-range {callee} <- `{name}`"),
+                        format!("allocation-range arithmetic `{callee}`"),
+                    )
+                } else {
+                    let field = f
+                        .field_ops
+                        .iter()
+                        .find(|op| op.line == call.line && op.op == call.name)
+                        .map(|op| op.field.clone())
+                        .unwrap_or_else(|| "self".to_string());
+                    (
+                        format!("insert {} <- `{name}`", field),
+                        format!("cache-growth insert `{}.{}`", field, call.name),
+                    )
+                };
+                out.push(Finding {
+                    rule: "wire-taint",
+                    file: f.file.clone(),
+                    line: call.line,
+                    function: f.qual_name(),
+                    detail: kind,
+                    message: format!(
+                        "`{name}` reaches {sink_desc} in `{}` without a sanitizer; taint: {prov}; validate/clamp it through a fn marked `lint:sanitizer(wire-taint): <reason>` or justify with `lint:allow(wire-taint): <reason>`",
+                        f.qual_name(),
+                    ),
+                    is_new: false,
+                });
+                break; // one finding per sink call site
+            }
+        }
+    }
+}
+
+/// Targets a *taint* edge may follow: only type-anchored resolutions.
+/// Reachability keeps the full name-based over-approximation (the safe
+/// direction for panic-reach), but a taint chain built on a name
+/// collision — slice `get` resolving to `AnnouncementCache::get`, str
+/// `parse` to `SessionDescription::parse` — manufactures provenance
+/// out of nothing, so taint requires the qualifier or the receiver
+/// root to pin the callee's type.  Sink *classification* still uses
+/// the full target set: a tainted argument handed to
+/// `self.allocator.allocate(…)` is reported at that boundary call.
+fn trusted_targets(graph: &Graph, fn_idx: usize, c_idx: usize) -> Vec<usize> {
+    let f = &graph.fns[fn_idx];
+    let call = &f.calls[c_idx];
+    graph.call_targets[fn_idx][c_idx]
+        .iter()
+        .copied()
+        .filter(|&t| {
+            let tf = &graph.fns[t];
+            if let Some(q) = call.qualifier.as_deref() {
+                let q_ty = if q == "Self" {
+                    f.self_ty.as_deref().unwrap_or("")
+                } else {
+                    q
+                };
+                return match tf.self_ty.as_deref() {
+                    Some(ts) => ts == q_ty,
+                    None => true, // module-qualified free fn: exact name match
+                };
+            }
+            if call.is_method {
+                return match call.recv_root.as_deref() {
+                    Some("self") => tf.self_ty == f.self_ty,
+                    Some(root) => f.params.iter().any(|p| {
+                        p.name == root
+                            && tf
+                                .self_ty
+                                .as_deref()
+                                .is_some_and(|ts| p.ty.iter().any(|i| i == ts))
+                    }),
+                    None => false,
+                };
+            }
+            true // unqualified free call: exact name match
+        })
+        .collect()
+}
+
+/// Does a call to `name` inside `fn_idx` return a tainted value?
+/// Resolved through the per-call *trusted* targets of same-named call
+/// sites in that function (tighter than a global name match).
+fn ret_tainted_call(graph: &Graph, fn_idx: usize, name: &str, st: &TaintState) -> Option<String> {
+    for (c_idx, call) in graph.fns[fn_idx].calls.iter().enumerate() {
+        if call.name != name {
+            continue;
+        }
+        for t in trusted_targets(graph, fn_idx, c_idx) {
+            if let Some(p) = st.ret.get(&t) {
+                return Some(p.clone());
+            }
+        }
+    }
+    None
+}
+
+/// Flow-insensitive local taint: bound names → provenance.
+fn local_taint(
+    graph: &Graph,
+    fn_idx: usize,
+    st: &TaintState,
+    sanitizers: &BTreeSet<&str>,
+) -> BTreeMap<String, String> {
+    let f = &graph.fns[fn_idx];
+    let mut names: BTreeMap<String, String> = BTreeMap::new();
+    for (p_idx, p) in f.params.iter().enumerate() {
+        if p.ty.iter().any(|t| WIRE_TYPES.contains(&t.as_str())) {
+            names.insert(
+                p.name.clone(),
+                format!("wire-typed param `{}` of `{}`", p.name, f.qual_name()),
+            );
+        } else if let Some(prov) = st.param.get(&(fn_idx, p_idx)) {
+            names.insert(p.name.clone(), prov.clone());
+        }
+    }
+    // Bind fixpoint (binds can forward-reference under flow
+    // insensitivity; the loop is bounded by the bind count).
+    loop {
+        let mut changed = false;
+        for b in &f.binds {
+            if b.lhs.iter().all(|n| names.contains_key(n)) {
+                continue;
+            }
+            if b.rhs_calls.iter().any(|c| sanitizers.contains(c.as_str())) {
+                continue;
+            }
+            let via_ident = b.rhs_idents.iter().find_map(|n| names.get(n).cloned());
+            let prov = via_ident.or_else(|| {
+                b.rhs_calls
+                    .iter()
+                    .find_map(|c| ret_tainted_call(graph, fn_idx, c, st))
+            });
+            if let Some(p) = prov {
+                for n in &b.lhs {
+                    if !names.contains_key(n) {
+                        names.insert(n.clone(), p.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    names
+}
+
+/// Taint provenance of one call argument, if any.
+fn arg_taint(
+    graph: &Graph,
+    fn_idx: usize,
+    arg: &crate::callgraph::ArgInfo,
+    local: &BTreeMap<String, String>,
+    st: &TaintState,
+    sanitizers: &BTreeSet<&str>,
+) -> Option<String> {
+    arg_taint_named(graph, fn_idx, arg, local, st, sanitizers).map(|(_, p)| p)
+}
+
+/// Like [`arg_taint`], also naming the tainted identifier (for stable,
+/// line-free finding details).
+fn arg_taint_named(
+    graph: &Graph,
+    fn_idx: usize,
+    arg: &crate::callgraph::ArgInfo,
+    local: &BTreeMap<String, String>,
+    st: &TaintState,
+    sanitizers: &BTreeSet<&str>,
+) -> Option<(String, String)> {
+    if arg.calls.iter().any(|c| sanitizers.contains(c.as_str())) {
+        return None; // sanitized at the use site
+    }
+    for n in &arg.idents {
+        if let Some(p) = local.get(n) {
+            return Some((n.clone(), p.clone()));
+        }
+    }
+    for c in &arg.calls {
+        if let Some(p) = ret_tainted_call(graph, fn_idx, c, st) {
+            return Some((format!("{c}(…)"), p));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// hot-path-scan
+// ---------------------------------------------------------------------
+
+fn hot_path_scan(graph: &Graph, ctx: &Ctx, out: &mut Vec<Finding>) {
+    let mut roots = Vec::new();
+    for (ty, name) in crate::semantic::HOT_ROOTS {
+        roots.extend(
+            graph
+                .find_methods(ty, name)
+                .into_iter()
+                .filter(|&i| !graph.fns[i].is_test),
+        );
+    }
+    let parent = graph.reach_forward(&roots);
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.is_test
+            || parent[i].is_none()
+            || f.iter_sites.is_empty()
+            || ctx.sig_allowed(&f.file, f.line, "hot-path-scan")
+        {
+            continue;
+        }
+        let chain = graph.chain_to(&parent, i).join(" -> ");
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for site in &f.iter_sites {
+            // Only collection-typed fields of this function's own type
+            // count — iterating an Option or a fixed array is not a
+            // full-collection scan.
+            let Some(fd) = graph.fields.iter().find(|fd| {
+                fd.name == site.field
+                    && Some(fd.owner.as_str()) == f.self_ty.as_deref()
+                    && fd.crate_name == f.crate_name
+            }) else {
+                continue;
+            };
+            if ctx.decl_has(&fd.file, fd.line, "lint:bounded")
+                || ctx.allowed(&f.file, site.line, "hot-path-scan")
+                || ctx.sig_allowed(&fd.file, fd.line, "hot-path-scan")
+            {
+                continue;
+            }
+            let detail = format!("scan {}.{} ({})", fd.owner, site.field, site.how);
+            if !seen.insert(detail.clone()) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "hot-path-scan",
+                file: f.file.clone(),
+                line: site.line,
+                function: f.qual_name(),
+                detail,
+                message: format!(
+                    "O(n) scan of {} field `{}.{}` via `{}` on the event hot path ({chain}); index the access, or mark the field `lint:bounded: <why size is constant>`",
+                    fd.collection, fd.owner, site.field, site.how,
+                ),
+                is_new: false,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// read-path-purity
+// ---------------------------------------------------------------------
+
+fn read_path_purity(graph: &Graph, ctx: &Ctx, out: &mut Vec<Finding>) {
+    for (root, rf) in graph.fns.iter().enumerate() {
+        let is_root = rf.is_pub
+            && !rf.is_test
+            && rf.self_param == SelfParam::Ref
+            && rf
+                .self_ty
+                .as_deref()
+                .is_some_and(|t| QUERY_TYPES.contains(&t));
+        if !is_root || ctx.sig_allowed(&rf.file, rf.line, "read-path-purity") {
+            continue;
+        }
+        // Restricted reachability: follow only self-rooted calls
+        // (`self.….m(…)`, `Self::m(…)`) — the paths that can touch the
+        // state this query reads.  Name-collision edges to unrelated
+        // types are pruned by the receiver-root requirement.
+        let mut visited: Vec<usize> = vec![root];
+        let mut how: BTreeMap<usize, usize> = BTreeMap::new(); // fn -> caller
+        let mut head = 0;
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        while head < visited.len() {
+            let u = visited[head];
+            head += 1;
+            let uf = &graph.fns[u];
+            for (c_idx, call) in uf.calls.iter().enumerate() {
+                let self_rooted = call.recv_root.as_deref() == Some("self")
+                    || call.qualifier.as_deref() == Some("Self");
+                if !self_rooted {
+                    continue;
+                }
+                for &t in &graph.call_targets[u][c_idx] {
+                    let tf = &graph.fns[t];
+                    if tf.is_test {
+                        continue;
+                    }
+                    if tf.self_param == SelfParam::RefMut {
+                        if ctx.allowed(&uf.file, call.line, "read-path-purity")
+                            || ctx.sig_allowed(&tf.file, tf.line, "read-path-purity")
+                        {
+                            continue;
+                        }
+                        let detail = format!("calls-mut {}", tf.qual_name());
+                        if seen.insert(detail.clone()) {
+                            out.push(Finding {
+                                rule: "read-path-purity",
+                                file: rf.file.clone(),
+                                line: call.line,
+                                function: rf.qual_name(),
+                                detail,
+                                message: format!(
+                                    "query root `{}` reaches `&mut self` method `{}` (called at {}:{}); the lock-free read path requires write-free queries — split the method or justify with `lint:allow(read-path-purity): <reason>`",
+                                    rf.qual_name(),
+                                    tf.qual_name(),
+                                    uf.file,
+                                    call.line,
+                                ),
+                                is_new: false,
+                            });
+                        }
+                        continue; // flagged; no need to descend
+                    }
+                    if !visited.contains(&t) {
+                        visited.push(t);
+                        how.insert(t, u);
+                    }
+                }
+            }
+        }
+        for &v in &visited {
+            let vf = &graph.fns[v];
+            if ctx.sig_allowed(&vf.file, vf.line, "read-path-purity") {
+                continue;
+            }
+            for op in &vf.field_ops {
+                if !MUTATING_OPS.contains(&op.op.as_str())
+                    || ctx.allowed(&vf.file, op.line, "read-path-purity")
+                {
+                    continue;
+                }
+                let detail = format!("writes {} in {}", op.field, vf.qual_name());
+                if seen.insert(detail.clone()) {
+                    out.push(Finding {
+                        rule: "read-path-purity",
+                        file: rf.file.clone(),
+                        line: op.line,
+                        function: rf.qual_name(),
+                        detail,
+                        message: format!(
+                            "query root `{}` reaches a write to `self.{}` (`{}` in `{}`, {}:{}); queries must be write-free for the snapshot-reader discipline",
+                            rf.qual_name(),
+                            op.field,
+                            op.op,
+                            vf.qual_name(),
+                            vf.file,
+                            op.line,
+                        ),
+                        is_new: false,
+                    });
+                }
+            }
+            for im in &vf.interior_mut {
+                if ctx.allowed(&vf.file, im.line, "read-path-purity") {
+                    continue;
+                }
+                let detail = format!("interior-mut {} in {}", im.what, vf.qual_name());
+                if seen.insert(detail.clone()) {
+                    out.push(Finding {
+                        rule: "read-path-purity",
+                        file: rf.file.clone(),
+                        line: im.line,
+                        function: rf.qual_name(),
+                        detail,
+                        message: format!(
+                            "query root `{}` performs interior mutation `{}` (in `{}`, {}:{}); hidden writes defeat the write-free read path — move the mutation or justify with `lint:allow(read-path-purity): <reason>`",
+                            rf.qual_name(),
+                            im.what,
+                            vf.qual_name(),
+                            vf.file,
+                            im.line,
+                        ),
+                        is_new: false,
+                    });
+                }
+            }
+        }
+        let _ = how;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded-mutant fixtures: each analysis fires on a planted violation
+// and stays quiet on the sanitized/bounded/pure twin.
+// ---------------------------------------------------------------------
+#[cfg(test)]
+mod tests {
+    use crate::callgraph;
+    use crate::semantic::{analyze, Finding, Report};
+
+    const TAINT_MUTANT: &str = include_str!("../fixtures/semantic/taint_mutant.rs");
+    const HOT_SCAN_MUTANT: &str = include_str!("../fixtures/semantic/hot_scan_mutant.rs");
+    const PURITY_MUTANT: &str = include_str!("../fixtures/semantic/purity_mutant.rs");
+    const DATAFLOW_CLEAN: &str = include_str!("../fixtures/semantic/dataflow_clean.rs");
+
+    /// A minimal allocation-range sink crate for the taint fixtures.
+    const CORE_SINK: &str = "pub struct StaticIpr;\nimpl StaticIpr {\n    pub fn band_range(&self, band: u32, size: u32) -> u32 { band + size }\n}\n";
+
+    fn run(files: &[(&str, &str)]) -> Report {
+        let files: Vec<callgraph::SourceFile> = files
+            .iter()
+            .map(|(rel, src)| callgraph::SourceFile {
+                rel: (*rel).to_string(),
+                source: (*src).to_string(),
+            })
+            .collect();
+        analyze(&files, None)
+    }
+
+    fn rule<'a>(r: &'a Report, name: &str) -> Vec<&'a Finding> {
+        r.findings.iter().filter(|f| f.rule == name).collect()
+    }
+
+    #[test]
+    fn taint_mutant_fires_on_all_three_sinks() {
+        let r = run(&[
+            ("crates/sap/src/taint_mutant.rs", TAINT_MUTANT),
+            ("crates/core/src/static_ipr.rs", CORE_SINK),
+        ]);
+        let hits = rule(&r, "wire-taint");
+        assert!(
+            hits.iter()
+                .any(|f| f.detail.starts_with("schedule deadline") && f.message.contains("wire")),
+            "{:?}",
+            r.findings
+        );
+        assert!(
+            hits.iter()
+                .any(|f| f.detail.starts_with("alloc-range StaticIpr::band_range")),
+            "{:?}",
+            r.findings
+        );
+        assert!(
+            hits.iter().any(|f| f.detail.starts_with("insert seen")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn taint_flows_interprocedurally_with_chain() {
+        // on_packet -> helper(pkt-derived) -> schedule: the finding sits
+        // in the helper and the provenance names the wire-typed param.
+        let r = run(&[("crates/sap/src/taint_mutant.rs", TAINT_MUTANT)]);
+        let hits = rule(&r, "wire-taint");
+        assert!(
+            hits.iter().any(|f| {
+                f.function == "SessionDirectory::arm_timer"
+                    && f.message.contains("wire-typed param `pkt`")
+            }),
+            "{:?}",
+            hits
+        );
+    }
+
+    #[test]
+    fn hot_scan_mutant_fires_under_root() {
+        let r = run(&[("crates/sap/src/hot_scan_mutant.rs", HOT_SCAN_MUTANT)]);
+        let hits = rule(&r, "hot-path-scan");
+        assert!(
+            hits.iter().any(|f| {
+                f.function == "SessionDirectory::on_timer"
+                    && f.detail == "scan SessionDirectory.sessions (values)"
+            }),
+            "{:?}",
+            r.findings
+        );
+        // The same scan shape in a cold function stays unflagged.
+        assert!(
+            !hits.iter().any(|f| f.function.contains("cold_report")),
+            "{:?}",
+            hits
+        );
+    }
+
+    #[test]
+    fn purity_mutant_fires_on_all_three_impurities() {
+        let r = run(&[("crates/sap/src/purity_mutant.rs", PURITY_MUTANT)]);
+        let hits = rule(&r, "read-path-purity");
+        assert!(
+            hits.iter()
+                .any(|f| f.detail.starts_with("interior-mut fetch_add")),
+            "{:?}",
+            r.findings
+        );
+        assert!(
+            hits.iter()
+                .any(|f| f.detail.starts_with("calls-mut AnnouncementCache::refresh")),
+            "{:?}",
+            r.findings
+        );
+        assert!(
+            hits.iter().any(|f| f.detail.starts_with("writes order")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn dataflow_clean_fixture_is_quiet() {
+        let r = run(&[
+            ("crates/sap/src/dataflow_clean.rs", DATAFLOW_CLEAN),
+            ("crates/core/src/static_ipr.rs", CORE_SINK),
+        ]);
+        let noisy: Vec<&Finding> = r
+            .findings
+            .iter()
+            .filter(|f| matches!(f.rule, "wire-taint" | "hot-path-scan" | "read-path-purity"))
+            .collect();
+        assert!(noisy.is_empty(), "{noisy:?}");
+    }
+
+    #[test]
+    fn sanitizer_must_carry_a_reason() {
+        // A bare `lint:sanitizer(wire-taint)` without a reason does not
+        // register, so the taint survives.
+        let src = "pub struct SapPacket { pub interval: u64 }\n\
+                   pub struct TimerQueue;\n\
+                   impl TimerQueue { pub fn schedule(&mut self, due: u64, key: u32) {} }\n\
+                   pub struct SessionDirectory { timers: TimerQueue }\n\
+                   impl SessionDirectory {\n\
+                       pub fn on_packet(&mut self, pkt: &SapPacket) {\n\
+                           let due = cap(pkt.interval);\n\
+                           self.timers.schedule(due, 1);\n\
+                       }\n\
+                   }\n\
+                   // lint:sanitizer(wire-taint)\n\
+                   fn cap(v: u64) -> u64 { v }\n";
+        let r = run(&[("crates/sap/src/m.rs", src)]);
+        assert!(
+            r.findings.iter().any(|f| f.rule == "wire-taint"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn allow_markers_suppress_each_rule() {
+        let src = "pub struct SapPacket { pub interval: u64 }\n\
+                   pub struct TimerQueue;\n\
+                   impl TimerQueue { pub fn schedule(&mut self, due: u64, key: u32) {} }\n\
+                   pub struct SessionDirectory { timers: TimerQueue }\n\
+                   impl SessionDirectory {\n\
+                       pub fn on_packet(&mut self, pkt: &SapPacket) {\n\
+                           let due = pkt.interval;\n\
+                           self.timers.schedule(due, 1); // lint:allow(wire-taint): fixture — deadline clamped upstream\n\
+                       }\n\
+                   }\n";
+        let r = run(&[("crates/sap/src/m.rs", src)]);
+        assert!(
+            !r.findings.iter().any(|f| f.rule == "wire-taint"),
+            "{:?}",
+            r.findings
+        );
+    }
+}

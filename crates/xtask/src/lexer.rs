@@ -331,38 +331,26 @@ fn raw_or_byte_literal_end(b: &[u8], i: usize) -> Option<usize> {
 }
 
 /// Whether the `'` at `b[i]` starts a char literal rather than a
-/// lifetime: `'\…'` always, otherwise a closing quote within the next
-/// few bytes (`'x'`, `'é'`) that is not `'a'`-as-two-lifetimes (`<'a,
-/// 'b>` never has a closing quote that soon after an ident char run).
+/// lifetime: `'\…'` always, otherwise exactly one character followed by
+/// the closing quote.  The check is exact — one ASCII byte or one UTF-8
+/// sequence whose length is read off the leading byte — because a
+/// lookahead scan for "a quote somewhere nearby" mistakes the *next*
+/// lifetime's quote for a closing quote (`<'a,'b>` would lex `'a,'` as
+/// a char literal and desync every token after it).
 fn is_char_literal(b: &[u8], i: usize) -> bool {
     match b.get(i + 1) {
         Some(b'\\') => true,
-        Some(_) => {
-            // 'x' / multibyte 'é': a quote closes within 5 bytes and
-            // the run up to it contains no ident-boundary punctuation.
-            let mut j = i + 1;
-            let limit = (i + 6).min(b.len());
-            // A lifetime's ident run is followed by non-quote; a char
-            // literal closes with a quote immediately after one char.
-            if b.get(i + 1)
-                .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
-                && b.get(i + 2)
-                    .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
-            {
-                // Two ident chars in a row: lifetime like 'ab (chars
-                // are single-codepoint; multibyte handled below by the
-                // >=0x80 scan).
-                if b.get(i + 1).is_some_and(|&c| c < 0x80) {
-                    return false;
-                }
-            }
-            while j < limit {
-                if b[j] == b'\'' {
-                    return j > i + 1;
-                }
-                j += 1;
-            }
-            false
+        Some(b'\'') => false, // `''`: empty, treat as a bare lifetime
+        Some(&c) if c < 0x80 => b.get(i + 2) == Some(&b'\''),
+        Some(&c) => {
+            // Multibyte codepoint: UTF-8 length from the leading byte.
+            let len = match c {
+                0xC0..=0xDF => 2,
+                0xE0..=0xEF => 3,
+                0xF0..=0xF7 => 4,
+                _ => return false, // stray continuation byte
+            };
+            b.get(i + 1 + len) == Some(&b'\'')
         }
         None => false,
     }
@@ -449,6 +437,70 @@ mod tests {
         assert_eq!(lifetimes, vec!["'a", "'a"]);
         let chars = toks.iter().filter(|t| t.kind == TokKind::Lit).count();
         assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn adjacent_lifetimes_do_not_desync() {
+        // `<'a,'b>` without spaces: the `'` of `'b` must not be taken
+        // as the closing quote of a char literal starting at `'a`.
+        let src = "fn f<'a,'b>(x: &'a str, y: &'b str) { used(); }";
+        assert!(idents(src).contains(&"used".to_string()));
+        let lifetimes: Vec<_> = tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'b", "'a", "'b"]);
+    }
+
+    #[test]
+    fn multibyte_char_literal_exact() {
+        let src = "let e = 'é'; let crab = '\u{1F980}'; done";
+        assert!(idents(src).contains(&"done".to_string()));
+        let lits = tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn char_literals_containing_quote_and_slashes() {
+        // `'"'` and `'/'` must be single literals; the `//` after `'/'`
+        // here is real comment syntax and must still be dropped.
+        let src = "let q = '\"'; let s = '/'; // trailing\nnext";
+        assert!(idents(src).contains(&"next".to_string()));
+        assert!(!idents(src).contains(&"trailing".to_string()));
+        let lits = tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn byte_literals_containing_quote_and_comment_markers() {
+        let src = "let a = b'\"'; let b2 = b\"has // and \\\" inside\"; tail";
+        assert!(idents(src).contains(&"tail".to_string()));
+        assert!(!idents(src).contains(&"has".to_string()));
+        let lits = tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn raw_string_with_comment_markers_and_fenced_quotes() {
+        let src = "let s = r##\"quote \"# still // inside\"##; after";
+        assert!(idents(src).contains(&"after".to_string()));
+        assert!(!idents(src).contains(&"inside".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comment_containing_string_markers() {
+        let src = "/* outer /* \" unclosed quote */ still */ fn g() {}";
+        assert_eq!(idents(src), vec!["fn", "g"]);
     }
 
     #[test]
@@ -555,6 +607,7 @@ mod proptests {
                 "\"str", "'a", "'x'", "r#\"", "//", "/*", "*/", "b\"",
                 "br#\"", "b'q'", "ident", "0.5", "..", "::", "#", "!",
                 "self", ".", "\"", "\\", "\n", "e-", "r#type",
+                "'a,'b", "'\"'", "b'\"'", "r##\"", "\"##", "/*\"*/", "'é'",
             ];
             let src: String = picks
                 .iter()

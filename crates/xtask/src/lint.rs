@@ -131,6 +131,9 @@ const KNOWN_RULES: &[&str] = &[
     "panic-reach",
     "hot-alloc",
     "unbounded-growth",
+    "wire-taint",
+    "hot-path-scan",
+    "read-path-purity",
 ];
 
 /// Whether `line` carries a *justified* suppression for `rule_name`:

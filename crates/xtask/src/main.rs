@@ -4,10 +4,13 @@
 //!   verifier and the semantic lint tier; exit non-zero if any finds a
 //!   violation.
 //! * `cargo xtask check --semantic` — semantic tier only (call graph +
-//!   panic-reach / hot-alloc / unbounded-growth).
+//!   panic-reach / hot-alloc / unbounded-growth, plus the dataflow
+//!   tier: wire-taint / hot-path-scan / read-path-purity).
 //!   * `--json` — emit the SARIF-lite report on stdout instead of text.
 //!   * `--update-baseline` — rewrite `crates/xtask/semantic-baseline.txt`
 //!     from the current findings and exit successfully.
+//! * `cargo xtask check --explain <rule>` — print a rule's contract and
+//!   suppression syntax.
 //! * `cargo xtask lint` — lexical lint pass only.
 //! * `cargo xtask invariants` — invariant verifier only.
 //! * `cargo xtask model` — bounded explicit-state model checking of the
@@ -22,6 +25,7 @@
 //! analysis and verification".
 
 mod callgraph;
+mod dataflow;
 mod invariants;
 mod lexer;
 mod lint;
@@ -51,6 +55,9 @@ fn main() -> ExitCode {
     let flag = |name: &str| args.iter().any(|a| a == name);
     match mode {
         "check" => {
+            if let Some(pos) = args.iter().position(|a| a == "--explain") {
+                return explain(args.get(pos + 1).map(String::as_str));
+            }
             let semantic_only = flag("--semantic");
             run(
                 !semantic_only,
@@ -74,15 +81,112 @@ fn main() -> ExitCode {
         }
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: cargo xtask [check [--semantic] [--json] [--update-baseline]|lint|invariants|model [--smoke]]"
+                "usage: cargo xtask [check [--semantic] [--json] [--update-baseline] [--explain <rule>]|lint|invariants|model [--smoke]]"
             );
             ExitCode::SUCCESS
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; usage: cargo xtask [check [--semantic] [--json] [--update-baseline]|lint|invariants|model [--smoke]]"
+                "unknown command `{other}`; usage: cargo xtask [check [--semantic] [--json] [--update-baseline] [--explain <rule>]|lint|invariants|model [--smoke]]"
             );
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cargo xtask check --explain <rule>`: the contract and suppression
+/// syntax of every semantic rule, kept here so CI output can point
+/// developers at one command instead of at the sources.
+fn explain(rule: Option<&str>) -> ExitCode {
+    const RULES: &[(&str, &str, &str)] = &[
+        (
+            "panic-reach",
+            "In the panic-scoped crates (core, sap, rr, sim, topology, chaos) no\n\
+             non-test function may contain a direct panic source (unwrap/expect/\n\
+             panic!/todo!/unimplemented!/index expressions), and no public function\n\
+             may transitively reach one through workspace calls.  A reachable panic\n\
+             takes the whole daemon down.",
+            "`// lint:allow(panic-reach): <reason>` on the source line, or on/above\n\
+             the fn signature to waive the whole function.",
+        ),
+        (
+            "hot-alloc",
+            "Functions reachable from the event-core hot roots (SessionDirectory::\n\
+             {on_timer,on_packet,next_deadline}, AnnouncementCache::{purge_expired,\n\
+             purge_stale}, SapPacket::decode) must not heap-allocate (format!/vec!/\n\
+             Vec::new/.clone()/.to_vec()/.collect()/…).  Per-packet allocation is\n\
+             the scaling bottleneck of the million-session arc.",
+            "`// lint:allow(hot-alloc): <reason>` on the allocating line, or\n\
+             on/above the fn signature.",
+        ),
+        (
+            "unbounded-growth",
+            "A collection-typed struct field with insert-side calls but no evict\n\
+             side (remove/retain/drain/mem::take/reassignment) anywhere in its\n\
+             owner's methods leaks in a long-running daemon.",
+            "`// lint:allow(unbounded-growth): <reason>` on or above the field\n\
+             declaration.",
+        ),
+        (
+            "wire-taint",
+            "Values derived from the wire (SapPacket/SessionDescription-typed\n\
+             params; returns of SapPacket::decode, the sdp.rs parsers and net.rs\n\
+             recv paths) must pass a registered sanitizer before reaching a sink:\n\
+             allocation-range arithmetic in core (hier/static_ipr/partition_map),\n\
+             a TimerQueue::schedule deadline, or a cache-growth insert on a self\n\
+             collection.  Every fact a directory holds arrives in an adversarial\n\
+             SAP packet; unvalidated wire data must not drive allocator or timer\n\
+             arithmetic.  The finding message carries the source→sink chain.",
+            "Register a validator with `// lint:sanitizer(wire-taint): <reason>`\n\
+             on/above its fn signature (calls through it cleanse the value), or\n\
+             suppress one sink with `// lint:allow(wire-taint): <reason>` on the\n\
+             sink line (fn-signature placement waives the whole function).",
+        ),
+        (
+            "hot-path-scan",
+            "Iteration sites (`for` over self.<field>, .iter()/.values()/.keys()/\n\
+             .retain()/.drain() on one) over unbounded collection-typed fields are\n\
+             flagged in functions reachable from the event-core hot roots: an O(n)\n\
+             full scan on a per-packet path caps the cache size the runtime can\n\
+             sustain.",
+            "`// lint:bounded: <why the size is a constant>` on/above the field\n\
+             declaration (bound evidence), or `// lint:allow(hot-path-scan):\n\
+             <reason>` on the scan line or fn signature.",
+        ),
+        (
+            "read-path-purity",
+            "Every `&self` pub fn on SessionDirectory/AnnouncementCache is a query\n\
+             root certified write-free: following self-rooted calls, the analysis\n\
+             flags any reachable `&mut self` method, mutating self.<field>\n\
+             operation, or interior-mutability op (borrow_mut/lock/store/fetch_*/\n\
+             compare_exchange).  The lock-free concurrent read path (ROADMAP item\n\
+             2) assumes single-writer/snapshot-reader queries.",
+            "`// lint:allow(read-path-purity): <reason>` on the offending line, on\n\
+             the offending helper's signature, or on the query root's signature.",
+        ),
+    ];
+    match rule.and_then(|r| RULES.iter().find(|(n, _, _)| *n == r)) {
+        Some((name, contract, suppress)) => {
+            println!("rule: {name}\n\ncontract:\n{contract}\n\nsuppression:\n{suppress}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            if let Some(r) = rule {
+                eprintln!("unknown rule `{r}`");
+            }
+            eprintln!(
+                "usage: cargo xtask check --explain <rule>\nrules: {}",
+                RULES
+                    .iter()
+                    .map(|(n, _, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            if rule.is_some() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
     }
 }

@@ -21,6 +21,10 @@ run cargo xtask check
 echo "==> cargo xtask check --semantic --json  (artifact: target/semantic.json)"
 mkdir -p target
 cargo xtask check --semantic --json > target/semantic.json
+# Smoke-check the rule-documentation command so a broken rule table
+# fails the gate, not a developer's first `--explain` invocation.
+echo "==> cargo xtask check --explain wire-taint"
+cargo xtask check --explain wire-taint > /dev/null
 run cargo xtask model --smoke
 run cargo run -q -p sdalloc-experiments -- chaos --smoke
 run cargo run -q -p sdalloc-bench --bin directory_scale -- --smoke
