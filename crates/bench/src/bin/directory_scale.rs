@@ -35,7 +35,7 @@
 //! Everything is driven from a fixed-seed [`SimRng`], so the work done
 //! (not the wall time) is identical across runs.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fs;
 use std::hint::black_box;
 use std::net::Ipv4Addr;
@@ -54,10 +54,19 @@ const TIMEOUT: SimDuration = SimDuration::from_secs(3600);
 /// The pre-refactor cache: a bare `HashMap` where every hot operation
 /// is a full scan.  Kept verbatim-in-spirit so the benchmark compares
 /// algorithms, not incidental code differences — observation and
-/// removal bookkeeping match the indexed cache; only the lookups scan.
+/// removal bookkeeping match the indexed cache (including the
+/// reconciliation digests and governor indices both sides now
+/// maintain); only the lookups scan.
 struct LegacyCache {
     entries: HashMap<CacheKey, CacheEntry>,
     timeout: SimDuration,
+    /// Matched-bookkeeping mirror of the indexed cache's per-bucket
+    /// digest accumulators.
+    digests: [u64; 16],
+    /// Matched-bookkeeping mirror of the governor's origin index.
+    origin_keys: HashMap<Ipv4Addr, BTreeSet<u64>>,
+    /// Matched-bookkeeping mirror of the governor's unverified tier.
+    unverified: BTreeSet<(SimTime, CacheKey)>,
 }
 
 impl LegacyCache {
@@ -65,6 +74,9 @@ impl LegacyCache {
         LegacyCache {
             entries: HashMap::new(),
             timeout,
+            digests: [0; 16],
+            origin_keys: HashMap::new(),
+            unverified: BTreeSet::new(),
         }
     }
 
@@ -75,6 +87,13 @@ impl LegacyCache {
         };
         match self.entries.get_mut(&key) {
             None => {
+                let (bucket, hash) = AnnouncementCache::desc_digest(&desc);
+                self.digests[bucket] ^= hash;
+                self.origin_keys
+                    .entry(key.origin)
+                    .or_default()
+                    .insert(key.session_id);
+                self.unverified.insert((now, key));
                 self.entries.insert(
                     key,
                     CacheEntry {
@@ -86,9 +105,17 @@ impl LegacyCache {
                 );
             }
             Some(entry) => {
+                let (bucket, old_hash) = AnnouncementCache::desc_digest(&entry.desc);
+                let (_, new_hash) = AnnouncementCache::desc_digest(&desc);
+                if old_hash != new_hash {
+                    self.digests[bucket] ^= old_hash ^ new_hash;
+                }
                 entry.desc = desc;
                 entry.last_heard = now;
                 entry.announcements += 1;
+                if entry.announcements == 2 {
+                    self.unverified.remove(&(entry.first_heard, key));
+                }
             }
         }
     }
@@ -96,8 +123,22 @@ impl LegacyCache {
     fn purge_expired(&mut self, now: SimTime) -> usize {
         let timeout = self.timeout;
         let mut purged = Vec::new();
+        let digests = &mut self.digests;
+        let origin_keys = &mut self.origin_keys;
+        let unverified = &mut self.unverified;
         self.entries.retain(|key, entry| {
             if now.saturating_since(entry.last_heard) > timeout {
+                let (bucket, hash) = AnnouncementCache::desc_digest(&entry.desc);
+                digests[bucket] ^= hash;
+                if let Some(ids) = origin_keys.get_mut(&key.origin) {
+                    ids.remove(&key.session_id);
+                    if ids.is_empty() {
+                        origin_keys.remove(&key.origin);
+                    }
+                }
+                if entry.announcements < 2 {
+                    unverified.remove(&(entry.first_heard, *key));
+                }
                 purged.push(*key);
                 false
             } else {
@@ -327,12 +368,26 @@ fn run_size(n: usize, knobs: &Knobs, rows: &mut Vec<Row>) {
     // expiry (fresh caches: the churned ones have bunched last_heard)
     let mut legacy = LegacyCache::new(TIMEOUT);
     populate(&mut legacy, &descs);
-    let (l_out, legacy_ns) = timed(|| expiry(&mut legacy, n, knobs));
     let mut indexed = AnnouncementCache::new(TIMEOUT);
     populate(&mut indexed, &descs);
+    assert_eq!(
+        legacy.digests,
+        indexed.digest(),
+        "matched digest bookkeeping diverges after populate"
+    );
+    assert_ne!(
+        legacy.digests, [0; 16],
+        "populated digests must be non-zero"
+    );
+    let (l_out, legacy_ns) = timed(|| expiry(&mut legacy, n, knobs));
     let (i_out, indexed_ns) = timed(|| expiry(&mut indexed, n, knobs));
     assert_eq!(l_out, i_out, "expiry purge counts diverge");
     assert_eq!(l_out, n, "expiry must drain the whole cache");
+    assert_eq!(
+        legacy.digests,
+        indexed.digest(),
+        "matched digest bookkeeping returns to empty after full drain"
+    );
     black_box(i_out);
     rows.push(Row {
         size: n,

@@ -24,7 +24,9 @@
 //! which is what makes a fault reproducible enough to debug.
 
 use sdalloc_core::{AddrSpace, InformedRandomAllocator, StaticIpr};
-use sdalloc_sap::directory::{DirectoryConfig, DirectoryEvent, SessionDirectory};
+use sdalloc_sap::directory::{
+    DirectoryConfig, DirectoryEvent, GovernorConfig, ReconcileConfig, SessionDirectory,
+};
 use sdalloc_sap::sdp::Media;
 use sdalloc_sap::testbed::Testbed;
 use sdalloc_sim::{Channel, CorruptionMode, FaultPlan, SimDuration, SimRng, SimTime};
@@ -278,6 +280,201 @@ pub fn crash_restart(seed: u64, smoke: bool) -> CrashRestart {
     out
 }
 
+/// Outcome of the crash-restart scenario with digest reconciliation,
+/// against the plain announce-cycle baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashRestartRecon {
+    /// Scenario repeats (per mode).
+    pub runs: usize,
+    /// Sessions the survivor holds — the restarted cache must re-learn
+    /// every one of them, not just the first.
+    pub sessions: usize,
+    /// Baseline runs that fully rebuilt before the horizon.
+    pub baseline_rebuilt: usize,
+    /// Seconds from restart until the *last* session was re-heard,
+    /// baseline (announce cycle only).
+    pub baseline_full_rebuild_s: Vec<f64>,
+    /// Reconciliation runs that fully rebuilt before the horizon.
+    pub recon_rebuilt: usize,
+    /// Seconds from restart until the last session was re-heard with
+    /// the digest exchange enabled.
+    pub recon_full_rebuild_s: Vec<f64>,
+}
+
+impl CrashRestartRecon {
+    /// Exposure-window reduction: baseline mean over recon mean.
+    pub fn speedup(&self) -> f64 {
+        let r = mean(&self.recon_full_rebuild_s);
+        if r <= 0.0 {
+            0.0
+        } else {
+            mean(&self.baseline_full_rebuild_s) / r
+        }
+    }
+}
+
+/// One crash/restart instance: the survivor owns `sessions` sessions,
+/// node 1 crashes and restarts, and the run measures seconds from
+/// restart until node 1 has re-heard all of them (`None`: never did).
+fn crash_restart_recon_instance(seed: u64, k: u64, recon: bool, sessions: usize) -> Option<f64> {
+    let cap = SimDuration::from_secs(30);
+    let crash_at = SimTime::from_secs(60);
+    // Restart just *after* a periodic announce instant (the cap-30
+    // schedule fires at 95 s), so the announce-cycle baseline pays a
+    // representative near-full period, not a lucky phase alignment.
+    let restart_at = SimTime::from_secs(96);
+    let mut cfgs = configs(2, 256);
+    for cfg in &mut cfgs {
+        cfg.schedule.cap = cap;
+        if recon {
+            cfg.reconcile = Some(ReconcileConfig::default());
+        }
+    }
+    let mut tb = Testbed::new(
+        cfgs,
+        || Box::new(InformedRandomAllocator),
+        Channel::mbone_default(),
+        seed ^ (k << 20),
+    )
+    .with_faults(FaultPlan::new().with_crash(1, crash_at, Some(restart_at)));
+    let mut rng = SimRng::new(seed ^ (k << 12));
+    let now = tb.now();
+    for _ in 0..sessions {
+        tb.directory_mut(0)
+            .create_session(now, "survivor", 127, media(), &mut rng)
+            .ok()?;
+    }
+    tb.kick(0);
+    tb.kick(1);
+    tb.run_until(SimTime::from_secs(240));
+    // Full rebuild = the moment the n-th distinct session lands back in
+    // the restarted cache (every re-learned entry logs Heard(New)).
+    let mut new_heard = 0;
+    for e in tb.log.iter().filter(|e| {
+        e.node == 1
+            && e.at >= restart_at
+            && matches!(
+                e.event,
+                DirectoryEvent::Heard(sdalloc_sap::cache::CacheUpdate::New)
+            )
+    }) {
+        new_heard += 1;
+        if new_heard == sessions {
+            return Some(e.at.saturating_since(restart_at).as_secs_f64());
+        }
+    }
+    None
+}
+
+/// Crash/restart with the anti-entropy digest exchange, head-to-head
+/// against the announce-cycle baseline: same seeds, same fault plan,
+/// same survivor sessions — only `DirectoryConfig::reconcile` differs.
+pub fn crash_restart_recon(seed: u64, smoke: bool) -> CrashRestartRecon {
+    let runs = runs(smoke);
+    let sessions = 6;
+    let mut out = CrashRestartRecon {
+        runs,
+        sessions,
+        baseline_rebuilt: 0,
+        baseline_full_rebuild_s: Vec::new(),
+        recon_rebuilt: 0,
+        recon_full_rebuild_s: Vec::new(),
+    };
+    for k in 0..runs as u64 {
+        if let Some(s) = crash_restart_recon_instance(seed, k, false, sessions) {
+            out.baseline_rebuilt += 1;
+            out.baseline_full_rebuild_s.push(s);
+        }
+        if let Some(s) = crash_restart_recon_instance(seed, k, true, sessions) {
+            out.recon_rebuilt += 1;
+            out.recon_full_rebuild_s.push(s);
+        }
+    }
+    out
+}
+
+/// Outcome of the storm-under-governor scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormQuota {
+    /// Scenario repeats.
+    pub runs: usize,
+    /// Forged announcements injected per run.
+    pub packets: u32,
+    /// The governor's hard cache budget.
+    pub budget: usize,
+    /// Largest listener cache observed at the horizon across runs.
+    pub max_cached: usize,
+    /// Runs where the legitimate (verified) session was still cached at
+    /// the horizon — must equal `runs` for zero legitimate evictions.
+    pub legit_retained: usize,
+    /// Unverified-tier evictions across all runs (forged entries
+    /// displacing each other at the budget).
+    pub evicted_unverified: u64,
+    /// Newcomers refused because every incumbent was legitimate.
+    pub rejected_budget: u64,
+}
+
+/// The PR-3 storm, replayed against a governed cache: the forged flood
+/// must neither grow the cache past the budget nor evict the real
+/// session.
+pub fn storm_quota(seed: u64, smoke: bool) -> StormQuota {
+    let runs = runs(smoke);
+    let packets = if smoke { 50 } else { 200 };
+    let budget = 32;
+    let mut out = StormQuota {
+        runs,
+        packets,
+        budget,
+        max_cached: 0,
+        legit_retained: 0,
+        evicted_unverified: 0,
+        rejected_budget: 0,
+    };
+    for k in 0..runs {
+        let mut cfgs = configs(2, 256);
+        for cfg in &mut cfgs {
+            cfg.governor = Some(GovernorConfig {
+                max_entries: budget,
+                per_source_quota: 4,
+                ..GovernorConfig::default()
+            });
+        }
+        let mut tb = Testbed::new(
+            cfgs,
+            || Box::new(InformedRandomAllocator),
+            Channel::mbone_default(),
+            seed ^ (k as u64) << 21,
+        )
+        // The storm opens at t=20: the legitimate session has announced
+        // at 0, 5 and 15 by then, so the listener holds it verified.
+        .with_faults(FaultPlan::new().with_storm(SimTime::from_secs(20), packets));
+        let mut rng = SimRng::new(seed ^ ((k as u64) << 13));
+        let now = tb.now();
+        if tb
+            .directory_mut(0)
+            .create_session(now, "real", 127, media(), &mut rng)
+            .is_err()
+        {
+            continue;
+        }
+        let Some((_, s)) = tb.directory(0).own_sessions().next() else {
+            continue;
+        };
+        let (legit_origin, legit_sid) = (s.desc.origin.address, s.desc.origin.session_id);
+        tb.kick(0);
+        tb.run_until(SimTime::from_secs(120));
+        let listener = tb.directory(1);
+        out.max_cached = out.max_cached.max(listener.cached_sessions());
+        if listener.cache().get(legit_origin, legit_sid).is_some() {
+            out.legit_retained += 1;
+        }
+        let m = &listener.telemetry().metrics;
+        out.evicted_unverified += m.counter_by_name("governor.evicted_unverified");
+        out.rejected_budget += m.counter_by_name("governor.rejected_budget");
+    }
+    out
+}
+
 /// Outcome of the burst-loss scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BurstLoss {
@@ -474,8 +671,10 @@ pub fn exhaustion(seed: u64) -> Exhaustion {
 pub fn run(seed: u64, smoke: bool) -> String {
     let ph = partition_heal(seed, smoke);
     let cr = crash_restart(seed, smoke);
+    let crr = crash_restart_recon(seed, smoke);
     let bl = burst_loss(seed, smoke);
     let st = storm(seed, smoke);
+    let sq = storm_quota(seed, smoke);
     let ex = exhaustion(seed);
     let mut s = String::new();
     s.push_str("{\n");
@@ -515,6 +714,24 @@ pub fn run(seed: u64, smoke: bool) -> String {
         cr.announce_cap_s
     ));
     s.push_str("  },\n");
+    s.push_str("  \"crash_restart_recon\": {\n");
+    s.push_str(&format!("    \"runs\": {},\n", crr.runs));
+    s.push_str(&format!("    \"sessions\": {},\n", crr.sessions));
+    s.push_str(&format!(
+        "    \"baseline_rebuilt\": {},\n",
+        crr.baseline_rebuilt
+    ));
+    s.push_str(&format!(
+        "    \"mean_baseline_full_rebuild_s\": {:.3},\n",
+        mean(&crr.baseline_full_rebuild_s)
+    ));
+    s.push_str(&format!("    \"recon_rebuilt\": {},\n", crr.recon_rebuilt));
+    s.push_str(&format!(
+        "    \"mean_recon_full_rebuild_s\": {:.3},\n",
+        mean(&crr.recon_full_rebuild_s)
+    ));
+    s.push_str(&format!("    \"speedup\": {:.3}\n", crr.speedup()));
+    s.push_str("  },\n");
     s.push_str("  \"burst_loss\": {\n");
     s.push_str(&format!("    \"runs\": {},\n", bl.runs));
     s.push_str(&format!("    \"converged\": {},\n", bl.converged));
@@ -537,6 +754,21 @@ pub fn run(seed: u64, smoke: bool) -> String {
     s.push_str(&format!(
         "    \"mean_forged_cached\": {:.3}\n",
         mean(&st.forged_cached)
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"storm_quota\": {\n");
+    s.push_str(&format!("    \"runs\": {},\n", sq.runs));
+    s.push_str(&format!("    \"packets\": {},\n", sq.packets));
+    s.push_str(&format!("    \"budget\": {},\n", sq.budget));
+    s.push_str(&format!("    \"max_cached\": {},\n", sq.max_cached));
+    s.push_str(&format!("    \"legit_retained\": {},\n", sq.legit_retained));
+    s.push_str(&format!(
+        "    \"evicted_unverified\": {},\n",
+        sq.evicted_unverified
+    ));
+    s.push_str(&format!(
+        "    \"rejected_budget\": {}\n",
+        sq.rejected_budget
     ));
     s.push_str("  },\n");
     s.push_str("  \"exhaustion\": {\n");
@@ -659,6 +891,38 @@ mod tests {
             ph.exposure_s.iter().all(|&s| s > 0.0 && s < 1_300.0),
             "exposure starts at the heal and ends before the horizon: {:?}",
             ph.exposure_s
+        );
+    }
+
+    #[test]
+    fn crash_restart_recon_closes_the_exposure_window() {
+        let crr = crash_restart_recon(1998, true);
+        assert_eq!(crr.baseline_rebuilt, crr.runs, "baseline must rebuild");
+        assert_eq!(crr.recon_rebuilt, crr.runs, "recon must rebuild");
+        assert!(
+            crr.speedup() >= 5.0,
+            "reconciliation must shrink the window ≥5×: baseline {:?}, recon {:?}",
+            crr.baseline_full_rebuild_s,
+            crr.recon_full_rebuild_s
+        );
+    }
+
+    #[test]
+    fn storm_quota_bounds_cache_and_keeps_legit_sessions() {
+        let sq = storm_quota(1998, true);
+        assert!(
+            sq.max_cached <= sq.budget,
+            "cache grew past the budget: {} > {}",
+            sq.max_cached,
+            sq.budget
+        );
+        assert_eq!(
+            sq.legit_retained, sq.runs,
+            "a legitimate session was evicted under storm pressure"
+        );
+        assert!(
+            sq.evicted_unverified > 0,
+            "the forged flood must have cycled through the unverified tier"
         );
     }
 

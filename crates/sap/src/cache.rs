@@ -30,6 +30,28 @@
 //!   [`Self::visible_sessions`] walks only distinct occupied
 //!   `(group, ttl)` pairs in deterministic order instead of scanning
 //!   and sorting the whole table per allocation.
+//!
+//! ## Reconciliation digests
+//!
+//! For anti-entropy recovery (a restarted directory rebuilding its
+//! cache from a live peer) the cache maintains [`DIGEST_BUCKETS`]
+//! XOR-accumulated summaries: every entry hashes (group, key, version)
+//! through seeded FNV-1a into the bucket its *key* selects, and the
+//! bucket accumulator XORs the hash in on admit and out on removal.
+//! XOR is commutative and self-inverse, so two caches holding the same
+//! entries produce byte-identical digests regardless of arrival order,
+//! and maintenance is O(1) per update.  [`Self::diff_buckets`] names
+//! the buckets where two caches disagree; [`Self::keys_in_bucket`]
+//! enumerates the entries a peer must re-announce to close the gap.
+//!
+//! ## Governor indices
+//!
+//! The ingest governor's tiered eviction needs deterministic victims:
+//! an **origin index** (`origin → sorted session ids`) backs per-source
+//! quotas, and an **unverified set** (`(first_heard, key)` of entries
+//! heard exactly once) names the newest-unproven tier.  Both are
+//! `BTreeMap`/`BTreeSet` so iteration order — and therefore every
+//! eviction decision and chaos report — is identical across runs.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
@@ -39,6 +61,17 @@ use sdalloc_core::{AddrSpace, VisibleSession};
 use sdalloc_sim::{SimDuration, SimTime};
 
 use crate::sdp::SessionDescription;
+use crate::wire::fnv1a_64;
+
+/// Number of reconciliation digest buckets.  Sixteen keeps the wire
+/// message one small line while still narrowing a single-entry diff to
+/// ~1/16 of the cache for targeted re-announcement.
+pub const DIGEST_BUCKETS: usize = 16;
+
+/// Protocol-wide digest seed folded into every per-entry hash.  Peers
+/// carry the seed in [`crate::wire::CacheDigest`]; a digest computed
+/// under a different seed is incomparable and must be ignored.
+pub const DIGEST_SEED: u64 = 0x5d1c_4a11_0c8d_1697;
 
 /// Cache key: who announced, which of their sessions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -92,6 +125,18 @@ pub struct AnnouncementCache {
     /// `(group, ttl) → entry count`, sorted by group then TTL — the
     /// allocator-view projection.
     visible: BTreeMap<(Ipv4Addr, u8), u32>,
+    /// XOR-accumulated seeded FNV hashes over (group, key, version),
+    /// one accumulator per bucket — the anti-entropy summary.
+    digests: [u64; DIGEST_BUCKETS],
+    /// `origin → its cached session ids` — governor quotas and
+    /// quota-tier eviction.  The outer map is hashed for O(1) hot-path
+    /// maintenance; eviction re-derives the deterministic
+    /// lowest-origin order with a min-scan (see
+    /// [`Self::quota_violator`]).
+    origin_keys: HashMap<Ipv4Addr, BTreeSet<u64>>,
+    /// `(first_heard, key)` of entries heard exactly once — the
+    /// governor's unverified-new eviction tier.
+    unverified: BTreeSet<(SimTime, CacheKey)>,
     /// Reused output buffer for the purge methods: no allocation on the
     /// (overwhelmingly common) calls where nothing expires.
     scratch: Vec<CacheKey>,
@@ -110,8 +155,35 @@ impl AnnouncementCache {
             expiry: BinaryHeap::new(),
             by_group: HashMap::new(),
             visible: BTreeMap::new(),
+            digests: [0; DIGEST_BUCKETS],
+            origin_keys: HashMap::new(),
+            unverified: BTreeSet::new(),
             scratch: Vec::new(),
         }
+    }
+
+    /// The digest bucket `key` hashes into (key only, so version and
+    /// group changes stay within one bucket).
+    // lint:allow(panic-reach): fixed-size copies into a 12-byte array; both slice bounds are compile-time constants
+    fn bucket_of(key: &CacheKey) -> usize {
+        let mut bytes = [0u8; 12];
+        bytes[..4].copy_from_slice(&key.origin.octets());
+        bytes[4..].copy_from_slice(&key.session_id.to_be_bytes());
+        // DIGEST_BUCKETS is a power of two; the mask keeps this branch-free.
+        (fnv1a_64(&bytes) as usize) & (DIGEST_BUCKETS - 1)
+    }
+
+    /// The seeded per-entry hash over (group, key, version) that the
+    /// bucket accumulators XOR together.
+    // lint:allow(panic-reach): fixed-size copies into a 32-byte array; both slice bounds are compile-time constants
+    fn entry_hash(key: &CacheKey, desc: &SessionDescription) -> u64 {
+        let mut bytes = [0u8; 32];
+        bytes[..8].copy_from_slice(&DIGEST_SEED.to_be_bytes());
+        bytes[8..12].copy_from_slice(&desc.group.octets());
+        bytes[12..16].copy_from_slice(&key.origin.octets());
+        bytes[16..24].copy_from_slice(&key.session_id.to_be_bytes());
+        bytes[24..].copy_from_slice(&desc.origin.version.to_be_bytes());
+        fnv1a_64(&bytes)
     }
 
     /// The configured expiry timeout.
@@ -150,6 +222,7 @@ impl AnnouncementCache {
         match self.entries.get_mut(&key) {
             None => {
                 let (group, ttl) = (desc.group, desc.ttl);
+                let hash = Self::entry_hash(&key, &desc);
                 self.entries.insert(
                     key,
                     CacheEntry {
@@ -161,6 +234,13 @@ impl AnnouncementCache {
                 );
                 self.expiry.push(Reverse((now, key)));
                 self.index_insert(key, group, ttl);
+                let bucket = Self::bucket_of(&key);
+                self.digests[bucket] ^= hash; // lint:allow(panic-reach): bucket_of masks into 0..DIGEST_BUCKETS
+                self.origin_keys
+                    .entry(key.origin)
+                    .or_default()
+                    .insert(key.session_id);
+                self.unverified.insert((now, key));
                 CacheUpdate::New
             }
             Some(entry) => {
@@ -171,14 +251,24 @@ impl AnnouncementCache {
                     desc.origin.version > entry.desc.origin.version || desc != entry.desc;
                 let (old_group, old_ttl) = (entry.desc.group, entry.desc.ttl);
                 let (new_group, new_ttl) = (desc.group, desc.ttl);
+                let old_hash = Self::entry_hash(&key, &entry.desc);
+                let new_hash = Self::entry_hash(&key, &desc);
                 entry.desc = desc;
                 entry.last_heard = now;
                 entry.announcements += 1;
+                let became_verified = entry.announcements == 2;
+                let first_heard = entry.first_heard;
                 // The refresh only bumps `last_heard`; the stale expiry
                 // slot is lazily re-pushed when it surfaces.
                 if (old_group, old_ttl) != (new_group, new_ttl) {
                     self.index_remove(key, old_group, old_ttl);
                     self.index_insert(key, new_group, new_ttl);
+                }
+                if old_hash != new_hash {
+                    self.digests[Self::bucket_of(&key)] ^= old_hash ^ new_hash; // lint:allow(panic-reach): bucket_of masks into 0..DIGEST_BUCKETS
+                }
+                if became_verified {
+                    self.unverified.remove(&(first_heard, key));
                 }
                 if modified {
                     CacheUpdate::Modified
@@ -189,18 +279,41 @@ impl AnnouncementCache {
         }
     }
 
+    /// Drop the digest/governor index state of a just-removed entry.
+    /// Every removal path (delete, purge, eviction) funnels here so the
+    /// accumulators stay exact.
+    fn forget(&mut self, key: CacheKey, entry: &CacheEntry) {
+        let bucket = Self::bucket_of(&key);
+        self.digests[bucket] ^= Self::entry_hash(&key, &entry.desc); // lint:allow(panic-reach): bucket_of masks into 0..DIGEST_BUCKETS
+        if let Some(ids) = self.origin_keys.get_mut(&key.origin) {
+            ids.remove(&key.session_id);
+            if ids.is_empty() {
+                self.origin_keys.remove(&key.origin);
+            }
+        }
+        // Entries heard twice were dropped from `unverified` the moment
+        // they verified; only once-heard entries still hold a slot.
+        if entry.announcements < 2 {
+            self.unverified.remove(&(entry.first_heard, key));
+        }
+    }
+
     /// Feed a deletion for `(origin, session_id)`; returns whether an
     /// entry was removed.
     pub fn observe_delete(&mut self, origin: Ipv4Addr, session_id: u64) -> bool {
-        let key = CacheKey { origin, session_id };
-        match self.entries.remove(&key) {
-            Some(entry) => {
-                self.index_remove(key, entry.desc.group, entry.desc.ttl);
-                // The expiry slot is discarded lazily.
-                true
-            }
-            None => false,
-        }
+        self.evict(CacheKey { origin, session_id }).is_some()
+    }
+
+    /// Remove one entry by key, maintaining every index; returns the
+    /// removed entry.  The governor's eviction tiers call this with a
+    /// victim chosen by [`Self::oldest_entry`],
+    /// [`Self::oldest_unverified`] or [`Self::quota_violator`].
+    pub fn evict(&mut self, key: CacheKey) -> Option<CacheEntry> {
+        let entry = self.entries.remove(&key)?;
+        self.index_remove(key, entry.desc.group, entry.desc.ttl);
+        self.forget(key, &entry);
+        // The expiry slot is discarded lazily.
+        Some(entry)
     }
 
     /// Pop every entry whose `last_heard` is more than `horizon` before
@@ -228,9 +341,10 @@ impl AnnouncementCache {
                 continue;
             }
             if now.saturating_since(entry.last_heard) > horizon {
-                let (group, ttl) = (entry.desc.group, entry.desc.ttl);
-                self.entries.remove(&key);
-                self.index_remove(key, group, ttl);
+                if let Some(entry) = self.entries.remove(&key) {
+                    self.index_remove(key, entry.desc.group, entry.desc.ttl);
+                    self.forget(key, &entry);
+                }
                 self.scratch.push(key);
             } else {
                 // Unreachable in practice (pushed == last_heard and the
@@ -266,6 +380,13 @@ impl AnnouncementCache {
     /// effective timeout`).  Lazily compacts stale heap slots, so the
     /// answer is exact.
     pub fn earliest_last_heard(&mut self) -> Option<SimTime> {
+        self.oldest_entry().map(|(_, at)| at)
+    }
+
+    /// The least-recently-refreshed entry and its `last_heard` — the
+    /// governor's stale eviction tier.  Lazily compacts stale heap
+    /// slots, like [`Self::earliest_last_heard`].
+    pub fn oldest_entry(&mut self) -> Option<(CacheKey, SimTime)> {
         loop {
             let &Reverse((pushed, key)) = self.expiry.peek()?;
             let Some(entry) = self.entries.get(&key) else {
@@ -277,8 +398,90 @@ impl AnnouncementCache {
                 self.expiry.push(Reverse((entry.last_heard, key))); // lint:allow(wire-taint): re-files the popped slot of an existing entry; net heap size does not grow
                 continue;
             }
-            return Some(pushed);
+            return Some((key, pushed));
         }
+    }
+
+    /// The oldest entry heard exactly once — the governor's
+    /// unverified-new eviction tier.  O(log n).
+    pub fn oldest_unverified(&self) -> Option<CacheKey> {
+        self.unverified.first().map(|&(_, key)| key)
+    }
+
+    /// The least-recently-heard session of the lowest-addressed origin
+    /// holding more than `quota` entries — the governor's quota
+    /// eviction tier.  O(origins + quota); deterministic because the
+    /// violating origin is picked by min-scan and the victim by a
+    /// total (last_heard, key) order.
+    // lint:allow(hot-path-scan): last-resort eviction tier, reached only at the hard cache budget when the stale and unverified tiers are empty
+    pub fn quota_violator(&self, quota: u32) -> Option<CacheKey> {
+        let origin = self
+            .origin_keys
+            .iter()
+            .filter(|(_, ids)| ids.len() as u64 > u64::from(quota))
+            .map(|(&origin, _)| origin)
+            .min()?;
+        let ids = self.origin_keys.get(&origin)?;
+        ids.iter()
+            .filter_map(|&session_id| {
+                let key = CacheKey { origin, session_id };
+                self.entries.get(&key).map(|e| (e.last_heard, key))
+            })
+            .min()
+            .map(|(_, key)| key)
+    }
+
+    /// Number of cached sessions announced by `origin`.  O(log origins).
+    pub fn origin_count(&self, origin: Ipv4Addr) -> usize {
+        self.origin_keys.get(&origin).map_or(0, BTreeSet::len)
+    }
+
+    /// The current per-bucket digest accumulators.
+    pub fn digest(&self) -> [u64; DIGEST_BUCKETS] {
+        self.digests
+    }
+
+    /// Bucket indices where our digest differs from `theirs`, sorted.
+    pub fn diff_buckets(&self, theirs: &[u64; DIGEST_BUCKETS]) -> Vec<u16> {
+        (0..DIGEST_BUCKETS)
+            .filter(|&b| self.digests[b] != theirs[b]) // lint:allow(panic-reach): b ranges over 0..DIGEST_BUCKETS, the length of both arrays
+            .map(|b| b as u16)
+            .collect()
+    }
+
+    /// Keys currently hashed into `bucket`, sorted (empty when the
+    /// bucket index is out of range) — what a peer re-announces to
+    /// close a digest gap.
+    ///
+    /// Computed by scanning rather than kept as an eager index: the
+    /// callers are reconcile requests, rate-limited by the directory's
+    /// `min_request_gap`, while an eager per-bucket index would tax
+    /// every insert and expiry on the announcement hot path.
+    pub fn keys_in_bucket(&self, bucket: usize) -> Vec<CacheKey> {
+        if bucket >= DIGEST_BUCKETS {
+            return Vec::new(); // lint:allow(hot-alloc): empty Vec does not allocate
+        }
+        let mut keys: Vec<CacheKey> = self
+            .entries
+            .keys() // lint:allow(hot-path-scan): reconcile-request path, rate-limited by min_request_gap; an eager per-bucket index would tax every insert and expiry instead
+            .filter(|k| Self::bucket_of(k) == bucket)
+            .copied()
+            .collect(); // lint:allow(hot-alloc): reconcile-request path, rate-limited by min_request_gap; at most one bucket's worth of keys
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The digest contribution of one session description: the bucket
+    /// it hashes into and its (group, key, version) hash.  The
+    /// directory folds its *own* (uncached) sessions into the scope
+    /// digest with this, so two in-sync peers — one originating a
+    /// session, the other caching it — digest identically.
+    pub fn desc_digest(desc: &SessionDescription) -> (usize, u64) {
+        let key = CacheKey {
+            origin: desc.origin.address,
+            session_id: desc.origin.session_id,
+        };
+        (Self::bucket_of(&key), Self::entry_hash(&key, desc))
     }
 
     /// Number of cached sessions.
@@ -560,5 +763,154 @@ mod tests {
         }
         assert_eq!(c.len(), 50);
         assert_eq!(c.expiry.len(), 50, "refresh churn must not grow the heap");
+    }
+
+    #[test]
+    fn digest_is_order_independent() {
+        // XOR accumulation: two caches holding the same entries digest
+        // identically no matter the arrival order (or refresh history).
+        let descs: Vec<_> = (0..20u64)
+            .map(|k| {
+                desc(
+                    [10, 0, (k / 8) as u8, (k % 8) as u8 + 1],
+                    k,
+                    1,
+                    [224, 2, 128, k as u8],
+                    63,
+                )
+            })
+            .collect();
+        let mut forward = AnnouncementCache::new(SimDuration::from_secs(3600));
+        for d in &descs {
+            forward.observe_announce(t(0), d.clone());
+        }
+        let mut backward = AnnouncementCache::new(SimDuration::from_secs(3600));
+        for d in descs.iter().rev() {
+            backward.observe_announce(t(5), d.clone());
+            backward.observe_announce(t(6), d.clone()); // refresh: digest-neutral
+        }
+        assert_eq!(forward.digest(), backward.digest());
+        assert!(forward.diff_buckets(&backward.digest()).is_empty());
+    }
+
+    #[test]
+    fn digest_tracks_insert_modify_delete() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(3600));
+        let empty = c.digest();
+        let d1 = desc([10, 0, 0, 1], 7, 1, [224, 2, 128, 5], 63);
+        c.observe_announce(t(0), d1.clone());
+        let with_v1 = c.digest();
+        assert_ne!(with_v1, empty, "an entry must perturb its bucket");
+        // A version bump (e.g. an address move) changes the digest ...
+        let mut d2 = d1.clone();
+        d2.origin.version = 2;
+        d2.group = Ipv4Addr::new(224, 2, 128, 9);
+        c.observe_announce(t(1), d2);
+        assert_ne!(c.digest(), with_v1);
+        // ... while removal restores the empty accumulator exactly.
+        assert!(c.observe_delete(Ipv4Addr::new(10, 0, 0, 1), 7));
+        assert_eq!(c.digest(), empty);
+    }
+
+    #[test]
+    fn digest_survives_purge() {
+        // Expiry removals must unwind the accumulators like deletes do.
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(100));
+        let empty = c.digest();
+        c.observe_announce(t(0), desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 1], 63));
+        c.observe_announce(t(50), desc([10, 0, 0, 2], 2, 1, [224, 2, 128, 2], 63));
+        c.purge_expired(t(120));
+        let survivor = c.digest();
+        assert_ne!(survivor, empty);
+        c.purge_expired(t(300));
+        assert_eq!(c.digest(), empty);
+        assert_eq!(
+            c.keys_in_bucket(0).len()
+                + (1..DIGEST_BUCKETS)
+                    .map(|b| c.keys_in_bucket(b).len())
+                    .sum::<usize>(),
+            0
+        );
+    }
+
+    #[test]
+    fn bucket_index_names_divergent_entries() {
+        let mut a = AnnouncementCache::new(SimDuration::from_secs(3600));
+        let mut b = AnnouncementCache::new(SimDuration::from_secs(3600));
+        let shared = desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 1], 63);
+        a.observe_announce(t(0), shared.clone());
+        b.observe_announce(t(0), shared);
+        let only_a = desc([10, 0, 0, 2], 2, 1, [224, 2, 128, 2], 63);
+        a.observe_announce(t(0), only_a.clone());
+        let diff = a.diff_buckets(&b.digest());
+        assert_eq!(
+            diff.len(),
+            1,
+            "one extra entry differs in exactly one bucket"
+        );
+        let keys = a.keys_in_bucket(diff[0] as usize);
+        assert!(keys
+            .iter()
+            .any(|k| k.origin == only_a.origin.address && k.session_id == 2));
+    }
+
+    #[test]
+    fn governor_indices_track_origins_and_verification() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(3600));
+        for sid in 0..3u64 {
+            c.observe_announce(
+                t(sid),
+                desc([10, 0, 0, 1], sid, 1, [224, 2, 128, sid as u8], 63),
+            );
+        }
+        c.observe_announce(t(9), desc([10, 0, 0, 2], 0, 1, [224, 2, 129, 0], 63));
+        assert_eq!(c.origin_count(Ipv4Addr::new(10, 0, 0, 1)), 3);
+        assert_eq!(c.origin_count(Ipv4Addr::new(10, 0, 0, 2)), 1);
+        assert_eq!(c.origin_count(Ipv4Addr::new(10, 0, 0, 9)), 0);
+        // All entries heard once: the oldest unverified is the first in.
+        assert_eq!(
+            c.oldest_unverified(),
+            Some(CacheKey {
+                origin: Ipv4Addr::new(10, 0, 0, 1),
+                session_id: 0
+            })
+        );
+        // A second announcement verifies the entry out of the tier.
+        c.observe_announce(t(10), desc([10, 0, 0, 1], 0, 1, [224, 2, 128, 0], 63));
+        assert_eq!(
+            c.oldest_unverified(),
+            Some(CacheKey {
+                origin: Ipv4Addr::new(10, 0, 0, 1),
+                session_id: 1
+            })
+        );
+        // Quota tier: origin .1 holds 3 > 2; its stalest session (1,
+        // last heard at t(1)) is the deterministic victim.
+        assert_eq!(
+            c.quota_violator(2),
+            Some(CacheKey {
+                origin: Ipv4Addr::new(10, 0, 0, 1),
+                session_id: 1
+            })
+        );
+        assert_eq!(c.quota_violator(3), None);
+        // Eviction unwinds every index.
+        let victim = c.quota_violator(2).unwrap();
+        assert!(c.evict(victim).is_some());
+        assert!(c.evict(victim).is_none());
+        assert_eq!(c.origin_count(Ipv4Addr::new(10, 0, 0, 1)), 2);
+        assert_eq!(c.quota_violator(2), None);
+    }
+
+    #[test]
+    fn oldest_entry_matches_earliest_last_heard() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(100));
+        assert_eq!(c.oldest_entry(), None);
+        c.observe_announce(t(3), desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 1], 63));
+        c.observe_announce(t(1), desc([10, 0, 0, 2], 2, 1, [224, 2, 128, 2], 63));
+        let (key, at) = c.oldest_entry().unwrap();
+        assert_eq!(at, t(1));
+        assert_eq!(key.session_id, 2);
+        assert_eq!(c.earliest_last_heard(), Some(t(1)));
     }
 }

@@ -27,10 +27,12 @@ use sdalloc_core::{
 use sdalloc_sim::{SimDuration, SimRng, SimTime, TimerQueue, TimerToken};
 use sdalloc_telemetry::{CounterId, GaugeId, Severity, Telemetry, NO_ARG};
 
-use crate::cache::{AnnouncementCache, CacheUpdate};
+use crate::cache::{AnnouncementCache, CacheKey, CacheUpdate, DIGEST_BUCKETS, DIGEST_SEED};
 use crate::schedule::BackoffSchedule;
 use crate::sdp::{Media, Origin, SessionDescription};
-use crate::wire::{msg_id_hash, MessageType, SapPacket};
+use crate::wire::{
+    msg_id_hash, CacheDigest, MessageType, ReconMessage, ReconcileRequest, SapPacket,
+};
 
 /// Static configuration of a directory instance.
 #[derive(Debug, Clone)]
@@ -64,6 +66,85 @@ pub struct DirectoryConfig {
     /// moved or died unheard, at the cost of forgetting sessions whose
     /// announcements were merely lost.  `None` = hard timeout only.
     pub staleness_factor: Option<u32>,
+    /// Anti-entropy digest reconciliation.  When enabled the directory
+    /// periodically broadcasts a cache digest, answers divergent peers,
+    /// and — after [`SessionDirectory::restart`] — rebuilds its cache
+    /// from a live peer in a handful of RTTs instead of waiting out a
+    /// full announce cycle.  `None` = announce/listen only.
+    pub reconcile: Option<ReconcileConfig>,
+    /// Ingest resource governor: per-source token-bucket rate limits
+    /// plus cache admission control (per-source quotas, a hard entry
+    /// budget, tiered eviction) so announcement storms cannot grow the
+    /// cache unboundedly or evict legitimate sessions.  `None` =
+    /// admit everything (the paper's original trusting behaviour).
+    pub governor: Option<GovernorConfig>,
+}
+
+/// Timing and rate-limit knobs of the anti-entropy reconciliation
+/// protocol (see [`DirectoryConfig::reconcile`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ReconcileConfig {
+    /// Interval between periodic digest broadcasts.
+    pub digest_interval: SimDuration,
+    /// Digest cadence while *rebuilding*: a restarted node re-digests
+    /// on this (much shorter) interval until a peer's digest matches,
+    /// so one lost or rate-limited exchange costs seconds, not a full
+    /// `digest_interval`.
+    pub rebuild_interval: SimDuration,
+    /// Minimum gap between digests sent in *response* to a rebuilding
+    /// peer — the rate limit that keeps a digest storm from amplifying.
+    pub min_digest_gap: SimDuration,
+    /// Minimum gap between reconcile requests we originate.
+    pub min_request_gap: SimDuration,
+    /// Cap on sessions re-announced in answer to one request.
+    pub max_reannounce_per_request: usize,
+}
+
+impl Default for ReconcileConfig {
+    fn default() -> Self {
+        ReconcileConfig {
+            digest_interval: SimDuration::from_secs(30),
+            rebuild_interval: SimDuration::from_secs(2),
+            min_digest_gap: SimDuration::from_secs(1),
+            min_request_gap: SimDuration::from_secs(1),
+            max_reannounce_per_request: 64,
+        }
+    }
+}
+
+/// Resource limits of the ingest governor (see
+/// [`DirectoryConfig::governor`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GovernorConfig {
+    /// Hard cache entry budget.  A new entry arriving at the budget
+    /// triggers tiered eviction (stale → unverified-new →
+    /// quota-exceeding); with no evictable victim the entry is refused.
+    pub max_entries: usize,
+    /// Per-source cache quota: a source already holding this many
+    /// entries has further *new* sessions refused (refreshes of its
+    /// existing entries still land).
+    pub per_source_quota: u32,
+    /// Sustained per-source announcement rate, packets/second.
+    pub rate_per_sec: f64,
+    /// Token-bucket burst depth, packets.
+    pub burst: f64,
+    /// Upper bound on tracked per-source token buckets.  At the bound,
+    /// fully-refilled buckets are pruned first; if every tracked source
+    /// is still active, untracked sources bypass the rate limit (the
+    /// quota and budget tiers still hold the state bound).
+    pub max_tracked_sources: usize,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            max_entries: 4096,
+            per_source_quota: 64,
+            rate_per_sec: 10.0,
+            burst: 20.0,
+            max_tracked_sources: 1024,
+        }
+    }
 }
 
 impl DirectoryConfig {
@@ -79,6 +160,8 @@ impl DirectoryConfig {
             bandwidth_limit_bps: None,
             exhaustion_fallback: false,
             staleness_factor: None,
+            reconcile: None,
+            governor: None,
         }
     }
 }
@@ -171,6 +254,9 @@ pub enum TimerKind {
     /// Conservative in the same way: a suppressed defence leaves the
     /// wake a no-op.
     Defence,
+    /// The next periodic reconciliation digest broadcast is due (only
+    /// armed when [`DirectoryConfig::reconcile`] is set).
+    Reconcile,
 }
 
 /// Pre-registered metric ids for the directory's hot paths.  Built
@@ -188,6 +274,7 @@ struct DirMetrics {
     rx_packets: CounterId,
     rx_deletes: CounterId,
     rx_unparseable: CounterId,
+    rx_dropped: CounterId,
     heard_new: CounterId,
     heard_refreshed: CounterId,
     heard_modified: CounterId,
@@ -195,6 +282,20 @@ struct DirMetrics {
     purged_expired: CounterId,
     purged_stale: CounterId,
     cache_size: GaugeId,
+    recon_digest_sent: CounterId,
+    recon_digest_heard: CounterId,
+    recon_request_sent: CounterId,
+    recon_request_heard: CounterId,
+    recon_reannounced: CounterId,
+    recon_completed: CounterId,
+    recon_rebuilding: GaugeId,
+    rebuild_fraction: GaugeId,
+    gov_rate_limited: CounterId,
+    gov_rejected_quota: CounterId,
+    gov_rejected_budget: CounterId,
+    gov_evicted_stale: CounterId,
+    gov_evicted_unverified: CounterId,
+    gov_evicted_quota: CounterId,
 }
 
 impl DirMetrics {
@@ -210,6 +311,7 @@ impl DirMetrics {
             rx_packets: t.counter("net.rx_packets"),
             rx_deletes: t.counter("net.rx_deletes"),
             rx_unparseable: t.counter("net.rx_unparseable"),
+            rx_dropped: t.counter("net.rx_dropped"),
             heard_new: t.counter("cache.heard_new"),
             heard_refreshed: t.counter("cache.heard_refreshed"),
             heard_modified: t.counter("cache.heard_modified"),
@@ -217,8 +319,42 @@ impl DirMetrics {
             purged_expired: t.counter("cache.purged_expired"),
             purged_stale: t.counter("cache.purged_stale"),
             cache_size: t.gauge("cache.size"),
+            recon_digest_sent: t.counter("recon.digest_sent"),
+            recon_digest_heard: t.counter("recon.digest_heard"),
+            recon_request_sent: t.counter("recon.request_sent"),
+            recon_request_heard: t.counter("recon.request_heard"),
+            recon_reannounced: t.counter("recon.reannounced"),
+            recon_completed: t.counter("recon.completed"),
+            recon_rebuilding: t.gauge("recon.rebuilding"),
+            rebuild_fraction: t.gauge("cache.rebuild_fraction"),
+            gov_rate_limited: t.counter("governor.rate_limited"),
+            gov_rejected_quota: t.counter("governor.rejected_quota"),
+            gov_rejected_budget: t.counter("governor.rejected_budget"),
+            gov_evicted_stale: t.counter("governor.evicted_stale"),
+            gov_evicted_unverified: t.counter("governor.evicted_unverified"),
+            gov_evicted_quota: t.counter("governor.evicted_quota"),
         }
     }
+}
+
+/// Rebuild progress after a [`SessionDirectory::restart`] with
+/// reconciliation enabled: the directory stays in this phase until a
+/// peer digest matches its own.
+#[derive(Debug, Clone)]
+struct RebuildState {
+    /// Cache entries held at the instant of the crash — the
+    /// denominator of the `cache.rebuild_fraction` gauge.
+    entries_at_crash: u64,
+    /// The most recent peer digest heard while rebuilding; when our
+    /// scope digest reaches it, the rebuild is complete.
+    last_peer_digest: Option<[u64; DIGEST_BUCKETS]>,
+}
+
+/// One source's ingest token bucket.
+#[derive(Debug, Clone, Copy)]
+struct TokenBucket {
+    tokens: f64,
+    last_refill: SimTime,
 }
 
 /// The session directory engine.
@@ -249,6 +385,24 @@ pub struct SessionDirectory {
     /// The single outstanding clash-defence timer, with its deadline.
     /// Re-armed earlier when a new clash undercuts it.
     defence_timer: Option<(TimerToken, SimTime)>,
+    /// The single outstanding periodic-digest timer, with its deadline
+    /// (only armed when reconciliation is configured).
+    recon_timer: Option<(TimerToken, SimTime)>,
+    /// Post-restart rebuild progress; `None` once a peer digest
+    /// confirms we are back in sync (or when reconciliation is off).
+    rebuilding: Option<RebuildState>,
+    /// When we last transmitted a digest (periodic or responsive) —
+    /// the [`ReconcileConfig::min_digest_gap`] rate-limit clock.
+    last_digest_sent: Option<SimTime>,
+    /// When we last originated a reconcile request — the
+    /// [`ReconcileConfig::min_request_gap`] rate-limit clock.
+    last_request_sent: Option<SimTime>,
+    /// Per-source ingest token buckets, bounded by
+    /// [`GovernorConfig::max_tracked_sources`].  `BTreeMap` so pruning
+    /// order — and therefore every governor decision — is
+    /// deterministic.
+    // lint:bounded: capped at GovernorConfig::max_tracked_sources with full-bucket pruning at the bound
+    gov_buckets: BTreeMap<Ipv4Addr, TokenBucket>,
     /// Per-node telemetry: counters/gauges for the directory paths plus
     /// the flight recorder.  Clash-decision metrics live in the
     /// responder's own bundle and are folded in on snapshot/dump.
@@ -264,7 +418,7 @@ impl SessionDirectory {
             ClashResponder::with_telemetry(cfg.clash_policy.clone(), Telemetry::new(0, 0));
         let mut telemetry = Telemetry::new(0, 0);
         let metrics = DirMetrics::register(&mut telemetry);
-        SessionDirectory {
+        let mut dir = SessionDirectory {
             cfg,
             allocator,
             cache,
@@ -276,9 +430,16 @@ impl SessionDirectory {
             announce_timers: BTreeMap::new(),
             cache_timer: None,
             defence_timer: None,
+            recon_timer: None,
+            rebuilding: None,
+            last_digest_sent: None,
+            last_request_sent: None,
+            gov_buckets: BTreeMap::new(),
             telemetry,
             metrics,
-        }
+        };
+        dir.arm_recon_timer(SimTime::ZERO);
+        dir
     }
 
     /// The directory's own telemetry bundle.  Clash-decision metrics
@@ -518,6 +679,282 @@ impl SessionDirectory {
         }
     }
 
+    /// The deadline of the next periodic digest broadcast.  Kept as a
+    /// named seam for the dataflow lint: reconciliation timing derives
+    /// only from the local clock and the configured interval — wire
+    /// digests trigger an exchange but never parameterise when our own
+    /// timers fire.
+    // lint:sanitizer(wire-taint): deadline = local now + configured interval; no wire-derived field reaches the timer queue
+    fn reconcile_deadline(now: SimTime, interval: SimDuration) -> SimTime {
+        now + interval
+    }
+
+    /// Arm (or keep) the periodic digest timer.  No-op when
+    /// reconciliation is not configured.
+    fn arm_recon_timer(&mut self, now: SimTime) {
+        if self.recon_timer.is_some() {
+            return;
+        }
+        let Some(rc) = &self.cfg.reconcile else {
+            return;
+        };
+        let interval = if self.rebuilding.is_some() {
+            rc.rebuild_interval.min(rc.digest_interval)
+        } else {
+            rc.digest_interval
+        };
+        let deadline = Self::reconcile_deadline(now, interval);
+        let token = self.timers.schedule(deadline, TimerKind::Reconcile);
+        self.recon_timer = Some((token, deadline));
+    }
+
+    /// The scope digest: the cache's accumulators with our own
+    /// (uncached) sessions folded in, so two in-sync peers digest
+    /// identically no matter who originated which session.
+    fn scope_digest(&self) -> [u64; DIGEST_BUCKETS] {
+        let mut d = self.cache.digest();
+        for s in self.own.values() {
+            let (bucket, hash) = AnnouncementCache::desc_digest(&s.desc);
+            d[bucket] ^= hash; // lint:allow(panic-reach): desc_digest masks the bucket into 0..DIGEST_BUCKETS
+        }
+        d
+    }
+
+    /// Build a digest broadcast packet and stamp the rate-limit clock.
+    fn digest_packet(&mut self, now: SimTime) -> SapPacket {
+        let digest = self.scope_digest();
+        let msg = ReconMessage::Digest(CacheDigest {
+            seed: DIGEST_SEED,
+            entries: (self.cache.len() + self.own.len()) as u64,
+            rebuilding: self.rebuilding.is_some(),
+            buckets: digest.to_vec(), // lint:allow(hot-alloc): DIGEST_BUCKETS u64s into the wire message; digest sends are rate-limited
+        });
+        let payload = msg.encode_payload();
+        self.last_digest_sent = Some(now);
+        self.telemetry.inc(self.metrics.recon_digest_sent);
+        SapPacket::announce(self.cfg.host, msg_id_hash(&payload), payload)
+    }
+
+    /// Update the `cache.rebuild_fraction` gauge (per-mille: recovered
+    /// entries / entries at crash) from the current cache size.
+    fn update_rebuild_fraction(&mut self) {
+        let Some(rb) = &self.rebuilding else { return };
+        let fraction = (self.cache.len() as u64)
+            .saturating_mul(1000)
+            .checked_div(rb.entries_at_crash)
+            .map_or(1000, |f| f.min(1000));
+        self.telemetry
+            .set(self.metrics.rebuild_fraction, fraction as i64);
+    }
+
+    /// Leave the rebuilding phase (a peer digest matched ours).
+    fn complete_rebuild(&mut self, now: SimTime) {
+        if self.rebuilding.take().is_none() {
+            return;
+        }
+        self.telemetry.inc(self.metrics.recon_completed);
+        self.telemetry.set(self.metrics.recon_rebuilding, 0);
+        self.telemetry.record(
+            now.as_nanos(),
+            Severity::Info,
+            "recon",
+            "rebuilt",
+            [("entries", self.cache.len() as u64), NO_ARG, NO_ARG],
+        );
+    }
+
+    /// Handle a reconciliation payload (already marker-checked).  This
+    /// is the trust boundary of the digest exchange: the seed and
+    /// bucket count are validated before any comparison, the request
+    /// fan-out is capped by configuration, and nothing here ever
+    /// schedules a timer from a wire-derived value.
+    fn on_recon_packet(&mut self, now: SimTime, pkt: &SapPacket, out: &mut Vec<SapPacket>) {
+        let Some(msg) = ReconMessage::parse(&pkt.payload) else {
+            self.telemetry.inc(self.metrics.rx_unparseable);
+            return;
+        };
+        let Some(rc) = self.cfg.reconcile else {
+            return; // reconciliation disabled: ignore peers' exchanges
+        };
+        match msg {
+            ReconMessage::Digest(d) => {
+                self.telemetry.inc(self.metrics.recon_digest_heard);
+                if d.seed != DIGEST_SEED || d.buckets.len() != DIGEST_BUCKETS {
+                    return; // incomparable digest (foreign seed or shape)
+                }
+                let mut theirs = [0u64; DIGEST_BUCKETS];
+                theirs.copy_from_slice(&d.buckets);
+                let ours = self.scope_digest();
+                if ours == theirs {
+                    // In sync with this peer: any rebuild is over.
+                    self.complete_rebuild(now);
+                    return;
+                }
+                if let Some(rb) = &mut self.rebuilding {
+                    rb.last_peer_digest = Some(theirs);
+                }
+                // Pull what we are missing: ask for every divergent
+                // bucket, rate-limited against digest storms.
+                let can_request = self
+                    .last_request_sent
+                    .is_none_or(|at| now.saturating_since(at) >= rc.min_request_gap);
+                if can_request {
+                    let buckets: Vec<u16> = (0..DIGEST_BUCKETS)
+                        .filter(|&b| ours[b] != theirs[b]) // lint:allow(panic-reach): b ranges over 0..DIGEST_BUCKETS, the length of both arrays
+                        .map(|b| b as u16)
+                        .collect(); // lint:allow(hot-alloc): at most DIGEST_BUCKETS indices; requests are rate-limited by min_request_gap
+                    let req = ReconMessage::Request(ReconcileRequest { buckets });
+                    let payload = req.encode_payload();
+                    out.push(SapPacket::announce(
+                        self.cfg.host,
+                        msg_id_hash(&payload),
+                        payload,
+                    ));
+                    self.last_request_sent = Some(now);
+                    self.telemetry.inc(self.metrics.recon_request_sent);
+                }
+                // Push what the peer is missing: a rebuilding peer gets
+                // our digest promptly so it can diff and fetch, under
+                // the same style of rate limit.
+                if d.rebuilding {
+                    let can_digest = self
+                        .last_digest_sent
+                        .is_none_or(|at| now.saturating_since(at) >= rc.min_digest_gap);
+                    if can_digest {
+                        let pkt = self.digest_packet(now);
+                        out.push(pkt);
+                    }
+                }
+            }
+            ReconMessage::Request(r) => {
+                self.telemetry.inc(self.metrics.recon_request_heard);
+                // Compact re-announce of everything we hold in the
+                // requested buckets: cached entries on their
+                // originators' behalf, plus our own sessions.
+                let mut requested = [false; DIGEST_BUCKETS];
+                for &b in &r.buckets {
+                    if let Some(slot) = requested.get_mut(b as usize) {
+                        *slot = true;
+                    }
+                }
+                let mut keys: Vec<CacheKey> = Vec::new(); // lint:allow(hot-alloc): key snapshot decouples the re-announce loop from the cache borrow; bounded by max_reannounce_per_request
+                for (b, hit) in requested.iter().enumerate() {
+                    if *hit {
+                        keys.extend(self.cache.keys_in_bucket(b));
+                    }
+                }
+                keys.sort_unstable();
+                keys.truncate(rc.max_reannounce_per_request);
+                for key in keys {
+                    if let Some(entry) = self.cache.get(key.origin, key.session_id) {
+                        out.push(Self::announcement_packet(key.origin, &entry.desc));
+                        self.telemetry.inc(self.metrics.recon_reannounced);
+                    }
+                }
+                for s in self.own.values() {
+                    let (bucket, _) = AnnouncementCache::desc_digest(&s.desc);
+                    if requested.get(bucket).copied().unwrap_or(false) {
+                        out.push(Self::announcement_packet(self.cfg.host, &s.desc));
+                        self.telemetry.inc(self.metrics.recon_reannounced);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-source token-bucket check; `true` admits the packet.
+    fn governor_rate_ok(&mut self, now: SimTime, source: Ipv4Addr) -> bool {
+        let Some(g) = self.cfg.governor else {
+            return true;
+        };
+        if !self.gov_buckets.contains_key(&source)
+            && self.gov_buckets.len() >= g.max_tracked_sources
+        {
+            // Prune buckets that have fully refilled — their sources
+            // are idle and unconstrained anyway.
+            let (rate, burst) = (g.rate_per_sec, g.burst);
+            self.gov_buckets.retain(|_, b| {
+                b.tokens + now.saturating_since(b.last_refill).as_secs_f64() * rate < burst
+            });
+            if self.gov_buckets.len() >= g.max_tracked_sources {
+                return true; // fail open: quota and budget still bound state
+            }
+        }
+        // Tracking wire sources is the governor's job; growth is capped
+        // at max_tracked_sources by the prune/fail-open branch above.
+        let fresh = TokenBucket {
+            tokens: g.burst,
+            last_refill: now,
+        };
+        let bucket = self.gov_buckets.entry(source).or_insert(fresh); // lint:allow(wire-taint): bounded by max_tracked_sources; the prune above fails open rather than growing
+        let elapsed = now.saturating_since(bucket.last_refill).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * g.rate_per_sec).min(g.burst);
+        bucket.last_refill = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Admission control for a *new* cache entry from `source`: the
+    /// per-source quota, then the hard budget with tiered eviction
+    /// (stale → unverified-new → quota-exceeding).  `true` admits.
+    fn governor_admit_new(&mut self, now: SimTime, source: Ipv4Addr) -> bool {
+        let Some(g) = self.cfg.governor else {
+            return true;
+        };
+        if self.cache.origin_count(source) as u64 >= u64::from(g.per_source_quota) {
+            self.telemetry.inc(self.metrics.gov_rejected_quota);
+            return false;
+        }
+        if self.cache.len() < g.max_entries {
+            return true;
+        }
+        // At the budget: free one slot, cheapest tier first.
+        // Tier 1 — an entry already past the purge horizon.
+        let horizon = self.cache_horizon();
+        if let Some((key, last)) = self.cache.oldest_entry() {
+            if now.saturating_since(last) > horizon {
+                self.cache.evict(key);
+                self.telemetry.inc(self.metrics.gov_evicted_stale);
+                return true;
+            }
+        }
+        // Tier 2 — the oldest entry heard exactly once (unverified).
+        if let Some(key) = self.cache.oldest_unverified() {
+            self.cache.evict(key);
+            self.telemetry.inc(self.metrics.gov_evicted_unverified);
+            return true;
+        }
+        // Tier 3 — the stalest session of a quota-exceeding source.
+        if let Some(key) = self.cache.quota_violator(g.per_source_quota) {
+            self.cache.evict(key);
+            self.telemetry.inc(self.metrics.gov_evicted_quota);
+            return true;
+        }
+        // Every cached session is legitimate (verified, within quota):
+        // refuse the newcomer rather than evict an incumbent.
+        self.telemetry.inc(self.metrics.gov_rejected_budget);
+        false
+    }
+
+    /// Account one datagram dropped before decode (truncation,
+    /// corruption, forged framing).  Transports call this so storm
+    /// telemetry reflects actual wire pressure, not just the packets
+    /// that survived to the parser.
+    pub fn note_rx_dropped(&mut self, now: SimTime) {
+        self.telemetry.inc(self.metrics.rx_dropped);
+        self.telemetry.record(
+            now.as_nanos(),
+            Severity::Debug,
+            "net",
+            "rx_dropped",
+            [NO_ARG, NO_ARG, NO_ARG],
+        );
+    }
+
     /// Run the cache purges (hard expiry plus the staleness horizon)
     /// and re-arm the expiry timer for whatever remains.  Returns
     /// (expired, stale) purge counts.
@@ -663,6 +1100,27 @@ impl SessionDirectory {
                 }
                 self.arm_defence_timer();
             }
+            TimerKind::Reconcile => {
+                if let Some((token, _)) = self.recon_timer.take() {
+                    self.timers.cancel(token);
+                }
+                if self.cfg.reconcile.is_some() {
+                    let pkt = self.digest_packet(now);
+                    out.push(pkt);
+                    self.telemetry.record(
+                        now.as_nanos(),
+                        Severity::Debug,
+                        "recon",
+                        "digest_broadcast",
+                        [
+                            ("entries", (self.cache.len() + self.own.len()) as u64),
+                            ("rebuilding", u64::from(self.rebuilding.is_some())),
+                            NO_ARG,
+                        ],
+                    );
+                    self.arm_recon_timer(now);
+                }
+            }
         }
         out
     }
@@ -680,6 +1138,7 @@ impl SessionDirectory {
             }
             TimerKind::CacheExpiry => self.cache_timer = None,
             TimerKind::Defence => self.defence_timer = None,
+            TimerKind::Reconcile => self.recon_timer = None,
         }
         Some(kind)
     }
@@ -708,6 +1167,13 @@ impl SessionDirectory {
     /// memory), while our own sessions survive (the application still
     /// wants them announced) and re-enter the fast announcement phase so
     /// the scope re-learns them quickly.
+    ///
+    /// With [`DirectoryConfig::reconcile`] set, the directory also
+    /// enters an explicit *Rebuilding* phase (gauge `recon.rebuilding`,
+    /// progress gauge `cache.rebuild_fraction` in per-mille): a digest
+    /// broadcast fires immediately so a live peer can diff and refill
+    /// the cache in a couple of RTTs instead of a full announce cycle,
+    /// and the phase ends when a heard digest matches ours.
     pub fn restart(&mut self, now: SimTime) {
         self.telemetry.inc(self.metrics.restarts);
         self.telemetry.record(
@@ -717,6 +1183,7 @@ impl SessionDirectory {
             "restart",
             [("own_sessions", self.own.len() as u64), NO_ARG, NO_ARG],
         );
+        let entries_at_crash = self.cache.len() as u64;
         self.cache = AnnouncementCache::new(self.cfg.cache_timeout);
         // The responder's pending defences die with the process, but
         // its telemetry (counters, flight ring) survives the rebuild.
@@ -727,6 +1194,10 @@ impl SessionDirectory {
         self.announce_timers.clear();
         self.cache_timer = None;
         self.defence_timer = None;
+        self.recon_timer = None;
+        self.last_digest_sent = None;
+        self.last_request_sent = None;
+        self.gov_buckets.clear();
         for s in self.own.values_mut() {
             s.sends = 0;
             s.next_send = now;
@@ -736,6 +1207,18 @@ impl SessionDirectory {
         for id in ids {
             let token = self.timers.schedule(now, TimerKind::Announce(id));
             self.announce_timers.insert(id, token);
+        }
+        if self.cfg.reconcile.is_some() {
+            self.rebuilding = Some(RebuildState {
+                entries_at_crash,
+                last_peer_digest: None,
+            });
+            self.telemetry.set(self.metrics.recon_rebuilding, 1);
+            self.update_rebuild_fraction();
+            // An immediate digest broadcast opens the exchange; the
+            // periodic cadence resumes from here.
+            let token = self.timers.schedule(now, TimerKind::Reconcile);
+            self.recon_timer = Some((token, now));
         }
     }
 
@@ -771,6 +1254,16 @@ impl SessionDirectory {
         let mut events = self.take_events();
         self.telemetry.inc(self.metrics.rx_packets);
 
+        // Reconciliation control messages short-circuit before SDP
+        // parsing (their payloads are not session descriptions); our
+        // own digests echoed back by the multicast loop are dropped.
+        if ReconMessage::is_recon(&pkt.payload) {
+            if pkt.source != self.cfg.host {
+                self.on_recon_packet(now, pkt, &mut out);
+            }
+            return (out, events);
+        }
+
         let Ok(desc) = SessionDescription::parse(&pkt.payload) else {
             self.telemetry.inc(self.metrics.rx_unparseable);
             return (out, events); // unparseable payloads are dropped
@@ -796,6 +1289,28 @@ impl SessionDirectory {
             return (out, events);
         }
 
+        // Ingest governor: rate-limit the source, then gate admission
+        // of new entries (quota, hard budget with tiered eviction).
+        // Refreshes of existing entries always land — a storm must not
+        // be able to starve a legitimate session's keepalives.  Gated
+        // before `on_announcement_seen` so a refused forgery cannot
+        // suppress a pending third-party defence either.
+        if self.cfg.governor.is_some() {
+            if !self.governor_rate_ok(now, desc.origin.address) {
+                self.telemetry.inc(self.metrics.gov_rate_limited);
+                return (out, events);
+            }
+            let is_new = self
+                .cache
+                .get(desc.origin.address, desc.origin.session_id)
+                .is_none();
+            if is_new && !self.governor_admit_new(now, desc.origin.address) {
+                self.telemetry
+                    .set(self.metrics.cache_size, self.cache.len() as i64);
+                return (out, events);
+            }
+        }
+
         // Any pending third-party defence for this session is now moot.
         self.responder.on_announcement_seen(their_sid);
 
@@ -817,6 +1332,17 @@ impl SessionDirectory {
         self.telemetry
             .set(self.metrics.cache_size, self.cache.len() as i64);
         events.push(DirectoryEvent::Heard(update));
+        if matches!(update, CacheUpdate::New | CacheUpdate::Modified) && self.rebuilding.is_some() {
+            // Recovery progress; the arriving entry may also have been
+            // the last one missing relative to the peer digest we
+            // heard, in which case the rebuild is complete.
+            self.update_rebuild_fraction();
+            if let Some(rb) = &self.rebuilding {
+                if rb.last_peer_digest == Some(self.scope_digest()) {
+                    self.complete_rebuild(now);
+                }
+            }
+        }
         if update == CacheUpdate::Stale {
             return (out, events);
         }
@@ -1747,5 +2273,313 @@ mod tests {
         assert_eq!(d.next_wakeup(), Some(t(10)));
         d.poll(t(10));
         assert_eq!(d.next_wakeup(), Some(t(15)));
+    }
+
+    fn remote_desc(origin: [u8; 4], sid: u64, group: [u8; 4]) -> SessionDescription {
+        SessionDescription {
+            origin: Origin {
+                username: "-".into(),
+                session_id: sid,
+                version: 1,
+                address: Ipv4Addr::from(origin),
+            },
+            name: format!("s{sid}"),
+            info: None,
+            group: Ipv4Addr::from(group),
+            ttl: 63,
+            start: 0,
+            stop: 0,
+            media: vec![],
+        }
+    }
+
+    fn announce_pkt(desc: &SessionDescription) -> SapPacket {
+        let p = desc.format();
+        SapPacket::announce(desc.origin.address, msg_id_hash(&p), p)
+    }
+
+    fn recon_directory(host: [u8; 4]) -> SessionDirectory {
+        let mut cfg = DirectoryConfig::new(Ipv4Addr::from(host));
+        cfg.space = AddrSpace::abstract_space(64);
+        cfg.reconcile = Some(ReconcileConfig::default());
+        SessionDirectory::new(cfg, Box::new(InformedRandomAllocator))
+    }
+
+    #[test]
+    fn reconciliation_rebuilds_cache_from_live_peer() {
+        // A caches B's sessions, crashes, and rebuilds from the digest
+        // exchange in a handful of message rounds — no announce cycle.
+        let mut a = recon_directory([10, 0, 0, 1]);
+        let mut b = recon_directory([10, 0, 0, 2]);
+        let mut rng = SimRng::new(50);
+        for _ in 0..3 {
+            b.create_session(t(0), "s", 63, media(), &mut rng).unwrap();
+        }
+        for pkt in b.poll(t(0)) {
+            a.handle_packet(t(1), &pkt, &mut rng);
+        }
+        assert_eq!(a.cached_sessions(), 3);
+
+        a.restart(t(100));
+        assert_eq!(a.cached_sessions(), 0);
+        let m = &a.telemetry().metrics;
+        assert_eq!(m.gauge_by_name("recon.rebuilding"), 1);
+        assert_eq!(m.gauge_by_name("cache.rebuild_fraction"), 0);
+
+        // Round 1: the restart fires an immediate digest broadcast.
+        let opener = a.poll(t(100));
+        assert_eq!(opener.len(), 1, "restart opens with one digest");
+        // Round 2: the live peer replies with a request + its digest.
+        let (reply, _) = b.handle_packet(t(100), &opener[0], &mut rng);
+        assert_eq!(reply.len(), 2, "peer sends request + digest");
+        // Round 3: our diff against the peer digest requests the
+        // missing buckets.
+        let mut fetch = Vec::new();
+        for pkt in &reply {
+            let (out, _) = a.handle_packet(t(100), pkt, &mut rng);
+            fetch.extend(out);
+        }
+        assert_eq!(fetch.len(), 1, "rebuilder sends one targeted request");
+        // Round 4: the peer compact-re-announces the requested buckets,
+        // and hearing them completes the rebuild.
+        let mut refill = Vec::new();
+        for pkt in &fetch {
+            let (out, _) = b.handle_packet(t(101), pkt, &mut rng);
+            refill.extend(out);
+        }
+        assert_eq!(refill.len(), 3, "every missing session re-announced");
+        for pkt in &refill {
+            a.handle_packet(t(101), pkt, &mut rng);
+        }
+        assert_eq!(a.cached_sessions(), 3, "cache rebuilt");
+        let m = &a.telemetry().metrics;
+        assert_eq!(m.counter_by_name("recon.completed"), 1);
+        assert_eq!(m.gauge_by_name("recon.rebuilding"), 0);
+        assert_eq!(m.gauge_by_name("cache.rebuild_fraction"), 1000);
+        let mb = &b.telemetry().metrics;
+        assert_eq!(mb.counter_by_name("recon.request_heard"), 1);
+        assert_eq!(mb.counter_by_name("recon.reannounced"), 3);
+    }
+
+    #[test]
+    fn matching_digest_completes_rebuild_without_fetch() {
+        // A peer whose digest already equals ours ends the rebuilding
+        // phase immediately — nothing was lost, nothing to fetch.
+        let mut a = recon_directory([10, 0, 0, 1]);
+        let mut b = recon_directory([10, 0, 0, 2]);
+        let mut rng = SimRng::new(51);
+        a.restart(t(10)); // empty cache at crash: fraction = 1000
+        assert_eq!(
+            a.telemetry()
+                .metrics
+                .gauge_by_name("cache.rebuild_fraction"),
+            1000
+        );
+        let digest = b.poll(t(30)); // periodic digest, caches both empty
+        assert_eq!(digest.len(), 1);
+        let (out, _) = a.handle_packet(t(30), &digest[0], &mut rng);
+        assert!(out.is_empty(), "in-sync digest needs no request");
+        let m = &a.telemetry().metrics;
+        assert_eq!(m.counter_by_name("recon.completed"), 1);
+        assert_eq!(m.gauge_by_name("recon.rebuilding"), 0);
+    }
+
+    #[test]
+    fn own_digest_echo_is_ignored() {
+        let mut a = recon_directory([10, 0, 0, 1]);
+        let mut rng = SimRng::new(52);
+        a.restart(t(5));
+        let opener = a.poll(t(5));
+        assert_eq!(opener.len(), 1);
+        let (out, _) = a.handle_packet(t(5), &opener[0], &mut rng);
+        assert!(out.is_empty(), "multicast echo of our own digest is inert");
+        assert_eq!(
+            a.telemetry().metrics.counter_by_name("recon.digest_heard"),
+            0
+        );
+    }
+
+    fn governed(host: [u8; 4], g: GovernorConfig) -> SessionDirectory {
+        let mut cfg = DirectoryConfig::new(Ipv4Addr::from(host));
+        cfg.space = AddrSpace::abstract_space(64);
+        cfg.governor = Some(g);
+        SessionDirectory::new(cfg, Box::new(InformedRandomAllocator))
+    }
+
+    #[test]
+    fn governor_rate_limits_per_source() {
+        let mut d = governed(
+            [10, 0, 0, 1],
+            GovernorConfig {
+                max_entries: 100,
+                per_source_quota: 50,
+                rate_per_sec: 1.0,
+                burst: 2.0,
+                max_tracked_sources: 8,
+            },
+        );
+        let mut rng = SimRng::new(53);
+        for sid in 0..3u64 {
+            let desc = remote_desc([10, 0, 0, 9], sid, [224, 2, 128, sid as u8]);
+            d.handle_packet(t(0), &announce_pkt(&desc), &mut rng);
+        }
+        // Burst of 2 tokens: the third packet in the same instant drops.
+        assert_eq!(d.cached_sessions(), 2);
+        let m = &d.telemetry().metrics;
+        assert_eq!(m.counter_by_name("governor.rate_limited"), 1);
+        // Refilled a token after a second; the retry lands.
+        let desc = remote_desc([10, 0, 0, 9], 2, [224, 2, 128, 2]);
+        d.handle_packet(t(1), &announce_pkt(&desc), &mut rng);
+        assert_eq!(d.cached_sessions(), 3);
+    }
+
+    #[test]
+    fn governor_enforces_per_source_quota_but_admits_refreshes() {
+        let mut d = governed(
+            [10, 0, 0, 1],
+            GovernorConfig {
+                max_entries: 100,
+                per_source_quota: 2,
+                rate_per_sec: 100.0,
+                burst: 100.0,
+                max_tracked_sources: 8,
+            },
+        );
+        let mut rng = SimRng::new(54);
+        for sid in 0..3u64 {
+            let desc = remote_desc([10, 0, 0, 9], sid, [224, 2, 128, sid as u8]);
+            d.handle_packet(t(sid), &announce_pkt(&desc), &mut rng);
+        }
+        assert_eq!(d.cached_sessions(), 2, "third session over quota");
+        let m = &d.telemetry().metrics;
+        assert_eq!(m.counter_by_name("governor.rejected_quota"), 1);
+        // A refresh of an existing entry is never a quota question.
+        let desc = remote_desc([10, 0, 0, 9], 0, [224, 2, 128, 0]);
+        d.handle_packet(t(10), &announce_pkt(&desc), &mut rng);
+        assert_eq!(
+            d.telemetry()
+                .metrics
+                .counter_by_name("cache.heard_refreshed"),
+            1
+        );
+    }
+
+    #[test]
+    fn governor_budget_evicts_unverified_then_refuses() {
+        let mut d = governed(
+            [10, 0, 0, 1],
+            GovernorConfig {
+                max_entries: 2,
+                per_source_quota: 10,
+                rate_per_sec: 100.0,
+                burst: 100.0,
+                max_tracked_sources: 8,
+            },
+        );
+        let mut rng = SimRng::new(55);
+        let s1 = remote_desc([10, 0, 0, 9], 1, [224, 2, 128, 1]);
+        let s2 = remote_desc([10, 0, 1, 9], 2, [224, 2, 128, 2]);
+        d.handle_packet(t(0), &announce_pkt(&s1), &mut rng);
+        d.handle_packet(t(1), &announce_pkt(&s2), &mut rng);
+        assert_eq!(d.cached_sessions(), 2);
+        // At the budget: the oldest once-heard entry (s1) gives way.
+        let s3 = remote_desc([10, 0, 2, 9], 3, [224, 2, 128, 3]);
+        d.handle_packet(t(2), &announce_pkt(&s3), &mut rng);
+        assert_eq!(d.cached_sessions(), 2);
+        let m = &d.telemetry().metrics;
+        assert_eq!(m.counter_by_name("governor.evicted_unverified"), 1);
+        assert!(d.cache().get(s2.origin.address, 2).is_some());
+        assert!(d.cache().get(s3.origin.address, 3).is_some());
+        // Verify both survivors (second hearing), then a newcomer has
+        // no tier to claim: every incumbent is legitimate.
+        d.handle_packet(t(3), &announce_pkt(&s2), &mut rng);
+        d.handle_packet(t(3), &announce_pkt(&s3), &mut rng);
+        let s4 = remote_desc([10, 0, 3, 9], 4, [224, 2, 128, 4]);
+        d.handle_packet(t(4), &announce_pkt(&s4), &mut rng);
+        assert_eq!(d.cached_sessions(), 2, "no legitimate session evicted");
+        let m = &d.telemetry().metrics;
+        assert_eq!(m.counter_by_name("governor.rejected_budget"), 1);
+        assert!(d.cache().get(s2.origin.address, 2).is_some());
+        assert!(d.cache().get(s3.origin.address, 3).is_some());
+    }
+
+    #[test]
+    fn governor_budget_evicts_stale_and_quota_tiers() {
+        let mut cfg = DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1));
+        cfg.space = AddrSpace::abstract_space(64);
+        cfg.cache_timeout = SimDuration::from_secs(100);
+        cfg.governor = Some(GovernorConfig {
+            max_entries: 2,
+            per_source_quota: 1,
+            rate_per_sec: 100.0,
+            burst: 100.0,
+            max_tracked_sources: 8,
+        });
+        let mut d = SessionDirectory::new(cfg, Box::new(InformedRandomAllocator));
+        let mut rng = SimRng::new(56);
+        // Tier 1: an entry silent past the horizon is shed first.  The
+        // second entry is refreshed (verified) so only staleness can
+        // free the slot.
+        let s1 = remote_desc([10, 0, 0, 9], 1, [224, 2, 128, 1]);
+        let s2 = remote_desc([10, 0, 1, 9], 2, [224, 2, 128, 2]);
+        d.handle_packet(t(0), &announce_pkt(&s1), &mut rng);
+        d.handle_packet(t(1), &announce_pkt(&s2), &mut rng);
+        d.handle_packet(t(2), &announce_pkt(&s2), &mut rng);
+        let s3 = remote_desc([10, 0, 2, 9], 3, [224, 2, 128, 3]);
+        d.handle_packet(t(150), &announce_pkt(&s3), &mut rng);
+        assert_eq!(d.cached_sessions(), 2);
+        assert_eq!(
+            d.telemetry()
+                .metrics
+                .counter_by_name("governor.evicted_stale"),
+            1
+        );
+        assert!(d.cache().get(s1.origin.address, 1).is_none());
+
+        // Tier 3: a quota-exceeding source (stuffed past the gate, as a
+        // shrunk quota would leave it) loses its stalest session.
+        let mut d = SessionDirectory::new(
+            {
+                let mut cfg = DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1));
+                cfg.space = AddrSpace::abstract_space(64);
+                cfg.governor = Some(GovernorConfig {
+                    max_entries: 2,
+                    per_source_quota: 1,
+                    rate_per_sec: 100.0,
+                    burst: 100.0,
+                    max_tracked_sources: 8,
+                });
+                cfg
+            },
+            Box::new(InformedRandomAllocator),
+        );
+        let hog1 = remote_desc([10, 0, 0, 9], 1, [224, 2, 128, 1]);
+        let hog2 = remote_desc([10, 0, 0, 9], 2, [224, 2, 128, 2]);
+        for s in [&hog1, &hog2] {
+            d.cache_observe_for_test(t(0), s.clone());
+            d.cache_observe_for_test(t(1), s.clone()); // verified
+        }
+        let s4 = remote_desc([10, 0, 3, 9], 4, [224, 2, 128, 4]);
+        d.handle_packet(t(2), &announce_pkt(&s4), &mut rng);
+        assert_eq!(d.cached_sessions(), 2);
+        assert_eq!(
+            d.telemetry()
+                .metrics
+                .counter_by_name("governor.evicted_quota"),
+            1
+        );
+        assert!(
+            d.cache().get(hog1.origin.address, 1).is_none(),
+            "the hog's stalest session gave way"
+        );
+        assert!(d.cache().get(s4.origin.address, 4).is_some());
+    }
+
+    #[test]
+    fn rx_dropped_counts_predecode_losses() {
+        let mut d = directory([10, 0, 0, 1]);
+        d.note_rx_dropped(t(0));
+        d.note_rx_dropped(t(1));
+        assert_eq!(d.telemetry().metrics.counter_by_name("net.rx_dropped"), 2);
     }
 }

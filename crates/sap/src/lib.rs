@@ -44,9 +44,15 @@ pub mod sdp;
 pub mod testbed;
 pub mod wire;
 
-pub use cache::{AnnouncementCache, CacheEntry, CacheKey, CacheUpdate};
-pub use directory::{CreateError, DirectoryConfig, DirectoryEvent, SessionDirectory, TimerKind};
+pub use cache::{AnnouncementCache, CacheEntry, CacheKey, CacheUpdate, DIGEST_BUCKETS};
+pub use directory::{
+    CreateError, DirectoryConfig, DirectoryEvent, GovernorConfig, ReconcileConfig,
+    SessionDirectory, TimerKind,
+};
 pub use net::{AgentHandle, AgentStats, RetryPolicy, SapAgent, SapSocket, SapTransport};
 pub use schedule::BackoffSchedule;
 pub use sdp::{Media, Origin, SdpError, SessionDescription};
-pub use wire::{MessageType, SapPacket, WireError, SAP_GROUP, SAP_PORT};
+pub use wire::{
+    CacheDigest, MessageType, ReconMessage, ReconcileRequest, SapPacket, WireError, SAP_GROUP,
+    SAP_PORT,
+};

@@ -152,6 +152,12 @@ pub struct RetryPolicy {
     pub base: Duration,
     /// Upper bound on the backoff ceiling.
     pub cap: Duration,
+    /// Total wall-clock budget for one unbroken failure run, measured
+    /// from the first error of the run.  A run that outlives this is
+    /// terminal even with `max_consecutive` to spare, so a permanently
+    /// dead transport cannot spin the pump forever at max backoff.
+    /// `None` leaves only the attempt cap.
+    pub max_elapsed: Option<Duration>,
 }
 
 impl Default for RetryPolicy {
@@ -161,6 +167,7 @@ impl Default for RetryPolicy {
             max_consecutive: 8,
             base: Duration::from_millis(10),
             cap: Duration::from_secs(2),
+            max_elapsed: Some(Duration::from_secs(300)),
         }
     }
 }
@@ -313,6 +320,7 @@ impl<T: SapTransport> SapAgent<T> {
         let dump_writer = Arc::clone(&dump);
         let thread = std::thread::spawn(move || {
             let mut consecutive: u32 = 0;
+            let mut failing_since: Option<SimTime> = None;
             loop {
                 match cmd_rx.try_recv() {
                     Ok(Command::Create {
@@ -332,10 +340,22 @@ impl<T: SapTransport> SapAgent<T> {
                     Err(crossbeam::channel::TryRecvError::Empty) => {}
                 }
                 match self.step(Duration::from_millis(100)) {
-                    Ok(()) => consecutive = 0,
+                    Ok(()) => {
+                        consecutive = 0;
+                        failing_since = None;
+                    }
                     Err(e) => {
-                        let t_nanos = self.now().as_nanos();
-                        if !self.retry.enabled || consecutive >= self.retry.max_consecutive {
+                        let now = self.now();
+                        let t_nanos = now.as_nanos();
+                        let since = *failing_since.get_or_insert(now);
+                        let deadline_passed = self.retry.max_elapsed.is_some_and(|budget| {
+                            now.saturating_since(since).as_nanos()
+                                >= budget.as_nanos().min(u64::MAX as u128) as u64
+                        });
+                        if !self.retry.enabled
+                            || consecutive >= self.retry.max_consecutive
+                            || deadline_passed
+                        {
                             let telemetry = self.directory.telemetry_mut();
                             telemetry.inc(self.terminal_counter);
                             telemetry.record(
@@ -697,6 +717,34 @@ mod tests {
         assert!(dump.contains("\"agent.terminal_failures\": 1"), "{dump}");
         assert!(dump.contains("\"name\": \"terminal_failure\""), "{dump}");
         assert!(dump.contains("\"name\": \"retry\""), "{dump}");
+    }
+
+    #[test]
+    fn pump_hits_retry_wall_time_deadline() {
+        // A permanently dead transport with an effectively unlimited
+        // attempt budget still terminates once the elapsed-time budget
+        // for the failure run is spent.
+        let policy = RetryPolicy {
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(1),
+            max_consecutive: u32::MAX,
+            max_elapsed: Some(Duration::from_millis(25)),
+            ..RetryPolicy::default()
+        };
+        let handle = flaky_agent(usize::MAX, 10)
+            .with_retry_policy(policy)
+            .spawn();
+        let mut died = false;
+        for _ in 0..2_000 {
+            if handle.terminal_error().is_some() {
+                died = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(died, "wall-time budget must terminate a dead transport");
+        let dump = handle.terminal_dump().expect("post-mortem dump");
+        assert!(dump.contains("\"name\": \"terminal_failure\""), "{dump}");
     }
 
     #[test]

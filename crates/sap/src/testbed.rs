@@ -37,6 +37,10 @@ const PHANTOM_SENDER: usize = usize::MAX;
 enum Event {
     /// Deliver a packet to directory `to`.
     Deliver { to: usize, pkt: SapPacket },
+    /// A packet reached `to`'s socket but died before decode
+    /// (corruption mangled it past recognition); only the drop counter
+    /// arrives.
+    DeliverDropped { to: usize },
     /// Give directory `node` a chance to run its timers.
     Wakeup { node: usize },
     /// Take a directory down: it neither sends nor receives until its
@@ -323,6 +327,13 @@ impl Testbed {
                     schedule_wake(ctx, wake_at, to, at);
                 }
             }
+            Event::DeliverDropped { to } => {
+                if down[to] {
+                    return; // a crashed node has no socket to count on
+                }
+                let lnow = faults.local_time(to, ctx.now());
+                directories[to].note_rx_dropped(lnow);
+            }
             Event::Crash { node } => {
                 down[node] = true;
             }
@@ -424,7 +435,13 @@ fn fan_out(
                         mode.apply(&mut bytes, rng);
                         match SapPacket::decode(&bytes) {
                             Ok(reparsed) => delivered = reparsed,
-                            Err(_) => continue, // mangled beyond recognition
+                            Err(_) => {
+                                // Mangled beyond recognition: the bytes
+                                // still hit the receiver's socket, so the
+                                // drop is accounted there.
+                                ctx.schedule_after(delay, Event::DeliverDropped { to });
+                                continue;
+                            }
                         }
                     }
                 }
@@ -745,6 +762,14 @@ mod tests {
         tb.kick(0);
         tb.run_until(SimTime::from_secs(39));
         assert_eq!(tb.directory(1).cached_sessions(), 0, "garbage never parses");
+        // The mangled packets were not invisible: every pre-decode death
+        // shows up in the receiver's drop counter.
+        let dropped = tb
+            .directory(1)
+            .telemetry()
+            .metrics
+            .counter_by_name("net.rx_dropped");
+        assert!(dropped > 0, "pre-decode drops must be accounted");
         tb.run_until(SimTime::from_secs(120));
         assert_eq!(tb.directory(1).cached_sessions(), 1, "window closed");
     }

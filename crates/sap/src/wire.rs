@@ -237,6 +237,150 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Upper bound on the bucket list a reconciliation payload may carry.
+/// The protocol uses 16 buckets; the parser tolerates more (a future
+/// widening) but refuses unbounded lists from the wire.
+pub const MAX_RECON_BUCKETS: usize = 64;
+
+/// An anti-entropy summary of a directory's announcement cache: the
+/// XOR-accumulated per-bucket hashes plus enough context (seed, entry
+/// count, rebuilding flag) for a peer to decide whether and how to
+/// respond.  Rides as the payload of an ordinary SAP announce packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheDigest {
+    /// The digest seed the sender hashed under; digests computed under
+    /// different seeds are incomparable and must be ignored.
+    pub seed: u64,
+    /// Number of entries in the sender's cache.
+    pub entries: u64,
+    /// Whether the sender is rebuilding after a restart — a request
+    /// for peers to answer with their own digests promptly.
+    pub rebuilding: bool,
+    /// The per-bucket accumulators.
+    pub buckets: Vec<u64>,
+}
+
+/// A request for targeted re-announcement of the sessions hashed into
+/// the named digest buckets — the "diff → fetch" half of
+/// reconciliation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconcileRequest {
+    /// Bucket indices whose contents the sender wants re-announced.
+    pub buckets: Vec<u16>,
+}
+
+/// A reconciliation control message, carried as a SAP announce payload
+/// that begins with the `x-recon:` marker (so it can never be mistaken
+/// for SDP, which begins `v=`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconMessage {
+    /// A cache digest broadcast.
+    Digest(CacheDigest),
+    /// A targeted re-announcement request.
+    Request(ReconcileRequest),
+}
+
+impl ReconMessage {
+    /// The payload marker distinguishing reconciliation messages from
+    /// session descriptions.
+    pub const MARKER: &'static str = "x-recon:";
+
+    /// Whether a SAP payload is a reconciliation message (cheap check
+    /// before attempting a full [`Self::parse`]).
+    pub fn is_recon(payload: &str) -> bool {
+        payload.starts_with(Self::MARKER)
+    }
+
+    /// Render to a SAP announce payload.
+    // lint:allow(hot-alloc): encode mints the owned payload string; digest and request sends are rate-limited by min_digest_gap/min_request_gap
+    pub fn encode_payload(&self) -> String {
+        match self {
+            ReconMessage::Digest(d) => {
+                let mut s = format!(
+                    "x-recon: digest\nseed: {:016x}\nentries: {}\nrebuilding: {}\nbuckets:",
+                    d.seed,
+                    d.entries,
+                    u8::from(d.rebuilding),
+                );
+                for b in &d.buckets {
+                    s.push_str(&format!(" {b:016x}"));
+                }
+                s.push('\n');
+                s
+            }
+            ReconMessage::Request(r) => {
+                let mut s = String::from("x-recon: request\nbuckets:");
+                for b in &r.buckets {
+                    s.push_str(&format!(" {b}"));
+                }
+                s.push('\n');
+                s
+            }
+        }
+    }
+
+    /// Parse a SAP payload as a reconciliation message.  Total: any
+    /// malformed, truncated or oversized input yields `None`, never a
+    /// panic — this sits on the same attacker-controlled path as
+    /// [`SapPacket::decode`].
+    pub fn parse(payload: &str) -> Option<ReconMessage> {
+        let mut lines = payload.lines().map(str::trim);
+        let kind = lines.next()?.strip_prefix(Self::MARKER)?.trim();
+        let mut seed = None;
+        let mut entries = None;
+        let mut rebuilding = false;
+        let mut buckets_raw = None;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line.split_once(':')?;
+            let v = v.trim();
+            match k.trim() {
+                "seed" => seed = Some(u64::from_str_radix(v, 16).ok()?),
+                "entries" => entries = Some(v.parse::<u64>().ok()?),
+                "rebuilding" => {
+                    rebuilding = match v {
+                        "0" => false,
+                        "1" => true,
+                        _ => return None,
+                    }
+                }
+                "buckets" => buckets_raw = Some(v),
+                _ => return None,
+            }
+        }
+        match kind {
+            "digest" => {
+                let mut buckets = Vec::new(); // lint:allow(hot-alloc): parse returns an owned message; capped at MAX_RECON_BUCKETS entries
+                for tok in buckets_raw?.split_ascii_whitespace() {
+                    if buckets.len() >= MAX_RECON_BUCKETS {
+                        return None;
+                    }
+                    buckets.push(u64::from_str_radix(tok, 16).ok()?);
+                }
+                Some(ReconMessage::Digest(CacheDigest {
+                    seed: seed?,
+                    entries: entries?,
+                    rebuilding,
+                    buckets,
+                }))
+            }
+            "request" => {
+                let mut buckets = Vec::new(); // lint:allow(hot-alloc): parse returns an owned message; capped at MAX_RECON_BUCKETS entries
+                for tok in buckets_raw?.split_ascii_whitespace() {
+                    if buckets.len() >= MAX_RECON_BUCKETS {
+                        return None;
+                    }
+                    buckets.push(tok.parse::<u16>().ok()?);
+                }
+                Some(ReconMessage::Request(ReconcileRequest { buckets }))
+            }
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +495,61 @@ mod tests {
         assert!(SAP_GROUP.is_multicast());
         assert_eq!(SAP_PORT, 9875);
     }
+
+    #[test]
+    fn recon_digest_roundtrip() {
+        let msg = ReconMessage::Digest(CacheDigest {
+            seed: 0x5d1c_4a11_0c8d_1697,
+            entries: 42,
+            rebuilding: true,
+            buckets: (0..16).map(|i| i * 0x1111_1111_1111).collect(),
+        });
+        let payload = msg.encode_payload();
+        assert!(ReconMessage::is_recon(&payload));
+        assert_eq!(ReconMessage::parse(&payload), Some(msg));
+        // The payload survives SAP framing untouched (no NUL, no `v=`).
+        let pkt = SapPacket::announce(src(), msg_id_hash(&payload), payload.clone());
+        let decoded = SapPacket::decode(&pkt.encode()).unwrap();
+        assert_eq!(decoded.payload, payload);
+    }
+
+    #[test]
+    fn recon_request_roundtrip() {
+        let msg = ReconMessage::Request(ReconcileRequest {
+            buckets: vec![0, 3, 7, 15],
+        });
+        assert_eq!(ReconMessage::parse(&msg.encode_payload()), Some(msg));
+    }
+
+    #[test]
+    fn recon_parse_rejects_malformed() {
+        for bad in [
+            "",
+            "v=0\r\ns=x\r\n",
+            "x-recon: digest",                                   // missing fields
+            "x-recon: digest\nseed: zz\nentries: 1\nbuckets: 0", // bad hex
+            "x-recon: digest\nseed: 1\nentries: -1\nbuckets: 0", // bad count
+            "x-recon: digest\nseed: 1\nentries: 1\nrebuilding: 7\nbuckets: 0",
+            "x-recon: request",                    // missing buckets
+            "x-recon: request\nbuckets: 99999999", // not u16
+            "x-recon: fetch\nbuckets: 1",          // unknown kind
+            "x-recon: digest\nseed: 1\nentries: 1\nbogus: 1\nbuckets: 0",
+        ] {
+            assert_eq!(ReconMessage::parse(bad), None, "accepted {bad:?}");
+        }
+        // Oversized bucket lists are refused, not truncated.
+        let huge = format!(
+            "x-recon: request\nbuckets:{}",
+            " 1".repeat(MAX_RECON_BUCKETS + 1)
+        );
+        assert_eq!(ReconMessage::parse(&huge), None);
+    }
+
+    #[test]
+    fn recon_marker_never_collides_with_sdp() {
+        assert!(!ReconMessage::is_recon("v=0\r\ns=x\r\n"));
+        assert_eq!(ReconMessage::parse("v=0\r\ns=x\r\n"), None);
+    }
 }
 
 /// Fuzz-style robustness properties: the decoder is the first thing an
@@ -385,6 +584,31 @@ mod proptests {
             })
     }
 
+    /// A valid reconciliation message from generator inputs.
+    fn arb_recon() -> impl Strategy<Value = ReconMessage> {
+        (
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+            proptest::collection::vec(any::<u64>(), 0..=MAX_RECON_BUCKETS),
+        )
+            .prop_map(|(request, seed, entries, rebuilding, vals)| {
+                if request {
+                    ReconMessage::Request(ReconcileRequest {
+                        buckets: vals.iter().map(|&v| v as u16).collect(),
+                    })
+                } else {
+                    ReconMessage::Digest(CacheDigest {
+                        seed,
+                        entries,
+                        rebuilding,
+                        buckets: vals,
+                    })
+                }
+            })
+    }
+
     proptest! {
         #[test]
         fn decode_never_panics_on_arbitrary_bytes(
@@ -407,6 +631,39 @@ mod proptests {
             let bit = pos as usize % (bytes.len() * 8);
             bytes[bit / 8] ^= 1 << (bit % 8);
             let _ = SapPacket::decode(&bytes);
+        }
+
+        #[test]
+        fn recon_parse_never_panics_on_arbitrary_text(payload in "\\PC{0,256}") {
+            let _ = ReconMessage::parse(&payload);
+        }
+
+        #[test]
+        fn recon_parse_never_panics_on_truncation(msg in arb_recon(), cut in any::<u16>()) {
+            let payload = msg.encode_payload();
+            let keep = cut as usize % (payload.len() + 1);
+            // Truncate on a char boundary (payloads are ASCII anyway).
+            let prefix: String = payload.chars().take(keep).collect();
+            let _ = ReconMessage::parse(&prefix);
+        }
+
+        #[test]
+        fn recon_survives_sap_bit_flip_without_panic(msg in arb_recon(), pos in any::<u32>()) {
+            // A recon payload inside a SAP packet, flipped in flight:
+            // the full receive path (decode, then parse) must not panic.
+            let payload = msg.encode_payload();
+            let pkt = SapPacket::announce(Ipv4Addr::new(10, 0, 0, 1), msg_id_hash(&payload), payload);
+            let mut bytes = pkt.encode().to_vec();
+            let bit = pos as usize % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            if let Ok(decoded) = SapPacket::decode(&bytes) {
+                let _ = ReconMessage::parse(&decoded.payload);
+            }
+        }
+
+        #[test]
+        fn recon_messages_roundtrip(msg in arb_recon()) {
+            prop_assert_eq!(ReconMessage::parse(&msg.encode_payload()), Some(msg));
         }
 
         #[test]

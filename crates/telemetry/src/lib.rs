@@ -222,6 +222,14 @@ impl MetricsRegistry {
             .map_or(0, |c| c.1)
     }
 
+    /// Current value of a gauge looked up by name (0 if unknown).
+    pub fn gauge_by_name(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |g| g.1)
+    }
+
     /// Fold another registry into this one: counters and histogram
     /// buckets add, gauges take the other's value.  Names absent here
     /// are registered in the other's order, so merging is

@@ -51,9 +51,10 @@ const WIRE_TYPES: &[&str] = &["SapPacket", "SessionDescription"];
 
 /// Wire-source functions by location/name: their returns are tainted.
 fn is_wire_source(file: &str, name: &str) -> bool {
-    (file.ends_with("/wire.rs") && name == "decode")
+    (file.ends_with("/wire.rs") && (name == "decode" || name == "parse"))
         || (file.ends_with("/sdp.rs") && name.starts_with("parse"))
         || (file.ends_with("/net.rs") && name.contains("recv"))
+        || name == "on_recon_packet"
 }
 
 /// Files whose functions are allocation-range sinks.

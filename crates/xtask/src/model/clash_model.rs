@@ -15,15 +15,29 @@
 //! Constant times keep [`ClashState`] finite without touching the
 //! protocol logic under test, which only compares ages and deadlines.
 //!
-//! **Adversary.**  In-flight announcements form a multiset; any copy
-//! may be delivered (in any order), dropped (bounded by `drop_budget`)
-//! or duplicated (bounded by `dup_budget`).  Each site with a live
+//! **Adversary.**  In-flight messages form a multiset; any copy may be
+//! delivered (in any order), dropped (bounded by `drop_budget`) or
+//! duplicated (bounded by `dup_budget`).  Each site with a live
 //! session re-announces spontaneously up to `announce_budget` times —
 //! the model's rendering of SAP's periodic re-announcement.  With
 //! `announce_budget > drop_budget` the adversary cannot starve a
 //! contender of the incumbent's claim, which is what makes the
 //! quiescence property a *bounded-liveness* result: with fewer losses
 //! than announcements, every clash is detected and resolved.
+//!
+//! **Reconciliation.**  Scenarios may mark a site `restarted`: it has
+//! lost its cache and opens the anti-entropy exchange by broadcasting a
+//! [`Message::Digest`] (budgeted by `digest_budget`).  Where the
+//! implementation compares seeded FNV bucket digests, the model carries
+//! the digested *knowledge* itself — the sorted (session, addr) view —
+//! and compares for equality, which is the same predicate without the
+//! hash.  A live peer answers a rebuilding digest with its own; the
+//! rebuilder diffs and sends a [`Message::Request`] for what it is
+//! missing (budgeted by `request_budget`); the peer re-announces the
+//! requested sessions through the ordinary announcement path, so every
+//! recon-triggered re-announce faces the same clash detection the
+//! safety properties below constrain.  [`ReconMutant`] plants bugs in
+//! exactly this handling for the seeded-violation tests.
 //!
 //! **Properties.**
 //! * `no-duplicate-address` (terminal): live sessions hold pairwise
@@ -72,12 +86,20 @@ pub struct SiteConfig {
     /// `None` for a pure observer (third party).
     pub session: Option<(u32, Age)>,
     /// How many announcements the site may transmit in total
-    /// (spontaneous re-announcements, defences and moved re-announcements
-    /// all draw from this).
+    /// (spontaneous re-announcements, defences, moved re-announcements
+    /// and recon-triggered re-announcements all draw from this).
     pub announce_budget: u8,
     /// Sessions pre-seeded in the site's directory cache, as
     /// `(origin site, addr)` — how a third party knows the incumbent.
     pub cached: &'static [(u8, u32)],
+    /// Whether the site starts freshly restarted: cache lost, in the
+    /// *Rebuilding* phase, opening the digest exchange.
+    pub restarted: bool,
+    /// Digest messages the site may send (broadcast openers while
+    /// rebuilding, plus unicast replies to rebuilding peers).
+    pub digest_budget: u8,
+    /// Reconcile requests the site may send.
+    pub request_budget: u8,
 }
 
 /// A complete clash scenario.
@@ -94,6 +116,22 @@ pub struct ClashScenario {
     pub fresh_per_site: u8,
 }
 
+/// Planted bug in the model's reconciliation handling, for the
+/// seeded-violation tests: the checker must catch each one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconMutant {
+    /// Faithful rendering of the implementation.
+    None,
+    /// A rebuilding site *adopts* heard sessions as its own (the refill
+    /// writes into the session table instead of the cache), so recovery
+    /// steals a live address — `no-duplicate-address` must fire.
+    AdoptOwnership,
+    /// A site treats digest divergence as a clash against itself and
+    /// moves its own session, disrupting the long-standing incumbent —
+    /// `protected-incumbent` must fire.
+    DefensiveMove,
+}
+
 /// The model: a scenario plus the transition function under test.
 pub struct ClashModel {
     /// The scenario to explore.
@@ -101,17 +139,72 @@ pub struct ClashModel {
     /// Normally [`sdalloc_core::clash_step`]; mutated in
     /// seeded-violation tests.
     pub step: ClashStepFn,
+    /// Normally [`ReconMutant::None`]; the seeded-violation tests plant
+    /// bugs in the reconciliation handling here.
+    pub recon_mutant: ReconMutant,
 }
 
-/// An in-flight announcement copy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-struct Message {
-    /// Receiving site.
-    dest: u8,
-    /// The announced session.
-    session: SessionId,
-    /// The address it claims.
-    addr: Addr,
+/// An in-flight message copy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Message {
+    /// An announcement of `session`'s claim of `addr` (spontaneous,
+    /// defence, move or recon-triggered re-announce — indistinguishable
+    /// on the wire, exactly like SAP).
+    Announce {
+        /// Receiving site.
+        dest: u8,
+        /// The announced session.
+        session: SessionId,
+        /// The address it claims.
+        addr: Addr,
+    },
+    /// A cache-digest summary (the wire `CacheDigest`'s model
+    /// rendering): the sender's scope view carried literally.
+    Digest {
+        /// Receiving site.
+        dest: u8,
+        /// Originating site.
+        from: u8,
+        /// Whether the sender is in the rebuilding phase.
+        rebuilding: bool,
+        /// The sender's sorted (session, addr) view at send time.
+        knowledge: Vec<(SessionId, Addr)>,
+    },
+    /// A targeted fetch (the wire `ReconcileRequest`'s model
+    /// rendering): "re-announce these, I am missing them".
+    Request {
+        /// Receiving site.
+        dest: u8,
+        /// Originating (rebuilding) site.
+        from: u8,
+        /// The entries the sender is missing.
+        missing: Vec<(SessionId, Addr)>,
+    },
+}
+
+impl Message {
+    /// Transition label for counterexample traces.
+    fn label(&self, verb: &str) -> String {
+        match self {
+            Message::Announce {
+                dest,
+                session,
+                addr,
+            } => format!("{verb} s{}@{} to {}", session.site, addr.0, dest),
+            Message::Digest {
+                dest,
+                from,
+                rebuilding,
+                ..
+            } => format!(
+                "{verb} digest from {from}{} to {dest}",
+                if *rebuilding { " (rebuilding)" } else { "" }
+            ),
+            Message::Request { dest, from, .. } => {
+                format!("{verb} recon-request from {from} to {dest}")
+            }
+        }
+    }
 }
 
 /// One site's model-level state (wrapping the real `ClashState`).
@@ -125,6 +218,12 @@ struct SiteState {
     moves: u8,
     /// Announcements still permitted.
     budget: u8,
+    /// Whether the site is in the post-restart rebuilding phase.
+    rebuilding: bool,
+    /// Digest sends still permitted.
+    digest_budget: u8,
+    /// Reconcile-request sends still permitted.
+    request_budget: u8,
     /// Last-heard claim per foreign session, sorted by session.
     cache: Vec<(SessionId, Addr)>,
     /// The real protocol state under test.
@@ -193,10 +292,43 @@ impl ClashModel {
         state.sites[from].budget -= 1;
         for dest in 0..state.sites.len() {
             if dest != from {
-                state.add_message(Message {
+                state.add_message(Message::Announce {
                     dest: dest as u8,
                     session,
                     addr,
+                });
+            }
+        }
+    }
+
+    /// Site `i`'s scope view: its cache plus its own live session, sorted
+    /// — the model rendering of what the implementation digests.
+    fn view(state: &ClashModelState, i: usize) -> Vec<(SessionId, Addr)> {
+        let mut v = state.sites[i].cache.clone();
+        if let Some(addr) = state.sites[i].own_addr {
+            v.push((session_of(i), addr));
+        }
+        v.sort_unstable();
+        v
+    }
+
+    /// Broadcast site `i`'s digest to every peer, if it still has digest
+    /// budget.  `knowledge` carries the view literally; receivers compare
+    /// for equality where the implementation compares FNV digests.
+    fn send_digest(&self, state: &mut ClashModelState, i: usize) {
+        if state.sites[i].digest_budget == 0 {
+            return;
+        }
+        state.sites[i].digest_budget -= 1;
+        let knowledge = Self::view(state, i);
+        let rebuilding = state.sites[i].rebuilding;
+        for dest in 0..state.sites.len() {
+            if dest != i {
+                state.add_message(Message::Digest {
+                    dest: dest as u8,
+                    from: i as u8,
+                    rebuilding,
+                    knowledge: knowledge.clone(),
                 });
             }
         }
@@ -242,47 +374,61 @@ impl ClashModel {
         self.apply_actions(state, i, &actions);
     }
 
-    /// Deliver one copy of `msg` to its destination: the model-level
-    /// rendering of the SAP directory's announcement handler.
+    /// Deliver one copy of `msg` to its destination.
     fn deliver(&self, state: &mut ClashModelState, msg: Message) {
-        state.remove_message(msg);
-        let i = msg.dest as usize;
+        state.remove_message(msg.clone());
+        match msg {
+            Message::Announce {
+                dest,
+                session,
+                addr,
+            } => self.deliver_announce(state, dest as usize, session, addr),
+            Message::Digest {
+                dest,
+                from,
+                rebuilding,
+                knowledge,
+            } => self.deliver_digest(state, dest as usize, from as usize, rebuilding, &knowledge),
+            Message::Request { dest, missing, .. } => {
+                self.deliver_request(state, dest as usize, &missing);
+            }
+        }
+    }
 
+    /// Announcement delivery: the model-level rendering of the SAP
+    /// directory's announcement handler.
+    fn deliver_announce(
+        &self,
+        state: &mut ClashModelState,
+        i: usize,
+        session: SessionId,
+        addr: Addr,
+    ) {
         // Hearing any announcement of a session suppresses our pending
         // third-party defence of it (its originator is alive, or another
         // third party beat us).
-        self.feed(
-            state,
-            i,
-            &ClashEvent::AnnouncementSeen {
-                session: msg.session,
-            },
-        );
+        self.feed(state, i, &ClashEvent::AnnouncementSeen { session });
 
         // If the session moved off an address we recorded, the clash on
         // that address is resolved.
         let prior = state.sites[i]
             .cache
             .iter()
-            .find(|(s, _)| *s == msg.session)
+            .find(|(s, _)| *s == session)
             .map(|&(_, a)| a);
         if let Some(old) = prior {
-            if old != msg.addr {
+            if old != addr {
                 self.feed(state, i, &ClashEvent::ClashResolved { addr: old });
             }
         }
 
         // Update the cache (foreign sessions only — a defence of our own
         // session is not cached back onto ourselves).
-        if msg.session != session_of(i) {
-            match state.sites[i]
-                .cache
-                .iter_mut()
-                .find(|(s, _)| *s == msg.session)
-            {
-                Some(entry) => entry.1 = msg.addr,
+        if session != session_of(i) {
+            match state.sites[i].cache.iter_mut().find(|(s, _)| *s == session) {
+                Some(entry) => entry.1 = addr,
                 None => {
-                    state.sites[i].cache.push((msg.session, msg.addr));
+                    state.sites[i].cache.push((session, addr));
                     state.sites[i].cache.sort_unstable();
                 }
             }
@@ -290,10 +436,19 @@ impl ClashModel {
             return; // our own session needs no clash check against itself
         }
 
+        // Seeded bug: the rebuilding refill writes heard sessions into
+        // the session table instead of the cache — the site silently
+        // adopts the announced address as its own.
+        if self.recon_mutant == ReconMutant::AdoptOwnership && state.sites[i].rebuilding {
+            state.sites[i].own_addr = Some(addr);
+            state.sites[i].recent = true;
+            return;
+        }
+
         // Clash detection, mirroring the directory: our own live session
         // first, then cached third-party sessions.
         let own = state.sites[i].own_addr;
-        if own == Some(msg.addr) {
+        if own == Some(addr) {
             let recent = state.sites[i].recent;
             let announced_at = if recent { t_now() } else { SimTime::ZERO };
             self.feed(
@@ -301,13 +456,13 @@ impl ClashModel {
                 i,
                 &ClashEvent::Clash {
                     now: t_now(),
-                    addr: msg.addr,
+                    addr,
                     incumbent_session: session_of(i),
                     incumbent: Incumbent::Ours {
                         announced_at,
                         // Total order over session ids: lowest keeps the
                         // address (same rule the responder documents).
-                        wins_tiebreak: session_of(i) < msg.session,
+                        wins_tiebreak: session_of(i) < session,
                     },
                     third_party_delay: SimDuration::ZERO,
                 },
@@ -315,19 +470,103 @@ impl ClashModel {
         } else if let Some(&(incumbent, _)) = state.sites[i]
             .cache
             .iter()
-            .find(|&&(s, a)| a == msg.addr && s != msg.session)
+            .find(|&&(s, a)| a == addr && s != session)
         {
             self.feed(
                 state,
                 i,
                 &ClashEvent::Clash {
                     now: t_now(),
-                    addr: msg.addr,
+                    addr,
                     incumbent_session: incumbent,
                     incumbent: Incumbent::Cached,
                     third_party_delay: self.policy().d1,
                 },
             );
+        }
+    }
+
+    /// Digest delivery: compare views; a match ends the receiver's
+    /// rebuild, a mismatch drives the reply/request half of the
+    /// anti-entropy exchange.
+    fn deliver_digest(
+        &self,
+        state: &mut ClashModelState,
+        i: usize,
+        from: usize,
+        sender_rebuilding: bool,
+        knowledge: &[(SessionId, Addr)],
+    ) {
+        let my_view = Self::view(state, i);
+        if my_view == knowledge {
+            // In-sync peers: a rebuilding receiver is caught up.
+            state.sites[i].rebuilding = false;
+            return;
+        }
+
+        // Seeded bug: digest divergence is treated as a clash against
+        // our own session, so the site abandons its address — disrupting
+        // even the long-standing incumbent.
+        if self.recon_mutant == ReconMutant::DefensiveMove && state.sites[i].own_addr.is_some() {
+            let moves = state.sites[i].moves;
+            let addr = fresh_addr(i, moves);
+            state.sites[i].own_addr = Some(addr);
+            state.sites[i].recent = true;
+            state.sites[i].moves = moves.saturating_add(1);
+            self.announce(state, i, session_of(i), addr);
+        }
+
+        // Answer a rebuilding peer with our own digest so it can diff.
+        if sender_rebuilding && state.sites[i].digest_budget > 0 {
+            state.sites[i].digest_budget -= 1;
+            let rebuilding = state.sites[i].rebuilding;
+            state.add_message(Message::Digest {
+                dest: from as u8,
+                from: i as u8,
+                rebuilding,
+                knowledge: my_view.clone(),
+            });
+        }
+
+        // If we are the rebuilder, request whatever the peer knows that
+        // we do not (diffing by session, like the bucket diff).
+        if state.sites[i].rebuilding && state.sites[i].request_budget > 0 {
+            let missing: Vec<(SessionId, Addr)> = knowledge
+                .iter()
+                .filter(|(s, _)| *s != session_of(i) && !my_view.iter().any(|(mine, _)| mine == s))
+                .copied()
+                .collect();
+            if !missing.is_empty() {
+                state.sites[i].request_budget -= 1;
+                state.add_message(Message::Request {
+                    dest: from as u8,
+                    from: i as u8,
+                    missing,
+                });
+            }
+        }
+    }
+
+    /// Request delivery: re-announce every requested session we hold —
+    /// our own at its *current* address, cached ones at the cached
+    /// address — through the ordinary announcement path, so the refill
+    /// faces the same clash detection as any other packet.
+    fn deliver_request(
+        &self,
+        state: &mut ClashModelState,
+        i: usize,
+        missing: &[(SessionId, Addr)],
+    ) {
+        for &(session, _) in missing {
+            if session == session_of(i) {
+                if let Some(addr) = state.sites[i].own_addr {
+                    self.announce(state, i, session, addr);
+                }
+            } else if let Some(&(_, addr)) =
+                state.sites[i].cache.iter().find(|(s, _)| *s == session)
+            {
+                self.announce(state, i, session, addr);
+            }
         }
     }
 }
@@ -356,6 +595,9 @@ impl Model for ClashModel {
                     recent: matches!(cfg.session, Some((_, Age::Recent))),
                     moves: 0,
                     budget: cfg.announce_budget,
+                    rebuilding: cfg.restarted,
+                    digest_budget: cfg.digest_budget,
+                    request_budget: cfg.request_budget,
                     cache,
                     clash: ClashState::new(),
                 }
@@ -371,34 +613,22 @@ impl Model for ClashModel {
 
     fn successors(&self, state: &ClashModelState, out: &mut Vec<(String, ClashModelState)>) {
         // Adversary moves on each distinct in-flight message.
-        for &(msg, _) in &state.in_flight {
+        for (msg, _) in &state.in_flight {
             let mut next = state.clone();
-            self.deliver(&mut next, msg);
-            out.push((
-                format!(
-                    "deliver s{}@{} to {}",
-                    msg.session.site, msg.addr.0, msg.dest
-                ),
-                next,
-            ));
+            self.deliver(&mut next, msg.clone());
+            out.push((msg.label("deliver"), next));
 
             if state.drops_left > 0 {
                 let mut next = state.clone();
-                next.remove_message(msg);
+                next.remove_message(msg.clone());
                 next.drops_left -= 1;
-                out.push((
-                    format!("drop s{}@{} to {}", msg.session.site, msg.addr.0, msg.dest),
-                    next,
-                ));
+                out.push((msg.label("drop"), next));
             }
             if state.dups_left > 0 {
                 let mut next = state.clone();
-                next.add_message(msg);
+                next.add_message(msg.clone());
                 next.dups_left -= 1;
-                out.push((
-                    format!("dup s{}@{} to {}", msg.session.site, msg.addr.0, msg.dest),
-                    next,
-                ));
+                out.push((msg.label("dup"), next));
             }
         }
 
@@ -410,6 +640,17 @@ impl Model for ClashModel {
                     self.announce(&mut next, i, session_of(i), addr);
                     out.push((format!("announce by {i}"), next));
                 }
+            }
+        }
+
+        // A rebuilding site opens (or retries) the anti-entropy exchange
+        // by broadcasting its digest — the model's rendering of the
+        // rebuild-cadence Reconcile timer.
+        for i in 0..state.sites.len() {
+            if state.sites[i].rebuilding && state.sites[i].digest_budget > 0 {
+                let mut next = state.clone();
+                self.send_digest(&mut next, i);
+                out.push((format!("digest broadcast by {i}"), next));
             }
         }
 
@@ -520,11 +761,17 @@ pub fn scenarios(smoke: bool) -> Vec<ClashScenario> {
             session: Some((0, Age::Old)),
             announce_budget: 3,
             cached: &[],
+            restarted: false,
+            digest_budget: 0,
+            request_budget: 0,
         },
         SiteConfig {
             session: Some((0, Age::Old)),
             announce_budget: 3,
             cached: &[],
+            restarted: false,
+            digest_budget: 0,
+            request_budget: 0,
         },
     ];
     const OLD_RECENT: &[SiteConfig] = &[
@@ -532,11 +779,17 @@ pub fn scenarios(smoke: bool) -> Vec<ClashScenario> {
             session: Some((0, Age::Old)),
             announce_budget: 3,
             cached: &[],
+            restarted: false,
+            digest_budget: 0,
+            request_budget: 0,
         },
         SiteConfig {
             session: Some((0, Age::Recent)),
             announce_budget: 3,
             cached: &[],
+            restarted: false,
+            digest_budget: 0,
+            request_budget: 0,
         },
     ];
     const RECENT_RECENT: &[SiteConfig] = &[
@@ -544,11 +797,17 @@ pub fn scenarios(smoke: bool) -> Vec<ClashScenario> {
             session: Some((0, Age::Recent)),
             announce_budget: 3,
             cached: &[],
+            restarted: false,
+            digest_budget: 0,
+            request_budget: 0,
         },
         SiteConfig {
             session: Some((0, Age::Recent)),
             announce_budget: 3,
             cached: &[],
+            restarted: false,
+            digest_budget: 0,
+            request_budget: 0,
         },
     ];
     // Third-party coverage: an observer that knows the incumbent's
@@ -558,23 +817,66 @@ pub fn scenarios(smoke: bool) -> Vec<ClashScenario> {
             session: Some((0, Age::Old)),
             announce_budget: 2,
             cached: &[],
+            restarted: false,
+            digest_budget: 0,
+            request_budget: 0,
         },
         SiteConfig {
             session: Some((0, Age::Recent)),
             announce_budget: 2,
             cached: &[],
+            restarted: false,
+            digest_budget: 0,
+            request_budget: 0,
         },
         SiteConfig {
             session: None,
             announce_budget: 2,
             cached: &[(0, 0)],
+            restarted: false,
+            digest_budget: 0,
+            request_budget: 0,
+        },
+    ];
+    // Reconciliation coverage: a long-standing incumbent plus a freshly
+    // restarted observer rebuilding its cache through the digest
+    // exchange.  The incumbent's announce budget also feeds the
+    // recon-triggered re-announcements.
+    const DIGEST_REBUILD: &[SiteConfig] = &[
+        SiteConfig {
+            session: Some((0, Age::Old)),
+            announce_budget: 2,
+            cached: &[],
+            restarted: false,
+            digest_budget: 1,
+            request_budget: 0,
+        },
+        SiteConfig {
+            session: None,
+            announce_budget: 0,
+            cached: &[],
+            restarted: true,
+            digest_budget: 1,
+            request_budget: 1,
         },
     ];
 
+    let digest_rebuild = |name: &'static str| ClashScenario {
+        name,
+        sites: DIGEST_REBUILD,
+        drop_budget: 1,
+        dup_budget: 1,
+        fresh_per_site: 2,
+    };
+
     if smoke {
-        // Depth-limited smoke slice: the post-partition heal scenario,
-        // exercising phases 1 and 2 plus the adversary.
-        return vec![two_site("2-site heal (smoke)", OLD_OLD)];
+        // Depth-limited smoke slice: the post-partition heal scenario
+        // plus the anti-entropy rebuild, exercising phases 1 and 2, the
+        // adversary and the reconciliation message types.
+        return vec![
+            two_site("2-site heal (smoke)", OLD_OLD),
+            digest_rebuild("2-site digest rebuild (smoke)"),
+        ];
     }
     vec![
         two_site("2-site partition heal (old vs old)", OLD_OLD),
@@ -587,5 +889,6 @@ pub fn scenarios(smoke: bool) -> Vec<ClashScenario> {
             dup_budget: 1,
             fresh_per_site: 2,
         },
+        digest_rebuild("2-site digest rebuild after restart"),
     ]
 }

@@ -83,6 +83,7 @@ pub fn run(smoke: bool) -> bool {
         let model = clash_model::ClashModel {
             scenario,
             step: sdalloc_core::clash_step,
+            recon_mutant: clash_model::ReconMutant::None,
         };
         let report = explore(&model, &limits);
         ok &= print_report(&report, smoke);
@@ -108,7 +109,9 @@ pub fn run(smoke: bool) -> bool {
 
 #[cfg(test)]
 mod tests {
-    use super::clash_model::{scenarios as clash_scenarios, ClashModel, ClashScenario};
+    use super::clash_model::{
+        scenarios as clash_scenarios, ClashModel, ClashScenario, ReconMutant,
+    };
     use super::driver::{explore, SearchLimits, SearchReport};
     use super::rr_model::{scenarios as rr_scenarios, RrModel, RrScenario};
     use sdalloc_core::{
@@ -125,7 +128,22 @@ mod tests {
         scenario: ClashScenario,
         step: super::clash_model::ClashStepFn,
     ) -> SearchReport {
-        explore(&ClashModel { scenario, step }, &limits())
+        clash_report_mutated(scenario, step, ReconMutant::None)
+    }
+
+    fn clash_report_mutated(
+        scenario: ClashScenario,
+        step: super::clash_model::ClashStepFn,
+        recon_mutant: ReconMutant,
+    ) -> SearchReport {
+        explore(
+            &ClashModel {
+                scenario,
+                step,
+                recon_mutant,
+            },
+            &limits(),
+        )
     }
 
     fn rr_report(scenario: RrScenario, step: super::rr_model::RrStepFn) -> SearchReport {
@@ -297,6 +315,42 @@ mod tests {
     #[test]
     fn seeded_disrupted_incumbent_is_caught() {
         let report = clash_report(scenario_named("old vs old"), buggy_winner_yields);
+        assert!(
+            has_violation(&report, "protected-incumbent"),
+            "expected protected-incumbent violation, got {:?}",
+            report.violations
+        );
+    }
+
+    // ---- seeded violations: reconciliation ---------------------------
+
+    #[test]
+    fn seeded_adopt_ownership_refill_is_caught() {
+        // The rebuilding refill writes into the session table instead of
+        // the cache: the restarted site ends up claiming the incumbent's
+        // address as its own.
+        let report = clash_report_mutated(
+            scenario_named("digest rebuild"),
+            clash_step,
+            ReconMutant::AdoptOwnership,
+        );
+        assert!(
+            has_violation(&report, "no-duplicate-address"),
+            "expected no-duplicate-address violation, got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn seeded_defensive_move_on_divergence_is_caught() {
+        // Digest divergence misread as a clash: the long-standing
+        // incumbent abandons its address just because a restarted peer
+        // has an empty cache.
+        let report = clash_report_mutated(
+            scenario_named("digest rebuild"),
+            clash_step,
+            ReconMutant::DefensiveMove,
+        );
         assert!(
             has_violation(&report, "protected-incumbent"),
             "expected protected-incumbent violation, got {:?}",

@@ -27,6 +27,14 @@ echo "==> cargo xtask check --explain wire-taint"
 cargo xtask check --explain wire-taint > /dev/null
 run cargo xtask model --smoke
 run cargo run -q -p sdalloc-experiments -- chaos --smoke
+# The chaos smoke must carry the recovery/admission rows: the digest
+# reconciliation speedup and the storm-quota budget invariant are gate
+# signals, not optional extras.
+echo "==> chaos smoke gates: crash_restart_recon + storm_quota rows"
+for row in crash_restart_recon storm_quota; do
+    grep -q "\"$row\"" results_full/chaos_smoke.json \
+        || { echo "missing $row row in results_full/chaos_smoke.json"; exit 1; }
+done
 run cargo run -q -p sdalloc-bench --bin directory_scale -- --smoke
 run cargo test -q
 
