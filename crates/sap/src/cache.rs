@@ -8,24 +8,40 @@
 //! deletions, and — crucially for allocation — projects itself onto the
 //! allocator's [`sdalloc_core::View`] as `(address, TTL)` pairs.
 //!
+//! ## Storage: generational slab
+//!
+//! Session records live in a contiguous [`Slab`] arena addressed by
+//! dense [`SessionId`]s; the string fields (names, usernames, media
+//! labels) are interned through a reference-counted [`Interner`] so a
+//! record is a fixed-layout block of `Copy` fields plus 4-byte
+//! symbols.  Every index below resolves a record with one array access
+//! instead of re-hashing a `String` key, and slot reuse is guarded by
+//! generation counters: a [`SessionHandle`] minted before an eviction
+//! can never alias the record that later recycles the slot.
+//!
 //! ## Indexing
 //!
-//! A production-scale scope caches tens of thousands of sessions, and
-//! the first reproduction paid O(cache) on every hot operation: expiry
+//! A production-scale scope caches up to a million sessions, and the
+//! first reproduction paid O(cache) on every hot operation: expiry
 //! was a full `retain` scan, the clash-detection probe filtered every
 //! entry, and the allocator view was rebuilt by scanning the table.
-//! Three incrementally-maintained indices remove those scans:
+//! Incrementally-maintained indices remove those scans:
 //!
-//! * **expiry heap** — a min-heap ordered by `last_heard` (with a fixed
-//!   timeout, `last_heard` order *is* expiry order).  Entries are
-//!   inserted once when first heard; a refresh just bumps the entry's
-//!   `last_heard`, and the stale heap slot is lazily re-pushed when it
-//!   surfaces.  [`Self::purge_expired`] therefore costs O(expired ·
-//!   log n), not O(n), and [`Self::earliest_last_heard`] exposes the
-//!   next expiry deadline for wake-on-deadline callers.
-//! * **group index** — `group → sorted set of keys`, so
+//! * **expiry heaps, sharded by TTL band** — one min-heap per
+//!   [`Self::ttl_band`] partition, ordered by `last_heard` (with a
+//!   fixed timeout, `last_heard` order *is* expiry order).  Entries
+//!   are inserted once when first heard; a refresh just bumps the
+//!   record's `last_heard`, and the stale heap slot is lazily re-filed
+//!   when it surfaces — into the band the record *currently* belongs
+//!   to, so a TTL move re-homes the slot.  Announce churn in one band
+//!   never touches another band's heap.  [`Self::purge_expired`]
+//!   therefore costs O(expired · log band), not O(n), and
+//!   [`Self::earliest_last_heard`] exposes the next expiry deadline
+//!   for wake-on-deadline callers.
+//! * **group index** — `group → sorted map of keys to ids`, so
 //!   [`Self::users_of`] (the clash probe, run on *every* received
-//!   announcement) is O(candidates) instead of O(cache).
+//!   announcement) is O(candidates) instead of O(cache), with each
+//!   candidate resolved by dense id.
 //! * **visible multiset** — `(group, ttl) → count`, kept sorted, so
 //!   [`Self::visible_sessions`] walks only distinct occupied
 //!   `(group, ttl)` pairs in deterministic order instead of scanning
@@ -38,11 +54,13 @@
 //! XOR-accumulated summaries: every entry hashes (group, key, version)
 //! through seeded FNV-1a into the bucket its *key* selects, and the
 //! bucket accumulator XORs the hash in on admit and out on removal.
-//! XOR is commutative and self-inverse, so two caches holding the same
-//! entries produce byte-identical digests regardless of arrival order,
-//! and maintenance is O(1) per update.  [`Self::diff_buckets`] names
-//! the buckets where two caches disagree; [`Self::keys_in_bucket`]
-//! enumerates the entries a peer must re-announce to close the gap.
+//! The accumulators are kept per TTL band ([`Self::shard_digest`]);
+//! XOR is commutative and self-inverse, so the global digest is the
+//! band-wise XOR and two caches holding the same entries produce
+//! byte-identical digests regardless of arrival order or band churn.
+//! [`Self::diff_buckets`] names the buckets where two caches disagree;
+//! [`Self::keys_in_bucket`] enumerates the entries a peer must
+//! re-announce to close the gap.
 //!
 //! ## Governor indices
 //!
@@ -60,7 +78,8 @@ use std::net::Ipv4Addr;
 use sdalloc_core::{AddrSpace, VisibleSession};
 use sdalloc_sim::{SimDuration, SimTime};
 
-use crate::sdp::SessionDescription;
+use crate::sdp::{DescRef, Media, Origin, SessionDescription};
+use crate::slab::{Interner, SessionHandle, SessionId, Slab, Sym};
 use crate::wire::fnv1a_64;
 
 /// Number of reconciliation digest buckets.  Sixteen keeps the wire
@@ -73,6 +92,12 @@ pub const DIGEST_BUCKETS: usize = 16;
 /// under a different seed is incomparable and must be ignored.
 pub const DIGEST_SEED: u64 = 0x5d1c_4a11_0c8d_1697;
 
+/// Number of TTL partition bands the expiry heaps and digest
+/// accumulators are sharded across.  The boundaries mirror the paper's
+/// administrative-scope nesting (site ≤ 15, region ≤ 63, continent
+/// ≤ 127, world above).
+pub const TTL_BANDS: usize = 4;
+
 /// Cache key: who announced, which of their sessions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CacheKey {
@@ -82,7 +107,133 @@ pub struct CacheKey {
     pub session_id: u64,
 }
 
-/// A cached announcement.
+/// A fixed-layout session record in the slab arena: `Copy` scalars
+/// plus interned string symbols.  The media list is the one
+/// variable-length field; its labels are interned so the common
+/// single-`audio` case shares two symbols cache-wide.
+#[derive(Debug, Clone)]
+pub(crate) struct SessionRecord {
+    key: CacheKey,
+    username: Sym,
+    version: u64,
+    name: Sym,
+    info: Option<Sym>,
+    group: Ipv4Addr,
+    ttl: u8,
+    start: u64,
+    stop: u64,
+    media: Vec<MediaRec>,
+    first_heard: SimTime,
+    last_heard: SimTime,
+    announcements: u64,
+}
+
+/// One interned media line of a record.
+#[derive(Debug, Clone, Copy)]
+struct MediaRec {
+    kind: Sym,
+    port: u16,
+    proto: Sym,
+    format: u32,
+}
+
+/// A borrowed view of a cached record: resolves interned symbols on
+/// demand and materializes an owned [`SessionDescription`] only when a
+/// caller explicitly asks ([`Self::desc`]).
+#[derive(Debug, Clone, Copy)]
+pub struct EntryRef<'a> {
+    rec: &'a SessionRecord,
+    strings: &'a Interner,
+}
+
+impl<'a> EntryRef<'a> {
+    /// The record's cache key.
+    pub fn key(&self) -> CacheKey {
+        self.rec.key
+    }
+
+    /// The session's multicast group.
+    pub fn group(&self) -> Ipv4Addr {
+        self.rec.group
+    }
+
+    /// The session's TTL scope.
+    pub fn ttl(&self) -> u8 {
+        self.rec.ttl
+    }
+
+    /// The `o=` line version of the held description.
+    pub fn version(&self) -> u64 {
+        self.rec.version
+    }
+
+    /// The session name (`s=` line).
+    pub fn name(&self) -> &'a str {
+        self.strings.get(self.rec.name)
+    }
+
+    /// When this session was first heard.
+    pub fn first_heard(&self) -> SimTime {
+        self.rec.first_heard
+    }
+
+    /// When this session was last heard.
+    pub fn last_heard(&self) -> SimTime {
+        self.rec.last_heard
+    }
+
+    /// Number of announcements received.
+    pub fn announcements(&self) -> u64 {
+        self.rec.announcements
+    }
+
+    /// Materialize an owned session description — the explicit copy
+    /// point for callers that need one (re-announcement, eviction
+    /// reporting); probes read the borrowed accessors instead.
+    // lint:allow(hot-alloc): the explicit ownership boundary; hot probes use the borrowed accessors
+    pub fn desc(&self) -> SessionDescription {
+        SessionDescription {
+            origin: Origin {
+                username: self.strings.get(self.rec.username).to_string(),
+                session_id: self.rec.key.session_id,
+                version: self.rec.version,
+                address: self.rec.key.origin,
+            },
+            name: self.strings.get(self.rec.name).to_string(),
+            info: self.rec.info.map(|s| self.strings.get(s).to_string()),
+            group: self.rec.group,
+            ttl: self.rec.ttl,
+            start: self.rec.start,
+            stop: self.rec.stop,
+            media: self
+                .rec
+                .media
+                .iter()
+                .map(|m| Media {
+                    kind: self.strings.get(m.kind).to_string(),
+                    port: m.port,
+                    proto: self.strings.get(m.proto).to_string(),
+                    format: m.format,
+                })
+                .collect(),
+        }
+    }
+
+    /// Materialize an owned [`CacheEntry`] (description plus heard
+    /// bookkeeping).
+    pub fn to_entry(&self) -> CacheEntry {
+        CacheEntry {
+            desc: self.desc(),
+            first_heard: self.rec.first_heard,
+            last_heard: self.rec.last_heard,
+            announcements: self.rec.announcements,
+        }
+    }
+}
+
+/// An owned cached announcement — the materialized form returned by
+/// removal paths ([`AnnouncementCache::evict`]) and
+/// [`EntryRef::to_entry`].
 #[derive(Debug, Clone)]
 pub struct CacheEntry {
     /// The most recent session description heard.
@@ -109,25 +260,39 @@ pub enum CacheUpdate {
     Stale,
 }
 
+/// One TTL-band shard: its expiry heap and digest accumulators.
+#[derive(Debug, Clone)]
+struct Band {
+    /// Min-heap of `(last_heard-at-push, key)`.  A slot whose pushed
+    /// `last_heard` no longer matches the record's is stale (the
+    /// record was refreshed) and is re-filed when it surfaces — into
+    /// the record's *current* band; a slot whose key is gone is
+    /// discarded.
+    expiry: BinaryHeap<Reverse<(SimTime, CacheKey)>>,
+    /// XOR-accumulated seeded FNV hashes over (group, key, version)
+    /// for the records currently homed in this band.
+    digests: [u64; DIGEST_BUCKETS],
+}
+
 /// The announcement cache.
 #[derive(Debug, Clone)]
 pub struct AnnouncementCache {
-    entries: HashMap<CacheKey, CacheEntry>,
+    /// The record arena.
+    arena: Slab<SessionRecord>,
+    /// The shared string table for record symbols.
+    strings: Interner,
+    /// `key → dense id` — the only hashed hop; every index below
+    /// resolves through it or stores ids directly.
+    ids: HashMap<CacheKey, SessionId>,
     /// Entries not refreshed within this span are purged.
     timeout: SimDuration,
-    /// Min-heap of `(last_heard-at-push, key)`.  A slot whose pushed
-    /// `last_heard` no longer matches the entry's is stale (the entry
-    /// was refreshed) and is re-pushed with the current value when it
-    /// surfaces; a slot whose key is gone is discarded.
-    expiry: BinaryHeap<Reverse<(SimTime, CacheKey)>>,
-    /// `group → keys using it`, sorted — the clash-detection probe.
-    by_group: HashMap<Ipv4Addr, BTreeSet<CacheKey>>,
+    /// Per-TTL-band expiry heaps and digest accumulators.
+    bands: [Band; TTL_BANDS],
+    /// `group → keys (sorted) → ids` — the clash-detection probe.
+    by_group: HashMap<Ipv4Addr, BTreeMap<CacheKey, SessionId>>,
     /// `(group, ttl) → entry count`, sorted by group then TTL — the
     /// allocator-view projection.
     visible: BTreeMap<(Ipv4Addr, u8), u32>,
-    /// XOR-accumulated seeded FNV hashes over (group, key, version),
-    /// one accumulator per bucket — the anti-entropy summary.
-    digests: [u64; DIGEST_BUCKETS],
     /// `origin → its cached session ids` — governor quotas and
     /// quota-tier eviction.  The outer map is hashed for O(1) hot-path
     /// maintenance; eviction re-derives the deterministic
@@ -150,15 +315,33 @@ impl AnnouncementCache {
     /// announcement schedule.
     pub fn new(timeout: SimDuration) -> Self {
         AnnouncementCache {
-            entries: HashMap::new(),
+            arena: Slab::new(),
+            strings: Interner::new(),
+            ids: HashMap::new(),
             timeout,
-            expiry: BinaryHeap::new(),
+            bands: std::array::from_fn(|_| Band {
+                expiry: BinaryHeap::new(),
+                digests: [0; DIGEST_BUCKETS],
+            }),
             by_group: HashMap::new(),
             visible: BTreeMap::new(),
-            digests: [0; DIGEST_BUCKETS],
             origin_keys: HashMap::new(),
             unverified: BTreeSet::new(),
             scratch: Vec::new(),
+        }
+    }
+
+    /// The TTL partition band a scope falls in: site (≤ 15), region
+    /// (≤ 63), continent (≤ 127), world.  Shard selector for the
+    /// expiry heaps, the digest accumulators and the directory's
+    /// sharded timer queue.
+    // lint:sanitizer(wire-taint): exhaustive u8 match clamps any wire TTL into 0..TTL_BANDS — the result can neither index out of bounds nor carry a wire-controlled deadline
+    pub fn ttl_band(ttl: u8) -> usize {
+        match ttl {
+            0..=15 => 0,
+            16..=63 => 1,
+            64..=127 => 2,
+            _ => 3,
         }
     }
 
@@ -176,13 +359,13 @@ impl AnnouncementCache {
     /// The seeded per-entry hash over (group, key, version) that the
     /// bucket accumulators XOR together.
     // lint:allow(panic-reach): fixed-size copies into a 32-byte array; both slice bounds are compile-time constants
-    fn entry_hash(key: &CacheKey, desc: &SessionDescription) -> u64 {
+    fn hash_parts(key: &CacheKey, group: Ipv4Addr, version: u64) -> u64 {
         let mut bytes = [0u8; 32];
         bytes[..8].copy_from_slice(&DIGEST_SEED.to_be_bytes());
-        bytes[8..12].copy_from_slice(&desc.group.octets());
+        bytes[8..12].copy_from_slice(&group.octets());
         bytes[12..16].copy_from_slice(&key.origin.octets());
         bytes[16..24].copy_from_slice(&key.session_id.to_be_bytes());
-        bytes[24..].copy_from_slice(&desc.origin.version.to_be_bytes());
+        bytes[24..].copy_from_slice(&version.to_be_bytes());
         fnv1a_64(&bytes)
     }
 
@@ -192,15 +375,15 @@ impl AnnouncementCache {
     }
 
     // lint:allow(wire-taint): indexing admitted wire sessions is the cache's contract; decode/parse validated the packet and index_remove mirrors every insert
-    fn index_insert(&mut self, key: CacheKey, group: Ipv4Addr, ttl: u8) {
-        self.by_group.entry(group).or_default().insert(key);
+    fn index_insert(&mut self, key: CacheKey, id: SessionId, group: Ipv4Addr, ttl: u8) {
+        self.by_group.entry(group).or_default().insert(key, id);
         *self.visible.entry((group, ttl)).or_insert(0) += 1;
     }
 
     fn index_remove(&mut self, key: CacheKey, group: Ipv4Addr, ttl: u8) {
-        if let Some(set) = self.by_group.get_mut(&group) {
-            set.remove(&key);
-            if set.is_empty() {
+        if let Some(map) = self.by_group.get_mut(&group) {
+            map.remove(&key);
+            if map.is_empty() {
                 self.by_group.remove(&group);
             }
         }
@@ -212,30 +395,80 @@ impl AnnouncementCache {
         }
     }
 
-    /// Feed one announcement heard at `now`.
+    /// Whether a record still matches a wire description exactly
+    /// (field-for-field, [`SessionDescription`] equality semantics).
+    fn record_matches(strings: &Interner, rec: &SessionRecord, d: &DescRef<'_>) -> bool {
+        // Scalar fields first: a genuine modification almost always
+        // moves one of these, so the string resolutions below are
+        // reached only on the match (refresh) path or a rename.
+        rec.version == d.origin.version
+            && rec.group == d.group
+            && rec.ttl == d.ttl
+            && rec.start == d.start
+            && rec.stop == d.stop
+            && rec.media.len() == d.media.len()
+            && strings.get(rec.username) == d.origin.username
+            && strings.get(rec.name) == d.name
+            && rec.info.map(|s| strings.get(s)) == d.info
+            && rec.media.iter().zip(d.media.iter()).all(|(m, dm)| {
+                strings.get(m.kind) == dm.kind
+                    && m.port == dm.port
+                    && strings.get(m.proto) == dm.proto
+                    && m.format == dm.format
+            })
+    }
+
+    /// Feed one announcement heard at `now` — owned-description compat
+    /// wrapper over [`Self::observe_announce_ref`].
     // lint:allow(wire-taint): admitting wire announcements is the cache's contract (RFC 2974); SapPacket::decode/SessionDescription::parse validated the payload and purge_expired bounds residency
     pub fn observe_announce(&mut self, now: SimTime, desc: SessionDescription) -> CacheUpdate {
+        self.observe_announce_ref(now, &desc.as_ref())
+    }
+
+    /// Feed one announcement heard at `now`, zero-copy: the borrowed
+    /// description is materialized into interned arena storage only on
+    /// admit or modify; a refresh (the overwhelmingly common case)
+    /// copies nothing.
+    // lint:allow(wire-taint): admitting wire announcements is the cache's contract (RFC 2974); SapFrame::decode/DescRef::parse validated the payload and purge_expired bounds residency
+    pub fn observe_announce_ref(&mut self, now: SimTime, d: &DescRef<'_>) -> CacheUpdate {
         let key = CacheKey {
-            origin: desc.origin.address,
-            session_id: desc.origin.session_id,
+            origin: d.origin.address,
+            session_id: d.origin.session_id,
         };
-        match self.entries.get_mut(&key) {
+        match self.ids.get(&key).copied() {
             None => {
-                let (group, ttl) = (desc.group, desc.ttl);
-                let hash = Self::entry_hash(&key, &desc);
-                self.entries.insert(
+                let hash = Self::hash_parts(&key, d.group, d.origin.version);
+                let rec = SessionRecord {
                     key,
-                    CacheEntry {
-                        desc,
-                        first_heard: now,
-                        last_heard: now,
-                        announcements: 1,
-                    },
-                );
-                self.expiry.push(Reverse((now, key)));
-                self.index_insert(key, group, ttl);
+                    username: self.strings.intern(d.origin.username),
+                    version: d.origin.version,
+                    name: self.strings.intern(d.name),
+                    info: d.info.map(|s| self.strings.intern(s)),
+                    group: d.group,
+                    ttl: d.ttl,
+                    start: d.start,
+                    stop: d.stop,
+                    media: d
+                        .media
+                        .iter()
+                        .map(|m| MediaRec {
+                            kind: self.strings.intern(m.kind),
+                            port: m.port,
+                            proto: self.strings.intern(m.proto),
+                            format: m.format,
+                        })
+                        .collect(), // lint:allow(hot-alloc): cache-admit is the ownership boundary — the one place the borrowed description materializes
+                    first_heard: now,
+                    last_heard: now,
+                    announcements: 1,
+                };
+                let id = self.arena.insert(rec);
+                self.ids.insert(key, id);
+                let band = Self::ttl_band(d.ttl);
+                self.bands[band].expiry.push(Reverse((now, key))); // lint:allow(panic-reach): ttl_band maps into 0..TTL_BANDS
+                self.index_insert(key, id, d.group, d.ttl);
                 let bucket = Self::bucket_of(&key);
-                self.digests[bucket] ^= hash; // lint:allow(panic-reach): bucket_of masks into 0..DIGEST_BUCKETS
+                self.bands[band].digests[bucket] ^= hash; // lint:allow(panic-reach): ttl_band and bucket_of map into their array bounds
                 self.origin_keys
                     .entry(key.origin)
                     .or_default()
@@ -243,29 +476,82 @@ impl AnnouncementCache {
                 self.unverified.insert((now, key));
                 CacheUpdate::New
             }
-            Some(entry) => {
-                if desc.origin.version < entry.desc.origin.version {
+            Some(id) => {
+                let Some(rec) = self.arena.get_mut(id) else {
+                    // Unreachable: `ids` and the arena are maintained in
+                    // lockstep; treat a phantom id as ignorable.
+                    return CacheUpdate::Stale;
+                };
+                if d.origin.version < rec.version {
                     return CacheUpdate::Stale;
                 }
                 let modified =
-                    desc.origin.version > entry.desc.origin.version || desc != entry.desc;
-                let (old_group, old_ttl) = (entry.desc.group, entry.desc.ttl);
-                let (new_group, new_ttl) = (desc.group, desc.ttl);
-                let old_hash = Self::entry_hash(&key, &entry.desc);
-                let new_hash = Self::entry_hash(&key, &desc);
-                entry.desc = desc;
-                entry.last_heard = now;
-                entry.announcements += 1;
-                let became_verified = entry.announcements == 2;
-                let first_heard = entry.first_heard;
-                // The refresh only bumps `last_heard`; the stale expiry
-                // slot is lazily re-pushed when it surfaces.
-                if (old_group, old_ttl) != (new_group, new_ttl) {
-                    self.index_remove(key, old_group, old_ttl);
-                    self.index_insert(key, new_group, new_ttl);
+                    d.origin.version > rec.version || !Self::record_matches(&self.strings, rec, d);
+                let (old_group, old_ttl, old_version) = (rec.group, rec.ttl, rec.version);
+                if modified {
+                    // Intern the new strings before releasing the old
+                    // ones so unchanged strings never bounce through
+                    // the free list.
+                    let old_username = rec.username;
+                    let old_name = rec.name;
+                    let old_info = rec.info;
+                    let old_media = std::mem::take(&mut rec.media);
+                    rec.username = self.strings.intern(d.origin.username);
+                    rec.name = self.strings.intern(d.name);
+                    rec.info = d.info.map(|s| self.strings.intern(s));
+                    rec.media = d
+                        .media
+                        .iter()
+                        .map(|m| MediaRec {
+                            kind: self.strings.intern(m.kind),
+                            port: m.port,
+                            proto: self.strings.intern(m.proto),
+                            format: m.format,
+                        })
+                        .collect(); // lint:allow(hot-alloc): modifications are rare — refreshes (the hot case) never reach this arm
+                    rec.version = d.origin.version;
+                    rec.group = d.group;
+                    rec.ttl = d.ttl;
+                    rec.start = d.start;
+                    rec.stop = d.stop;
+                    self.strings.release(old_username);
+                    self.strings.release(old_name);
+                    if let Some(s) = old_info {
+                        self.strings.release(s);
+                    }
+                    for m in old_media {
+                        self.strings.release(m.kind);
+                        self.strings.release(m.proto);
+                    }
                 }
-                if old_hash != new_hash {
-                    self.digests[Self::bucket_of(&key)] ^= old_hash ^ new_hash; // lint:allow(panic-reach): bucket_of masks into 0..DIGEST_BUCKETS
+                rec.last_heard = now;
+                rec.announcements += 1;
+                let became_verified = rec.announcements == 2;
+                let first_heard = rec.first_heard;
+                // The refresh only bumps `last_heard`; the stale expiry
+                // slot is lazily re-filed (into the record's current
+                // band) when it surfaces.
+                if (old_group, old_ttl) != (d.group, d.ttl) {
+                    self.index_remove(key, old_group, old_ttl);
+                    self.index_insert(key, id, d.group, d.ttl);
+                }
+                // The digest hash covers (key, group, version), so a
+                // pure refresh — same band, same group, same version,
+                // the overwhelmingly common case — provably cancels to
+                // a no-op XOR; skip computing the hashes entirely.
+                let (old_band, new_band) = (Self::ttl_band(old_ttl), Self::ttl_band(d.ttl));
+                if old_band != new_band {
+                    let old_hash = Self::hash_parts(&key, old_group, old_version);
+                    let new_hash = Self::hash_parts(&key, d.group, d.origin.version);
+                    let bucket = Self::bucket_of(&key);
+                    self.bands[old_band].digests[bucket] ^= old_hash; // lint:allow(panic-reach): ttl_band and bucket_of map into their array bounds
+                    self.bands[new_band].digests[bucket] ^= new_hash; // lint:allow(panic-reach): ttl_band and bucket_of map into their array bounds
+                } else if (old_group, old_version) != (d.group, d.origin.version) {
+                    let old_hash = Self::hash_parts(&key, old_group, old_version);
+                    let new_hash = Self::hash_parts(&key, d.group, d.origin.version);
+                    let bucket = Self::bucket_of(&key);
+                    let delta = old_hash ^ new_hash;
+                    self.bands[old_band].digests[bucket] ^= delta; // lint:allow(panic-reach): ttl_band and bucket_of map into their array bounds
                 }
                 if became_verified {
                     self.unverified.remove(&(first_heard, key));
@@ -279,12 +565,13 @@ impl AnnouncementCache {
         }
     }
 
-    /// Drop the digest/governor index state of a just-removed entry.
+    /// Drop the digest/governor index state of a just-removed record.
     /// Every removal path (delete, purge, eviction) funnels here so the
     /// accumulators stay exact.
-    fn forget(&mut self, key: CacheKey, entry: &CacheEntry) {
+    fn forget_record(&mut self, key: CacheKey, rec: &SessionRecord) {
+        let band = Self::ttl_band(rec.ttl);
         let bucket = Self::bucket_of(&key);
-        self.digests[bucket] ^= Self::entry_hash(&key, &entry.desc); // lint:allow(panic-reach): bucket_of masks into 0..DIGEST_BUCKETS
+        self.bands[band].digests[bucket] ^= Self::hash_parts(&key, rec.group, rec.version); // lint:allow(panic-reach): ttl_band and bucket_of map into their array bounds
         if let Some(ids) = self.origin_keys.get_mut(&key.origin) {
             ids.remove(&key.session_id);
             if ids.is_empty() {
@@ -293,63 +580,134 @@ impl AnnouncementCache {
         }
         // Entries heard twice were dropped from `unverified` the moment
         // they verified; only once-heard entries still hold a slot.
-        if entry.announcements < 2 {
-            self.unverified.remove(&(entry.first_heard, key));
+        if rec.announcements < 2 {
+            self.unverified.remove(&(rec.first_heard, key));
+        }
+    }
+
+    /// Release a removed record's interned strings back to the table.
+    fn release_record(&mut self, rec: SessionRecord) {
+        self.strings.release(rec.username); // lint:allow(wire-taint): drops interner refcounts; no allocator range is touched — the name collides with PrefixRegistry::release
+        self.strings.release(rec.name); // lint:allow(wire-taint): interner refcount drop, see above
+        if let Some(s) = rec.info {
+            self.strings.release(s); // lint:allow(wire-taint): interner refcount drop, see above
+        }
+        for m in rec.media {
+            self.strings.release(m.kind); // lint:allow(wire-taint): interner refcount drop, see above
+            self.strings.release(m.proto); // lint:allow(wire-taint): interner refcount drop, see above
         }
     }
 
     /// Feed a deletion for `(origin, session_id)`; returns whether an
     /// entry was removed.
     pub fn observe_delete(&mut self, origin: Ipv4Addr, session_id: u64) -> bool {
-        self.evict(CacheKey { origin, session_id }).is_some()
+        let key = CacheKey { origin, session_id };
+        let Some(id) = self.ids.remove(&key) else {
+            return false;
+        };
+        let Some(rec) = self.arena.remove(id) else {
+            return false;
+        };
+        self.index_remove(key, rec.group, rec.ttl);
+        self.forget_record(key, &rec);
+        self.release_record(rec);
+        // The expiry slot is discarded lazily.
+        true
     }
 
     /// Remove one entry by key, maintaining every index; returns the
-    /// removed entry.  The governor's eviction tiers call this with a
-    /// victim chosen by [`Self::oldest_entry`],
+    /// removed entry, materialized.  The governor's eviction tiers call
+    /// this with a victim chosen by [`Self::oldest_entry`],
     /// [`Self::oldest_unverified`] or [`Self::quota_violator`].
     pub fn evict(&mut self, key: CacheKey) -> Option<CacheEntry> {
-        let entry = self.entries.remove(&key)?;
-        self.index_remove(key, entry.desc.group, entry.desc.ttl);
-        self.forget(key, &entry);
+        let id = self.ids.remove(&key)?;
+        let rec = self.arena.remove(id)?;
+        self.index_remove(key, rec.group, rec.ttl);
+        self.forget_record(key, &rec);
+        let entry = EntryRef {
+            rec: &rec,
+            strings: &self.strings,
+        }
+        .to_entry();
+        self.release_record(rec);
         // The expiry slot is discarded lazily.
         Some(entry)
+    }
+
+    /// Top (oldest) expiry slot of `band`, if any.  Checked access, so
+    /// the sweep loops below carry no indexing in their loop headers.
+    fn band_top(&self, band: usize) -> Option<(SimTime, CacheKey)> {
+        self.bands.get(band)?.expiry.peek().map(|&Reverse(top)| top)
     }
 
     /// Pop every entry whose `last_heard` is more than `horizon` before
     /// `now` into `self.scratch`, maintaining all indices.  Shared core
     /// of [`Self::purge_expired`] and [`Self::purge_stale`]; both orders
     /// agree because the horizon is constant within one call.
+    ///
+    /// Due slots are batch-drained band by band; a slot that surfaces
+    /// in the wrong band (the record's TTL moved) is re-homed and the
+    /// sweep repeats until no slot crossed bands, so a purge never
+    /// misses an expired record on account of a TTL move.
     fn purge_older_than(&mut self, now: SimTime, horizon: SimDuration) {
         self.scratch.clear();
-        while let Some(&Reverse((pushed, key))) = self.expiry.peek() {
-            // The oldest possibly-dead slot is still within the horizon:
-            // every live entry is newer, so we are done.  (A stale slot
-            // is always older than its entry's true `last_heard`, so
-            // this early-out never misses an expired entry.)
-            if now.saturating_since(pushed) <= horizon {
-                break;
-            }
-            self.expiry.pop();
-            let Some(entry) = self.entries.get(&key) else {
-                continue; // deleted since the push: discard the slot
-            };
-            if entry.last_heard != pushed {
-                // Refreshed since the push: re-file under the current
-                // refresh time and keep looking.
-                self.expiry.push(Reverse((entry.last_heard, key))); // lint:allow(wire-taint): re-files the popped slot of an existing entry; net heap size does not grow
-                continue;
-            }
-            if now.saturating_since(entry.last_heard) > horizon {
-                if let Some(entry) = self.entries.remove(&key) {
-                    self.index_remove(key, entry.desc.group, entry.desc.ttl);
-                    self.forget(key, &entry);
+        loop {
+            let mut crossed = 0usize;
+            for band in 0..TTL_BANDS {
+                // Band indexing below is panic-free: `band` iterates
+                // 0..TTL_BANDS (the array length) and `home` comes from
+                // `ttl_band`, which maps into the same range.
+                while let Some((pushed, key)) = self.band_top(band) {
+                    // The oldest possibly-dead slot is still within the
+                    // horizon: every live entry in this band is newer,
+                    // so the band is done.  (A stale slot is always
+                    // older than its record's true `last_heard`, so
+                    // this early-out never misses an expired entry.)
+                    if now.saturating_since(pushed) <= horizon {
+                        break;
+                    }
+                    self.bands[band].expiry.pop(); // lint:allow(panic-reach): band iterates 0..TTL_BANDS, the array length
+                    let Some(&id) = self.ids.get(&key) else {
+                        continue; // deleted since the push: discard the slot
+                    };
+                    let Some(rec) = self.arena.get(id) else {
+                        continue;
+                    };
+                    let home = Self::ttl_band(rec.ttl);
+                    if home != band {
+                        // The record's TTL moved bands since the push:
+                        // re-home the slot under its current refresh
+                        // time and sweep again.
+                        let at = rec.last_heard;
+                        self.bands[home].expiry.push(Reverse((at, key))); // lint:allow(wire-taint): re-files the popped slot of an existing entry; net heap size does not grow; lint:allow(panic-reach): home comes from ttl_band, in 0..TTL_BANDS
+                        crossed += 1;
+                        continue;
+                    }
+                    if rec.last_heard != pushed {
+                        // Refreshed since the push: re-file under the
+                        // current refresh time and keep looking.
+                        let at = rec.last_heard;
+                        self.bands[band].expiry.push(Reverse((at, key))); // lint:allow(wire-taint): re-files the popped slot of an existing entry; net heap size does not grow; lint:allow(panic-reach): band iterates 0..TTL_BANDS
+                        continue;
+                    }
+                    if now.saturating_since(rec.last_heard) > horizon {
+                        self.ids.remove(&key);
+                        if let Some(rec) = self.arena.remove(id) {
+                            self.index_remove(key, rec.group, rec.ttl);
+                            self.forget_record(key, &rec);
+                            self.release_record(rec);
+                        }
+                        self.scratch.push(key); // lint:allow(wire-taint): purge output buffer — cleared at entry, holds only keys being removed, shrinks the cache
+                    } else {
+                        // Unreachable in practice (pushed == last_heard
+                        // and the horizon check above already passed),
+                        // kept for safety.
+                        self.bands[band].expiry.push(Reverse((pushed, key))); // lint:allow(panic-reach): band iterates 0..TTL_BANDS, the array length
+                        break;
+                    }
                 }
-                self.scratch.push(key);
-            } else {
-                // Unreachable in practice (pushed == last_heard and the
-                // horizon check above already passed), kept for safety.
-                self.expiry.push(Reverse((pushed, key)));
+            }
+            if crossed == 0 {
                 break;
             }
         }
@@ -384,22 +742,43 @@ impl AnnouncementCache {
     }
 
     /// The least-recently-refreshed entry and its `last_heard` — the
-    /// governor's stale eviction tier.  Lazily compacts stale heap
-    /// slots, like [`Self::earliest_last_heard`].
+    /// governor's stale eviction tier.  Lazily compacts each band's
+    /// stale heap slots until its top is exact, then takes the global
+    /// minimum by `(last_heard, key)` across bands.
     pub fn oldest_entry(&mut self) -> Option<(CacheKey, SimTime)> {
-        loop {
-            let &Reverse((pushed, key)) = self.expiry.peek()?;
-            let Some(entry) = self.entries.get(&key) else {
-                self.expiry.pop();
-                continue;
-            };
-            if entry.last_heard != pushed {
-                self.expiry.pop();
-                self.expiry.push(Reverse((entry.last_heard, key))); // lint:allow(wire-taint): re-files the popped slot of an existing entry; net heap size does not grow
-                continue;
+        // Band indexing below is panic-free: `band` iterates
+        // 0..TTL_BANDS (the array length) and `home` comes from
+        // `ttl_band`, which maps into the same range.
+        for band in 0..TTL_BANDS {
+            while let Some((pushed, key)) = self.band_top(band) {
+                let Some(rec) = self.ids.get(&key).and_then(|&id| self.arena.get(id)) else {
+                    self.bands[band].expiry.pop(); // lint:allow(panic-reach): band iterates 0..TTL_BANDS, the array length
+                    continue;
+                };
+                let home = Self::ttl_band(rec.ttl);
+                if home != band {
+                    // Re-home under the current refresh time.  The
+                    // moved slot is exact, so it cannot invalidate a
+                    // band top compacted earlier in this loop.
+                    let at = rec.last_heard;
+                    self.bands[band].expiry.pop(); // lint:allow(panic-reach): band iterates 0..TTL_BANDS, the array length
+                    self.bands[home].expiry.push(Reverse((at, key))); // lint:allow(wire-taint): re-files the popped slot of an existing entry; net heap size does not grow; lint:allow(panic-reach): home comes from ttl_band, in 0..TTL_BANDS
+                    continue;
+                }
+                if rec.last_heard != pushed {
+                    let at = rec.last_heard;
+                    self.bands[band].expiry.pop(); // lint:allow(panic-reach): band iterates 0..TTL_BANDS, the array length
+                    self.bands[band].expiry.push(Reverse((at, key))); // lint:allow(wire-taint): re-files the popped slot of an existing entry; net heap size does not grow; lint:allow(panic-reach): band iterates 0..TTL_BANDS
+                    continue;
+                }
+                break; // top is exact
             }
-            return Some((key, pushed));
         }
+        self.bands
+            .iter()
+            .filter_map(|b| b.expiry.peek().map(|&Reverse(top)| top))
+            .min()
+            .map(|(at, key)| (key, at))
     }
 
     /// The oldest entry heard exactly once — the governor's
@@ -425,7 +804,10 @@ impl AnnouncementCache {
         ids.iter()
             .filter_map(|&session_id| {
                 let key = CacheKey { origin, session_id };
-                self.entries.get(&key).map(|e| (e.last_heard, key))
+                self.ids
+                    .get(&key)
+                    .and_then(|&id| self.arena.get(id))
+                    .map(|rec| (rec.last_heard, key))
             })
             .min()
             .map(|(_, key)| key)
@@ -436,15 +818,33 @@ impl AnnouncementCache {
         self.origin_keys.get(&origin).map_or(0, BTreeSet::len)
     }
 
-    /// The current per-bucket digest accumulators.
+    /// The current per-bucket digest accumulators: the band-wise XOR of
+    /// every shard's accumulators.
     pub fn digest(&self) -> [u64; DIGEST_BUCKETS] {
-        self.digests
+        let mut out = [0u64; DIGEST_BUCKETS];
+        for band in &self.bands {
+            for (acc, &d) in out.iter_mut().zip(band.digests.iter()) {
+                *acc ^= d;
+            }
+        }
+        out
+    }
+
+    /// One TTL-band shard's digest accumulators (zeros for an
+    /// out-of-range band).  The global [`Self::digest`] is the XOR of
+    /// all shards; the recycling proptests recompute each shard from
+    /// scratch and check consistency.
+    pub fn shard_digest(&self, band: usize) -> [u64; DIGEST_BUCKETS] {
+        self.bands
+            .get(band)
+            .map_or([0; DIGEST_BUCKETS], |b| b.digests)
     }
 
     /// Bucket indices where our digest differs from `theirs`, sorted.
     pub fn diff_buckets(&self, theirs: &[u64; DIGEST_BUCKETS]) -> Vec<u16> {
+        let ours = self.digest();
         (0..DIGEST_BUCKETS)
-            .filter(|&b| self.digests[b] != theirs[b]) // lint:allow(panic-reach): b ranges over 0..DIGEST_BUCKETS, the length of both arrays
+            .filter(|&b| ours[b] != theirs[b]) // lint:allow(panic-reach): b ranges over 0..DIGEST_BUCKETS, the length of both arrays
             .map(|b| b as u16)
             .collect()
     }
@@ -462,7 +862,7 @@ impl AnnouncementCache {
             return Vec::new(); // lint:allow(hot-alloc): empty Vec does not allocate
         }
         let mut keys: Vec<CacheKey> = self
-            .entries
+            .ids
             .keys() // lint:allow(hot-path-scan): reconcile-request path, rate-limited by min_request_gap; an eager per-bucket index would tax every insert and expiry instead
             .filter(|k| Self::bucket_of(k) == bucket)
             .copied()
@@ -481,33 +881,72 @@ impl AnnouncementCache {
             origin: desc.origin.address,
             session_id: desc.origin.session_id,
         };
-        (Self::bucket_of(&key), Self::entry_hash(&key, desc))
+        (
+            Self::bucket_of(&key),
+            Self::hash_parts(&key, desc.group, desc.origin.version),
+        )
     }
 
     /// Number of cached sessions.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.ids.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.ids.is_empty()
     }
 
-    /// Look up one entry.
-    pub fn get(&self, origin: Ipv4Addr, session_id: u64) -> Option<&CacheEntry> {
-        self.entries.get(&CacheKey { origin, session_id })
+    /// Look up one entry as a borrowed view.
+    pub fn get(&self, origin: Ipv4Addr, session_id: u64) -> Option<EntryRef<'_>> {
+        let &id = self.ids.get(&CacheKey { origin, session_id })?;
+        let rec = self.arena.get(id)?;
+        Some(EntryRef {
+            rec,
+            strings: &self.strings,
+        })
+    }
+
+    /// Mint a generation-checked handle for a cached session.  The
+    /// handle survives refreshes but goes permanently stale the moment
+    /// the entry is evicted, purged or deleted — even if the arena
+    /// slot is later recycled for a different session.
+    pub fn handle_of(&self, origin: Ipv4Addr, session_id: u64) -> Option<SessionHandle> {
+        let &id = self.ids.get(&CacheKey { origin, session_id })?;
+        self.arena.handle(id)
+    }
+
+    /// Resolve a handle minted by [`Self::handle_of`]: `Some` only
+    /// while the same record is still cached (generation check — a
+    /// recycled slot never aliases).
+    pub fn resolve(&self, handle: SessionHandle) -> Option<EntryRef<'_>> {
+        let rec = self.arena.resolve(handle)?;
+        Some(EntryRef {
+            rec,
+            strings: &self.strings,
+        })
     }
 
     /// All entries using the given multicast group — the clash-detection
     /// probe.  O(users of `group`), in `(origin, session_id)` order,
-    /// allocation-free.
-    pub fn users_of(&self, group: Ipv4Addr) -> impl Iterator<Item = (&CacheKey, &CacheEntry)> + '_ {
+    /// allocation-free: each candidate resolves by dense id straight
+    /// into the arena.
+    pub fn users_of(&self, group: Ipv4Addr) -> impl Iterator<Item = (CacheKey, EntryRef<'_>)> + '_ {
         self.by_group
             .get(&group)
             .into_iter()
             .flatten()
-            .filter_map(move |key| self.entries.get_key_value(key))
+            .filter_map(move |(&key, &id)| {
+                self.arena.get(id).map(|rec| {
+                    (
+                        key,
+                        EntryRef {
+                            rec,
+                            strings: &self.strings,
+                        },
+                    )
+                })
+            })
     }
 
     /// Whether any cached session currently uses `group`.  O(1).
@@ -538,10 +977,28 @@ impl AnnouncementCache {
         v
     }
 
-    /// Iterate all entries (unordered).
+    /// Iterate all entries (unordered) as borrowed views.
     // lint:allow(hot-path-scan): returns a lazy iterator; the accessor itself performs no scan — the cost belongs to callers that drain it
-    pub fn iter(&self) -> impl Iterator<Item = (&CacheKey, &CacheEntry)> {
-        self.entries.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (CacheKey, EntryRef<'_>)> {
+        self.ids.iter().filter_map(move |(&key, &id)| {
+            self.arena.get(id).map(|rec| {
+                (
+                    key,
+                    EntryRef {
+                        rec,
+                        strings: &self.strings,
+                    },
+                )
+            })
+        })
+    }
+
+    /// Total slots across the band expiry heaps (test instrumentation
+    /// for the lazy re-file invariant: refresh churn must not grow the
+    /// heaps).
+    #[cfg(test)]
+    fn expiry_slots(&self) -> usize {
+        self.bands.iter().map(|b| b.expiry.len()).sum()
     }
 }
 
@@ -600,9 +1057,9 @@ mod tests {
         assert_eq!(c.observe_announce(t(30), d1), CacheUpdate::Stale);
         assert_eq!(c.len(), 1);
         let e = c.get(Ipv4Addr::new(10, 0, 0, 1), 7).unwrap();
-        assert_eq!(e.desc.group, Ipv4Addr::new(224, 2, 128, 9));
-        assert_eq!(e.announcements, 3); // stale one not counted
-                                        // The group index tracked the move.
+        assert_eq!(e.group(), Ipv4Addr::new(224, 2, 128, 9));
+        assert_eq!(e.announcements(), 3); // stale one not counted
+                                          // The group index tracked the move.
         assert!(!c.group_in_use(Ipv4Addr::new(224, 2, 128, 5)));
         assert!(c.group_in_use(Ipv4Addr::new(224, 2, 128, 9)));
     }
@@ -747,8 +1204,8 @@ mod tests {
 
     #[test]
     fn heap_stays_compact_under_refresh_churn() {
-        // Refreshing an entry must not grow the heap: slots are only
-        // re-filed when they surface, so the heap stays O(entries).
+        // Refreshing an entry must not grow the heaps: slots are only
+        // re-filed when they surface, so the heaps stay O(entries).
         let mut c = AnnouncementCache::new(SimDuration::from_secs(1000));
         for k in 0..50u64 {
             c.observe_announce(t(0), desc([10, 0, 0, 1], k, 1, [224, 2, 128, k as u8], 63));
@@ -762,7 +1219,11 @@ mod tests {
             }
         }
         assert_eq!(c.len(), 50);
-        assert_eq!(c.expiry.len(), 50, "refresh churn must not grow the heap");
+        assert_eq!(
+            c.expiry_slots(),
+            50,
+            "refresh churn must not grow the heaps"
+        );
     }
 
     #[test]
@@ -912,5 +1373,71 @@ mod tests {
         assert_eq!(at, t(1));
         assert_eq!(key.session_id, 2);
         assert_eq!(c.earliest_last_heard(), Some(t(1)));
+    }
+
+    #[test]
+    fn ttl_move_rehomes_expiry_slot_and_digest_shard() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(100));
+        let d1 = desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 1], 15); // band 0
+        c.observe_announce(t(0), d1.clone());
+        assert_ne!(c.shard_digest(0), [0; DIGEST_BUCKETS]);
+        assert_eq!(c.shard_digest(3), [0; DIGEST_BUCKETS]);
+        // TTL moves to world scope: the digest contribution crosses
+        // shards; the global digest tracks the new (group, version).
+        let mut d2 = d1.clone();
+        d2.origin.version = 2;
+        d2.ttl = 255; // band 3
+        c.observe_announce(t(10), d2.clone());
+        assert_eq!(c.shard_digest(0), [0; DIGEST_BUCKETS]);
+        assert_ne!(c.shard_digest(3), [0; DIGEST_BUCKETS]);
+        let mut fresh = AnnouncementCache::new(SimDuration::from_secs(100));
+        fresh.observe_announce(t(10), d2);
+        assert_eq!(c.digest(), fresh.digest());
+        // The stale band-0 heap slot re-homes lazily; expiry still
+        // fires from the record's true refresh time.
+        assert_eq!(c.earliest_last_heard(), Some(t(10)));
+        assert!(c.purge_expired(t(105)).is_empty());
+        let purged: Vec<CacheKey> = c.purge_expired(t(111)).to_vec();
+        assert_eq!(purged.len(), 1);
+        assert!(c.is_empty());
+        assert_eq!(c.digest(), [0; DIGEST_BUCKETS]);
+        assert_eq!(c.shard_digest(3), [0; DIGEST_BUCKETS]);
+    }
+
+    #[test]
+    fn stale_handle_never_resolves_after_slot_reuse() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(100));
+        c.observe_announce(t(0), desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 1], 63));
+        let h = c.handle_of(Ipv4Addr::new(10, 0, 0, 1), 1).unwrap();
+        assert_eq!(c.resolve(h).unwrap().group(), Ipv4Addr::new(224, 2, 128, 1));
+        // A refresh keeps the handle live ...
+        c.observe_announce(t(5), desc([10, 0, 0, 1], 1, 1, [224, 2, 128, 1], 63));
+        assert!(c.resolve(h).is_some());
+        // ... eviction kills it, and a new session recycling the slot
+        // must not resurrect it.
+        c.observe_delete(Ipv4Addr::new(10, 0, 0, 1), 1);
+        assert!(c.resolve(h).is_none());
+        c.observe_announce(t(6), desc([10, 0, 0, 2], 2, 1, [224, 2, 128, 2], 63));
+        assert!(
+            c.resolve(h).is_none(),
+            "stale handle aliased a recycled slot"
+        );
+        let h2 = c.handle_of(Ipv4Addr::new(10, 0, 0, 2), 2).unwrap();
+        assert_eq!(c.resolve(h2).unwrap().key().session_id, 2);
+    }
+
+    #[test]
+    fn entry_ref_materializes_the_original_description() {
+        let mut c = AnnouncementCache::new(SimDuration::from_secs(100));
+        let mut d = desc([10, 0, 0, 1], 1, 3, [224, 2, 128, 1], 63);
+        d.info = Some("lecture".into());
+        c.observe_announce(t(0), d.clone());
+        let e = c.get(Ipv4Addr::new(10, 0, 0, 1), 1).unwrap();
+        assert_eq!(e.desc(), d);
+        assert_eq!(e.name(), "s1");
+        assert_eq!(e.version(), 3);
+        let entry = e.to_entry();
+        assert_eq!(entry.desc, d);
+        assert_eq!(entry.announcements, 1);
     }
 }

@@ -24,12 +24,14 @@ use sdalloc_core::{
     Addr, AddrSpace, Allocator, ClashAction, ClashPolicy, ClashResponder, Incumbent, SessionId,
     View, VisibleSession,
 };
-use sdalloc_sim::{SimDuration, SimRng, SimTime, TimerQueue, TimerToken};
+use sdalloc_sim::{ShardToken, ShardedTimerQueue, SimDuration, SimRng, SimTime};
 use sdalloc_telemetry::{CounterId, GaugeId, Severity, Telemetry, NO_ARG};
 
-use crate::cache::{AnnouncementCache, CacheKey, CacheUpdate, DIGEST_BUCKETS, DIGEST_SEED};
+use crate::cache::{
+    AnnouncementCache, CacheKey, CacheUpdate, DIGEST_BUCKETS, DIGEST_SEED, TTL_BANDS,
+};
 use crate::schedule::BackoffSchedule;
-use crate::sdp::{Media, Origin, SessionDescription};
+use crate::sdp::{DescRef, Media, Origin, SessionDescription};
 use crate::wire::{
     msg_id_hash, CacheDigest, MessageType, ReconMessage, ReconcileRequest, SapPacket,
 };
@@ -357,6 +359,11 @@ struct TokenBucket {
     last_refill: SimTime,
 }
 
+/// The timer shard holding the single-instance control timers (cache
+/// expiry, clash defence, reconciliation).  Shards `0..TTL_BANDS` hold
+/// the announce timers of sessions in the matching TTL partition band.
+const CONTROL_SHARD: usize = TTL_BANDS;
+
 /// The session directory engine.
 pub struct SessionDirectory {
     cfg: DirectoryConfig,
@@ -371,23 +378,30 @@ pub struct SessionDirectory {
     /// [`Self::take_events`] or appended to the next `on_packet`
     /// result.
     pending_events: Vec<DirectoryEvent>,
-    /// One queue for every deadline: per-session announces, cache
-    /// expiry, clash defences.
-    timers: TimerQueue<TimerKind>,
+    /// Every deadline the directory owns, sharded by TTL partition
+    /// band: announce timers for a session live in the shard of its
+    /// TTL band (so churn in one band never reshuffles another band's
+    /// heap), and the single-instance control timers (cache expiry,
+    /// clash defence, reconciliation) live in [`CONTROL_SHARD`].  The
+    /// global token sequence preserves exact single-queue fire order.
+    timers: ShardedTimerQueue<TimerKind>,
     /// Live announce-timer token per own session (cancelled on
     /// withdraw).
-    announce_timers: BTreeMap<u64, TimerToken>,
+    announce_timers: BTreeMap<u64, ShardToken>,
     /// The single outstanding cache-expiry timer, with the deadline it
     /// was armed for.  Armed deadlines are never later than required
     /// (the earliest `last_heard` can only move forward), so the timer
     /// is left alone until it fires and re-arms.
-    cache_timer: Option<(TimerToken, SimTime)>,
+    cache_timer: Option<(ShardToken, SimTime)>,
     /// The single outstanding clash-defence timer, with its deadline.
     /// Re-armed earlier when a new clash undercuts it.
-    defence_timer: Option<(TimerToken, SimTime)>,
+    defence_timer: Option<(ShardToken, SimTime)>,
     /// The single outstanding periodic-digest timer, with its deadline
     /// (only armed when reconciliation is configured).
-    recon_timer: Option<(TimerToken, SimTime)>,
+    recon_timer: Option<(ShardToken, SimTime)>,
+    /// Scratch buffer for [`Self::poll`]'s batch drain; kept across
+    /// calls so a steady-state poll allocates nothing.
+    due_scratch: Vec<(SimTime, TimerKind)>,
     /// Post-restart rebuild progress; `None` once a peer digest
     /// confirms we are back in sync (or when reconciliation is off).
     rebuilding: Option<RebuildState>,
@@ -426,11 +440,12 @@ impl SessionDirectory {
             responder,
             next_session_id: 1,
             pending_events: Vec::new(),
-            timers: TimerQueue::new(),
+            timers: ShardedTimerQueue::new(TTL_BANDS + 1),
             announce_timers: BTreeMap::new(),
             cache_timer: None,
             defence_timer: None,
             recon_timer: None,
+            due_scratch: Vec::new(),
             rebuilding: None,
             last_digest_sent: None,
             last_request_sent: None,
@@ -613,7 +628,11 @@ impl SessionDirectory {
                 next_send: now,
             },
         );
-        let token = self.timers.schedule(now, TimerKind::Announce(session_id));
+        let token = self.timers.schedule(
+            AnnouncementCache::ttl_band(ttl),
+            now,
+            TimerKind::Announce(session_id),
+        );
         self.announce_timers.insert(session_id, token);
         Ok(session_id)
     }
@@ -654,7 +673,9 @@ impl SessionDirectory {
         }
         if let Some(oldest) = self.cache.earliest_last_heard() {
             let deadline = oldest + self.cache_horizon() + SimDuration::from_nanos(1);
-            let token = self.timers.schedule(deadline, TimerKind::CacheExpiry); // lint:allow(wire-taint): the deadline is the locally-stamped receipt time of the oldest entry plus the configured horizon; no wire field reaches it
+            let token = self
+                .timers
+                .schedule(CONTROL_SHARD, deadline, TimerKind::CacheExpiry); // lint:allow(wire-taint): the deadline is the locally-stamped receipt time of the oldest entry plus the configured horizon; no wire field reaches it
             self.cache_timer = Some((token, deadline));
         }
     }
@@ -673,7 +694,9 @@ impl SessionDirectory {
                 if let Some((token, _)) = current {
                     self.timers.cancel(token);
                 }
-                let token = self.timers.schedule(deadline, TimerKind::Defence);
+                let token = self
+                    .timers
+                    .schedule(CONTROL_SHARD, deadline, TimerKind::Defence);
                 self.defence_timer = Some((token, deadline));
             }
         }
@@ -704,7 +727,9 @@ impl SessionDirectory {
             rc.digest_interval
         };
         let deadline = Self::reconcile_deadline(now, interval);
-        let token = self.timers.schedule(deadline, TimerKind::Reconcile);
+        let token = self
+            .timers
+            .schedule(CONTROL_SHARD, deadline, TimerKind::Reconcile);
         self.recon_timer = Some((token, deadline));
     }
 
@@ -847,7 +872,7 @@ impl SessionDirectory {
                 keys.truncate(rc.max_reannounce_per_request);
                 for key in keys {
                     if let Some(entry) = self.cache.get(key.origin, key.session_id) {
-                        out.push(Self::announcement_packet(key.origin, &entry.desc));
+                        out.push(Self::announcement_packet(key.origin, &entry.desc()));
                         self.telemetry.inc(self.metrics.recon_reannounced);
                     }
                 }
@@ -1031,6 +1056,9 @@ impl SessionDirectory {
                     next = now + interval;
                 }
                 s.next_send = next;
+                // A session's TTL is fixed at creation (moves change the
+                // group, never the scope), so its timer shard is stable.
+                let shard = AnnouncementCache::ttl_band(s.desc.ttl);
                 self.telemetry.inc(self.metrics.announce_sent);
                 self.telemetry.record(
                     now.as_nanos(),
@@ -1043,8 +1071,10 @@ impl SessionDirectory {
                         NO_ARG,
                     ],
                 );
-                let token = self.timers.schedule(next, TimerKind::Announce(session_id));
-                self.announce_timers.insert(session_id, token);
+                let token = self
+                    .timers
+                    .schedule(shard, next, TimerKind::Announce(session_id));
+                self.announce_timers.insert(session_id, token); // lint:allow(wire-taint): keyed by our own session id — the map is bounded by the application's own sessions, not wire input
             }
             TimerKind::CacheExpiry => {
                 if let Some((token, _)) = self.cache_timer.take() {
@@ -1082,7 +1112,7 @@ impl SessionDirectory {
                         // originator's behalf, if we still hold it.
                         let origin = Ipv4Addr::from(session.site);
                         if let Some(entry) = self.cache.get(origin, session.seq as u64) {
-                            out.push(Self::announcement_packet(origin, &entry.desc));
+                            out.push(Self::announcement_packet(origin, &entry.desc()));
                             self.telemetry.inc(self.metrics.defence_sent);
                             self.telemetry.record(
                                 now.as_nanos(),
@@ -1144,13 +1174,37 @@ impl SessionDirectory {
     }
 
     /// Advance time: emit due announcements, fire expired third-party
-    /// defences, purge the cache.  Thin compat wrapper over the event
-    /// API — drains every due timer in deadline order.
+    /// defences, purge the cache.  Compat wrapper over the event API —
+    /// batch-drains every due timer in deadline order (one drain per
+    /// shard sweep instead of a pop-per-timer), looping in case a
+    /// handler re-arms something... though no handler schedules a
+    /// deadline `<= now`, so the second sweep is empty in practice.
     pub fn poll(&mut self, now: SimTime) -> Vec<SapPacket> {
         let mut out = Vec::new(); // lint:allow(hot-alloc): out-buffer for the packets this call returns; empty when nothing is due
-        while let Some(kind) = self.pop_due_timer(now) {
-            out.append(&mut self.on_timer(now, kind));
+        let mut due = std::mem::take(&mut self.due_scratch);
+        loop {
+            due.clear();
+            self.timers.drain_due(now, &mut due);
+            if due.is_empty() {
+                break;
+            }
+            for &(_, kind) in &due {
+                // Same bookkeeping as `pop_due_timer`: the drained token
+                // is consumed, so `on_timer` must not cancel a successor
+                // it didn't schedule.
+                match kind {
+                    TimerKind::Announce(id) => {
+                        self.announce_timers.remove(&id);
+                    }
+                    TimerKind::CacheExpiry => self.cache_timer = None,
+                    TimerKind::Defence => self.defence_timer = None,
+                    TimerKind::Reconcile => self.recon_timer = None,
+                }
+                out.append(&mut self.on_timer(now, kind));
+            }
         }
+        due.clear();
+        self.due_scratch = due;
         out
     }
 
@@ -1203,9 +1257,13 @@ impl SessionDirectory {
             s.next_send = now;
             // (The map is keyed identically to `own`; rebuilt below.)
         }
-        let ids: Vec<u64> = self.own.keys().copied().collect();
-        for id in ids {
-            let token = self.timers.schedule(now, TimerKind::Announce(id));
+        let ids: Vec<(u64, u8)> = self.own.iter().map(|(id, s)| (*id, s.desc.ttl)).collect();
+        for (id, ttl) in ids {
+            let token = self.timers.schedule(
+                AnnouncementCache::ttl_band(ttl),
+                now,
+                TimerKind::Announce(id),
+            );
             self.announce_timers.insert(id, token);
         }
         if self.cfg.reconcile.is_some() {
@@ -1217,7 +1275,9 @@ impl SessionDirectory {
             self.update_rebuild_fraction();
             // An immediate digest broadcast opens the exchange; the
             // periodic cadence resumes from here.
-            let token = self.timers.schedule(now, TimerKind::Reconcile);
+            let token = self
+                .timers
+                .schedule(CONTROL_SHARD, now, TimerKind::Reconcile);
             self.recon_timer = Some((token, now));
         }
     }
@@ -1264,7 +1324,10 @@ impl SessionDirectory {
             return (out, events);
         }
 
-        let Ok(desc) = SessionDescription::parse(&pkt.payload) else {
+        // Zero-copy receive path: the description is parsed as borrowed
+        // slices of the packet payload; owned strings materialize only
+        // inside the cache, and only when the announcement is admitted.
+        let Ok(desc) = DescRef::parse(&pkt.payload) else {
             self.telemetry.inc(self.metrics.rx_unparseable);
             return (out, events); // unparseable payloads are dropped
         };
@@ -1314,13 +1377,13 @@ impl SessionDirectory {
         // Any pending third-party defence for this session is now moot.
         self.responder.on_announcement_seen(their_sid);
 
-        // Hoist the Copy fields we still need, then hand the parsed
-        // description to the cache by value: no per-packet deep clone of
-        // the media/string payload.
+        // Hoist the Copy fields we still need, then hand the borrowed
+        // description to the cache: refreshes (the steady-state case)
+        // touch no owned strings at all.
         let group = desc.group;
         let their_origin = desc.origin.address;
         let their_session_id = desc.origin.session_id;
-        let update = self.cache.observe_announce(now, desc);
+        let update = self.cache.observe_announce_ref(now, &desc);
         self.arm_cache_timer();
         let heard_counter = match update {
             CacheUpdate::New => self.metrics.heard_new,
@@ -1439,7 +1502,7 @@ impl SessionDirectory {
             .users_of(group)
             .filter(|(k, e)| {
                 !(k.origin == their_origin && k.session_id == their_session_id)
-                    && e.first_heard < now
+                    && e.first_heard() < now
             })
             .map(|(k, _)| (k.origin, k.session_id))
             .collect(); // lint:allow(hot-alloc): incumbent-id snapshot decouples the defence loop from the cache borrow

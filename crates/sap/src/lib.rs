@@ -41,18 +41,22 @@ pub mod directory;
 pub mod net;
 pub mod schedule;
 pub mod sdp;
+pub mod slab;
 pub mod testbed;
 pub mod wire;
 
-pub use cache::{AnnouncementCache, CacheEntry, CacheKey, CacheUpdate, DIGEST_BUCKETS};
+pub use cache::{
+    AnnouncementCache, CacheEntry, CacheKey, CacheUpdate, EntryRef, DIGEST_BUCKETS, TTL_BANDS,
+};
 pub use directory::{
     CreateError, DirectoryConfig, DirectoryEvent, GovernorConfig, ReconcileConfig,
     SessionDirectory, TimerKind,
 };
 pub use net::{AgentHandle, AgentStats, RetryPolicy, SapAgent, SapSocket, SapTransport};
 pub use schedule::BackoffSchedule;
-pub use sdp::{Media, Origin, SdpError, SessionDescription};
+pub use sdp::{DescRef, Media, MediaRef, Origin, OriginRef, SdpError, SessionDescription};
+pub use slab::{Interner, SessionHandle, SessionId, Slab, Sym};
 pub use wire::{
-    CacheDigest, MessageType, ReconMessage, ReconcileRequest, SapPacket, WireError, SAP_GROUP,
-    SAP_PORT,
+    CacheDigest, MessageType, ReconMessage, ReconcileRequest, SapFrame, SapPacket, WireError,
+    SAP_GROUP, SAP_PORT,
 };

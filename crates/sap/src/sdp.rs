@@ -9,6 +9,16 @@
 //! The grammar follows RFC 2327's `<type>=<value>` line structure with
 //! strict line ordering (v, o, s, \[i\], c, t, m*), which is all a session
 //! directory needs and keeps parsing unambiguous.
+//!
+//! ## Zero-copy parsing
+//!
+//! The canonical parser is [`DescRef::parse`]: every textual field it
+//! returns **borrows** the packet buffer it was handed — no string is
+//! copied at parse time.  The receive path runs clash detection,
+//! governor gates and cache lookups on the borrowed view's `Copy`
+//! fields, and only the cache materialises owned copies (interned, at
+//! admit time).  [`SessionDescription::parse`] survives as the
+//! eager-owning wrapper for tests and cold paths.
 
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -118,9 +128,104 @@ impl SessionDescription {
         out
     }
 
-    /// Parse SDP text (accepts `\n` or `\r\n` line endings).
-    // lint:allow(hot-alloc): parsing builds the owned description; per-field copies are its contents
+    /// Parse SDP text (accepts `\n` or `\r\n` line endings), eagerly
+    /// materialising owned strings.  Cold-path wrapper over
+    /// [`DescRef::parse`]; the receive path keeps the borrowed view.
     pub fn parse(text: &str) -> Result<SessionDescription, SdpError> {
+        DescRef::parse(text).map(|d| d.to_desc())
+    }
+
+    /// A borrowed view of this description (the inverse of
+    /// [`DescRef::to_desc`]): lets owned descriptions flow through the
+    /// borrow-only admit path without copying.
+    // lint:allow(hot-alloc): the media Vec of borrowed refs is the view's only allocation, sized by the handful of m= lines
+    pub fn as_ref(&self) -> DescRef<'_> {
+        DescRef {
+            origin: OriginRef {
+                username: &self.origin.username,
+                session_id: self.origin.session_id,
+                version: self.origin.version,
+                address: self.origin.address,
+            },
+            name: &self.name,
+            info: self.info.as_deref(),
+            group: self.group,
+            ttl: self.ttl,
+            start: self.start,
+            stop: self.stop,
+            media: self
+                .media
+                .iter()
+                .map(|m| MediaRef {
+                    kind: &m.kind,
+                    port: m.port,
+                    proto: &m.proto,
+                    format: m.format,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Borrowed `o=` line: every string field points into the packet
+/// buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OriginRef<'a> {
+    /// Username of the creator ("-" when unknown).
+    pub username: &'a str,
+    /// Globally unique session id.
+    pub session_id: u64,
+    /// Version of this announcement.
+    pub version: u64,
+    /// Unicast address of the originating host.
+    pub address: Ipv4Addr,
+}
+
+/// Borrowed `m=` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MediaRef<'a> {
+    /// Media kind: "audio", "video", …
+    pub kind: &'a str,
+    /// Transport port.
+    pub port: u16,
+    /// Transport protocol ("RTP/AVP").
+    pub proto: &'a str,
+    /// Format number (RTP payload type).
+    pub format: u32,
+}
+
+/// A zero-copy session description: the borrowed counterpart of
+/// [`SessionDescription`], produced by [`DescRef::parse`] directly over
+/// the packet buffer.  Owned strings are materialised only where a copy
+/// must outlive the packet — at cache-admit time, via the cache's
+/// interner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DescRef<'a> {
+    /// Origin (`o=`), borrowed.
+    pub origin: OriginRef<'a>,
+    /// Session name (`s=`), borrowed.
+    pub name: &'a str,
+    /// Optional free-text description (`i=`), borrowed.
+    pub info: Option<&'a str>,
+    /// Multicast group of the session (`c=`).
+    pub group: Ipv4Addr,
+    /// Scope TTL of the session.
+    pub ttl: u8,
+    /// Start time (`t=`), 0 = unbounded.
+    pub start: u64,
+    /// Stop time (`t=`), 0 = unbounded.
+    pub stop: u64,
+    /// Media streams (`m=`): borrowed refs, one small Vec per parse.
+    // lint:bounded: the m= lines of one packet's description — a handful of streams, freed with the view
+    pub media: Vec<MediaRef<'a>>,
+}
+
+impl<'a> DescRef<'a> {
+    /// Parse SDP text without copying a single field: every `&str` in
+    /// the result borrows `text`.  Same grammar, ordering rules and
+    /// errors as [`SessionDescription::parse`].
+    // lint:allow(hot-alloc): the media Vec of borrowed refs is the only allocation; error-path formatting is off the hot path
+    pub fn parse(text: &'a str) -> Result<DescRef<'a>, SdpError> {
         // Only the CR of a CRLF ending is stripped: other trailing
         // whitespace is significant field content.
         let mut lines = text
@@ -135,37 +240,67 @@ impl SessionDescription {
         }
 
         let o = take(&mut lines, 'o').ok_or(SdpError::MissingLine("o"))?;
-        let origin = parse_origin(&o)?;
+        let origin = parse_origin(o)?;
 
         let name = take(&mut lines, 's').ok_or(SdpError::MissingLine("s"))?;
 
         let info = take(&mut lines, 'i');
 
         let c = take(&mut lines, 'c').ok_or(SdpError::MissingLine("c"))?;
-        let (group, ttl) = parse_connection(&c)?;
+        let (group, ttl) = parse_connection(c)?;
 
         let t = take(&mut lines, 't').ok_or(SdpError::MissingLine("t"))?;
-        let (start, stop) = parse_times(&t)?;
+        let (start, stop) = parse_times(t)?;
 
         let mut media = Vec::new();
         while let Some(m) = take(&mut lines, 'm') {
-            media.push(parse_media(&m)?);
+            media.push(parse_media(m)?);
         }
 
         if let Some(extra) = lines.next() {
             return Err(SdpError::Malformed(extra.to_string()));
         }
 
-        Ok(SessionDescription {
+        Ok(DescRef {
             origin,
-            name: name.to_string(),
-            info: info.map(|s| s.to_string()),
+            name,
+            info,
             group,
             ttl,
             start,
             stop,
             media,
         })
+    }
+
+    /// Materialise an owned [`SessionDescription`] — the one place the
+    /// borrowed view's strings are copied.
+    // lint:allow(hot-alloc): materialisation IS the copy; the admit path calls this only for entries the cache keeps
+    pub fn to_desc(&self) -> SessionDescription {
+        SessionDescription {
+            origin: Origin {
+                username: self.origin.username.to_string(),
+                session_id: self.origin.session_id,
+                version: self.origin.version,
+                address: self.origin.address,
+            },
+            name: self.name.to_string(),
+            info: self.info.map(str::to_string),
+            group: self.group,
+            ttl: self.ttl,
+            start: self.start,
+            stop: self.stop,
+            media: self
+                .media
+                .iter()
+                .map(|m| Media {
+                    kind: m.kind.to_string(),
+                    port: m.port,
+                    proto: m.proto.to_string(),
+                    format: m.format,
+                })
+                .collect(),
+        }
     }
 }
 
@@ -175,14 +310,14 @@ fn escape(s: &str) -> String {
     s.replace(['\r', '\n'], " ")
 }
 
-/// If the next line is `<key>=<value>`, consume and return the value.
-// lint:allow(hot-alloc): the consumed value is owned by the returned description
-fn take<'a, I>(lines: &mut std::iter::Peekable<I>, key: char) -> Option<String>
+/// If the next line is `<key>=<value>`, consume and return the value,
+/// borrowed from the input buffer.
+fn take<'a, I>(lines: &mut std::iter::Peekable<I>, key: char) -> Option<&'a str>
 where
     I: Iterator<Item = &'a str>,
 {
     let line = lines.peek()?;
-    let value = line.strip_prefix(key)?.strip_prefix('=')?.to_string();
+    let value = line.strip_prefix(key)?.strip_prefix('=')?;
     lines.next();
     Some(value)
 }
@@ -191,8 +326,8 @@ where
 // matching: no intermediate Vec, no index expressions, total on any
 // input.  Error-path `format!` captures the offending line.
 
-// lint:allow(hot-alloc): owned field copies + error-path message formatting only
-fn parse_origin(s: &str) -> Result<Origin, SdpError> {
+// lint:allow(hot-alloc): error-path message formatting only; all fields borrow the input
+fn parse_origin(s: &str) -> Result<OriginRef<'_>, SdpError> {
     let err = || SdpError::Malformed(format!("o={s}"));
     let mut f = s.split_whitespace();
     match (
@@ -205,8 +340,8 @@ fn parse_origin(s: &str) -> Result<Origin, SdpError> {
         f.next(),
     ) {
         (Some(user), Some(sid), Some(ver), Some("IN"), Some("IP4"), Some(addr), None) => {
-            Ok(Origin {
-                username: user.to_string(),
+            Ok(OriginRef {
+                username: user,
                 session_id: sid.parse().map_err(|_| err())?,
                 version: ver.parse().map_err(|_| err())?,
                 address: addr.parse().map_err(|_| err())?,
@@ -246,8 +381,8 @@ fn parse_times(s: &str) -> Result<(u64, u64), SdpError> {
     ))
 }
 
-// lint:allow(hot-alloc): owned field copies + error-path message formatting only
-fn parse_media(s: &str) -> Result<Media, SdpError> {
+// lint:allow(hot-alloc): error-path message formatting only; all fields borrow the input
+fn parse_media(s: &str) -> Result<MediaRef<'_>, SdpError> {
     let err = || SdpError::Malformed(format!("m={s}"));
     let mut f = s.split_whitespace();
     let (Some(kind), Some(port), Some(proto), Some(format), None) =
@@ -255,10 +390,10 @@ fn parse_media(s: &str) -> Result<Media, SdpError> {
     else {
         return Err(err());
     };
-    Ok(Media {
-        kind: kind.to_string(),
+    Ok(MediaRef {
+        kind,
         port: port.parse().map_err(|_| err())?,
-        proto: proto.to_string(),
+        proto,
         format: format.parse().map_err(|_| err())?,
     })
 }
@@ -393,5 +528,40 @@ mod tests {
         sd.origin.version += 1;
         let parsed = SessionDescription::parse(&sd.format()).unwrap();
         assert_eq!(parsed.origin.version, 2);
+    }
+
+    #[test]
+    fn zero_copy_parse_borrows_the_buffer() {
+        let text = sample().format();
+        let view = DescRef::parse(&text).unwrap();
+        // Pointer containment: each borrowed field lies inside `text`.
+        let inside = |s: &str| {
+            let (lo, hi) = (text.as_ptr() as usize, text.as_ptr() as usize + text.len());
+            let p = s.as_ptr() as usize;
+            lo <= p && p + s.len() <= hi
+        };
+        assert!(inside(view.name));
+        assert!(inside(view.origin.username));
+        assert!(view.info.is_some_and(inside));
+        for m in &view.media {
+            assert!(inside(m.kind));
+            assert!(inside(m.proto));
+        }
+    }
+
+    #[test]
+    fn borrowed_and_owned_parsers_agree() {
+        let sd = sample();
+        let text = sd.format();
+        let view = DescRef::parse(&text).unwrap();
+        assert_eq!(view.to_desc(), sd);
+        assert_eq!(view, sd.as_ref());
+        // Errors agree too.
+        for bad in ["", "v=1\n", "v=0\ns=x\n"] {
+            assert_eq!(
+                DescRef::parse(bad).err(),
+                SessionDescription::parse(bad).err()
+            );
+        }
     }
 }

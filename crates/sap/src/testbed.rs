@@ -26,7 +26,7 @@ use sdalloc_sim::{Channel, FaultPlan, SimContext, SimRng, SimTime, Simulator, Tr
 
 use crate::directory::{DirectoryConfig, DirectoryEvent, SessionDirectory};
 use crate::sdp::{Origin, SessionDescription};
-use crate::wire::{msg_id_hash, SapPacket};
+use crate::wire::{msg_id_hash, SapFrame, SapPacket};
 
 /// Sender index used for forged storm packets: matches no real node, so
 /// it is never partitioned away and never equals a recipient.
@@ -397,7 +397,7 @@ fn forge_storm_packet(storm: usize, i: u32, rng: &mut SimRng) -> SapPacket {
 /// Fan a packet out to every other node through the channel, under the
 /// fault plan: partition cuts, crashed recipients, burst loss, and
 /// corruption all apply per (link, packet).  Corrupted bytes must
-/// survive a real [`SapPacket::decode`] round-trip to be delivered —
+/// survive a real [`SapFrame::decode`] round-trip to be delivered —
 /// most mangled packets die right there, like on a real socket.
 #[allow(clippy::too_many_arguments)]
 fn fan_out(
@@ -433,8 +433,11 @@ fn fan_out(
                     if rng.chance(p) {
                         let mut bytes = delivered.encode().to_vec();
                         mode.apply(&mut bytes, rng);
-                        match SapPacket::decode(&bytes) {
-                            Ok(reparsed) => delivered = reparsed,
+                        // Validate zero-copy against the mangled buffer;
+                        // an owning packet materializes only if the
+                        // frame survives — like a real receive path.
+                        match SapFrame::decode(&bytes) {
+                            Ok(frame) => delivered = frame.to_packet(),
                             Err(_) => {
                                 // Mangled beyond recognition: the bytes
                                 // still hit the receiver's socket, so the

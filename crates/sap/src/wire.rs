@@ -45,6 +45,96 @@ pub enum MessageType {
     Delete,
 }
 
+/// A decoded SAP packet viewed in place: every variable-length field
+/// borrows from the datagram buffer it was decoded from.  This is the
+/// canonical decoder — [`SapPacket::decode`] wraps it and materializes
+/// owned copies.  The receive path holds a `SapFrame` only for the
+/// duration of one datagram; ownership is taken at cache-admit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SapFrame<'a> {
+    /// Announce or delete.
+    pub message_type: MessageType,
+    /// 16-bit hash identifying this version of the announcement.
+    pub msg_id_hash: u16,
+    /// Originating source address.
+    pub source: Ipv4Addr,
+    /// Authentication data, borrowed from the packet buffer (wire
+    /// padding included).
+    pub auth: &'a [u8],
+    /// The payload text, borrowed from the packet buffer.
+    pub payload: &'a str,
+}
+
+impl<'a> SapFrame<'a> {
+    /// Decode a datagram in place.  No bytes are copied: `auth` and
+    /// `payload` point into `data`.
+    ///
+    /// The payload-type marker is optional on the wire (early sdr
+    /// omitted it); per the RFC's guidance we treat a payload starting
+    /// with `v=` as bare SDP.
+    pub fn decode(mut data: &'a [u8]) -> Result<SapFrame<'a>, WireError> {
+        if data.len() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let b0 = data.get_u8();
+        let version = (b0 >> 5) & 0x07;
+        if version != SAP_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        if b0 & 0x10 != 0 {
+            return Err(WireError::UnsupportedAddressType); // A bit: IPv6
+        }
+        if b0 & 0x03 != 0 {
+            return Err(WireError::UnsupportedEncoding); // E or C bit
+        }
+        let message_type = if b0 & 0x04 != 0 {
+            MessageType::Delete
+        } else {
+            MessageType::Announce
+        };
+        let auth_words = data.get_u8() as usize;
+        let msg_id_hash = data.get_u16();
+        let mut src = [0u8; 4];
+        data.copy_to_slice(&mut src);
+        let source = Ipv4Addr::from(src);
+        let auth_len = auth_words * 4;
+        let auth = data.get(..auth_len).ok_or(WireError::BadAuthLength)?;
+        data.advance(auth_len);
+
+        // Optional payload type: text up to a NUL, unless the payload
+        // starts directly with SDP.
+        let rest = data;
+        let payload_bytes = if rest.starts_with(b"v=") {
+            rest
+        } else if let Some(nul) = rest.iter().position(|&b| b == 0) {
+            rest.get(nul + 1..).unwrap_or(&[])
+        } else {
+            rest
+        };
+        let payload = std::str::from_utf8(payload_bytes).map_err(|_| WireError::BadPayload)?;
+        Ok(SapFrame {
+            message_type,
+            msg_id_hash,
+            source,
+            auth,
+            payload,
+        })
+    }
+
+    /// Materialize an owned packet from this view — the one place the
+    /// auth and payload bytes are copied.
+    // lint:allow(hot-alloc): this is the explicit ownership boundary; callers copy only when admitting
+    pub fn to_packet(&self) -> SapPacket {
+        SapPacket {
+            message_type: self.message_type,
+            msg_id_hash: self.msg_id_hash,
+            source: self.source,
+            auth: self.auth.to_vec(),
+            payload: self.payload.to_string(),
+        }
+    }
+}
+
 /// A decoded SAP packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SapPacket {
@@ -150,63 +240,24 @@ impl SapPacket {
         buf.freeze()
     }
 
-    /// Decode from wire bytes.
-    ///
-    /// The payload-type marker is optional on the wire (early sdr
-    /// omitted it); per the RFC's guidance we treat a payload starting
-    /// with `v=` as bare SDP.
-    pub fn decode(mut data: &[u8]) -> Result<SapPacket, WireError> {
-        if data.len() < 8 {
-            return Err(WireError::Truncated);
-        }
-        let b0 = data.get_u8();
-        let version = (b0 >> 5) & 0x07;
-        if version != SAP_VERSION {
-            return Err(WireError::BadVersion(version));
-        }
-        if b0 & 0x10 != 0 {
-            return Err(WireError::UnsupportedAddressType); // A bit: IPv6
-        }
-        if b0 & 0x03 != 0 {
-            return Err(WireError::UnsupportedEncoding); // E or C bit
-        }
-        let message_type = if b0 & 0x04 != 0 {
-            MessageType::Delete
-        } else {
-            MessageType::Announce
-        };
-        let auth_words = data.get_u8() as usize;
-        let msg_id_hash = data.get_u16();
-        let mut src = [0u8; 4];
-        data.copy_to_slice(&mut src);
-        let source = Ipv4Addr::from(src);
-        let auth_len = auth_words * 4;
-        let auth = data
-            .get(..auth_len)
-            .ok_or(WireError::BadAuthLength)?
-            .to_vec(); // lint:allow(hot-alloc): decode returns an owned packet; one auth copy per datagram is intrinsic
-        data.advance(auth_len);
+    /// Decode from wire bytes into an owned packet.  Thin wrapper over
+    /// the zero-copy [`SapFrame::decode`]; hot receive paths should
+    /// hold the frame instead and defer the copy to admit time.
+    pub fn decode(data: &[u8]) -> Result<SapPacket, WireError> {
+        SapFrame::decode(data).map(|f| f.to_packet())
+    }
 
-        // Optional payload type: text up to a NUL, unless the payload
-        // starts directly with SDP.
-        let rest = data;
-        let payload_bytes = if rest.starts_with(b"v=") {
-            rest
-        } else if let Some(nul) = rest.iter().position(|&b| b == 0) {
-            rest.get(nul + 1..).unwrap_or(&[])
-        } else {
-            rest
-        };
-        let payload = std::str::from_utf8(payload_bytes)
-            .map_err(|_| WireError::BadPayload)?
-            .to_string(); // lint:allow(hot-alloc): decode returns an owned packet; the payload copy is the packet's contents
-        Ok(SapPacket {
-            message_type,
-            msg_id_hash,
-            source,
-            auth,
-            payload,
-        })
+    /// Borrow this packet as a frame view (the reverse of
+    /// [`SapFrame::to_packet`]) so owned and borrowed receive paths
+    /// share one downstream signature.
+    pub fn as_frame(&self) -> SapFrame<'_> {
+        SapFrame {
+            message_type: self.message_type,
+            msg_id_hash: self.msg_id_hash,
+            source: self.source,
+            auth: &self.auth,
+            payload: &self.payload,
+        }
     }
 }
 
@@ -543,6 +594,33 @@ mod tests {
             " 1".repeat(MAX_RECON_BUCKETS + 1)
         );
         assert_eq!(ReconMessage::parse(&huge), None);
+    }
+
+    #[test]
+    fn zero_copy_frame_borrows_the_buffer() {
+        let mut p = SapPacket::announce(src(), 0xBEEF, "v=0\r\ns=test\r\n".into());
+        p.auth = vec![9, 9, 9, 9];
+        let bytes = p.encode();
+        let frame = SapFrame::decode(&bytes).unwrap();
+        let buf = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+        assert!(buf.contains(&(frame.payload.as_ptr() as usize)));
+        assert!(buf.contains(&(frame.auth.as_ptr() as usize)));
+        assert_eq!(frame.to_packet(), p);
+    }
+
+    #[test]
+    fn frame_and_packet_decoders_agree() {
+        let p = SapPacket::delete(src(), 0x7777, "v=0\r\ns=gone\r\n".into());
+        let bytes = p.encode();
+        let frame = SapFrame::decode(&bytes).unwrap();
+        let owned = SapPacket::decode(&bytes).unwrap();
+        assert_eq!(frame.to_packet(), owned);
+        assert_eq!(owned.as_frame(), frame);
+        // Errors agree too.
+        assert_eq!(
+            SapFrame::decode(&bytes[..3]).unwrap_err(),
+            SapPacket::decode(&bytes[..3]).unwrap_err()
+        );
     }
 
     #[test]

@@ -45,4 +45,4 @@ pub use faults::{
 pub use rng::SimRng;
 pub use stats::{first_crossing, median, median_filter, quantile, Histogram, Summary};
 pub use time::{SimDuration, SimTime};
-pub use timer::{TimerQueue, TimerToken};
+pub use timer::{ShardToken, ShardedTimerQueue, TimerQueue, TimerToken};

@@ -156,10 +156,192 @@ impl<K> TimerQueue<K> {
         }
     }
 
+    /// Batch-drain every live timer with `due <= now` into `out`, in
+    /// fire order (deadline, then FIFO).  One wake pays one pass over
+    /// the due prefix instead of a call per timer; the caller reuses
+    /// `out` so steady-state wakes allocate nothing.
+    pub fn drain_due(&mut self, now: SimTime, out: &mut Vec<(SimTime, K)>) {
+        while let Some(fired) = self.pop_due(now) {
+            out.push(fired);
+        }
+    }
+
+    /// Schedule `key` at `due` under an externally-minted `token`.
+    /// [`ShardedTimerQueue`] uses this to keep one global FIFO sequence
+    /// across shards, so cross-shard ties at equal deadlines fire in
+    /// schedule order exactly as a single queue would.
+    fn schedule_with_token(&mut self, due: SimTime, key: K, token: u64) {
+        self.next_token = self.next_token.max(token + 1);
+        self.live.insert(token);
+        self.heap.push(TimerEntry { due, token, key });
+    }
+
+    /// The `(due, token)` of the earliest live entry, pruning cancelled
+    /// heads.  The token lets a multi-shard scheduler order equal
+    /// deadlines globally.
+    fn peek_live(&mut self) -> Option<(SimTime, u64)> {
+        loop {
+            let head = self.heap.peek()?;
+            if self.live.contains(&head.token) {
+                return Some((head.due, head.token));
+            }
+            self.heap.pop();
+        }
+    }
+
     /// Drop every timer (live and cancelled).
     pub fn clear(&mut self) {
         self.heap.clear();
         self.live.clear();
+    }
+}
+
+/// Handle to a timer scheduled on a [`ShardedTimerQueue`]: the shard it
+/// lives in plus its per-shard token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardToken {
+    shard: u32,
+    token: TimerToken,
+}
+
+impl ShardToken {
+    /// The shard this timer was scheduled into.
+    pub fn shard(&self) -> usize {
+        self.shard as usize
+    }
+}
+
+/// A [`TimerQueue`] split into independent shards (the directory keys
+/// them by TTL partition band) that still fires in one global
+/// deterministic order.
+///
+/// Each shard owns its own heap, so churn in one band — a burst of
+/// announce reschedules for low-TTL sessions, say — never touches
+/// another band's heap.  Tokens are minted from a single queue-wide
+/// counter and threaded through [`TimerQueue::schedule_with_token`], so
+/// the cross-shard fire order at equal deadlines is exactly the FIFO
+/// order a single unsharded queue would produce: the determinism
+/// contract (deadline order, then schedule order) is preserved
+/// verbatim.
+pub struct ShardedTimerQueue<K> {
+    // lint:bounded: fixed at construction (TTL bands + control shard, ≤ 5); nothing ever pushes a new shard
+    shards: Vec<TimerQueue<K>>,
+    next_token: u64,
+}
+
+impl<K> std::fmt::Debug for ShardedTimerQueue<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedTimerQueue")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<K> ShardedTimerQueue<K> {
+    /// A queue with `shards` independent heaps (at least one).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedTimerQueue {
+            shards: (0..shards).map(|_| TimerQueue::new()).collect(),
+            next_token: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live timers across every shard.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(TimerQueue::len).sum()
+    }
+
+    /// Whether no live timers remain in any shard.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(TimerQueue::is_empty)
+    }
+
+    /// Live timers in one shard (0 for an out-of-range index).
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards.get(shard).map_or(0, TimerQueue::len)
+    }
+
+    /// Schedule `key` at `due` in `shard` (clamped to the last shard),
+    /// minting the token from the queue-wide FIFO sequence.
+    // lint:allow(wire-taint): the per-shard heap holds one entry per armed timer and fires/cancels evict it; callers own deadline validation (the directory clamps wire intervals at admission)
+    pub fn schedule(&mut self, shard: usize, due: SimTime, key: K) -> ShardToken {
+        let shard = shard.min(self.shards.len().saturating_sub(1));
+        let token = self.next_token;
+        self.next_token += 1;
+        if let Some(q) = self.shards.get_mut(shard) {
+            q.schedule_with_token(due, key, token);
+        }
+        ShardToken {
+            shard: shard as u32,
+            token: TimerToken(token),
+        }
+    }
+
+    /// Cancel a scheduled timer; see [`TimerQueue::cancel`].
+    pub fn cancel(&mut self, token: ShardToken) -> bool {
+        self.shards
+            .get_mut(token.shard as usize)
+            .is_some_and(|q| q.cancel(token.token))
+    }
+
+    /// The shard index holding the globally-earliest live `(due,
+    /// token)`, pruning cancelled heads as a side effect.
+    fn earliest_shard(&mut self) -> Option<usize> {
+        let mut best: Option<((SimTime, u64), usize)> = None;
+        for (i, q) in self.shards.iter_mut().enumerate() {
+            if let Some(head) = q.peek_live() {
+                if best.is_none_or(|(b, _)| head < b) {
+                    best = Some((head, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// The earliest live deadline across all shards.  Exact.
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        let shard = self.earliest_shard()?;
+        self.shards.get_mut(shard)?.next_deadline()
+    }
+
+    /// Conservative (possibly early, never late) earliest deadline; see
+    /// [`TimerQueue::peek_deadline`].
+    pub fn peek_deadline(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(TimerQueue::peek_deadline)
+            .min()
+    }
+
+    /// Pop the globally-earliest live timer with `due <= now`, in the
+    /// same (deadline, schedule) order a single queue would fire.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, K)> {
+        let shard = self.earliest_shard()?;
+        self.shards.get_mut(shard)?.pop_due(now)
+    }
+
+    /// Batch-drain every due timer across all shards into `out`, in
+    /// global fire order.  The per-wake analogue of
+    /// [`TimerQueue::drain_due`].
+    pub fn drain_due(&mut self, now: SimTime, out: &mut Vec<(SimTime, K)>) {
+        while let Some(fired) = self.pop_due(now) {
+            out.push(fired);
+        }
+    }
+
+    /// Drop every timer in every shard.  The token counter survives, so
+    /// FIFO order stays globally consistent across clears.
+    pub fn clear(&mut self) {
+        for q in &mut self.shards {
+            q.clear();
+        }
     }
 }
 
@@ -327,5 +509,92 @@ mod tests {
         assert_eq!(q.next_deadline(), Some(t(5)));
         assert_eq!(q.pop_due(t(20)).map(|(_, k)| k), Some("mid"));
         assert_eq!(q.pop_due(t(20)).map(|(_, k)| k), Some("late"));
+    }
+
+    #[test]
+    fn drain_due_matches_pop_loop() {
+        let mut a = TimerQueue::new();
+        let mut b = TimerQueue::new();
+        for (due, k) in [(3u64, "c"), (1, "a"), (3, "d"), (2, "b"), (9, "z")] {
+            a.schedule(t(due), k);
+            b.schedule(t(due), k);
+        }
+        let mut batch = Vec::new();
+        a.drain_due(t(3), &mut batch);
+        let mut single = Vec::new();
+        while let Some(fired) = b.pop_due(t(3)) {
+            single.push(fired);
+        }
+        assert_eq!(batch, single);
+        assert_eq!(batch.len(), 4, "the t=9 timer is not yet due");
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn sharded_queue_fires_in_single_queue_order() {
+        // Interleave schedules across shards with colliding deadlines;
+        // the sharded drain must reproduce the exact fire order of an
+        // unsharded queue fed the same sequence.
+        let mut sharded = ShardedTimerQueue::new(4);
+        let mut single = TimerQueue::new();
+        let plan = [
+            (2usize, 5u64, 0u32),
+            (0, 5, 1),
+            (3, 1, 2),
+            (2, 5, 3),
+            (1, 2, 4),
+            (0, 1, 5),
+            (3, 5, 6),
+            (1, 1, 7),
+        ];
+        for &(shard, due, key) in &plan {
+            sharded.schedule(shard, t(due), key);
+            single.schedule(t(due), key);
+        }
+        let mut a = Vec::new();
+        sharded.drain_due(t(10), &mut a);
+        let mut b = Vec::new();
+        single.drain_due(t(10), &mut b);
+        assert_eq!(a, b, "cross-shard FIFO diverged from the single queue");
+        assert!(sharded.is_empty());
+    }
+
+    #[test]
+    fn sharded_cancel_and_deadlines() {
+        let mut q = ShardedTimerQueue::new(3);
+        let a = q.schedule(0, t(1), "a");
+        let b = q.schedule(1, t(2), "b");
+        q.schedule(2, t(3), "c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.shard_len(1), 1);
+        assert_eq!(a.shard(), 0);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.peek_deadline(), Some(t(1)), "conservative peek");
+        assert_eq!(q.next_deadline(), Some(t(2)), "pruned deadline");
+        assert_eq!(q.pop_due(t(10)), Some((t(2), "b")));
+        assert!(!q.cancel(b), "cancel-after-fire reports false");
+        assert_eq!(q.pop_due(t(10)), Some((t(3), "c")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sharded_out_of_range_shard_clamps() {
+        let mut q = ShardedTimerQueue::new(2);
+        let tok = q.schedule(99, t(1), "x");
+        assert_eq!(tok.shard(), 1, "over-range shard clamps to the last");
+        assert_eq!(q.pop_due(t(1)), Some((t(1), "x")));
+    }
+
+    #[test]
+    fn sharded_clear_keeps_token_sequence() {
+        let mut q = ShardedTimerQueue::new(2);
+        let stale = q.schedule(0, t(1), 1u32);
+        q.clear();
+        assert!(q.is_empty());
+        let fresh = q.schedule(0, t(1), 2u32);
+        assert_ne!(stale, fresh, "tokens must stay unique across clear");
+        assert!(!q.cancel(stale), "stale token must be inert");
+        assert_eq!(q.pop_due(t(1)), Some((t(1), 2u32)));
     }
 }

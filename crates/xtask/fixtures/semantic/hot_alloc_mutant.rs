@@ -3,7 +3,7 @@
 //! the call graph from the hot-path roots and flag
 //! `SessionDirectory::record` with the `on_packet -> record` chain.
 //!
-//! All six hot-path roots are present so the self-test also proves the
+//! All nine hot-path roots are present so the self-test also proves the
 //! root-discovery logic finds them (a missing root is a gate failure).
 //!
 //! Not compiled into any crate — analyzed as text by the self-tests in
@@ -45,6 +45,10 @@ impl AnnouncementCache {
     pub fn purge_stale(&mut self, now: u64) {
         self.high_water = now;
     }
+
+    pub fn observe_announce_ref(&mut self, now: u64) {
+        self.high_water = now;
+    }
 }
 
 pub struct SapPacket;
@@ -55,5 +59,27 @@ impl SapPacket {
             return None;
         }
         Some(SapPacket)
+    }
+}
+
+pub struct SapFrame;
+
+impl SapFrame {
+    pub fn decode(data: &[u8]) -> Option<SapFrame> {
+        if data.is_empty() {
+            return None;
+        }
+        Some(SapFrame)
+    }
+}
+
+pub struct DescRef;
+
+impl DescRef {
+    pub fn parse(data: &[u8]) -> Option<DescRef> {
+        if data.is_empty() {
+            return None;
+        }
+        Some(DescRef)
     }
 }

@@ -82,7 +82,10 @@ pub(crate) const HOT_ROOTS: &[(&str, &str)] = &[
     ("SessionDirectory", "next_deadline"),
     ("AnnouncementCache", "purge_expired"),
     ("AnnouncementCache", "purge_stale"),
+    ("AnnouncementCache", "observe_announce_ref"),
     ("SapPacket", "decode"),
+    ("SapFrame", "decode"),
+    ("DescRef", "parse"),
 ];
 
 /// Field methods that grow a collection.

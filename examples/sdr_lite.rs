@@ -103,11 +103,11 @@ fn main() {
             for (key, entry) in agent.directory_mut().cache().iter() {
                 println!(
                     "  '{}' on {}/{} (from {}, v{})",
-                    entry.desc.name,
-                    entry.desc.group,
-                    entry.desc.ttl,
+                    entry.name(),
+                    entry.group(),
+                    entry.ttl(),
                     key.origin,
-                    entry.desc.origin.version
+                    entry.version()
                 );
             }
         }

@@ -449,3 +449,158 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Slab session store: id recycling vs a residency-epoch model
+// ---------------------------------------------------------------------
+
+/// Session `i`'s description for the slab-recycling model: distinct
+/// origin per index, TTLs spread across all four partition bands so
+/// the per-shard digests all see traffic.
+fn slab_session(i: usize, version: u64) -> SessionDescription {
+    const BAND_TTLS: [u8; 4] = [8, 32, 100, 200];
+    SessionDescription {
+        origin: Origin {
+            username: "-".into(),
+            session_id: i as u64,
+            version,
+            address: Ipv4Addr::from(0x0a00_0100 + i as u32),
+        },
+        name: format!("slab{i}"),
+        info: None,
+        group: Ipv4Addr::new(224, 5, 0, (i % 200) as u8),
+        ttl: BAND_TTLS[i % BAND_TTLS.len()],
+        start: 0,
+        stop: 0,
+        media: vec![Media {
+            kind: "audio".into(),
+            port: 5004,
+            proto: "RTP/AVP".into(),
+            format: 0,
+        }],
+    }
+}
+
+proptest! {
+    /// Interleaved admit / refresh / expire / evict / delete /
+    /// mass-expiry ("restart": a rebooted directory relearns the scope
+    /// from the wire, so the cache sees its whole population age out
+    /// and re-admit into recycled slots) sequences never let a stale
+    /// handle resolve: a [`sdalloc::sap::slab::SessionHandle`] minted
+    /// during one residency goes dead the moment that record is
+    /// removed, even when the dense id is immediately recycled for a
+    /// new admit.  Alongside, the per-shard reconciliation digests
+    /// stay XOR-consistent with a from-scratch recompute over the live
+    /// population after every operation.
+    #[test]
+    fn slab_handles_never_alias_across_recycling(
+        ops in proptest::collection::vec((0u8..6, 0usize..24, 1u64..40), 1..120),
+    ) {
+        use sdalloc::sap::cache::{AnnouncementCache, CacheKey, DIGEST_BUCKETS, TTL_BANDS};
+        use sdalloc::sap::slab::SessionHandle;
+        use std::collections::HashMap;
+
+        let timeout = SimDuration::from_secs(30);
+        let mut cache = AnnouncementCache::new(timeout);
+        let mut now = SimTime::ZERO;
+
+        // Residency epochs: bumped every time session `i`'s record
+        // leaves the cache.  A handle is valid iff its mint epoch is
+        // still current.
+        let mut epoch: HashMap<usize, u64> = HashMap::new();
+        let mut index_of: HashMap<CacheKey, usize> = HashMap::new();
+        let mut handles: Vec<(usize, u64, SessionHandle)> = Vec::new();
+
+        for (op, i, delta) in ops {
+            let desc = slab_session(i, 1);
+            let key = CacheKey {
+                origin: desc.origin.address,
+                session_id: desc.origin.session_id,
+            };
+            match op {
+                // Admit (or refresh) and mint a handle.
+                0 | 1 => {
+                    now += SimDuration::from_secs(1);
+                    cache.observe_announce(now, desc);
+                    index_of.insert(key, i);
+                    let h = cache.handle_of(key.origin, key.session_id).unwrap();
+                    handles.push((i, *epoch.entry(i).or_insert(0), h));
+                }
+                // Evict (governor displacement).
+                2 => {
+                    if cache.evict(key).is_some() {
+                        *epoch.entry(i).or_insert(0) += 1;
+                    }
+                }
+                // Deletion packet.
+                3 => {
+                    if cache.observe_delete(key.origin, key.session_id) {
+                        *epoch.entry(i).or_insert(0) += 1;
+                    }
+                }
+                // Partial expiry: step the clock, purge the aged.
+                4 => {
+                    now += SimDuration::from_secs(delta);
+                    for purged in cache.purge_expired(now).to_vec() {
+                        let idx = index_of[&purged];
+                        *epoch.entry(idx).or_insert(0) += 1;
+                    }
+                }
+                // Restart: the whole population ages out, then the
+                // session re-admits into a recycled slot.
+                _ => {
+                    now = now + timeout + SimDuration::from_secs(1);
+                    for purged in cache.purge_expired(now).to_vec() {
+                        let idx = index_of[&purged];
+                        *epoch.entry(idx).or_insert(0) += 1;
+                    }
+                    cache.observe_announce(now, desc);
+                    index_of.insert(key, i);
+                    let h = cache.handle_of(key.origin, key.session_id).unwrap();
+                    handles.push((i, *epoch.entry(i).or_insert(0), h));
+                }
+            }
+
+            // Generation check: stale handles are dead, live handles
+            // resolve to the record they were minted for.
+            for &(hi, he, h) in &handles {
+                let current = *epoch.get(&hi).unwrap_or(&0);
+                match cache.resolve(h) {
+                    Some(entry) => {
+                        prop_assert_eq!(
+                            he, current,
+                            "stale handle (session {} epoch {} vs {}) resolved",
+                            hi, he, current
+                        );
+                        prop_assert_eq!(entry.key().session_id, hi as u64);
+                    }
+                    None => prop_assert_ne!(
+                        he, current,
+                        "live handle (session {}) failed to resolve",
+                        hi
+                    ),
+                }
+            }
+
+            // Per-shard digests match a from-scratch recompute over
+            // the live population.
+            let mut fresh = [[0u64; DIGEST_BUCKETS]; TTL_BANDS];
+            for (_, entry) in cache.iter() {
+                let d = entry.desc();
+                let (bucket, hash) = AnnouncementCache::desc_digest(&d);
+                fresh[AnnouncementCache::ttl_band(d.ttl)][bucket] ^= hash;
+            }
+            let mut folded = [0u64; DIGEST_BUCKETS];
+            for (band, acc) in fresh.iter().enumerate() {
+                prop_assert_eq!(
+                    &cache.shard_digest(band), acc,
+                    "shard {} digest diverges from recompute", band
+                );
+                for (b, h) in acc.iter().enumerate() {
+                    folded[b] ^= h;
+                }
+            }
+            prop_assert_eq!(cache.digest(), folded, "global digest is not the band XOR");
+        }
+    }
+}
