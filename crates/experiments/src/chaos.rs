@@ -22,6 +22,14 @@
 //!
 //! Everything is seeded: the same seed yields a byte-identical report,
 //! which is what makes a fault reproducible enough to debug.
+//!
+//! One scenario lives outside the deterministic matrix:
+//! **runtime_soak** ([`runtime_soak`]) re-runs the crash/restart story
+//! against the *threaded* production runtime — real agent threads on
+//! the loopback bus, reader threads on the lock-free snapshot path —
+//! so its report is wall-clock timed and is written as a separate
+//! sidecar (`runtime_soak*.json`), never folded into the byte-stable
+//! matrix report.
 
 use sdalloc_core::{AddrSpace, InformedRandomAllocator, StaticIpr};
 use sdalloc_sap::directory::{
@@ -837,6 +845,81 @@ pub fn run_full(seed: u64, smoke: bool) -> ChaosRun {
         telemetry_json,
         dumps,
     }
+}
+
+/// The threaded-runtime counterpart of [`crash_restart`]: agent
+/// *threads* on the loopback bus, one of which crashes and restarts
+/// mid-run while reader threads hammer the lock-free snapshot path.
+/// Where the simulator scenarios prove the protocol recovers, this one
+/// proves the *runtime* does: no reader ever stalls on the crashed
+/// writer, no reader ever observes a torn or recycled row, and the
+/// restarted node's snapshot exposure window closes — the runtime-level
+/// mirror of [`crash_restart_recon`]'s reconciliation rebuild numbers.
+///
+/// Wall-clock timed by nature (real threads), so unlike the matrix its
+/// numbers vary run to run; the *invariants* (stalls, integrity,
+/// recovery) must not.
+pub fn runtime_soak(seed: u64, smoke: bool) -> sdalloc_runtime::SoakReport {
+    let cfg = if smoke {
+        sdalloc_runtime::SoakConfig::smoke(seed)
+    } else {
+        sdalloc_runtime::SoakConfig::full(seed)
+    };
+    sdalloc_runtime::run_soak(&cfg)
+}
+
+/// Render a [`sdalloc_runtime::SoakReport`] as the `runtime_soak`
+/// sidecar JSON.
+pub fn render_runtime_soak(seed: u64, smoke: bool, r: &sdalloc_runtime::SoakReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"runtime_soak\": {\n");
+    s.push_str(&format!("    \"seed\": {seed},\n"));
+    s.push_str(&format!(
+        "    \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    s.push_str(&format!("    \"agents\": {},\n", r.agents));
+    s.push_str(&format!("    \"readers\": {},\n", r.readers));
+    s.push_str(&format!(
+        "    \"elapsed_s\": {:.3},\n",
+        r.elapsed.as_secs_f64()
+    ));
+    s.push_str(&format!("    \"crash_node\": {},\n", r.crash_node));
+    s.push_str(&format!("    \"pre_crash_rows\": {},\n", r.pre_crash_rows));
+    s.push_str(&format!("    \"post_cached\": {},\n", r.post_cached));
+    s.push_str(&format!("    \"recovered\": {},\n", r.recovered));
+    s.push_str(&format!(
+        "    \"exposure_ms\": {},\n",
+        r.exposure_ms
+            .map_or("null".to_string(), |ms| format!("{ms:.1}"))
+    ));
+    s.push_str(&format!(
+        "    \"reader_queries\": [{}],\n",
+        r.reader_queries
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str(&format!(
+        "    \"stalled_readers\": {},\n",
+        r.stalled_readers
+    ));
+    s.push_str(&format!(
+        "    \"integrity_failures\": {},\n",
+        r.integrity_failures
+    ));
+    s.push_str(&format!(
+        "    \"snapshots_published\": {},\n",
+        r.snapshots_published
+    ));
+    s.push_str(&format!("    \"bus_delivered\": {},\n", r.bus.delivered));
+    s.push_str(&format!(
+        "    \"bus_dropped\": {}\n",
+        r.bus.dropped_loss + r.bus.dropped_down + r.bus.dropped_corrupt
+    ));
+    s.push_str("  }\n}\n");
+    s
 }
 
 #[cfg(test)]

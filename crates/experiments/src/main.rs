@@ -210,6 +210,44 @@ fn chaos(opts: &Options) {
     for (label, dump) in &out.dumps {
         write_sidecar(&dir, &format!("DUMP_chaos_{label}.json"), dump);
     }
+    // The threaded-runtime soak rides along: wall-clock timed, so it
+    // gets its own sidecar instead of a row in the byte-stable matrix.
+    let soak = sdalloc_experiments::chaos::runtime_soak(opts.seed, opts.smoke);
+    let soak_json = sdalloc_experiments::chaos::render_runtime_soak(opts.seed, opts.smoke, &soak);
+    print!("{soak_json}");
+    let soak_name = if opts.smoke {
+        "runtime_soak_smoke.json"
+    } else {
+        "runtime_soak.json"
+    };
+    write_sidecar(&dir, soak_name, &soak_json);
+    if let Some(dump) = &soak.flight_dump {
+        write_sidecar(&dir, "DUMP_chaos_runtime_soak.json", dump);
+    }
+    // Unlike its timings, the soak's invariants are gates: a stalled
+    // reader, a torn row, or an unrecovered crash victim is a failure.
+    let mut violated = false;
+    if soak.stalled_readers > 0 {
+        eprintln!("runtime_soak: {} reader(s) stalled", soak.stalled_readers);
+        violated = true;
+    }
+    if soak.integrity_failures > 0 {
+        eprintln!(
+            "runtime_soak: {} torn/recycled row(s) observed",
+            soak.integrity_failures
+        );
+        violated = true;
+    }
+    if !soak.recovered {
+        eprintln!(
+            "runtime_soak: crash victim never recovered ({} rows pre-crash, {} cached at exit)",
+            soak.pre_crash_rows, soak.post_cached
+        );
+        violated = true;
+    }
+    if violated {
+        std::process::exit(1);
+    }
 }
 
 /// Fold the `TELEMETRY_*.json` / `BENCH_scale.json` sidecars into

@@ -1,0 +1,104 @@
+//! Time sources for the runtime driver.
+//!
+//! The protocol engine ([`sdalloc_sap::SessionDirectory`]) speaks
+//! [`SimTime`]; the driver maps whatever clock it is given onto that
+//! axis.  Production uses [`WallClock`] (monotonic nanoseconds since
+//! the process's runtime epoch); the deterministic loopback drive and
+//! the differential tests use [`VirtualClock`], which only moves when
+//! the driver advances it to the next protocol deadline — the exact
+//! discipline the discrete-event [`sdalloc_sap::Testbed`] applies, which
+//! is what makes the two executions byte-comparable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use sdalloc_sim::SimTime;
+
+/// A monotonic time source readable from any thread.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's epoch, as a [`SimTime`].
+    fn now(&self) -> SimTime;
+}
+
+/// Wall clock: monotonic time since construction.
+///
+/// Every agent thread and every reader thread of one runtime must share
+/// a single `Arc<WallClock>` so snapshot staleness (`now − published_at`)
+/// is measured on one axis.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+/// A clock that moves only when told to, shared by cloning.
+///
+/// `advance_to` is monotone (a stale advance never rewinds time), so
+/// concurrent readers always observe a non-decreasing axis.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A virtual clock at t = 0.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Move time forward to `t`; earlier values are ignored.
+    pub fn advance_to(&self, t: SimTime) {
+        self.nanos.fetch_max(t.as_nanos(), Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_never_rewinds() {
+        let c = VirtualClock::new();
+        c.advance_to(SimTime::from_millis(10));
+        c.advance_to(SimTime::from_millis(5));
+        assert_eq!(c.now(), SimTime::from_millis(10));
+        let c2 = c.clone();
+        c2.advance_to(SimTime::from_millis(20));
+        assert_eq!(c.now(), SimTime::from_millis(20), "clones share the axis");
+    }
+}

@@ -1,0 +1,493 @@
+//! Immutable directory snapshots and the lock-free read path.
+//!
+//! The writer (an agent thread that owns its
+//! [`sdalloc_sap::SessionDirectory`]) periodically *captures* the
+//! announcement cache into a [`DirectorySnapshot`] — a sorted, immutable,
+//! cheaply shareable projection — and *publishes* it with one atomic
+//! pointer swap through [`crossbeam::epoch::ArcSwap`].  Query threads
+//! hold a [`SnapshotReader`] and borrow the current snapshot without
+//! taking any lock; superseded snapshots are reclaimed only once every
+//! pinned reader has moved past them (see `vendor/crossbeam/src/epoch.rs`
+//! for the safety argument).
+//!
+//! Everything a query needs is precomputed at capture time so the read
+//! side allocates nothing: rows are sorted by [`CacheKey`] (binary-search
+//! point lookups), the distinct group list is sorted (binary-search
+//! `group_in_use`), and the allocator-facing visible-session projection
+//! is materialised once.  Each row carries an FNV-1a checksum over its
+//! fields, letting stress tests prove that a reader can never observe a
+//! torn or recycled row: a snapshot either verifies in full or the
+//! reclamation scheme is broken.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use crossbeam::epoch::{ArcSwap, Guard, Reader};
+use sdalloc_core::VisibleSession;
+use sdalloc_sap::cache::CacheKey;
+use sdalloc_sap::SessionDirectory;
+use sdalloc_sim::{SimDuration, SimTime};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold bytes into a running FNV-1a state without materialising a
+/// buffer — the read-path verifier must not allocate.
+fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One cached session, flattened out of the slab arena into a
+/// self-contained row.  The name is an `Arc<str>` shared with the
+/// cache's interner — capturing a snapshot clones the Arc, not the text.
+#[derive(Debug, Clone)]
+pub struct SessionRow {
+    /// The cache key (origin, session id).
+    pub key: CacheKey,
+    /// Allocated multicast group.
+    pub group: Ipv4Addr,
+    /// Announced scope TTL.
+    pub ttl: u8,
+    /// SDP origin version.
+    pub version: u64,
+    /// When the entry was last refreshed (writer's clock).
+    pub last_heard: SimTime,
+    /// Session name, shared with the cache interner.
+    pub name: Arc<str>,
+    checksum: u64,
+}
+
+impl SessionRow {
+    fn new(
+        key: CacheKey,
+        group: Ipv4Addr,
+        ttl: u8,
+        version: u64,
+        last_heard: SimTime,
+        name: Arc<str>,
+    ) -> SessionRow {
+        let checksum = Self::checksum_of(key, group, ttl, version, last_heard, &name);
+        SessionRow {
+            key,
+            group,
+            ttl,
+            version,
+            last_heard,
+            name,
+            checksum,
+        }
+    }
+
+    fn checksum_of(
+        key: CacheKey,
+        group: Ipv4Addr,
+        ttl: u8,
+        version: u64,
+        last_heard: SimTime,
+        name: &str,
+    ) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv_fold(h, &key.origin.octets());
+        h = fnv_fold(h, &key.session_id.to_le_bytes());
+        h = fnv_fold(h, &group.octets());
+        h = fnv_fold(h, &[ttl]);
+        h = fnv_fold(h, &version.to_le_bytes());
+        h = fnv_fold(h, &last_heard.as_nanos().to_le_bytes());
+        fnv_fold(h, name.as_bytes())
+    }
+
+    /// Recompute the checksum and compare.  `false` means the reader is
+    /// looking at torn or recycled memory — must never happen.
+    pub fn verify(&self) -> bool {
+        Self::checksum_of(
+            self.key,
+            self.group,
+            self.ttl,
+            self.version,
+            self.last_heard,
+            &self.name,
+        ) == self.checksum
+    }
+}
+
+/// An immutable, point-in-time projection of one directory's cache.
+#[derive(Debug)]
+pub struct DirectorySnapshot {
+    version: u64,
+    published_at: SimTime,
+    /// All cached sessions, sorted by key.
+    rows: Vec<SessionRow>,
+    /// Distinct groups in use, sorted.
+    groups: Vec<Ipv4Addr>,
+    /// The allocator-facing view (cache ∩ address space, plus own
+    /// sessions), as [`SessionDirectory::current_view`] computes it.
+    visible: Vec<VisibleSession>,
+}
+
+impl DirectorySnapshot {
+    /// The snapshot a publisher starts from: version 0, no rows.
+    pub fn empty() -> DirectorySnapshot {
+        DirectorySnapshot {
+            version: 0,
+            published_at: SimTime::ZERO,
+            rows: Vec::new(),
+            groups: Vec::new(),
+            visible: Vec::new(),
+        }
+    }
+
+    /// Capture the directory's cache as of `now`.  Writer-side only:
+    /// allocates the row/group/visible vectors.
+    pub fn capture(version: u64, now: SimTime, dir: &SessionDirectory) -> DirectorySnapshot {
+        let cache = dir.cache();
+        let mut rows: Vec<SessionRow> = cache
+            .iter()
+            .map(|(key, entry)| {
+                SessionRow::new(
+                    key,
+                    entry.group(),
+                    entry.ttl(),
+                    entry.version(),
+                    entry.last_heard(),
+                    entry.name_arc().unwrap_or_else(|| Arc::from("")),
+                )
+            })
+            .collect();
+        rows.sort_unstable_by_key(|r| r.key);
+        let mut groups: Vec<Ipv4Addr> = rows.iter().map(|r| r.group).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        DirectorySnapshot {
+            version,
+            published_at: now,
+            rows,
+            groups,
+            visible: dir.current_view(),
+        }
+    }
+
+    /// Monotone publication counter (0 = the empty pre-first snapshot).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Writer-clock instant this snapshot was captured.
+    pub fn published_at(&self) -> SimTime {
+        self.published_at
+    }
+
+    /// How far behind `now` this snapshot is.
+    pub fn staleness(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.published_at)
+    }
+
+    /// Number of cached sessions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the cache was empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows, sorted by key.
+    pub fn rows(&self) -> &[SessionRow] {
+        &self.rows
+    }
+
+    /// The allocator-facing visible-session projection.
+    pub fn visible_sessions(&self) -> &[VisibleSession] {
+        &self.visible
+    }
+
+    /// Point lookup by cache key.  Zero-alloc (binary search).
+    pub fn get(&self, origin: Ipv4Addr, session_id: u64) -> Option<&SessionRow> {
+        let key = CacheKey { origin, session_id };
+        self.rows
+            .binary_search_by_key(&key, |r| r.key)
+            .ok()
+            .and_then(|i| self.rows.get(i))
+    }
+
+    /// Whether any cached session occupies `group`.  Zero-alloc.
+    pub fn group_in_use(&self, group: Ipv4Addr) -> bool {
+        self.groups.binary_search(&group).is_ok()
+    }
+
+    /// Rows whose name contains `keyword` (case-sensitive substring, as
+    /// sdr's browser filter).  Zero-alloc iterator.
+    pub fn matching<'a>(&'a self, keyword: &'a str) -> impl Iterator<Item = &'a SessionRow> + 'a {
+        self.rows.iter().filter(move |r| r.name.contains(keyword))
+    }
+
+    /// Verify every row checksum, returning the number of corrupt rows.
+    /// Anything other than 0 means a reader observed torn or recycled
+    /// memory.  Zero-alloc.
+    pub fn corrupt_rows(&self) -> usize {
+        self.rows.iter().filter(|r| !r.verify()).count()
+    }
+}
+
+/// When the writer publishes a fresh snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotCadence {
+    /// Publish no more often than this while updates trickle in.
+    pub min_interval: SimDuration,
+    /// …but never let more than this many cache updates pile up
+    /// unpublished, even inside the interval.
+    pub max_pending: u64,
+}
+
+impl Default for SnapshotCadence {
+    fn default() -> Self {
+        SnapshotCadence {
+            min_interval: SimDuration::from_millis(250),
+            max_pending: 50_000,
+        }
+    }
+}
+
+/// Writer-side publication counters (plain values; the driver mirrors
+/// them into its telemetry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SnapshotStats {
+    /// Snapshots published (== current snapshot version).
+    pub published: u64,
+    /// Rows in the most recent snapshot.
+    pub last_rows: usize,
+    /// Largest update batch folded into one publication.
+    pub max_batch: u64,
+}
+
+/// The writer's half of the snapshot cell: owns the cadence policy and
+/// the pending-update accounting, publishes via the epoch cell.
+#[derive(Debug)]
+pub struct SnapshotPublisher {
+    cell: ArcSwap<DirectorySnapshot>,
+    cadence: SnapshotCadence,
+    pending: u64,
+    stats: SnapshotStats,
+    last_published: Option<SimTime>,
+}
+
+impl SnapshotPublisher {
+    /// A publisher holding the empty snapshot.
+    pub fn new(cadence: SnapshotCadence) -> SnapshotPublisher {
+        SnapshotPublisher {
+            cell: ArcSwap::new(Arc::new(DirectorySnapshot::empty())),
+            cadence,
+            pending: 0,
+            stats: SnapshotStats::default(),
+            last_published: None,
+        }
+    }
+
+    /// A cloneable handle readers hang off.
+    pub fn handle(&self) -> SnapshotHandle {
+        SnapshotHandle {
+            cell: self.cell.clone(),
+        }
+    }
+
+    /// Record that `n` cache updates landed since the last publication.
+    pub fn note_updates(&mut self, n: u64) {
+        self.pending = self.pending.saturating_add(n);
+    }
+
+    /// Publish if the cadence policy says so: first publication is
+    /// immediate, afterwards updates must be pending *and* either the
+    /// interval has elapsed or the pending backlog hit `max_pending`.
+    pub fn maybe_publish(&mut self, now: SimTime, dir: &SessionDirectory) -> bool {
+        let due = match self.last_published {
+            None => true,
+            Some(last) => {
+                self.pending > 0
+                    && (now.saturating_since(last) >= self.cadence.min_interval
+                        || self.pending >= self.cadence.max_pending)
+            }
+        };
+        if due {
+            self.publish(now, dir);
+        }
+        due
+    }
+
+    /// Unconditional publication (used at startup and by tests).
+    pub fn publish(&mut self, now: SimTime, dir: &SessionDirectory) {
+        let version = self.stats.published + 1;
+        let snap = DirectorySnapshot::capture(version, now, dir);
+        self.stats.published = version;
+        self.stats.last_rows = snap.len();
+        self.stats.max_batch = self.stats.max_batch.max(self.pending);
+        self.pending = 0;
+        self.last_published = Some(now);
+        self.cell.store(Arc::new(snap));
+    }
+
+    /// Publication counters so far.
+    pub fn stats(&self) -> SnapshotStats {
+        self.stats
+    }
+
+    /// Retired-but-not-yet-freed snapshots (readers may still hold them).
+    pub fn retired_len(&self) -> usize {
+        self.cell.retired_len()
+    }
+}
+
+/// Cloneable, thread-safe entry point to a writer's snapshot cell.
+#[derive(Debug, Clone)]
+pub struct SnapshotHandle {
+    cell: ArcSwap<DirectorySnapshot>,
+}
+
+impl SnapshotHandle {
+    /// A per-thread reader.  Each query thread needs its own (the epoch
+    /// pin slot is per-reader); the reader itself is `Send`.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader {
+            inner: self.cell.reader(),
+        }
+    }
+
+    /// Owned copy of the current snapshot via the slow (locking) path —
+    /// for one-off inspection off the hot path.
+    pub fn load_slow(&self) -> Arc<DirectorySnapshot> {
+        self.cell.load_full_slow()
+    }
+}
+
+/// A pinned-epoch reader of one writer's snapshots.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    inner: Reader<DirectorySnapshot>,
+}
+
+impl SnapshotReader {
+    /// Borrow the current snapshot without locking.  The borrow pins the
+    /// reader's epoch slot; the snapshot cannot be freed while the guard
+    /// lives.  Zero-alloc.
+    pub fn load(&mut self) -> Guard<'_, DirectorySnapshot> {
+        self.inner.load()
+    }
+
+    /// Promote to an owned `Arc` (outlives any publication).
+    pub fn load_full(&mut self) -> Arc<DirectorySnapshot> {
+        self.inner.load_full()
+    }
+
+    /// Whether this reader got a dedicated epoch slot (true for the
+    /// first [`crossbeam::epoch::MAX_READERS`] readers per cell).
+    pub fn is_lock_free(&self) -> bool {
+        self.inner.is_lock_free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdalloc_core::{AddrSpace, InformedRandomAllocator};
+    use sdalloc_sap::{DirectoryConfig, SessionDescription};
+
+    fn directory_with(n: usize) -> SessionDirectory {
+        let mut cfg = DirectoryConfig::new(Ipv4Addr::new(10, 0, 0, 1));
+        cfg.space = AddrSpace::abstract_space(256);
+        let mut dir = SessionDirectory::new(cfg, Box::new(InformedRandomAllocator));
+        let now = SimTime::from_secs(1);
+        for i in 0..n {
+            let desc = SessionDescription {
+                origin: sdalloc_sap::Origin {
+                    username: "-".into(),
+                    session_id: 100 + i as u64,
+                    version: 1,
+                    address: Ipv4Addr::new(10, 0, 1, 1 + (i % 200) as u8),
+                },
+                name: format!("session-{i}"),
+                info: None,
+                group: Ipv4Addr::new(224, 2, 0, 1 + (i % 200) as u8),
+                ttl: 127,
+                start: 0,
+                stop: 0,
+                media: vec![],
+            };
+            dir.cache_observe_for_test(now, desc);
+        }
+        dir
+    }
+
+    #[test]
+    fn capture_is_sorted_and_queryable() {
+        let dir = directory_with(20);
+        let snap = DirectorySnapshot::capture(1, SimTime::from_secs(2), &dir);
+        assert_eq!(snap.len(), 20);
+        assert!(snap.rows().windows(2).all(|w| w[0].key < w[1].key));
+        assert!(snap.group_in_use(Ipv4Addr::new(224, 2, 0, 3)));
+        assert!(!snap.group_in_use(Ipv4Addr::new(224, 9, 9, 9)));
+        let row = snap
+            .get(Ipv4Addr::new(10, 0, 1, 6), 105)
+            .expect("row present");
+        assert_eq!(&*row.name, "session-5");
+        assert_eq!(snap.matching("session-1").count(), 11); // 1, 10..19
+        assert_eq!(snap.corrupt_rows(), 0);
+    }
+
+    #[test]
+    fn row_checksum_detects_mutation() {
+        let dir = directory_with(1);
+        let snap = DirectorySnapshot::capture(1, SimTime::from_secs(2), &dir);
+        let mut row = snap.rows()[0].clone();
+        assert!(row.verify());
+        row.ttl ^= 0xFF;
+        assert!(!row.verify(), "a torn row must fail verification");
+    }
+
+    #[test]
+    fn cadence_batches_publications() {
+        let dir = directory_with(3);
+        let mut p = SnapshotPublisher::new(SnapshotCadence {
+            min_interval: SimDuration::from_millis(100),
+            max_pending: 10,
+        });
+        // First publication is unconditional.
+        assert!(p.maybe_publish(SimTime::from_millis(1), &dir));
+        // No updates pending: nothing to publish.
+        assert!(!p.maybe_publish(SimTime::from_millis(500), &dir));
+        p.note_updates(1);
+        assert!(
+            p.maybe_publish(SimTime::from_millis(510), &dir),
+            "interval elapsed"
+        );
+        // Updates inside the interval: held back…
+        p.note_updates(1);
+        assert!(!p.maybe_publish(SimTime::from_millis(560), &dir));
+        // …until the interval elapses.
+        assert!(p.maybe_publish(SimTime::from_millis(611), &dir));
+        // A backlog at max_pending forces through the interval.
+        p.note_updates(10);
+        assert!(p.maybe_publish(SimTime::from_millis(612), &dir));
+        assert_eq!(p.stats().published, 4);
+        assert_eq!(p.stats().max_batch, 10);
+    }
+
+    #[test]
+    fn reader_sees_latest_publication() {
+        let dir = directory_with(5);
+        let mut p = SnapshotPublisher::new(SnapshotCadence::default());
+        let handle = p.handle();
+        let mut reader = handle.reader();
+        assert_eq!(reader.load().version(), 0);
+        p.publish(SimTime::from_secs(1), &dir);
+        let snap = reader.load();
+        assert_eq!(snap.version(), 1);
+        assert_eq!(snap.len(), 5);
+        assert_eq!(
+            snap.staleness(SimTime::from_secs(3)),
+            SimDuration::from_secs(2)
+        );
+    }
+}

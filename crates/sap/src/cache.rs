@@ -172,6 +172,13 @@ impl<'a> EntryRef<'a> {
         self.strings.get(self.rec.name)
     }
 
+    /// Shared handle on the session name.  Snapshot builders clone
+    /// this instead of copying the string: the `Arc` keeps the text
+    /// alive after the record (and its interner reference) is gone.
+    pub fn name_arc(&self) -> Option<std::sync::Arc<str>> {
+        self.strings.get_arc(self.rec.name)
+    }
+
     /// When this session was first heard.
     pub fn first_heard(&self) -> SimTime {
         self.rec.first_heard

@@ -79,27 +79,81 @@ impl SapSocket {
         self.sock.send_to(&pkt.encode(), self.dest)
     }
 
-    /// Receive one packet, waiting at most `timeout`.  Returns
-    /// `Ok(None)` on timeout, a signal interruption, or an undecodable
-    /// datagram — all benign conditions a pump loop should ride over.
+    /// One receive attempt, waiting at most `timeout`, with the outcome
+    /// classified instead of collapsed to `Option`.  This is the
+    /// primitive the runtime driver loop builds on: `TimedOut` means
+    /// the wait budget was genuinely spent (re-check timers), while
+    /// `Interrupted` means a signal cut the wait short and the caller
+    /// should retry with the *remaining* budget — conflating the two
+    /// (as `recv` once did) makes every stray `SIGCHLD`/`SIGPROF` look
+    /// like a full listen interval and skews the driver's timer math.
     // lint:allow(panic-reach): recv_from returns a length bounded by the 2048-byte buffer it filled
-    pub fn recv_timeout(&self, timeout: Duration) -> io::Result<Option<SapPacket>> {
+    pub fn recv_once(&self, timeout: Duration) -> io::Result<RecvOutcome> {
         self.sock
             .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
         let mut buf = [0u8; 2048];
-        match self.sock.recv_from(&mut buf) {
-            Ok((len, _src)) => Ok(SapPacket::decode(&buf[..len]).ok()),
+        self.classify(self.sock.recv_from(&mut buf), &buf)
+    }
+
+    /// Non-blocking poll: receive whatever is queued right now without
+    /// waiting.  `TimedOut` here means "nothing pending".  Lets the
+    /// driver drain a burst of queued datagrams before going back to
+    /// sleep until the next protocol deadline.
+    pub fn try_recv(&self) -> io::Result<RecvOutcome> {
+        self.sock.set_nonblocking(true)?;
+        let mut buf = [0u8; 2048];
+        let res = self.classify(self.sock.recv_from(&mut buf), &buf);
+        self.sock.set_nonblocking(false)?;
+        res
+    }
+
+    fn classify(
+        &self,
+        res: io::Result<(usize, std::net::SocketAddr)>,
+        buf: &[u8],
+    ) -> io::Result<RecvOutcome> {
+        match res {
+            Ok((len, _src)) => {
+                // `len` is the kernel's byte count and cannot exceed the
+                // buffer, but stay checked: a short slice decodes (or
+                // fails to) the same way.
+                let datagram = buf.get(..len).unwrap_or(buf);
+                Ok(match SapPacket::decode(datagram) {
+                    Ok(pkt) => RecvOutcome::Packet(pkt),
+                    Err(_) => RecvOutcome::Undecodable(len),
+                })
+            }
             Err(e)
                 if matches!(
                     e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                Ok(None)
+                Ok(RecvOutcome::TimedOut)
             }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(RecvOutcome::Interrupted),
             Err(e) => Err(e),
+        }
+    }
+
+    /// Receive one packet, waiting at most `timeout`.  Returns
+    /// `Ok(None)` once the timeout is spent or on an undecodable
+    /// datagram.  Signal interruptions are retried internally with the
+    /// remaining budget rather than reported as a (fake) timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> io::Result<Option<SapPacket>> {
+        let deadline = Instant::now() + timeout;
+        let mut remaining = timeout;
+        loop {
+            match self.recv_once(remaining)? {
+                RecvOutcome::Packet(pkt) => return Ok(Some(pkt)),
+                RecvOutcome::TimedOut | RecvOutcome::Undecodable(_) => return Ok(None),
+                RecvOutcome::Interrupted => {
+                    remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Ok(None);
+                    }
+                }
+            }
         }
     }
 
@@ -107,6 +161,26 @@ impl SapSocket {
     pub fn destination(&self) -> SocketAddrV4 {
         self.dest
     }
+}
+
+/// Classified outcome of a single receive attempt on a [`SapSocket`].
+///
+/// The distinction between [`RecvOutcome::TimedOut`] and
+/// [`RecvOutcome::Interrupted`] matters to callers doing timer math: a
+/// timeout consumed the whole wait budget, an interruption consumed an
+/// unknown fraction of it and should be retried with the remainder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecvOutcome {
+    /// A well-formed SAP packet arrived.
+    Packet(SapPacket),
+    /// A datagram of this many bytes arrived but failed to decode.
+    Undecodable(usize),
+    /// The wait budget elapsed with nothing to read (`WouldBlock` /
+    /// `TimedOut`).
+    TimedOut,
+    /// A signal interrupted the wait before the budget elapsed
+    /// (`EINTR`); retry with the remaining budget.
+    Interrupted,
 }
 
 /// Packet transport abstraction for [`SapAgent`].
@@ -121,6 +195,16 @@ pub trait SapTransport: Send {
     /// Receive one packet, waiting at most `timeout`.  `Ok(None)` means
     /// nothing arrived (timeout or undecodable datagram).
     fn recv(&self, timeout: Duration) -> io::Result<Option<SapPacket>>;
+
+    /// Number of datagrams that reached this endpoint but died before
+    /// decode since the last call (the count resets on read).  Lets a
+    /// driver feed [`SessionDirectory::note_rx_dropped`] without the
+    /// transport knowing about directories.  Transports that cannot
+    /// observe pre-decode deaths (like a kernel socket, where `recv`
+    /// already folds them into `Ok(None)`) report zero.
+    fn take_rx_predecode_drops(&self) -> u64 {
+        0
+    }
 }
 
 impl SapTransport for SapSocket {
@@ -574,6 +658,57 @@ mod tests {
         assert!(stats.sent >= 1, "no announcement sent: {stats:?}");
         handle.withdraw(id);
         drop(handle); // joins the thread
+    }
+
+    #[test]
+    fn empty_socket_classifies_timeout() {
+        let Some(sock) = try_socket(29880) else {
+            return;
+        };
+        assert_eq!(
+            sock.recv_once(Duration::from_millis(5)).expect("recv_once"),
+            RecvOutcome::TimedOut,
+            "an idle socket's wait budget ends in TimedOut, not an error"
+        );
+        assert_eq!(
+            sock.try_recv().expect("try_recv"),
+            RecvOutcome::TimedOut,
+            "a non-blocking poll of an idle socket reports nothing pending"
+        );
+        assert_eq!(
+            sock.recv_timeout(Duration::from_millis(5)).expect("recv"),
+            None
+        );
+    }
+
+    #[test]
+    fn recv_once_surfaces_undecodable_datagrams() {
+        let Some(sock) = try_socket(29881) else {
+            return;
+        };
+        let sender = UdpSocket::bind("0.0.0.0:0").expect("bind sender");
+        let _ = sender.set_multicast_ttl_v4(1);
+        sender
+            .send_to(&[0xFFu8; 7], sock.destination())
+            .expect("send garbage");
+        let mut got = None;
+        for _ in 0..20 {
+            match sock
+                .recv_once(Duration::from_millis(50))
+                .expect("recv_once")
+            {
+                RecvOutcome::TimedOut | RecvOutcome::Interrupted => continue,
+                other => {
+                    got = Some(other);
+                    break;
+                }
+            }
+        }
+        match got {
+            Some(RecvOutcome::Undecodable(len)) => assert_eq!(len, 7),
+            Some(other) => panic!("expected Undecodable(7), got {other:?}"),
+            None => eprintln!("skipping assertion: multicast loopback not delivered"),
+        }
     }
 
     #[test]

@@ -252,6 +252,15 @@ impl Interner {
             .unwrap_or("")
     }
 
+    /// Resolve a symbol to a shared handle on its text (`None` for a
+    /// freed symbol).  A snapshot of the cache clones these instead of
+    /// copying string bytes: the `Arc` keeps the text alive even after
+    /// the interner slot is released, so an immutable snapshot can
+    /// outlive the record it was taken from.
+    pub fn get_arc(&self, sym: Sym) -> Option<Arc<str>> {
+        self.slots.get(sym.0 as usize)?.text.clone()
+    }
+
     /// Number of distinct live strings.
     pub fn len(&self) -> usize {
         self.slots.len() - self.free.len()

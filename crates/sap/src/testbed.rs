@@ -86,6 +86,24 @@ pub struct Testbed {
     /// wakeups — the core of wake-on-deadline: a node only enters the
     /// event queue when something of its is actually due.
     wake_at: Vec<Option<SimTime>>,
+    /// Optional byte trace of every packet a directory *emits*
+    /// (`global-time-nanos ‖ node ‖ encoded packet`), recorded before
+    /// fan-out so loss and corruption downstream do not perturb it.
+    /// Enabled by [`Self::enable_packet_trace`]; the differential tests
+    /// fingerprint this against the threaded runtime's loopback-bus
+    /// trace to pin byte-identical behaviour across the two drivers.
+    trace: Option<Vec<u8>>,
+}
+
+/// Append one emission record to a packet trace: time, sender, bytes.
+/// Must stay in lock-step with the runtime loopback bus's trace format
+/// (`sdalloc-runtime`), which is the whole point of the tap.
+fn trace_emission(trace: &mut Option<Vec<u8>>, now: SimTime, node: usize, pkt: &SapPacket) {
+    if let Some(t) = trace.as_mut() {
+        t.extend_from_slice(&now.as_nanos().to_le_bytes());
+        t.push(node as u8);
+        t.extend_from_slice(&pkt.encode());
+    }
 }
 
 /// Schedule a wakeup for `node` at global time `at` unless an earlier or
@@ -137,7 +155,19 @@ impl Testbed {
             restarts: Vec::new(),
             down: vec![false; n],
             wake_at: vec![None; n],
+            trace: None,
         }
+    }
+
+    /// Start recording every directory emission into a byte trace (see
+    /// the `trace` field).  Call before the first [`Self::run_until`].
+    pub fn enable_packet_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Take the recorded packet trace, leaving recording enabled.
+    pub fn take_packet_trace(&mut self) -> Vec<u8> {
+        self.trace.replace(Vec::new()).unwrap_or_default()
     }
 
     /// Install a fault plan, scheduling its timed events (crashes,
@@ -282,6 +312,7 @@ impl Testbed {
         let restarts = &mut self.restarts;
         let down = &mut self.down;
         let wake_at = &mut self.wake_at;
+        let trace = &mut self.trace;
         self.sim.run_until(horizon, &mut |ctx, event| match event {
             Event::Wakeup { node } => {
                 let now = ctx.now();
@@ -298,6 +329,7 @@ impl Testbed {
                 let lnow = faults.local_time(node, now);
                 let pkts = directories[node].poll(lnow);
                 for pkt in pkts {
+                    trace_emission(trace, now, node, &pkt);
                     fan_out(ctx, channel, faults, rng, blocked, down, node, pkt);
                 }
                 if let Some(at) = directories[node].next_deadline() {
@@ -320,6 +352,7 @@ impl Testbed {
                     });
                 }
                 for reply in replies {
+                    trace_emission(trace, now, to, &reply);
                     fan_out(ctx, channel, faults, rng, blocked, down, to, reply);
                 }
                 if let Some(at) = directories[to].next_deadline() {

@@ -117,8 +117,11 @@ const MUTATING_OPS: &[&str] = &[
     "=",
 ];
 
-/// Query-root types for read-path purity.
-const QUERY_TYPES: &[&str] = &["SessionDirectory", "AnnouncementCache"];
+/// Query-root types for read-path purity.  `DirectorySnapshot` is the
+/// runtime's lock-free read surface: every `&self` query on it runs on
+/// reader threads concurrent with the writer, so a write sneaking into
+/// one would be a data race, not just an impurity.
+const QUERY_TYPES: &[&str] = &["SessionDirectory", "AnnouncementCache", "DirectorySnapshot"];
 
 /// Marker scan: `pat: <non-empty reason>` anywhere in `line`.
 fn reason_marker(line: &str, pat: &str) -> bool {

@@ -49,7 +49,8 @@ use crate::callgraph::{self, SourceFile};
 use crate::lint::allow_marker;
 
 /// Source scanned into the call graph: the library crates plus the
-/// chaos harness (panic-scoped since PR 5).
+/// chaos harness (panic-scoped since PR 5) and the production runtime
+/// (its snapshot read path is query-rooted since PR 11).
 const GRAPH_SCOPE: &[&str] = &[
     "crates/core/src/",
     "crates/sap/src/",
@@ -58,6 +59,7 @@ const GRAPH_SCOPE: &[&str] = &[
     "crates/topology/src/",
     "crates/telemetry/src/",
     "crates/experiments/src/chaos.rs",
+    "crates/runtime/src/",
 ];
 
 /// Crates whose non-test source must be panic-free (moved here from the
@@ -65,6 +67,11 @@ const GRAPH_SCOPE: &[&str] = &[
 /// `telemetry` is scanned into the graph — so a panic there is caught
 /// when a scoped public function reaches it — but is not itself
 /// panic-scoped: it is observability plumbing, not protocol code.
+/// Likewise the runtime's *snapshot* module is panic-scoped (readers
+/// must never unwind while holding an epoch pin) while its thread
+/// harness files (`driver`, `bus`, `soak`, `clock`) are graph-scanned
+/// only: joining a thread it spawned or poisoning recovery are the
+/// harness's business, same as the chaos harness's dense indices.
 const PANIC_SCOPE: &[&str] = &[
     "crates/core/src/",
     "crates/sap/src/",
@@ -72,6 +79,7 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/sim/src/",
     "crates/topology/src/",
     "crates/experiments/src/chaos.rs",
+    "crates/runtime/src/snapshot.rs",
 ];
 
 /// Hot-path analysis roots: `(self type, method)`.  Shared with the

@@ -35,7 +35,18 @@ for row in crash_restart_recon storm_quota; do
     grep -q "\"$row\"" results_full/chaos_smoke.json \
         || { echo "missing $row row in results_full/chaos_smoke.json"; exit 1; }
 done
+# The threaded-runtime soak writes its own (wall-clock) sidecar; its
+# invariants — no stalled readers, no torn rows — are enforced inside
+# the chaos command, but the artifact must exist and record clean runs.
+echo "==> runtime_soak sidecar: no stalls, no torn rows"
+grep -q '"runtime_soak"' results_full/runtime_soak_smoke.json \
+    || { echo "missing results_full/runtime_soak_smoke.json"; exit 1; }
+grep -q '"stalled_readers": 0' results_full/runtime_soak_smoke.json \
+    || { echo "runtime_soak smoke recorded stalled readers"; exit 1; }
+grep -q '"integrity_failures": 0' results_full/runtime_soak_smoke.json \
+    || { echo "runtime_soak smoke recorded torn rows"; exit 1; }
 run cargo run -q -p sdalloc-bench --bin directory_scale -- --smoke
+run cargo run -q -p sdalloc-bench --bin runtime_throughput -- --smoke
 run cargo test -q
 
 echo "All checks passed."

@@ -14,6 +14,7 @@
 //! * [`sap`] — SDP/SAP wire formats, announce/listen engine, transports
 //! * [`core`] — the allocation algorithms and analytic models
 //! * [`rr`] — request–response suppression (analytics + simulation)
+//! * [`runtime`] — threaded multi-agent driver, lock-free snapshot reads
 //! * [`experiments`] — per-figure experiment runners
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and the
@@ -22,6 +23,7 @@
 pub use sdalloc_core as core;
 pub use sdalloc_experiments as experiments;
 pub use sdalloc_rr as rr;
+pub use sdalloc_runtime as runtime;
 pub use sdalloc_sap as sap;
 pub use sdalloc_sim as sim;
 pub use sdalloc_topology as topology;

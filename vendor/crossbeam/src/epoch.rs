@@ -1,0 +1,553 @@
+//! Minimal epoch-based deferred reclamation for a single published
+//! pointer — the `ArcSwap`-equivalent primitive behind the runtime
+//! crate's lock-free snapshot read path.
+//!
+//! ## Model
+//!
+//! An [`ArcSwap<T>`] holds the *current* `Arc<T>` behind an atomic
+//! pointer.  A writer publishes a replacement with one atomic swap
+//! ([`ArcSwap::store`]); the previous value is *retired*, not freed.
+//! Readers register a [`Reader`] handle (one per thread), and each
+//! load pins the handle's epoch slot, reads the pointer, and returns a
+//! [`Guard`] borrowing the value — no lock, no allocation, no
+//! reference-count traffic on the hot path.  [`Reader::load_full`]
+//! promotes the pinned borrow to an owned `Arc<T>` (one refcount
+//! increment) that remains valid arbitrarily long after unpinning.
+//!
+//! ## Reclamation safety argument
+//!
+//! Every atomic access uses `SeqCst`, so all operations fall into one
+//! total order.  The writer retires as:
+//!
+//! 1. `old = current.swap(new)`
+//! 2. `re = epoch.fetch_add(1) + 1` — the *retirement epoch*
+//! 3. push `(re, old)` on the retired list, then try to collect
+//!
+//! A reader pins as: read `epoch` into `e`, store `e` in its slot,
+//! *then* read `current`.  Collection frees a retired `(re, old)` only
+//! if every registered slot is unpinned or pinned at `v >= re`.
+//!
+//! * If a reader's `current` read returned `old`, it preceded the swap
+//!   (step 1) in the total order, so its slot store — earlier still —
+//!   is visible to any collect scan that runs after the swap, and the
+//!   pinned value `e` was read from `epoch` before step 2, hence
+//!   `e < re`: the scan keeps `old` alive.
+//! * If a reader pins at `v >= re`, its `epoch` read happened after
+//!   step 2, therefore after the swap, therefore its `current` read
+//!   can only observe `new` (or newer) — it cannot hold `old`.
+//!
+//! So a value is freed only when no guard can possibly refer to it;
+//! a guard held forever blocks its snapshot's reclamation forever
+//! (the property pinned by `pinned_reader_blocks_reclamation` below).
+//!
+//! Up to [`MAX_READERS`] handles use epoch slots; further handles (and
+//! [`ArcSwap::load_full_slow`]) fall back to pinning via the retired
+//! list's mutex, which excludes collection for the duration of the
+//! load instead — strictly slower, never unsound.
+//!
+//! This module is the one place in the workspace (outside the bench
+//! harness's counting allocator) that needs `unsafe`: raw-pointer
+//! round-trips through `Arc::into_raw`/`from_raw` and the manual
+//! strong-count increment, each justified at the site.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Maximum reader handles served by lock-free epoch slots; handles
+/// beyond this fall back to mutex pinning.
+pub const MAX_READERS: usize = 64;
+
+/// Slot value meaning "not currently in a load".
+const UNPINNED: u64 = u64::MAX;
+
+struct Inner<T> {
+    /// `Arc::into_raw` of the current value.  Never null.
+    current: AtomicPtr<T>,
+    /// Global epoch, bumped once per retirement.
+    epoch: AtomicU64,
+    /// Per-reader pin slots: `UNPINNED`, or the epoch the reader
+    /// pinned at.
+    slots: [AtomicU64; MAX_READERS],
+    /// Bitmap of registered slots.
+    in_use: AtomicU64,
+    /// Retired `(retirement epoch, Arc::into_raw)` pairs awaiting a
+    /// safe moment to drop.  Doubles as the fallback pin lock: a
+    /// holder of this mutex excludes collection.
+    retired: Mutex<Vec<(u64, *const T)>>,
+}
+
+// SAFETY: the raw pointers in `current` and `retired` are owned
+// `Arc<T>` references managed exclusively by this module; they are
+// only dereferenced (readers) while reclamation is excluded by the
+// epoch protocol or the retired mutex, and only dropped once no
+// reader can hold them.  Sharing them across threads is exactly as
+// safe as sharing the `Arc<T>` they came from.
+unsafe impl<T: Send + Sync> Send for Inner<T> {}
+unsafe impl<T: Send + Sync> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // SAFETY: by uniqueness of `&mut self` no reader exists any
+        // more; every raw pointer here is an owned Arc reference that
+        // has not been reclaimed yet.
+        unsafe {
+            drop(Arc::from_raw(self.current.load(SeqCst).cast_const()));
+            let retired = self
+                .retired
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .split_off(0);
+            for (_, ptr) in retired {
+                drop(Arc::from_raw(ptr));
+            }
+        }
+    }
+}
+
+/// A single published `Arc<T>` with lock-free reads and epoch-deferred
+/// reclamation.  Clone the cell to share it; clones refer to the same
+/// published value.
+pub struct ArcSwap<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for ArcSwap<T> {
+    fn clone(&self) -> Self {
+        ArcSwap {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcSwap").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + Sync> ArcSwap<T> {
+    /// Create a cell publishing `initial`.
+    pub fn new(initial: Arc<T>) -> Self {
+        ArcSwap {
+            inner: Arc::new(Inner {
+                current: AtomicPtr::new(Arc::into_raw(initial).cast_mut()),
+                epoch: AtomicU64::new(0),
+                slots: [const { AtomicU64::new(UNPINNED) }; MAX_READERS],
+                in_use: AtomicU64::new(0),
+                retired: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Publish `new`, retiring the previous value for deferred
+    /// reclamation, and opportunistically collect whatever retirements
+    /// are already safe.  Any thread may call this; the snapshot
+    /// writer is the intended single caller.
+    pub fn store(&self, new: Arc<T>) {
+        let old = self
+            .inner
+            .current
+            .swap(Arc::into_raw(new).cast_mut(), SeqCst);
+        let re = self.inner.epoch.fetch_add(1, SeqCst) + 1;
+        let mut retired = self
+            .inner
+            .retired
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        retired.push((re, old.cast_const()));
+        Self::collect_locked(&self.inner, &mut retired);
+    }
+
+    /// Attempt reclamation of retired values; returns how many were
+    /// freed.  `store` already collects — this exists for tests and
+    /// for writers that want bounded retire-list length while idle.
+    pub fn try_collect(&self) -> usize {
+        let mut retired = self
+            .inner
+            .retired
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Self::collect_locked(&self.inner, &mut retired)
+    }
+
+    /// Number of retired values still awaiting reclamation.
+    pub fn retired_len(&self) -> usize {
+        self.inner
+            .retired
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    fn collect_locked(inner: &Inner<T>, retired: &mut Vec<(u64, *const T)>) -> usize {
+        if retired.is_empty() {
+            return 0;
+        }
+        // The oldest epoch any registered reader is pinned at; nothing
+        // retired at or after a pin may be freed.
+        let mut floor = u64::MAX;
+        let in_use = inner.in_use.load(SeqCst);
+        for (i, slot) in inner.slots.iter().enumerate() {
+            if in_use & (1u64 << i) == 0 {
+                continue;
+            }
+            let v = slot.load(SeqCst);
+            if v != UNPINNED && v < floor {
+                floor = v;
+            }
+        }
+        let before = retired.len();
+        retired.retain(|&(re, ptr)| {
+            if re <= floor {
+                // SAFETY: no registered reader is pinned at an epoch
+                // `< re` (see module safety argument), so no guard can
+                // refer to this retired value; fallback pinners are
+                // excluded because we hold the retired mutex.  The
+                // pointer is an owned Arc reference retired exactly
+                // once.
+                unsafe { drop(Arc::from_raw(ptr)) };
+                false
+            } else {
+                true
+            }
+        });
+        before - retired.len()
+    }
+
+    /// Register a reader handle.  The first [`MAX_READERS`] handles
+    /// pin through lock-free epoch slots; later ones fall back to
+    /// mutex pinning (correct, slower).
+    pub fn reader(&self) -> Reader<T> {
+        let mut bits = self.inner.in_use.load(SeqCst);
+        loop {
+            let free = (!bits).trailing_zeros() as usize;
+            if free >= MAX_READERS {
+                return Reader {
+                    inner: Arc::clone(&self.inner),
+                    slot: None,
+                };
+            }
+            match self
+                .inner
+                .in_use
+                .compare_exchange(bits, bits | (1u64 << free), SeqCst, SeqCst)
+            {
+                Ok(_) => {
+                    self.inner.slots[free].store(UNPINNED, SeqCst);
+                    return Reader {
+                        inner: Arc::clone(&self.inner),
+                        slot: Some(free),
+                    };
+                }
+                Err(actual) => bits = actual,
+            }
+        }
+    }
+
+    /// Owned copy of the current value via the mutex fallback path.
+    /// For writer-side peeks and tests; hot readers use
+    /// [`Reader::load`] / [`Reader::load_full`].
+    pub fn load_full_slow(&self) -> Arc<T> {
+        let retired = self
+            .inner
+            .retired
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let ptr = self.inner.current.load(SeqCst).cast_const();
+        // SAFETY: holding the retired mutex excludes `collect_locked`,
+        // and retired values are dropped only there (or in `Inner::drop`,
+        // which cannot run while we hold an `Arc<Inner>`), so whatever
+        // `current` holds — even if concurrently swapped out — is a
+        // live Arc reference; bumping its count hands us our own.
+        unsafe {
+            Arc::increment_strong_count(ptr);
+            drop(retired);
+            Arc::from_raw(ptr)
+        }
+    }
+}
+
+/// A registered reader of an [`ArcSwap`].  One per thread; loads take
+/// `&mut self` so a handle can hold at most one pin at a time.
+pub struct Reader<T> {
+    inner: Arc<Inner<T>>,
+    /// `None`: slots were exhausted at registration; pin via the
+    /// retired mutex instead.
+    slot: Option<usize>,
+}
+
+impl<T> std::fmt::Debug for Reader<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reader").field("slot", &self.slot).finish()
+    }
+}
+
+impl<T: Send + Sync> Reader<T> {
+    /// Whether this handle got a lock-free epoch slot (false: mutex
+    /// fallback).
+    pub fn is_lock_free(&self) -> bool {
+        self.slot.is_some()
+    }
+
+    /// Pin and borrow the current value.  The borrow lives as long as
+    /// the returned guard; while any guard from any reader is alive,
+    /// the value it refers to cannot be reclaimed.
+    pub fn load(&mut self) -> Guard<'_, T> {
+        match self.slot {
+            Some(slot) => {
+                let e = self.inner.epoch.load(SeqCst);
+                self.inner.slots[slot].store(e, SeqCst);
+                let ptr = self.inner.current.load(SeqCst).cast_const();
+                Guard {
+                    inner: &self.inner,
+                    pin: Pin::Slot(slot),
+                    ptr,
+                }
+            }
+            None => {
+                let lock = self
+                    .inner
+                    .retired
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let ptr = self.inner.current.load(SeqCst).cast_const();
+                Guard {
+                    inner: &self.inner,
+                    pin: Pin::Lock { _lock: lock },
+                    ptr,
+                }
+            }
+        }
+    }
+
+    /// Pin, take an owned `Arc<T>` of the current value, unpin.  The
+    /// returned Arc stays valid indefinitely — reclamation of a value
+    /// a reader still owns is prevented by its reference count, not by
+    /// the epoch.
+    pub fn load_full(&mut self) -> Arc<T> {
+        let guard = self.load();
+        let ptr = guard.ptr;
+        // SAFETY: `guard` keeps the value unreclaimed for the duration
+        // of the increment; afterwards the bumped strong count keeps
+        // it alive on its own.
+        unsafe {
+            Arc::increment_strong_count(ptr);
+            drop(guard);
+            Arc::from_raw(ptr)
+        }
+    }
+}
+
+impl<T> Drop for Reader<T> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot {
+            self.inner.slots[slot].store(UNPINNED, SeqCst);
+            self.inner.in_use.fetch_and(!(1u64 << slot), SeqCst);
+        }
+    }
+}
+
+enum Pin<'r, T> {
+    /// Epoch-slot pin to clear on drop.
+    Slot(usize),
+    /// Mutex fallback: holding the lock *is* the pin.
+    Lock {
+        _lock: std::sync::MutexGuard<'r, Vec<(u64, *const T)>>,
+    },
+}
+
+/// A pinned borrow of the current value of an [`ArcSwap`].
+pub struct Guard<'r, T> {
+    inner: &'r Inner<T>,
+    pin: Pin<'r, T>,
+    ptr: *const T,
+}
+
+impl<T> std::ops::Deref for Guard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: `ptr` was read from `current` while pinned; the pin
+        // (epoch slot or retired mutex) prevents its reclamation for
+        // the guard's lifetime (module safety argument).
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> Drop for Guard<'_, T> {
+    fn drop(&mut self) {
+        if let Pin::Slot(slot) = self.pin {
+            self.inner.slots[slot].store(UNPINNED, SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A value whose drops are observable.
+    struct Tracked {
+        value: u64,
+        drops: Arc<AtomicUsize>,
+    }
+
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, SeqCst);
+        }
+    }
+
+    fn tracked(value: u64, drops: &Arc<AtomicUsize>) -> Arc<Tracked> {
+        Arc::new(Tracked {
+            value,
+            drops: Arc::clone(drops),
+        })
+    }
+
+    #[test]
+    fn store_then_load_roundtrip() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = ArcSwap::new(tracked(1, &drops));
+        let mut reader = cell.reader();
+        assert!(reader.is_lock_free());
+        assert_eq!(reader.load().value, 1);
+        cell.store(tracked(2, &drops));
+        assert_eq!(reader.load().value, 2);
+        assert_eq!(cell.load_full_slow().value, 2);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclamation() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = ArcSwap::new(tracked(1, &drops));
+        let mut reader = cell.reader();
+        let guard = reader.load();
+        assert_eq!(guard.value, 1);
+
+        // Replace the value twice while the guard pins generation 1.
+        cell.store(tracked(2, &drops));
+        cell.store(tracked(3, &drops));
+        assert_eq!(cell.try_collect(), 0, "pinned snapshot must survive");
+        assert_eq!(drops.load(SeqCst), 0, "nothing freed while pinned");
+        assert_eq!(guard.value, 1, "guard still reads its snapshot");
+
+        drop(guard);
+        assert_eq!(cell.try_collect(), 2, "both retirees free after unpin");
+        assert_eq!(drops.load(SeqCst), 2);
+        assert_eq!(reader.load().value, 3);
+    }
+
+    #[test]
+    fn owned_arc_outlives_reclamation() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = ArcSwap::new(tracked(1, &drops));
+        let mut reader = cell.reader();
+        let owned = reader.load_full();
+        cell.store(tracked(2, &drops));
+        // The epoch no longer protects value 1 (the reader unpinned),
+        // so the cell's reference is collected …
+        cell.try_collect();
+        // … but the reader's own Arc keeps the value alive.
+        assert_eq!(owned.value, 1);
+        assert_eq!(drops.load(SeqCst), 0);
+        drop(owned);
+        assert_eq!(drops.load(SeqCst), 1, "freed once the last Arc drops");
+    }
+
+    #[test]
+    fn unpinned_readers_do_not_block_collection() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = ArcSwap::new(tracked(0, &drops));
+        let _idle = cell.reader(); // registered but never loading
+        for i in 1..=10 {
+            cell.store(tracked(i, &drops));
+        }
+        cell.try_collect();
+        assert_eq!(drops.load(SeqCst), 10, "only the current value lives");
+        assert_eq!(cell.retired_len(), 0);
+    }
+
+    #[test]
+    fn reader_slots_recycle_and_fallback_works() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = ArcSwap::new(tracked(7, &drops));
+        let mut held: Vec<Reader<Tracked>> = (0..MAX_READERS).map(|_| cell.reader()).collect();
+        let mut overflow = cell.reader();
+        assert!(!overflow.is_lock_free(), "65th reader must fall back");
+        assert_eq!(overflow.load().value, 7);
+        assert_eq!(overflow.load_full().value, 7);
+        // Dropping a slotted reader frees its slot for reuse.
+        held.pop();
+        let recycled = cell.reader();
+        assert!(recycled.is_lock_free());
+    }
+
+    #[test]
+    fn fallback_reader_pins_against_collection() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = ArcSwap::new(tracked(1, &drops));
+        let _slots: Vec<Reader<Tracked>> = (0..MAX_READERS).map(|_| cell.reader()).collect();
+        let mut overflow = cell.reader();
+        let guard = overflow.load();
+        // A store from another thread retires value 1 but must not
+        // free it while the fallback guard holds the retired mutex.
+        let cell2 = cell.clone();
+        let d2 = Arc::clone(&drops);
+        let t = std::thread::spawn(move || cell2.store(tracked(2, &d2)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(guard.value, 1);
+        assert_eq!(drops.load(SeqCst), 0);
+        drop(guard);
+        t.join().unwrap();
+        cell.try_collect();
+        assert_eq!(drops.load(SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_writer_and_readers_see_consistent_snapshots() {
+        /// Internally-consistent payload: `double` must always be
+        /// `2 * value`; a torn or recycled read would break it.
+        struct Pair {
+            value: u64,
+            double: u64,
+        }
+        let cell = ArcSwap::new(Arc::new(Pair {
+            value: 0,
+            double: 0,
+        }));
+        let stop = Arc::new(AtomicU64::new(0));
+        let mut threads = Vec::new();
+        for _ in 0..3 {
+            let cell = cell.clone();
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                let mut reader = cell.reader();
+                let mut seen = 0u64;
+                while stop.load(SeqCst) == 0 {
+                    let g = reader.load();
+                    assert_eq!(g.double, g.value * 2, "torn snapshot");
+                    seen = seen.max(g.value);
+                    drop(g);
+                    let full = reader.load_full();
+                    assert_eq!(full.double, full.value * 2, "torn full load");
+                }
+                seen
+            }));
+        }
+        for i in 1..=5_000u64 {
+            cell.store(Arc::new(Pair {
+                value: i,
+                double: i * 2,
+            }));
+        }
+        stop.store(1, SeqCst);
+        for t in threads {
+            assert!(t.join().unwrap() <= 5_000);
+        }
+        cell.try_collect();
+        assert_eq!(cell.retired_len(), 0, "quiescent cell fully collected");
+        assert_eq!(cell.load_full_slow().value, 5_000);
+    }
+}

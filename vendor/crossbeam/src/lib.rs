@@ -5,6 +5,17 @@
 //! topologies (one background agent thread per handle), so mpsc
 //! semantics are sufficient; the `Receiver` is additionally wrapped in a
 //! mutex so the type stays `Sync` like crossbeam's.
+//!
+//! Additionally provides [`epoch`], a minimal epoch-based
+//! deferred-reclamation cell (`ArcSwap`-equivalent) for the runtime
+//! crate's lock-free snapshot read path: a single writer publishes
+//! `Arc<T>` values with an atomic pointer swap while readers pin an
+//! epoch, borrow the current value without locking, and optionally
+//! promote the borrow to an owned `Arc<T>`.  Retired values are freed
+//! only once every pinned reader has moved past their retirement
+//! epoch — never while a reader still holds them.
+
+pub mod epoch;
 
 /// Multi-producer channels with a bounded capacity.
 pub mod channel {
